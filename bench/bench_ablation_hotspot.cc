@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation (Section 3.5): WHICH qubits to freeze. FrozenQubits freezes the
+ * max-degree hotspots; this harness compares against weighted-coupling
+ * selection and uniform-random selection on power-law and regular graphs.
+ * Expected: hotspot selection dominates on power-law graphs (it drops the
+ * most CNOTs and SWAPs), while on regular graphs all policies converge —
+ * the structural reason the paper targets power-law workloads.
+ */
+#include "bench_common.h"
+
+#include "device/catalog.h"
+#include "frozenqubits/driver.h"
+#include "frozenqubits/hotspot.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::bench;
+
+const char*
+policy_name(frozenqubits::HotspotPolicy policy)
+{
+    switch (policy) {
+      case frozenqubits::HotspotPolicy::MaxDegree:
+        return "max-degree";
+      case frozenqubits::HotspotPolicy::WeightedDegree:
+        return "weighted";
+      case frozenqubits::HotspotPolicy::Random:
+        return "random";
+    }
+    return "?";
+}
+
+void
+sweep_class(const std::string& title, bool powerlaw)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    Table t(title);
+    t.set_header({"policy", "mean ARG", "mean sub CX", "mean gain"});
+
+    for (auto policy : {frozenqubits::HotspotPolicy::MaxDegree,
+                        frozenqubits::HotspotPolicy::WeightedDegree,
+                        frozenqubits::HotspotPolicy::Random}) {
+        std::vector<double> args, cxs, gains;
+        for (int n : {12, 16, 20}) {
+            for (std::uint64_t seed : {1u, 2u, 3u}) {
+                const auto model = powerlaw ? ba_model(n, 1, seed)
+                                            : regular3_model(n, seed);
+                frozenqubits::DriverConfig cfg;
+                cfg.num_freeze = 2;
+                cfg.policy = policy;
+                cfg.seed = seed; // drives the Random policy draw
+                const auto r = frozenqubits::run_pipeline(model, dev, cfg);
+                args.push_back(r.arg_fq);
+                cxs.push_back(r.executed[0].post_routing_cx);
+                gains.push_back(r.improvement());
+            }
+        }
+        t.add_row({policy_name(policy), Table::num(mean(args), 2),
+                   Table::num(mean(cxs), 1), Table::factor(mean(gains))});
+    }
+    emit(t);
+}
+
+void
+print_figure()
+{
+    banner("Ablation — hotspot-selection policy (Section 3.5)",
+           "max-degree freezing dominates on power-law graphs; on regular "
+           "graphs the policy barely matters");
+    sweep_class("BA d=1 (power-law), m=2, Montreal", true);
+    sweep_class("3-regular (no hotspots), m=2, Montreal", false);
+}
+
+void
+BM_HotspotSelection(benchmark::State& state)
+{
+    const auto model = ba_model(500, 1, 3);
+    Rng rng(4);
+    for (auto _ : state) {
+        auto picks = frozenqubits::select_hotspots(
+            model, 10, frozenqubits::HotspotPolicy::MaxDegree, rng);
+        benchmark::DoNotOptimize(picks.data());
+    }
+}
+BENCHMARK(BM_HotspotSelection);
+
+} // namespace
+
+FQ_BENCH_MAIN(print_figure)

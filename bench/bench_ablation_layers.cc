@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ablation (Section 2.2): QAOA depth p. A second layer improves the IDEAL
+ * expectation, but doubles the CNOT count, so under hardware noise p=2
+ * can lose to p=1 — "the problem compounds when QAOA circuits with
+ * multiple layers must be executed" — and FrozenQubits shifts the
+ * crossover by making each layer cheaper.
+ */
+#include "bench_common.h"
+
+#include "device/catalog.h"
+#include "frozenqubits/freeze.h"
+#include "frozenqubits/hotspot.h"
+#include "qaoa/multilayer.h"
+#include "qaoa/qaoa_builder.h"
+#include "sim/noise_model.h"
+#include "transpiler/pipeline.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::bench;
+
+/** Ideal + noisy EV of a tuned p-layer circuit on @p dev. */
+struct LayerArm
+{
+    double ev_ideal = 0.0;
+    double ev_noisy = 0.0;
+    int post_cx = 0;
+};
+
+LayerArm
+run_layers(const ising::IsingModel& model, const device::Device& dev,
+           int layers)
+{
+    const auto tuned = qaoa::optimize_multilayer(model, layers, 500);
+    const auto ideal =
+        qaoa::evaluate_multilayer(model, tuned.gammas, tuned.betas);
+
+    qaoa::BuildOptions build;
+    build.num_layers = layers;
+    const auto compiled =
+        transpiler::compile(qaoa::build_qaoa_circuit(model, build), dev);
+    const auto att =
+        sim::compute_attenuation(compiled.physical, dev.calibration);
+
+    LayerArm arm;
+    arm.ev_ideal = ideal.energy;
+    arm.ev_noisy = sim::noisy_expectation(model, ideal.z, ideal.zz, att,
+                                          compiled.final_layout);
+    arm.post_cx = compiled.metrics.cx_gates;
+    return arm;
+}
+
+void
+print_figure()
+{
+    banner("Ablation — QAOA layers p=1 vs p=2 under noise",
+           "deeper circuits help ideally but double the CNOTs; "
+           "FrozenQubits makes the second layer affordable");
+
+    const auto dev = device::make_device("ibm-montreal");
+    Table t("BA d=1 on Montreal: ideal and noisy EV per depth (lower = "
+            "better)");
+    t.set_header({"N", "arm", "CXs", "EV ideal", "EV noisy", "noisy AR "
+                  "gap %"});
+
+    for (int n : {10, 14}) {
+        const auto model = ba_model(n, 1, 3);
+
+        Rng rng(3);
+        const auto hotspots = frozenqubits::select_hotspots(
+            model, 1, frozenqubits::HotspotPolicy::MaxDegree, rng);
+        const auto sub = frozenqubits::freeze_all(model, hotspots)[0];
+
+        struct Row
+        {
+            const char* name;
+            const ising::IsingModel* m;
+            int p;
+        };
+        const Row rows[] = {
+            {"baseline p=1", &model, 1},
+            {"baseline p=2", &model, 2},
+            {"FQ(m=1) p=1", &sub.model, 1},
+            {"FQ(m=1) p=2", &sub.model, 2},
+        };
+        for (const auto& row : rows) {
+            const auto arm = run_layers(*row.m, dev, row.p);
+            t.add_row({Table::num(n), row.name, Table::num(arm.post_cx),
+                       Table::num(arm.ev_ideal, 3),
+                       Table::num(arm.ev_noisy, 3),
+                       Table::num(sim::approximation_ratio_gap(
+                                      arm.ev_ideal, arm.ev_noisy), 1)});
+        }
+    }
+    emit(t);
+}
+
+void
+BM_MultilayerOptimization(benchmark::State& state)
+{
+    const auto model = ba_model(10, 1, 3);
+    for (auto _ : state) {
+        auto tuned = qaoa::optimize_multilayer(
+            model, static_cast<int>(state.range(0)), 200);
+        benchmark::DoNotOptimize(tuned.energy);
+    }
+}
+BENCHMARK(BM_MultilayerOptimization)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FQ_BENCH_MAIN(print_figure)

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation (Section 3.7.2): symmetry pruning. Executing only 2^{m-1} of
+ * the 2^m sub-problems and inferring the mirrors by bit flipping must not
+ * change solution quality, while halving quantum cost and end-to-end
+ * runtime. Also verifies the m=1 special case — zero extra quantum cost.
+ */
+#include "bench_common.h"
+
+#include "device/catalog.h"
+#include "frozenqubits/driver.h"
+#include "runtime/cost_model.h"
+#include "runtime/runtime_model.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::bench;
+
+void
+print_figure()
+{
+    banner("Ablation — symmetry pruning (Section 3.7.2)",
+           "half the circuits, identical quality");
+
+    const auto dev = device::make_device("ibm-montreal");
+    Table t("pruning on/off, BA d=1, N=16, Montreal");
+    t.set_header({"m", "circuits (pruned)", "circuits (full)",
+                  "ARG (pruned)", "ARG (full)", "quality delta"});
+
+    for (int m : {1, 2, 3}) {
+        const auto model = ba_model(16, 1, 2);
+        frozenqubits::DriverConfig with;
+        with.num_freeze = m;
+        frozenqubits::DriverConfig without = with;
+        without.symmetry_pruning = false;
+        const auto a = frozenqubits::run_pipeline(model, dev, with);
+        const auto b = frozenqubits::run_pipeline(model, dev, without);
+        t.add_row({Table::num(m), Table::num(a.num_executed),
+                   Table::num(b.num_executed), Table::num(a.arg_fq, 3),
+                   Table::num(b.arg_fq, 3),
+                   Table::num(std::abs(a.arg_fq - b.arg_fq), 6)});
+    }
+    emit(t);
+
+    // Runtime consequence via Equation (6), batched+shared model.
+    runtime::WorkflowParams params;
+    const auto exec = runtime::figure18_execution_models()[2];
+    Table rt("end-to-end runtime effect (batched+shared, hours)");
+    rt.set_header({"m", "pruned", "full", "saved"});
+    for (int m : {1, 2, 6, 10}) {
+        const double pruned = runtime::end_to_end_runtime_hours(
+            static_cast<int>(runtime::quantum_cost(m, true)), exec, params);
+        const double full = runtime::end_to_end_runtime_hours(
+            static_cast<int>(runtime::quantum_cost(m, false)), exec,
+            params);
+        rt.add_row({Table::num(m), Table::num(pruned, 1),
+                    Table::num(full, 1),
+                    Table::num(100.0 * (1.0 - pruned / full), 1) + "%"});
+    }
+    emit(rt);
+}
+
+void
+BM_PlanExecutions(benchmark::State& state)
+{
+    const auto model = ba_model(24, 1, 2);
+    for (auto _ : state) {
+        auto plan = frozenqubits::plan_executions(model, 10, true);
+        benchmark::DoNotOptimize(plan.size());
+    }
+}
+BENCHMARK(BM_PlanExecutions);
+
+} // namespace
+
+FQ_BENCH_MAIN(print_figure)

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries: seeded
+ * benchmark-instance builders (Section 4.1's graph classes) and console
+ * plumbing. Every binary prints its figure's data series first, then runs
+ * its registered google-benchmark timings.
+ */
+#ifndef FQ_BENCH_BENCH_COMMON_H
+#define FQ_BENCH_BENCH_COMMON_H
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "graph/generators.h"
+#include "ising/ising_model.h"
+
+namespace fq::bench {
+
+/** BA power-law instance with +-1 weights (the paper's default class). */
+inline ising::IsingModel
+ba_model(int n, int d, std::uint64_t seed)
+{
+    Rng rng(combine_seeds(seed, hash_seed("ba") + d));
+    auto g = graph::barabasi_albert(n, d, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    return ising::IsingModel::from_graph(g);
+}
+
+/** Random 3-regular instance (n must be even). */
+inline ising::IsingModel
+regular3_model(int n, std::uint64_t seed)
+{
+    Rng rng(combine_seeds(seed, hash_seed("3reg")));
+    auto g = graph::random_regular(n, 3, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    return ising::IsingModel::from_graph(g);
+}
+
+/** Fully-connected (SK-model) instance. */
+inline ising::IsingModel
+sk_model(int n, std::uint64_t seed)
+{
+    Rng rng(combine_seeds(seed, hash_seed("sk")));
+    auto g = graph::complete(n);
+    graph::assign_random_pm1_weights(g, rng);
+    return ising::IsingModel::from_graph(g);
+}
+
+/** Banner separating the figure data from benchmark timing output. */
+inline void
+banner(const std::string& figure, const std::string& claim)
+{
+    std::cout << "\n############################################################\n"
+              << "# " << figure << "\n# " << claim
+              << "\n############################################################\n\n";
+}
+
+/** Print and flush a table. */
+inline void
+emit(const Table& table)
+{
+    table.print(std::cout);
+    std::cout.flush();
+}
+
+/** Shared main: print the figure data, then run registered benchmarks. */
+#define FQ_BENCH_MAIN(print_figure_fn)                                      \
+    int main(int argc, char** argv)                                         \
+    {                                                                       \
+        print_figure_fn();                                                  \
+        ::benchmark::Initialize(&argc, argv);                               \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))           \
+            return 1;                                                       \
+        ::benchmark::RunSpecifiedBenchmarks();                              \
+        ::benchmark::Shutdown();                                            \
+        return 0;                                                           \
+    }
+
+} // namespace fq::bench
+
+#endif // FQ_BENCH_BENCH_COMMON_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 13: mean ARG improvement of FrozenQubits (m=1, 2) across the
+ * eight IBMQ systems of Section 4.2, with the GMEAN bar. Paper: 3.69x mean
+ * (up to 5.2x) for m=1 and 7.8x (up to 13.16x) for m=2 across machines.
+ */
+#include "bench_common.h"
+
+#include "device/catalog.h"
+#include "frozenqubits/driver.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::bench;
+
+void
+print_figure()
+{
+    banner("Figure 13 — mean ARG improvement per IBMQ machine",
+           "paper: 3.69x mean / 5.20x max (m=1); 7.8x / 13.16x (m=2)");
+
+    Table t("average ARG improvement per machine (BA d=1, N=8..20, 2 seeds)");
+    t.set_header({"machine", "qubits", "FQ(m=1)", "FQ(m=2)"});
+
+    std::vector<double> all1, all2;
+    for (const auto& name : device::ibm_device_names()) {
+        const auto dev = device::make_device(name);
+        std::vector<double> gains1, gains2;
+        for (int n : {8, 12, 16, 20}) {
+            for (std::uint64_t seed : {1u, 2u}) {
+                const auto model = ba_model(n, 1, seed);
+                frozenqubits::DriverConfig c1;
+                c1.num_freeze = 1;
+                frozenqubits::DriverConfig c2;
+                c2.num_freeze = 2;
+                const auto r1 = frozenqubits::run_pipeline(model, dev, c1);
+                const auto r2 = frozenqubits::run_pipeline(model, dev, c2);
+                gains1.push_back(r1.improvement());
+                gains2.push_back(r2.improvement());
+            }
+        }
+        const double g1 = mean(gains1);
+        const double g2 = mean(gains2);
+        all1.push_back(g1);
+        all2.push_back(g2);
+        t.add_row({name, Table::num(dev.num_qubits()), Table::factor(g1),
+                   Table::factor(g2)});
+    }
+    t.add_row({"GMEAN", "-", Table::factor(gmean(all1)),
+               Table::factor(gmean(all2))});
+    emit(t);
+
+    Table spread("machine sensitivity (paper: better machines gain less)");
+    spread.set_header({"metric", "FQ(m=1)", "FQ(m=2)"});
+    spread.add_row({"min over machines", Table::factor(min_value(all1)),
+                    Table::factor(min_value(all2))});
+    spread.add_row({"max over machines", Table::factor(max_value(all1)),
+                    Table::factor(max_value(all2))});
+    emit(spread);
+}
+
+void
+BM_CrossMachineSweep(benchmark::State& state)
+{
+    const auto dev = device::make_device("ibm-washington");
+    const auto model = ba_model(16, 1, 1);
+    frozenqubits::DriverConfig cfg;
+    cfg.num_freeze = 1;
+    for (auto _ : state) {
+        auto r = frozenqubits::run_pipeline(model, dev, cfg);
+        benchmark::DoNotOptimize(r.improvement());
+    }
+}
+BENCHMARK(BM_CrossMachineSweep)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FQ_BENCH_MAIN(print_figure)

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 15: relative CX count (a) and relative circuit depth (b) as the
+ * number of frozen qubits grows from 1 to 10, for 500-qubit BA graphs of
+ * density dBA = 1, 2, 3 on a 50x50 grid. Paper: depth shrinks 1.47x-5.25x
+ * over the sweep; relative CX falls fastest for sparse (d=1) graphs.
+ */
+#include "practical_scale.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::bench;
+
+constexpr int kQubits = 500;
+constexpr int kMaxFreeze = 10;
+
+void
+print_figure()
+{
+    banner("Figure 15 — relative CX (a) and depth (b), 500q BA d=1,2,3",
+           "paper: depth reduction grows 1.47x -> 5.25x from m=1 to m=10");
+
+    const auto dev = device::make_grid_device(50, 50);
+
+    std::vector<std::vector<ScaleRun>> sweeps;
+    for (int d : {1, 2, 3})
+        sweeps.push_back(practical_scale_sweep(kQubits, d, kMaxFreeze, dev));
+
+    Table cx("Figure 15(a) — relative CX count (lower is better)");
+    cx.set_header({"m", "d=1", "d=2", "d=3"});
+    Table depth("Figure 15(b) — relative circuit depth (lower is better)");
+    depth.set_header({"m", "d=1", "d=2", "d=3"});
+
+    for (int m = 1; m <= kMaxFreeze; ++m) {
+        std::vector<std::string> cx_row{Table::num(m)};
+        std::vector<std::string> depth_row{Table::num(m)};
+        for (std::size_t s = 0; s < sweeps.size(); ++s) {
+            const auto& base = sweeps[s].front();
+            const auto& run = sweeps[s][m];
+            cx_row.push_back(Table::num(
+                static_cast<double>(run.post_cx) / base.post_cx, 3));
+            depth_row.push_back(Table::num(
+                static_cast<double>(run.depth) / base.depth, 3));
+        }
+        cx.add_row(cx_row);
+        depth.add_row(depth_row);
+    }
+    emit(cx);
+    emit(depth);
+
+    Table reduction("depth reduction factors (paper: 1.47x at m=1 to "
+                    "5.25x at m=10, averaged over densities)");
+    reduction.set_header({"m", "mean depth reduction", "mean CX reduction"});
+    for (int m : {1, 5, 10}) {
+        std::vector<double> dred, cred;
+        for (const auto& sweep : sweeps) {
+            dred.push_back(static_cast<double>(sweep.front().depth) /
+                           std::max(1, sweep[m].depth));
+            cred.push_back(static_cast<double>(sweep.front().post_cx) /
+                           std::max(1, sweep[m].post_cx));
+        }
+        reduction.add_row({Table::num(m), Table::factor(mean(dred)),
+                           Table::factor(mean(cred))});
+    }
+    emit(reduction);
+}
+
+void
+BM_FreezeTransform500q(benchmark::State& state)
+{
+    const auto model = ba_model(kQubits, 1, 17);
+    Rng rng(17);
+    const auto hotspots = frozenqubits::select_hotspots(
+        model, 10, frozenqubits::HotspotPolicy::MaxDegree, rng);
+    for (auto _ : state) {
+        auto sub = frozenqubits::as_subproblem(model);
+        for (int k = 0; k < 10; ++k)
+            sub = frozenqubits::freeze_spin(sub, hotspots[k], +1);
+        benchmark::DoNotOptimize(sub.model.num_quadratic_terms());
+    }
+}
+BENCHMARK(BM_FreezeTransform500q)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FQ_BENCH_MAIN(print_figure)

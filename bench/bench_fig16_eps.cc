@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 16: relative Expected Probability of Success under the Section
+ * 6.3 optimistic error model (0.1% CX error, 0.5% readout error, 500 us
+ * decoherence) for 500-qubit BA circuits, m = 1..10, dBA = 1, 2, 3.
+ * Paper: 404x mean and up to 515,900x relative EPS. EPS underflows double
+ * at this scale, so ratios are reported as log10.
+ */
+#include "practical_scale.h"
+
+#include <cmath>
+
+namespace {
+
+using namespace fq;
+using namespace fq::bench;
+
+constexpr int kQubits = 500;
+constexpr int kMaxFreeze = 10;
+
+void
+print_figure()
+{
+    banner("Figure 16 — relative EPS, optimistic error model, 500q BA",
+           "paper: 404x mean, up to 515,900x (log-scale figure)");
+
+    const auto dev = device::make_grid_device(50, 50);
+
+    std::vector<std::vector<ScaleRun>> sweeps;
+    for (int d : {1, 2, 3})
+        sweeps.push_back(practical_scale_sweep(kQubits, d, kMaxFreeze, dev));
+
+    Table t("log10(relative EPS) vs m (higher is better)");
+    t.set_header({"m", "d=1", "d=2", "d=3"});
+    std::vector<double> all_log10;
+    for (int m = 1; m <= kMaxFreeze; ++m) {
+        std::vector<std::string> row{Table::num(m)};
+        for (const auto& sweep : sweeps) {
+            const double log10_rel =
+                (sweep[m].log_eps - sweep.front().log_eps) / std::log(10.0);
+            all_log10.push_back(log10_rel);
+            row.push_back(Table::num(log10_rel, 2));
+        }
+        t.add_row(row);
+    }
+    emit(t);
+
+    Table s("summary (paper: mean 404x ~= 10^2.6; max 515,900x ~= 10^5.7)");
+    s.set_header({"metric", "log10(rel EPS)", "factor"});
+    const double mean_l = mean(all_log10);
+    const double max_l = max_value(all_log10);
+    auto factor_str = [](double l) {
+        return l < 15.0 ? Table::factor(std::pow(10.0, l), 1)
+                        : "10^" + Table::num(l, 1);
+    };
+    s.add_row({"mean over m and d", Table::num(mean_l, 2),
+               factor_str(mean_l)});
+    s.add_row({"max over m and d", Table::num(max_l, 2),
+               factor_str(max_l)});
+    emit(s);
+
+    Table absolutes("absolute ln(EPS) anchors (d=1)");
+    absolutes.set_header({"config", "ln(EPS)", "post CX", "duration (us)"});
+    const auto& d1 = sweeps.front();
+    for (int m : {0, 1, 5, 10}) {
+        absolutes.add_row({m == 0 ? "baseline" : "FQ(m=" + Table::num(m) + ")",
+                           Table::num(d1[m].log_eps, 2),
+                           Table::num(d1[m].post_cx),
+                           Table::num(d1[m].duration_ns / 1000.0, 1)});
+    }
+    emit(absolutes);
+}
+
+void
+BM_EpsEvaluation(benchmark::State& state)
+{
+    const auto dev = device::make_grid_device(50, 50);
+    const auto model = ba_model(kQubits, 1, 17);
+    const auto compiled =
+        transpiler::compile(qaoa::build_qaoa_circuit(model), dev);
+    for (auto _ : state) {
+        const double log_eps = sim::log_expected_probability_of_success(
+            compiled.physical, dev.calibration);
+        benchmark::DoNotOptimize(log_eps);
+    }
+}
+BENCHMARK(BM_EpsEvaluation)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+} // namespace
+
+FQ_BENCH_MAIN(print_figure)

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figure 18: end-to-end workflow runtime (Equation (6)) under the four
+ * cloud execution models, for the baseline and FrozenQubits with m = 1, 2
+ * and 10 frozen qubits; plus the Table 3 FrozenQubits-vs-CutQC overhead
+ * comparison made quantitative.
+ */
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "runtime/cost_model.h"
+#include "runtime/runtime_model.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::bench;
+
+void
+print_figure()
+{
+    banner("Figure 18 — end-to-end runtime (Equation 6)",
+           "batching + symmetry pruning keep FrozenQubits' wall-clock "
+           "competitive");
+
+    runtime::WorkflowParams params; // the paper's Section 6.5 constants
+
+    struct Config
+    {
+        const char* name;
+        int circuits;
+    };
+    const Config configs[] = {
+        {"baseline", 1},
+        {"FQ(m=1)", static_cast<int>(runtime::quantum_cost(1, true))},
+        {"FQ(m=2)", static_cast<int>(runtime::quantum_cost(2, true))},
+        {"FQ(m=10)", static_cast<int>(runtime::quantum_cost(10, true))},
+    };
+
+    Table t("overall runtime in hours (I=1000, tau=25K, t=1ms, "
+            "compile=2h, opt=1min/iter)");
+    t.set_header({"execution model", "baseline", "FQ(m=1)", "FQ(m=2)",
+                  "FQ(m=10)"});
+    for (const auto& exec : runtime::figure18_execution_models()) {
+        std::vector<std::string> row{exec.name};
+        for (const auto& cfg : configs) {
+            row.push_back(Table::num(
+                runtime::end_to_end_runtime_hours(cfg.circuits, exec,
+                                                  params), 1));
+        }
+        t.add_row(row);
+    }
+    emit(t);
+
+    Table log_t("same data as log10(hours) — the paper's axis");
+    log_t.set_header({"execution model", "baseline", "FQ(m=1)", "FQ(m=2)",
+                      "FQ(m=10)"});
+    for (const auto& exec : runtime::figure18_execution_models()) {
+        std::vector<std::string> row{exec.name};
+        for (const auto& cfg : configs) {
+            row.push_back(Table::num(
+                std::log10(runtime::end_to_end_runtime_hours(
+                    cfg.circuits, exec, params)), 2));
+        }
+        log_t.add_row(row);
+    }
+    emit(log_t);
+
+    // Table 3 comparison, qualitative + quantitative.
+    Table t3("Table 3 — FrozenQubits vs CutQC overhead classes");
+    t3.set_header({"design", "applicability", "compile", "quantum",
+                   "post-process"});
+    for (const auto& row : {runtime::cutqc_overheads(),
+                            runtime::frozenqubits_overheads()}) {
+        t3.add_row({row.design, row.applicability, row.compile_overhead,
+                    row.quantum_overhead, row.postprocess_overhead});
+    }
+    emit(t3);
+
+    Table ops("illustrative post-processing op counts (N qubits, s=100K "
+              "outcomes)");
+    ops.set_header({"N", "FrozenQubits (m=2)", "CutQC (c=4 cuts)"});
+    for (int n : {20, 30, 40, 60}) {
+        ops.add_row({Table::num(n),
+                     Table::num(runtime::frozenqubits_postprocess_ops(
+                         2, 100000, n, 2 * n), 0),
+                     Table::num(runtime::cutqc_postprocess_ops(4, n), 0)});
+    }
+    emit(ops);
+}
+
+void
+BM_RuntimeModel(benchmark::State& state)
+{
+    runtime::WorkflowParams params;
+    const auto models = runtime::figure18_execution_models();
+    for (auto _ : state) {
+        double total = 0.0;
+        for (const auto& exec : models)
+            for (int circuits : {1, 2, 512})
+                total += runtime::end_to_end_runtime_hours(circuits, exec,
+                                                           params);
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_RuntimeModel);
+
+} // namespace
+
+FQ_BENCH_MAIN(print_figure)

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 3: SWAP overhead on fully-connected QAOA graphs compiled to a
+ * grid architecture — post-compilation CX count grows super-linearly in
+ * qubit count (the paper reports up to 14x blowup even for small programs).
+ */
+#include "bench_common.h"
+
+#include "device/catalog.h"
+#include "qaoa/qaoa_builder.h"
+#include "transpiler/pipeline.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::bench;
+
+void
+print_figure()
+{
+    banner("Figure 3 — SWAP blow-up for fully-connected QAOA on a grid",
+           "post-compilation CX grows super-linearly; blow-up rises with N");
+
+    const auto dev = device::make_grid_device(13, 13); // 169 qubits
+
+    Table t("fully-connected QAOA, grid-13x13 target");
+    t.set_header({"qubits", "pre-compile CX", "post-compile CX", "SWAPs",
+                  "blow-up"});
+    for (int n : {10, 20, 40, 60, 80, 100, 120}) {
+        const auto model = sk_model(n, 3);
+        const auto logical = qaoa::build_qaoa_circuit(model);
+        const auto result = transpiler::compile(logical, dev);
+        const double blowup =
+            static_cast<double>(result.metrics.cx_gates) /
+            result.pre_routing_cx;
+        t.add_row({Table::num(n), Table::num(result.pre_routing_cx),
+                   Table::num(result.metrics.cx_gates),
+                   Table::num(result.swaps_inserted),
+                   Table::factor(blowup)});
+    }
+    emit(t);
+}
+
+void
+BM_CompileFullyConnected(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const auto dev = device::make_grid_device(13, 13);
+    const auto model = sk_model(n, 3);
+    const auto logical = qaoa::build_qaoa_circuit(model);
+    for (auto _ : state) {
+        auto result = transpiler::compile(logical, dev);
+        benchmark::DoNotOptimize(result.metrics.cx_gates);
+    }
+}
+BENCHMARK(BM_CompileFullyConnected)->Arg(10)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FQ_BENCH_MAIN(print_figure)

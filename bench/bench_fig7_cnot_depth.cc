@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Figure 7: CNOT count (a) and circuit depth (b) of baseline QAOA vs
+ * FrozenQubits (m = 1, 2) on BA d=1 graphs compiled to IBM-Montreal.
+ * Paper: 3.13x / 7.19x mean CX reduction and 2.23x / 3.65x mean depth
+ * reduction for m = 1 / 2. Also prints the Figure 6 benchmark gallery
+ * summary (one sample per graph class).
+ */
+#include "bench_common.h"
+
+#include "device/catalog.h"
+#include "frozenqubits/driver.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::bench;
+
+void
+print_figure()
+{
+    banner("Figure 7 — CX count (a) and depth (b): baseline vs FQ(m=1,2)",
+           "paper means: CX 3.13x (m=1) / 7.19x (m=2); depth 2.23x / 3.65x");
+
+    // Figure 6 gallery: one sample instance per class.
+    Table gallery("Figure 6 — benchmark graph classes (N=16 samples)");
+    gallery.set_header({"class", "edges", "max degree", "avg degree"});
+    auto add_gallery = [&gallery](const std::string& name,
+                                  const ising::IsingModel& m) {
+        const auto g = m.to_graph();
+        gallery.add_row({name, Table::num(g.num_edges()),
+                         Table::num(g.max_degree()),
+                         Table::num(g.average_degree(), 2)});
+    };
+    add_gallery("3-regular", regular3_model(16, 1));
+    add_gallery("SK model", sk_model(16, 1));
+    add_gallery("BA d=1", ba_model(16, 1, 1));
+    add_gallery("BA d=2", ba_model(16, 2, 1));
+    add_gallery("BA d=3", ba_model(16, 3, 1));
+    emit(gallery);
+
+    const auto dev = device::make_device("ibm-montreal");
+
+    Table cx("Figure 7(a) — post-compilation CX count, BA d=1 on Montreal");
+    cx.set_header({"qubits", "baseline", "FQ(m=1)", "FQ(m=2)",
+                   "reduction m=1", "reduction m=2"});
+    Table depth("Figure 7(b) — circuit depth, BA d=1 on Montreal");
+    depth.set_header({"qubits", "baseline", "FQ(m=1)", "FQ(m=2)",
+                      "reduction m=1", "reduction m=2"});
+
+    std::vector<double> cx_red1, cx_red2, depth_red1, depth_red2;
+    for (int n : {4, 8, 12, 16, 20, 24}) {
+        const auto model = ba_model(n, 1, 11);
+        frozenqubits::DriverConfig cfg1;
+        cfg1.num_freeze = 1;
+        frozenqubits::DriverConfig cfg2;
+        cfg2.num_freeze = 2;
+        const auto r1 = frozenqubits::run_pipeline(model, dev, cfg1);
+        const auto r2 = frozenqubits::run_pipeline(model, dev, cfg2);
+
+        const auto& base = r1.baseline;
+        const auto& f1 = r1.executed[0];
+        // Report the worst executed sub-circuit for m=2 (they share a
+        // template, so structure is identical).
+        const auto& f2 = r2.executed[0];
+
+        const double c1 = static_cast<double>(base.post_routing_cx) /
+                          std::max(1, f1.post_routing_cx);
+        const double c2 = static_cast<double>(base.post_routing_cx) /
+                          std::max(1, f2.post_routing_cx);
+        const double d1 =
+            static_cast<double>(base.depth) / std::max(1, f1.depth);
+        const double d2 =
+            static_cast<double>(base.depth) / std::max(1, f2.depth);
+        cx_red1.push_back(c1);
+        cx_red2.push_back(c2);
+        depth_red1.push_back(d1);
+        depth_red2.push_back(d2);
+
+        cx.add_row({Table::num(n), Table::num(base.post_routing_cx),
+                    Table::num(f1.post_routing_cx),
+                    Table::num(f2.post_routing_cx), Table::factor(c1),
+                    Table::factor(c2)});
+        depth.add_row({Table::num(n), Table::num(base.depth),
+                       Table::num(f1.depth), Table::num(f2.depth),
+                       Table::factor(d1), Table::factor(d2)});
+    }
+    emit(cx);
+    emit(depth);
+
+    Table means("mean reductions (paper: CX 3.13x/7.19x, depth 2.23x/3.65x)");
+    means.set_header({"metric", "FQ(m=1)", "FQ(m=2)"});
+    means.add_row({"CX reduction", Table::factor(mean(cx_red1)),
+                   Table::factor(mean(cx_red2))});
+    means.add_row({"depth reduction", Table::factor(mean(depth_red1)),
+                   Table::factor(mean(depth_red2))});
+    emit(means);
+}
+
+void
+BM_PipelineBaArg(benchmark::State& state)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    const auto model = ba_model(static_cast<int>(state.range(0)), 1, 11);
+    frozenqubits::DriverConfig cfg;
+    cfg.num_freeze = 1;
+    for (auto _ : state) {
+        auto report = frozenqubits::run_pipeline(model, dev, cfg);
+        benchmark::DoNotOptimize(report.arg_fq);
+    }
+}
+BENCHMARK(BM_PipelineBaArg)->Arg(12)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FQ_BENCH_MAIN(print_figure)

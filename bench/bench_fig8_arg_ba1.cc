@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 8: Approximation Ratio Gap (ARG) on IBM-Montreal for BA d=1
+ * graphs, baseline vs FQ(m=1,2). Paper: baseline ARG deteriorates rapidly
+ * with size while FrozenQubits stays flat — mean improvement 6.75x (m=1)
+ * and 11.29x (m=2), up to 47x / 57x.
+ */
+#include "bench_common.h"
+
+#include "device/catalog.h"
+#include "frozenqubits/driver.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::bench;
+
+void
+print_figure()
+{
+    banner("Figure 8 — ARG on IBM-Montreal, BA d=1",
+           "paper: 6.75x mean (up to 47x) for m=1; 11.29x (up to 57x) m=2");
+
+    const auto dev = device::make_device("ibm-montreal");
+    Table t("ARG (Equation 4, lower is better), averaged over 3 seeds");
+    t.set_header({"qubits", "baseline", "FQ(m=1)", "FQ(m=2)", "gain m=1",
+                  "gain m=2"});
+
+    std::vector<double> gains1, gains2;
+    for (int n : {4, 8, 12, 16, 20, 24}) {
+        std::vector<double> base, fq1, fq2;
+        for (std::uint64_t seed : {1u, 2u, 3u}) {
+            const auto model = ba_model(n, 1, seed);
+            frozenqubits::DriverConfig cfg1;
+            cfg1.num_freeze = 1;
+            frozenqubits::DriverConfig cfg2;
+            cfg2.num_freeze = 2;
+            const auto r1 = frozenqubits::run_pipeline(model, dev, cfg1);
+            const auto r2 = frozenqubits::run_pipeline(model, dev, cfg2);
+            base.push_back(r1.arg_baseline);
+            fq1.push_back(r1.arg_fq);
+            fq2.push_back(r2.arg_fq);
+        }
+        const double g1 = mean(base) / std::max(mean(fq1), 1e-3);
+        const double g2 = mean(base) / std::max(mean(fq2), 1e-3);
+        gains1.push_back(g1);
+        gains2.push_back(g2);
+        t.add_row({Table::num(n), Table::num(mean(base), 2),
+                   Table::num(mean(fq1), 2), Table::num(mean(fq2), 2),
+                   Table::factor(g1), Table::factor(g2)});
+    }
+    emit(t);
+
+    Table summary("ARG improvement summary (paper: 6.75x / 11.29x mean)");
+    summary.set_header({"config", "mean gain", "max gain"});
+    summary.add_row({"FQ(m=1)", Table::factor(mean(gains1)),
+                     Table::factor(max_value(gains1))});
+    summary.add_row({"FQ(m=2)", Table::factor(mean(gains2)),
+                     Table::factor(max_value(gains2))});
+    emit(summary);
+}
+
+void
+BM_ArgEvaluation(benchmark::State& state)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    const auto model = ba_model(20, 1, 1);
+    frozenqubits::DriverConfig cfg;
+    cfg.num_freeze = 2;
+    for (auto _ : state) {
+        auto report = frozenqubits::run_pipeline(model, dev, cfg);
+        benchmark::DoNotOptimize(report.improvement());
+    }
+}
+BENCHMARK(BM_ArgEvaluation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FQ_BENCH_MAIN(print_figure)

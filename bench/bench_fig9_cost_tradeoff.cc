@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 9: the fidelity-vs-quantum-cost trade-off (Section 5.1.3).
+ * (a) relative ARG vs quantum cost 2^{m-1} for BA d=1,2,3 — improvement
+ *     saturates after a handful of frozen qubits;
+ * (b) circuit features (CX count, depth) track the ARG trend, so they can
+ *     pick the number of qubits to freeze without running hardware.
+ */
+#include "bench_common.h"
+
+#include "device/catalog.h"
+#include "frozenqubits/driver.h"
+#include "runtime/cost_model.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::bench;
+
+void
+print_figure()
+{
+    banner("Figure 9 — quantum cost vs fidelity trade-off (BA d=1,2,3)",
+           "relative ARG saturates with m; CX/depth features track ARG");
+
+    const auto dev = device::make_device("ibm-montreal");
+    const int n = 20;
+    constexpr int kMaxFreeze = 9;
+
+    Table arg_table("Figure 9(a) — relative ARG vs quantum cost (N=20)");
+    arg_table.set_header({"m", "quantum cost", "rel ARG d=1", "rel ARG d=2",
+                          "rel ARG d=3"});
+    Table feat("Figure 9(b) — relative features vs quantum cost (d=1)");
+    feat.set_header({"m", "quantum cost", "rel ARG", "rel CX count",
+                     "rel depth"});
+
+    // Collect per-density series.
+    std::vector<std::vector<double>> rel_arg(4); // index by d
+    std::vector<double> rel_cx, rel_depth;
+    for (int d : {1, 2, 3}) {
+        const auto model = ba_model(n, d, 5);
+        frozenqubits::DriverConfig cfg;
+        cfg.num_freeze = 1;
+        const auto base = frozenqubits::run_pipeline(model, dev, cfg);
+        for (int m = 1; m <= kMaxFreeze; ++m) {
+            frozenqubits::DriverConfig c;
+            c.num_freeze = m;
+            const auto r = frozenqubits::run_pipeline(model, dev, c);
+            rel_arg[d].push_back(r.arg_fq /
+                                 std::max(base.arg_baseline, 1e-9));
+            if (d == 1) {
+                rel_cx.push_back(
+                    static_cast<double>(r.executed[0].post_routing_cx) /
+                    std::max(1, base.baseline.post_routing_cx));
+                rel_depth.push_back(
+                    static_cast<double>(r.executed[0].depth) /
+                    std::max(1, base.baseline.depth));
+            }
+        }
+    }
+
+    for (int m = 1; m <= kMaxFreeze; ++m) {
+        const auto cost = runtime::quantum_cost(m, true);
+        arg_table.add_row({Table::num(m),
+                           Table::num(cost) + "x",
+                           Table::num(rel_arg[1][m - 1], 3),
+                           Table::num(rel_arg[2][m - 1], 3),
+                           Table::num(rel_arg[3][m - 1], 3)});
+        feat.add_row({Table::num(m), Table::num(cost) + "x",
+                      Table::num(rel_arg[1][m - 1], 3),
+                      Table::num(rel_cx[m - 1], 3),
+                      Table::num(rel_depth[m - 1], 3)});
+    }
+    emit(arg_table);
+    emit(feat);
+
+    // Saturation summary: marginal ARG improvement per extra frozen qubit.
+    Table saturation("diminishing returns (d=1): marginal rel-ARG drop per m");
+    saturation.set_header({"m", "rel ARG", "marginal improvement"});
+    for (int m = 1; m <= kMaxFreeze; ++m) {
+        const double curr = rel_arg[1][m - 1];
+        const double prev = m == 1 ? 1.0 : rel_arg[1][m - 2];
+        saturation.add_row({Table::num(m), Table::num(curr, 3),
+                            Table::num(prev - curr, 3)});
+    }
+    emit(saturation);
+}
+
+void
+BM_FreezeSweep(benchmark::State& state)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    const auto model = ba_model(20, 1, 5);
+    frozenqubits::DriverConfig cfg;
+    cfg.num_freeze = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto r = frozenqubits::run_pipeline(model, dev, cfg);
+        benchmark::DoNotOptimize(r.arg_fq);
+    }
+}
+BENCHMARK(BM_FreezeSweep)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FQ_BENCH_MAIN(print_figure)

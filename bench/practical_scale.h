@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared harness for the Section 6 practical-scale study (Figures 14-17):
+ * 500-qubit random power-law QAOA circuits compiled to a 50x50 grid
+ * device, sweeping the number of frozen qubits m = 0 (baseline) .. 10.
+ *
+ * Only one representative sub-problem per m is compiled: all 2^m siblings
+ * share the quadratic structure, hence the compiled template and all
+ * structural metrics (Section 3.7.1).
+ */
+#ifndef FQ_BENCH_PRACTICAL_SCALE_H
+#define FQ_BENCH_PRACTICAL_SCALE_H
+
+#include <vector>
+
+#include "bench_common.h"
+#include "device/catalog.h"
+#include "frozenqubits/freeze.h"
+#include "frozenqubits/hotspot.h"
+#include "qaoa/qaoa_builder.h"
+#include "sim/noise_model.h"
+#include "transpiler/pipeline.h"
+
+namespace fq::bench {
+
+/** One row of the practical-scale sweep. */
+struct ScaleRun
+{
+    int m = 0;                 ///< frozen qubits (0 = baseline)
+    int dropped_edges = 0;     ///< quadratic terms removed by the freeze
+    int pre_cx = 0;            ///< CX before routing (2 per surviving edge)
+    int post_cx = 0;           ///< CX after compilation
+    int swaps = 0;
+    int depth = 0;
+    double duration_ns = 0.0;
+    double log_eps = 0.0;      ///< ln(EPS), Section 6.3 optimistic model
+    double compile_ms = 0.0;
+    std::size_t gate_count = 0;
+};
+
+/**
+ * Sweep m = 0..max_m for an n-qubit BA(d) instance on @p dev. The same
+ * hotspot ranking serves every m (prefix freezing).
+ */
+inline std::vector<ScaleRun>
+practical_scale_sweep(int n, int d, int max_m, const device::Device& dev,
+                      std::uint64_t seed = 17)
+{
+    const auto model = ba_model(n, d, seed);
+    Rng rng(seed);
+    const auto hotspots = frozenqubits::select_hotspots(
+        model, max_m, frozenqubits::HotspotPolicy::MaxDegree, rng);
+
+    std::vector<ScaleRun> runs;
+    for (int m = 0; m <= max_m; ++m) {
+        // Representative sub-problem: first m hotspots frozen at +1.
+        auto sub = frozenqubits::as_subproblem(model);
+        for (int k = 0; k < m; ++k)
+            sub = frozenqubits::freeze_spin(sub, hotspots[k], +1);
+
+        qaoa::BuildOptions build;
+        build.keep_zero_linear_rz = true;
+        const auto logical = qaoa::build_qaoa_circuit(sub.model, build);
+        const auto compiled = transpiler::compile(logical, dev);
+
+        ScaleRun run;
+        run.m = m;
+        run.dropped_edges = frozenqubits::dropped_edge_count(
+            model, {hotspots.begin(), hotspots.begin() + m});
+        run.pre_cx = compiled.pre_routing_cx;
+        run.post_cx = compiled.metrics.cx_gates;
+        run.swaps = compiled.swaps_inserted;
+        run.depth = compiled.metrics.depth;
+        run.duration_ns = compiled.metrics.duration_ns;
+        run.log_eps = sim::log_expected_probability_of_success(
+            compiled.physical, dev.calibration);
+        run.compile_ms = compiled.compile_time_ms;
+        run.gate_count = compiled.physical.size();
+        runs.push_back(run);
+    }
+    return runs;
+}
+
+} // namespace fq::bench
+
+#endif // FQ_BENCH_PRACTICAL_SCALE_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Interactive-style tour of the QAOA parameter landscape (Section 5.3):
+ * scans the (gamma, beta) plane for a problem's baseline circuit and its
+ * FrozenQubits sub-problem, renders both as ASCII heat maps, then runs the
+ * classical optimizer stack (grid seed -> Nelder-Mead refinement) on each
+ * and reports the tuned angles — showing why sharper landscapes train
+ * faster.
+ */
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "frozenqubits/freeze.h"
+#include "frozenqubits/hotspot.h"
+#include "graph/generators.h"
+#include "ising/exact_solver.h"
+#include "optimizer/landscape.h"
+#include "optimizer/nelder_mead.h"
+#include "qaoa/analytic_p1.h"
+
+namespace {
+
+using namespace fq;
+
+void
+explore(const std::string& name, const ising::IsingModel& model)
+{
+    // Landscape of the ideal p=1 energy.
+    const auto land = optimizer::scan_landscape(
+        [&](double g, double b) {
+            return qaoa::evaluate_p1_energy(model, {g, b});
+        },
+        48, 48, M_PI, M_PI);
+    const auto stats = optimizer::landscape_stats(land);
+
+    std::cout << "== " << name << " ==\n";
+    std::cout << optimizer::render_ascii(optimizer::downsample(land, 48, 20));
+    std::printf("energy range [%.3f, %.3f], mean |gradient| %.4f\n",
+                stats.min_value, stats.max_value,
+                stats.mean_gradient_magnitude);
+
+    // Optimize: coarse grid seed, then Nelder-Mead refinement.
+    const auto seeded = qaoa::optimize_p1(model, 16, 0);
+    const auto refined = optimizer::nelder_mead(
+        [&](const std::vector<double>& x) {
+            return qaoa::evaluate_p1_energy(model, {x[0], x[1]});
+        },
+        {seeded.angles.gamma, seeded.angles.beta});
+
+    const double c_min = ising::solve_exact(model).min_cost;
+    std::printf("grid seed:    EV %.4f at (%.3f, %.3f)\n", seeded.energy,
+                seeded.angles.gamma, seeded.angles.beta);
+    std::printf("Nelder-Mead:  EV %.4f at (%.3f, %.3f) after %d evals\n",
+                refined.best_value, refined.best_point[0],
+                refined.best_point[1], refined.evaluations);
+    std::printf("AR at optimum: %.3f (C_min = %.1f)\n\n",
+                refined.best_value / c_min, c_min);
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(4242);
+    auto g = graph::barabasi_albert(16, 1, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    const auto model = ising::IsingModel::from_graph(g);
+
+    explore("baseline: 16-qubit power-law QAOA", model);
+
+    const auto hotspots = frozenqubits::select_hotspots(
+        model, 1, frozenqubits::HotspotPolicy::MaxDegree, rng);
+    const auto sub = frozenqubits::freeze_all(model, hotspots)[0];
+    explore("FrozenQubits sub-problem (hotspot z" +
+                std::to_string(hotspots[0]) + " = +1)",
+            sub.model);
+
+    std::cout << "The sub-problem landscape is the one the classical\n"
+                 "optimizer actually trains on after freezing — fewer\n"
+                 "CNOTs on hardware mean these gradients survive noise\n"
+                 "(compare bench_fig12_landscape for the noisy version).\n";
+    return 0;
+}

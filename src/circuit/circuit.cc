@@ -1,0 +1,231 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fq::circuit {
+
+const char*
+gate_name(GateType t)
+{
+    switch (t) {
+      case GateType::H: return "h";
+      case GateType::X: return "x";
+      case GateType::SX: return "sx";
+      case GateType::RZ: return "rz";
+      case GateType::RX: return "rx";
+      case GateType::RY: return "ry";
+      case GateType::CX: return "cx";
+      case GateType::SWAP: return "swap";
+      case GateType::MEASURE: return "measure";
+      case GateType::BARRIER: return "barrier";
+    }
+    return "?";
+}
+
+double
+Parameter::resolve(const std::vector<double>& gammas,
+                   const std::vector<double>& betas) const
+{
+    switch (kind) {
+      case Kind::Constant:
+        return coefficient;
+      case Kind::Gamma:
+        FQ_REQUIRE(layer >= 0 && layer < static_cast<int>(gammas.size()),
+                   "gamma layer index out of range");
+        return coefficient * gammas[layer];
+      case Kind::Beta:
+        FQ_REQUIRE(layer >= 0 && layer < static_cast<int>(betas.size()),
+                   "beta layer index out of range");
+        return coefficient * betas[layer];
+    }
+    return 0.0;
+}
+
+Circuit::Circuit(int num_qubits) : num_qubits_(num_qubits)
+{
+    FQ_REQUIRE(num_qubits >= 0, "negative qubit count");
+}
+
+void
+Circuit::check_qubit(int q) const
+{
+    FQ_REQUIRE(q >= 0 && q < num_qubits_, "qubit index out of range");
+}
+
+void
+Circuit::append(const Gate& gate)
+{
+    if (gate.type != GateType::BARRIER) {
+        check_qubit(gate.q0);
+        if (is_two_qubit(gate.type)) {
+            check_qubit(gate.q1);
+            FQ_REQUIRE(gate.q0 != gate.q1,
+                       "two-qubit gate needs distinct qubits");
+        }
+    }
+    gates_.push_back(gate);
+}
+
+void Circuit::h(int q) { append(Gate::one_qubit(GateType::H, q)); }
+void Circuit::x(int q) { append(Gate::one_qubit(GateType::X, q)); }
+void Circuit::sx(int q) { append(Gate::one_qubit(GateType::SX, q)); }
+
+void
+Circuit::rz(int q, Parameter angle)
+{
+    append(Gate::rotation(GateType::RZ, q, angle));
+}
+
+void Circuit::rz(int q, double angle) { rz(q, Parameter::constant(angle)); }
+
+void
+Circuit::rx(int q, Parameter angle)
+{
+    append(Gate::rotation(GateType::RX, q, angle));
+}
+
+void Circuit::rx(int q, double angle) { rx(q, Parameter::constant(angle)); }
+
+void
+Circuit::ry(int q, Parameter angle)
+{
+    append(Gate::rotation(GateType::RY, q, angle));
+}
+
+void
+Circuit::cx(int control, int target)
+{
+    append(Gate::two_qubit(GateType::CX, control, target));
+}
+
+void
+Circuit::swap(int a, int b)
+{
+    append(Gate::two_qubit(GateType::SWAP, a, b));
+}
+
+void Circuit::measure(int q) { append(Gate::one_qubit(GateType::MEASURE, q)); }
+
+void
+Circuit::measure_all()
+{
+    for (int q = 0; q < num_qubits_; ++q)
+        measure(q);
+}
+
+void
+Circuit::barrier()
+{
+    Gate g;
+    g.type = GateType::BARRIER;
+    g.q0 = 0;
+    gates_.push_back(g);
+}
+
+void
+Circuit::extend(const Circuit& other)
+{
+    FQ_REQUIRE(other.num_qubits() == num_qubits_,
+               "extend requires matching qubit counts");
+    for (const Gate& g : other.gates())
+        gates_.push_back(g);
+}
+
+bool
+Circuit::is_parametric() const
+{
+    return std::any_of(gates_.begin(), gates_.end(), [](const Gate& g) {
+        return has_angle(g.type) && !g.angle.is_constant();
+    });
+}
+
+int
+Circuit::num_layers() const
+{
+    int layers = 0;
+    for (const Gate& g : gates_)
+        if (has_angle(g.type) && !g.angle.is_constant())
+            layers = std::max(layers, g.angle.layer + 1);
+    return layers;
+}
+
+Circuit
+Circuit::bind(const std::vector<double>& gammas,
+              const std::vector<double>& betas) const
+{
+    Circuit out(num_qubits_);
+    out.gates_.reserve(gates_.size());
+    for (Gate g : gates_) {
+        if (has_angle(g.type) && !g.angle.is_constant())
+            g.angle = Parameter::constant(g.angle.resolve(gammas, betas));
+        out.gates_.push_back(g);
+    }
+    return out;
+}
+
+Circuit
+Circuit::remap_qubits(const std::vector<int>& mapping,
+                      int new_num_qubits) const
+{
+    FQ_REQUIRE(static_cast<int>(mapping.size()) == num_qubits_,
+               "mapping size must equal qubit count");
+    Circuit out(new_num_qubits);
+    out.gates_.reserve(gates_.size());
+    for (Gate g : gates_) {
+        if (g.type != GateType::BARRIER) {
+            g.q0 = mapping[g.q0];
+            if (is_two_qubit(g.type))
+                g.q1 = mapping[g.q1];
+        }
+        out.append(g);
+    }
+    return out;
+}
+
+int
+Circuit::count(GateType t) const
+{
+    return static_cast<int>(
+        std::count_if(gates_.begin(), gates_.end(),
+                      [t](const Gate& g) { return g.type == t; }));
+}
+
+int
+Circuit::cx_count() const
+{
+    return count(GateType::CX) + 3 * count(GateType::SWAP);
+}
+
+Circuit
+Circuit::decompose_swaps() const
+{
+    Circuit out(num_qubits_);
+    for (const Gate& g : gates_) {
+        if (g.type == GateType::SWAP) {
+            out.cx(g.q0, g.q1);
+            out.cx(g.q1, g.q0);
+            out.cx(g.q0, g.q1);
+        } else {
+            out.gates_.push_back(g);
+        }
+    }
+    return out;
+}
+
+Circuit
+Circuit::drop_trivial_rotations(double epsilon) const
+{
+    Circuit out(num_qubits_);
+    for (const Gate& g : gates_) {
+        const bool trivial = has_angle(g.type) && g.angle.is_constant() &&
+                             std::abs(g.angle.coefficient) <= epsilon;
+        if (!trivial)
+            out.gates_.push_back(g);
+    }
+    return out;
+}
+
+} // namespace fq::circuit

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quantum circuit container: an ordered gate list over a fixed qubit count,
+ * with builder helpers, parameter binding, and structural queries. Metric
+ * computation (depth, duration) lives in circuit/metrics.h.
+ */
+#ifndef FQ_CIRCUIT_CIRCUIT_H
+#define FQ_CIRCUIT_CIRCUIT_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+
+namespace fq::circuit {
+
+/** Ordered list of gates over num_qubits() qubits. */
+class Circuit
+{
+  public:
+    Circuit() = default;
+    explicit Circuit(int num_qubits);
+
+    int num_qubits() const { return num_qubits_; }
+    const std::vector<Gate>& gates() const { return gates_; }
+    std::size_t size() const { return gates_.size(); }
+    bool empty() const { return gates_.empty(); }
+
+    /** Append an arbitrary gate (validates qubit indices). */
+    void append(const Gate& gate);
+
+    /// @name Builder helpers
+    /// @{
+    void h(int q);
+    void x(int q);
+    void sx(int q);
+    void rz(int q, Parameter angle);
+    void rz(int q, double angle);
+    void rx(int q, Parameter angle);
+    void rx(int q, double angle);
+    void ry(int q, Parameter angle);
+    void cx(int control, int target);
+    void swap(int a, int b);
+    void measure(int q);
+    void measure_all();
+    void barrier();
+    /// @}
+
+    /** Append every gate of @p other (qubit counts must match). */
+    void extend(const Circuit& other);
+
+    /** True when any gate has a non-constant (symbolic) angle. */
+    bool is_parametric() const;
+
+    /** Number of distinct QAOA layers referenced by symbolic parameters. */
+    int num_layers() const;
+
+    /**
+     * Resolve all symbolic angles against concrete per-layer (gamma, beta)
+     * values; the result contains only constant parameters. This is the
+     * cheap "editing the compiled circuit" step of Section 3.7.1.
+     */
+    Circuit bind(const std::vector<double>& gammas,
+                 const std::vector<double>& betas) const;
+
+    /**
+     * Apply a qubit relabeling: gate qubit q becomes mapping[q]. Used to
+     * place a logical circuit onto physical qubits. @p new_num_qubits lets
+     * the result live on a larger register (a device).
+     */
+    Circuit remap_qubits(const std::vector<int>& mapping,
+                         int new_num_qubits) const;
+
+    /** Gates counted by type. */
+    int count(GateType t) const;
+
+    /** CX count with SWAPs decomposed: #CX + 3 * #SWAP. */
+    int cx_count() const;
+
+    /** Replace each SWAP with its 3-CX decomposition. */
+    Circuit decompose_swaps() const;
+
+    /** Remove rotations with numerically zero constant angles. */
+    Circuit drop_trivial_rotations(double epsilon = 1e-12) const;
+
+  private:
+    void check_qubit(int q) const;
+
+    int num_qubits_ = 0;
+    std::vector<Gate> gates_;
+};
+
+} // namespace fq::circuit
+
+#endif // FQ_CIRCUIT_CIRCUIT_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Gate-level IR: gate kinds and symbolic rotation parameters.
+ *
+ * QAOA circuits are parametric (Section 2.1): every RZ angle is a problem
+ * coefficient times a layer's gamma, and every RX mixer angle is a layer's
+ * beta. Keeping the (kind, layer, coefficient) structure symbolic is what
+ * enables the paper's compile-one-template-then-edit optimization
+ * (Section 3.7.1): a compiled template is rebound to a sub-problem by
+ * rewriting coefficients only, without re-running the transpiler.
+ */
+#ifndef FQ_CIRCUIT_GATE_H
+#define FQ_CIRCUIT_GATE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fq::circuit {
+
+/** Supported gate kinds. SWAP is three CNOTs when decomposed. */
+enum class GateType : std::uint8_t {
+    H,       ///< Hadamard
+    X,       ///< Pauli-X
+    SX,      ///< sqrt(X) (IBM basis gate; used by 1q resynthesis)
+    RZ,      ///< Z rotation — "software" gate, error-free per Section 3.3
+    RX,      ///< X rotation (QAOA mixer)
+    RY,      ///< Y rotation
+    CX,      ///< CNOT — the error-dominant gate
+    SWAP,    ///< SWAP (router-inserted; = 3 CX)
+    MEASURE, ///< z-basis measurement
+    BARRIER, ///< scheduling barrier across all qubits
+};
+
+/** True for gates acting on two qubits. */
+constexpr bool
+is_two_qubit(GateType t)
+{
+    return t == GateType::CX || t == GateType::SWAP;
+}
+
+/** True for gates that carry a rotation angle. */
+constexpr bool
+has_angle(GateType t)
+{
+    return t == GateType::RZ || t == GateType::RX || t == GateType::RY;
+}
+
+/** Gate-kind mnemonic ("cx", "rz", ...). */
+const char* gate_name(GateType t);
+
+/**
+ * A rotation angle, either a constant or coefficient * (gamma_l | beta_l).
+ *
+ * Layer index l selects which of the 2p trainable parameters scales the
+ * angle. resolve() with concrete parameter vectors yields the numeric angle.
+ *
+ * The optional @c tag records which Hamiltonian term produced the angle
+ * (assigned by the QAOA builder): it is what lets a compiled template be
+ * edited into a sibling sub-problem's executable by coefficient rewriting
+ * alone (Section 3.7.1), surviving qubit remapping and routing.
+ */
+struct Parameter
+{
+    enum class Kind : std::uint8_t { Constant, Gamma, Beta };
+
+    Kind kind = Kind::Constant;
+    int layer = 0;
+    double coefficient = 0.0;
+    /** Hamiltonian-term identity (-1 = untagged). */
+    int tag = -1;
+
+    static Parameter constant(double value)
+    {
+        return {Kind::Constant, 0, value, -1};
+    }
+    static Parameter gamma(int layer, double coefficient, int tag = -1)
+    {
+        return {Kind::Gamma, layer, coefficient, tag};
+    }
+    static Parameter beta(int layer, double coefficient, int tag = -1)
+    {
+        return {Kind::Beta, layer, coefficient, tag};
+    }
+
+    bool is_constant() const { return kind == Kind::Constant; }
+
+    /** Numeric angle for the given per-layer parameter values. */
+    double resolve(const std::vector<double>& gammas,
+                   const std::vector<double>& betas) const;
+
+    bool operator==(const Parameter&) const = default;
+};
+
+/** One gate instance. q1 is -1 for single-qubit gates and MEASURE. */
+struct Gate
+{
+    GateType type = GateType::H;
+    int q0 = 0;
+    int q1 = -1;
+    Parameter angle = Parameter::constant(0.0);
+
+    static Gate one_qubit(GateType t, int q)
+    {
+        return {t, q, -1, Parameter::constant(0.0)};
+    }
+    static Gate rotation(GateType t, int q, Parameter p)
+    {
+        return {t, q, -1, p};
+    }
+    static Gate two_qubit(GateType t, int a, int b)
+    {
+        return {t, a, b, Parameter::constant(0.0)};
+    }
+};
+
+} // namespace fq::circuit
+
+#endif // FQ_CIRCUIT_GATE_H

@@ -1,0 +1,145 @@
+#include "circuit/metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fq::circuit {
+
+double
+GateDurations::duration_of(GateType t) const
+{
+    switch (t) {
+      case GateType::CX:
+        return cx_ns;
+      case GateType::SWAP:
+        return 3.0 * cx_ns;
+      case GateType::MEASURE:
+        return measure_ns;
+      case GateType::RZ:
+        // Virtual-Z: implemented as a frame change, zero duration.
+        return 0.0;
+      case GateType::BARRIER:
+        return 0.0;
+      default:
+        return single_qubit_ns;
+    }
+}
+
+namespace {
+
+/** Levels a gate occupies in the depth metric. */
+int
+gate_levels(GateType t, bool free_rz)
+{
+    switch (t) {
+      case GateType::SWAP:
+        return 3;
+      case GateType::BARRIER:
+        return 0;
+      case GateType::RZ:
+        return free_rz ? 0 : 1;
+      default:
+        return 1;
+    }
+}
+
+/**
+ * Generic ASAP critical-path accumulator over per-qubit frontiers.
+ * @p cost_of yields each gate's contribution (levels or nanoseconds).
+ */
+template <typename CostFn>
+double
+critical_path(const Circuit& c, CostFn&& cost_of)
+{
+    std::vector<double> frontier(c.num_qubits(), 0.0);
+    double barrier_floor = 0.0;
+    for (const Gate& g : c.gates()) {
+        if (g.type == GateType::BARRIER) {
+            for (double f : frontier)
+                barrier_floor = std::max(barrier_floor, f);
+            continue;
+        }
+        double start = std::max(barrier_floor, frontier[g.q0]);
+        if (is_two_qubit(g.type))
+            start = std::max(start, frontier[g.q1]);
+        const double finish = start + cost_of(g.type);
+        frontier[g.q0] = finish;
+        if (is_two_qubit(g.type))
+            frontier[g.q1] = finish;
+    }
+    double depth = barrier_floor;
+    for (double f : frontier)
+        depth = std::max(depth, f);
+    return depth;
+}
+
+} // namespace
+
+int
+circuit_depth(const Circuit& c, bool free_rz)
+{
+    const double d = critical_path(c, [free_rz](GateType t) {
+        return static_cast<double>(gate_levels(t, free_rz));
+    });
+    return static_cast<int>(d);
+}
+
+double
+circuit_duration_ns(const Circuit& c, const GateDurations& durations)
+{
+    return critical_path(
+        c, [&durations](GateType t) { return durations.duration_of(t); });
+}
+
+int
+cx_depth(const Circuit& c)
+{
+    const double d = critical_path(c, [](GateType t) {
+        switch (t) {
+          case GateType::CX:
+            return 1.0;
+          case GateType::SWAP:
+            return 3.0;
+          default:
+            return 0.0;
+        }
+    });
+    return static_cast<int>(d);
+}
+
+CircuitMetrics
+compute_metrics(const Circuit& c, const GateDurations& durations)
+{
+    CircuitMetrics m;
+    m.num_qubits = c.num_qubits();
+    for (const Gate& g : c.gates()) {
+        if (g.type == GateType::BARRIER)
+            continue;
+        ++m.total_gates;
+        switch (g.type) {
+          case GateType::CX:
+            ++m.cx_gates;
+            break;
+          case GateType::SWAP:
+            ++m.swap_gates;
+            m.cx_gates += 3;
+            break;
+          case GateType::MEASURE:
+            ++m.measurements;
+            break;
+          case GateType::RZ:
+            ++m.rz_gates;
+            ++m.single_qubit_gates;
+            break;
+          default:
+            ++m.single_qubit_gates;
+            break;
+        }
+    }
+    m.depth = circuit_depth(c);
+    m.duration_ns = circuit_duration_ns(c, durations);
+    return m;
+}
+
+} // namespace fq::circuit

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Circuit metrics: gate counts, circuit depth (ASAP leveling), and wall-time
+ * duration under a gate-latency model. These are the paper's figures of
+ * merit for circuit quality (Figures 7, 14, 15) and the decoherence input
+ * to the EPS model (Figure 16).
+ */
+#ifndef FQ_CIRCUIT_METRICS_H
+#define FQ_CIRCUIT_METRICS_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace fq::circuit {
+
+/** Per-gate-class latencies in nanoseconds (IBM-like defaults, Section 1). */
+struct GateDurations
+{
+    double single_qubit_ns = 35.0;
+    double cx_ns = 400.0;
+    double measure_ns = 700.0;
+
+    double duration_of(GateType t) const;
+};
+
+/** Aggregate structural metrics for a circuit. */
+struct CircuitMetrics
+{
+    int num_qubits = 0;
+    int total_gates = 0;
+    int cx_gates = 0;     ///< CX count with SWAPs decomposed (3 CX each)
+    int swap_gates = 0;   ///< router-inserted SWAPs (before decomposition)
+    int single_qubit_gates = 0;
+    int rz_gates = 0;     ///< error-free software gates
+    int measurements = 0;
+    int depth = 0;        ///< ASAP level count (SWAP counted as 3 levels)
+    double duration_ns = 0.0; ///< critical-path latency
+};
+
+/** Compute all metrics for @p c under @p durations. */
+CircuitMetrics compute_metrics(const Circuit& c,
+                               const GateDurations& durations = {});
+
+/**
+ * Circuit depth alone: the length of the longest qubit-dependency chain.
+ * SWAPs count as 3 levels (their CX decomposition); RZ gates count as 0
+ * levels when @p free_rz is set (they are "software" gates per Section 3.3,
+ * folded into subsequent pulses on IBM hardware).
+ */
+int circuit_depth(const Circuit& c, bool free_rz = false);
+
+/** Critical-path duration in ns under @p durations (RZ contributes 0). */
+double circuit_duration_ns(const Circuit& c,
+                           const GateDurations& durations = {});
+
+/**
+ * Two-qubit-only depth: the critical path counting just CX (1 level) and
+ * SWAP (3 levels). cx_count / cx_depth estimates the average number of
+ * simultaneously executing CXs — the crosstalk-exposure density used by
+ * the noise model.
+ */
+int cx_depth(const Circuit& c);
+
+} // namespace fq::circuit
+
+#endif // FQ_CIRCUIT_METRICS_H

@@ -1,0 +1,83 @@
+#include "circuit/printer.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace fq::circuit {
+
+std::string
+parameter_to_string(const Parameter& p)
+{
+    std::ostringstream os;
+    switch (p.kind) {
+      case Parameter::Kind::Constant:
+        os << p.coefficient;
+        break;
+      case Parameter::Kind::Gamma:
+        os << p.coefficient << "*g" << p.layer;
+        break;
+      case Parameter::Kind::Beta:
+        os << p.coefficient << "*b" << p.layer;
+        break;
+    }
+    return os.str();
+}
+
+std::string
+to_text(const Circuit& c)
+{
+    std::ostringstream os;
+    os << "circuit(" << c.num_qubits() << " qubits, " << c.size()
+       << " gates)\n";
+    for (const Gate& g : c.gates()) {
+        os << "  " << gate_name(g.type);
+        if (has_angle(g.type))
+            os << "(" << parameter_to_string(g.angle) << ")";
+        if (g.type == GateType::BARRIER) {
+            os << "\n";
+            continue;
+        }
+        os << " q" << g.q0;
+        if (is_two_qubit(g.type))
+            os << ", q" << g.q1;
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+to_qasm(const Circuit& c)
+{
+    FQ_REQUIRE(!c.is_parametric(),
+               "bind parameters before exporting to QASM");
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+    os << "qreg q[" << c.num_qubits() << "];\n";
+    os << "creg m[" << c.num_qubits() << "];\n";
+    for (const Gate& g : c.gates()) {
+        switch (g.type) {
+          case GateType::BARRIER:
+            os << "barrier q;\n";
+            break;
+          case GateType::MEASURE:
+            os << "measure q[" << g.q0 << "] -> m[" << g.q0 << "];\n";
+            break;
+          case GateType::CX:
+            os << "cx q[" << g.q0 << "],q[" << g.q1 << "];\n";
+            break;
+          case GateType::SWAP:
+            os << "swap q[" << g.q0 << "],q[" << g.q1 << "];\n";
+            break;
+          default:
+            os << gate_name(g.type);
+            if (has_angle(g.type))
+                os << "(" << g.angle.coefficient << ")";
+            os << " q[" << g.q0 << "];\n";
+            break;
+        }
+    }
+    return os.str();
+}
+
+} // namespace fq::circuit

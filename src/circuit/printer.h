@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Human-readable circuit dumps: a line-per-gate textual format (symbolic
+ * parameters rendered as "0.5*g0" / "2*b1") and an OpenQASM-2-like export
+ * for bound circuits. Intended for debugging and the examples.
+ */
+#ifndef FQ_CIRCUIT_PRINTER_H
+#define FQ_CIRCUIT_PRINTER_H
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace fq::circuit {
+
+/** One line per gate, e.g. "cx q2, q5" / "rz(1.5*g0) q3". */
+std::string to_text(const Circuit& c);
+
+/** OpenQASM 2.0-style dump; requires a fully bound (constant) circuit. */
+std::string to_qasm(const Circuit& c);
+
+/** Render a parameter, e.g. "0.785", "1.5*g0", "-2*b1". */
+std::string parameter_to_string(const Parameter& p);
+
+} // namespace fq::circuit
+
+#endif // FQ_CIRCUIT_PRINTER_H

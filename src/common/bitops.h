@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bit-level helpers used by the exact Ising enumerator, the statevector
+ * simulator, and sub-space decoding. Basis states are encoded little-endian:
+ * bit i of a state index holds spin/qubit i, with bit value 0 <-> spin +1
+ * and bit value 1 <-> spin -1 (matching the |0> -> +1 z-basis eigenvalue
+ * convention in the paper's Section 2.1).
+ */
+#ifndef FQ_COMMON_BITOPS_H
+#define FQ_COMMON_BITOPS_H
+
+#include <bit>
+#include <cstdint>
+
+namespace fq {
+
+/** Spin value {-1,+1} of bit @p i inside basis-state index @p state. */
+inline int
+spin_of_bit(std::uint64_t state, int i)
+{
+    return (state >> i) & 1ull ? -1 : +1;
+}
+
+/** Basis-state bit for a spin value: +1 -> 0, -1 -> 1. */
+inline std::uint64_t
+bit_of_spin(int spin)
+{
+    return spin < 0 ? 1ull : 0ull;
+}
+
+/** Set bit @p i of @p state to encode @p spin. */
+inline std::uint64_t
+with_spin(std::uint64_t state, int i, int spin)
+{
+    const std::uint64_t mask = 1ull << i;
+    return spin < 0 ? (state | mask) : (state & ~mask);
+}
+
+/** Gray-code of n: consecutive n differ in exactly one bit of the result. */
+inline std::uint64_t
+gray_code(std::uint64_t n)
+{
+    return n ^ (n >> 1);
+}
+
+/** Index of the bit that changes between gray_code(n-1) and gray_code(n). */
+inline int
+gray_flip_bit(std::uint64_t n)
+{
+    return std::countr_zero(n);
+}
+
+/** Population count. */
+inline int
+popcount64(std::uint64_t x)
+{
+    return std::popcount(x);
+}
+
+} // namespace fq
+
+#endif // FQ_COMMON_BITOPS_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Error-reporting primitives for the FrozenQubits library.
+ *
+ * Two severities, mirroring the gem5 fatal/panic split:
+ *  - FQ_REQUIRE: caller misuse (bad arguments, invalid configuration).
+ *    Throws fq::Error so a host application can recover.
+ *  - FQ_ASSERT: internal invariant violation (a library bug). Also throws,
+ *    but is compiled out in NDEBUG-free hot loops only when profiling shows
+ *    a need; by default it stays on.
+ */
+#ifndef FQ_COMMON_ERROR_H
+#define FQ_COMMON_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fq {
+
+/** Exception thrown for all recoverable library errors. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+raise(const char* kind, const char* file, int line, const char* expr,
+      const std::string& msg)
+{
+    std::ostringstream os;
+    os << kind << " at " << file << ":" << line << ": (" << expr << ")";
+    if (!msg.empty())
+        os << " — " << msg;
+    throw Error(os.str());
+}
+
+} // namespace detail
+} // namespace fq
+
+/** Validate a caller-supplied precondition; throws fq::Error on failure. */
+#define FQ_REQUIRE(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::fq::detail::raise("requirement failed", __FILE__, __LINE__,   \
+                                #cond, (msg));                              \
+    } while (0)
+
+/** Validate an internal invariant; throws fq::Error on failure. */
+#define FQ_ASSERT(cond, msg)                                                \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::fq::detail::raise("internal invariant violated", __FILE__,    \
+                                __LINE__, #cond, (msg));                    \
+    } while (0)
+
+#endif // FQ_COMMON_ERROR_H

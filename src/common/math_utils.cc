@@ -1,0 +1,95 @@
+#include "common/math_utils.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fq {
+
+double
+mean(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+stddev(const std::vector<double>& v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    const double m = mean(v);
+    double s = 0.0;
+    for (double x : v)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double
+gmean(const std::vector<double>& v, double floor)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : v)
+        log_sum += std::log(std::max(x, floor));
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+double
+min_value(const std::vector<double>& v)
+{
+    FQ_REQUIRE(!v.empty(), "min_value of empty vector");
+    return *std::min_element(v.begin(), v.end());
+}
+
+double
+max_value(const std::vector<double>& v)
+{
+    FQ_REQUIRE(!v.empty(), "max_value of empty vector");
+    return *std::max_element(v.begin(), v.end());
+}
+
+std::vector<double>
+linspace(double lo, double hi, std::size_t n)
+{
+    FQ_REQUIRE(n >= 1, "linspace needs at least one point");
+    std::vector<double> out;
+    out.reserve(n);
+    if (n == 1) {
+        out.push_back(lo);
+        return out;
+    }
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(lo + step * static_cast<double>(i));
+    return out;
+}
+
+double
+safe_ratio(double a, double b, double if_zero)
+{
+    if (std::abs(b) < 1e-300)
+        return if_zero;
+    return a / b;
+}
+
+double
+clamp01(double x)
+{
+    return std::min(1.0, std::max(0.0, x));
+}
+
+bool
+approx_equal(double a, double b, double atol, double rtol)
+{
+    return std::abs(a - b) <= atol + rtol * std::max(std::abs(a),
+                                                     std::abs(b));
+}
+
+} // namespace fq

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small numeric helpers shared across modules: summary statistics
+ * (mean/stddev/geometric mean), range generation, and safe ratios.
+ */
+#ifndef FQ_COMMON_MATH_UTILS_H
+#define FQ_COMMON_MATH_UTILS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace fq {
+
+/** Arithmetic mean; returns 0 for an empty input. */
+double mean(const std::vector<double>& v);
+
+/** Sample standard deviation (N-1 denominator); 0 for fewer than 2 items. */
+double stddev(const std::vector<double>& v);
+
+/**
+ * Geometric mean of strictly positive values. Values <= 0 are clamped to
+ * @p floor first (benchmark improvement factors can hit 0 when ARG
+ * saturates); the paper reports GMEAN across machines the same way.
+ */
+double gmean(const std::vector<double>& v, double floor = 1e-12);
+
+/** Minimum / maximum; require non-empty input. */
+double min_value(const std::vector<double>& v);
+double max_value(const std::vector<double>& v);
+
+/** n evenly spaced values over [lo, hi] inclusive (n >= 2), or {lo} if n==1. */
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/** a/b with a configurable result when |b| is tiny. */
+double safe_ratio(double a, double b, double if_zero = 0.0);
+
+/** Clamp helper kept for readability at call sites. */
+double clamp01(double x);
+
+/** True when |a-b| <= atol + rtol*max(|a|,|b|). */
+bool approx_equal(double a, double b, double atol = 1e-9, double rtol = 1e-9);
+
+} // namespace fq
+
+#endif // FQ_COMMON_MATH_UTILS_H

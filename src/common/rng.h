@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic random-number generation.
+ *
+ * All stochastic components of the library (graph generators, calibration
+ * synthesis, samplers, trajectory noise) take an explicit Rng so every
+ * experiment is reproducible from a single seed. The generator is
+ * xoshiro256++ seeded through splitmix64, which gives high-quality streams
+ * from arbitrary 64-bit seeds and is trivially portable (unlike
+ * std::mt19937_64 + std::uniform_*_distribution, whose outputs differ across
+ * standard libraries).
+ */
+#ifndef FQ_COMMON_RNG_H
+#define FQ_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fq {
+
+/** splitmix64 step; used for seeding and for hashing strings to seeds. */
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/** Stable 64-bit hash of a string (FNV-1a folded through splitmix64). */
+std::uint64_t hash_seed(const std::string& text);
+
+/** Combine two seeds into a new stream seed. */
+std::uint64_t combine_seeds(std::uint64_t a, std::uint64_t b);
+
+/**
+ * xoshiro256++ pseudo-random generator with convenience samplers.
+ *
+ * Satisfies UniformRandomBitGenerator, so it can also feed <random>
+ * distributions where exact cross-platform stability is not required.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Derive an independent child stream (for per-device/per-run streams). */
+    Rng fork(std::uint64_t salt);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64 random bits. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    std::uint64_t uniform_int(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box–Muller (cached second value). */
+    double normal();
+
+    /** Normal with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli draw with probability p of true. */
+    bool bernoulli(double p);
+
+    /** Random sign: -1 or +1 with equal probability. */
+    int sign();
+
+    /** Fisher–Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniform_int(static_cast<std::uint64_t>(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Pick k distinct indices from [0, n) (k <= n). */
+    std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                        std::size_t k);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+} // namespace fq
+
+#endif // FQ_COMMON_RNG_H

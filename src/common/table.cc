@@ -1,0 +1,90 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace fq {
+
+void
+Table::set_header(std::vector<std::string> names)
+{
+    FQ_REQUIRE(rows_.empty(), "set_header must precede add_row");
+    header_ = std::move(names);
+}
+
+void
+Table::add_row(std::vector<std::string> cells)
+{
+    FQ_REQUIRE(cells.size() == header_.size(),
+               "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::num(long long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::factor(double v, int precision)
+{
+    return num(v, precision) + "x";
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::size_t total = header_.empty() ? title_.size() : 0;
+    for (std::size_t w : width)
+        total += w + 2;
+
+    os << "== " << title_ << " ==\n";
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << cells[c];
+        os << "\n";
+    };
+    emit_row(header_);
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_)
+        emit_row(row);
+    os << "\n";
+}
+
+void
+Table::to_csv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+} // namespace fq

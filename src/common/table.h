@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Aligned console tables and CSV emission for the benchmark harnesses.
+ *
+ * Every figure-reproduction binary prints its data series through Table so
+ * the output is both human-readable (aligned columns) and machine-friendly
+ * (to_csv). Cells are stored as formatted strings; numeric helpers control
+ * precision at the call site.
+ */
+#ifndef FQ_COMMON_TABLE_H
+#define FQ_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fq {
+
+/** One printable data table with a title, column headers, and rows. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers; must be called before add_row. */
+    void set_header(std::vector<std::string> names);
+
+    /** Append a fully formatted row; must match the header width. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the decimal point. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format an integer. */
+    static std::string num(long long v);
+    static std::string num(int v) { return num(static_cast<long long>(v)); }
+    static std::string num(std::size_t v)
+    {
+        return num(static_cast<long long>(v));
+    }
+
+    /** Format a ratio as e.g. "3.13x". */
+    static std::string factor(double v, int precision = 2);
+
+    /** Render with aligned columns, a title rule, and a trailing newline. */
+    void print(std::ostream& os) const;
+
+    /** Render as CSV (no title). */
+    void to_csv(std::ostream& os) const;
+
+    const std::string& title() const { return title_; }
+    std::size_t row_count() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fq
+
+#endif // FQ_COMMON_TABLE_H

@@ -1,0 +1,118 @@
+#include "device/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fq::device {
+
+std::uint64_t
+Calibration::key(int a, int b)
+{
+    if (a > b)
+        std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) |
+           static_cast<std::uint32_t>(b);
+}
+
+Calibration
+Calibration::synthesize(const Topology& topology,
+                        const CalibrationProfile& profile, std::uint64_t seed)
+{
+    Calibration cal;
+    cal.durations_ = profile.durations;
+    cal.crosstalk_kappa_ = profile.crosstalk_kappa;
+    Rng rng(seed);
+
+    // Lognormal draws keep every rate positive while producing the heavy
+    // tail real calibration data shows (a few notably bad qubits/links).
+    auto lognormal = [&rng](double mean, double sigma) {
+        const double mu = std::log(mean) - 0.5 * sigma * sigma;
+        return std::exp(mu + sigma * rng.normal());
+    };
+
+    cal.qubits_.resize(topology.num_qubits());
+    for (auto& q : cal.qubits_) {
+        q.t1_us = lognormal(profile.t1_mean_us, 0.25);
+        q.t2_us = std::min(lognormal(profile.t2_mean_us, 0.30), 2.0 * q.t1_us);
+        q.readout_error =
+            std::min(0.5, lognormal(profile.readout_error_mean, 0.40));
+        q.sq_error = std::min(0.1, lognormal(profile.sq_error_mean, 0.35));
+    }
+    for (const auto& e : topology.coupling_graph().edges()) {
+        cal.cx_error_[key(e.u, e.v)] = std::min(
+            0.5, lognormal(profile.cx_error_mean, profile.cx_error_spread));
+    }
+    return cal;
+}
+
+Calibration
+Calibration::uniform(const Topology& topology, double cx_error,
+                     double readout_error, double t_decoherence_us,
+                     circuit::GateDurations durations)
+{
+    Calibration cal;
+    cal.durations_ = durations;
+    QubitProperties q;
+    q.t1_us = t_decoherence_us;
+    q.t2_us = t_decoherence_us;
+    q.readout_error = readout_error;
+    q.sq_error = cx_error / 10.0;
+    cal.qubits_.assign(topology.num_qubits(), q);
+    for (const auto& e : topology.coupling_graph().edges())
+        cal.cx_error_[key(e.u, e.v)] = cx_error;
+    return cal;
+}
+
+const QubitProperties&
+Calibration::qubit(int q) const
+{
+    FQ_REQUIRE(q >= 0 && q < num_qubits(), "qubit index out of range");
+    return qubits_[q];
+}
+
+double
+Calibration::cx_error(int a, int b) const
+{
+    const auto it = cx_error_.find(key(a, b));
+    FQ_REQUIRE(it != cx_error_.end(),
+               "cx_error queried for an uncoupled qubit pair");
+    return it->second;
+}
+
+std::vector<std::pair<int, int>>
+Calibration::couplings() const
+{
+    std::vector<std::pair<int, int>> out;
+    out.reserve(cx_error_.size());
+    for (const auto& [key, _] : cx_error_) {
+        out.emplace_back(static_cast<int>(key >> 32),
+                         static_cast<int>(key & 0xffffffffull));
+    }
+    return out;
+}
+
+double
+Calibration::average_cx_error() const
+{
+    if (cx_error_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const auto& [_, e] : cx_error_)
+        s += e;
+    return s / static_cast<double>(cx_error_.size());
+}
+
+double
+Calibration::average_readout_error() const
+{
+    if (qubits_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const auto& q : qubits_)
+        s += q.readout_error;
+    return s / static_cast<double>(qubits_.size());
+}
+
+} // namespace fq::device

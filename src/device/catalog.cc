@@ -1,0 +1,105 @@
+#include "device/catalog.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fq::device {
+
+namespace {
+
+/** Catalog entry: device class + per-device error magnitudes. */
+struct CatalogEntry
+{
+    const char* name;
+    enum class Family { Falcon27, Hummingbird65, Eagle127 } family;
+    double cx_error_mean;
+    double readout_error_mean;
+    double t1_mean_us;
+};
+
+// Error magnitudes loosely follow the relative quality of these systems in
+// the paper's era: Montreal/Hanoi among the better Falcons, Washington the
+// larger but noisier Eagle, Brooklyn the noisier Hummingbird.
+constexpr CatalogEntry kCatalog[] = {
+    {"ibm-washington", CatalogEntry::Family::Eagle127, 1.30e-2, 3.2e-2, 95.0},
+    {"ibm-brooklyn", CatalogEntry::Family::Hummingbird65, 1.45e-2, 3.5e-2,
+     80.0},
+    {"ibm-montreal", CatalogEntry::Family::Falcon27, 0.85e-2, 2.2e-2, 120.0},
+    {"ibm-auckland", CatalogEntry::Family::Falcon27, 0.90e-2, 2.0e-2, 140.0},
+    {"ibm-toronto", CatalogEntry::Family::Falcon27, 1.25e-2, 3.0e-2, 100.0},
+    {"ibm-mumbai", CatalogEntry::Family::Falcon27, 1.05e-2, 2.6e-2, 110.0},
+    {"ibm-hanoi", CatalogEntry::Family::Falcon27, 0.80e-2, 1.8e-2, 130.0},
+    {"ibm-cairo", CatalogEntry::Family::Falcon27, 0.95e-2, 2.4e-2, 115.0},
+};
+
+Topology
+make_family_topology(CatalogEntry::Family family, const std::string& name)
+{
+    switch (family) {
+      case CatalogEntry::Family::Falcon27:
+        return make_falcon_27(name);
+      case CatalogEntry::Family::Hummingbird65:
+        return make_heavy_hex(5, 11, name); // 65 qubits
+      case CatalogEntry::Family::Eagle127:
+        return make_heavy_hex(7, 15, name); // 127 qubits
+    }
+    FQ_REQUIRE(false, "unknown device family");
+    return Topology(); // unreachable
+}
+
+} // namespace
+
+Device
+make_device(const std::string& name)
+{
+    for (const auto& entry : kCatalog) {
+        if (name == entry.name) {
+            Device dev;
+            dev.name = name;
+            dev.topology = make_family_topology(entry.family, name);
+
+            CalibrationProfile profile;
+            profile.cx_error_mean = entry.cx_error_mean;
+            profile.readout_error_mean = entry.readout_error_mean;
+            profile.t1_mean_us = entry.t1_mean_us;
+            profile.t2_mean_us = 0.85 * entry.t1_mean_us;
+            dev.calibration = Calibration::synthesize(
+                dev.topology, profile, hash_seed(name));
+            return dev;
+        }
+    }
+    FQ_REQUIRE(false, "unknown device: " + name);
+    return Device(); // unreachable
+}
+
+std::vector<std::string>
+ibm_device_names()
+{
+    std::vector<std::string> names;
+    for (const auto& entry : kCatalog)
+        names.emplace_back(entry.name);
+    return names;
+}
+
+std::vector<Device>
+all_ibm_devices()
+{
+    std::vector<Device> devices;
+    for (const auto& name : ibm_device_names())
+        devices.push_back(make_device(name));
+    return devices;
+}
+
+Device
+make_grid_device(int rows, int cols)
+{
+    Device dev;
+    dev.topology = make_grid(rows, cols);
+    dev.name = dev.topology.name();
+    // Section 6.3 optimistic model: 0.1% CX, 0.5% readout, 500 us coherence.
+    dev.calibration =
+        Calibration::uniform(dev.topology, 1.0e-3, 5.0e-3, 500.0);
+    return dev;
+}
+
+} // namespace fq::device

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Device catalog: the eight IBMQ systems the paper evaluates on
+ * (Section 4.2 — Washington, Brooklyn, Montreal, Auckland, Toronto, Mumbai,
+ * Hanoi, Cairo) plus the 50x50 grid device of the Section 6 practical-scale
+ * study. Topologies follow the IBM heavy-hex family; calibration is
+ * synthesized per device (see calibration.h for the substitution note).
+ */
+#ifndef FQ_DEVICE_CATALOG_H
+#define FQ_DEVICE_CATALOG_H
+
+#include <string>
+#include <vector>
+
+#include "device/calibration.h"
+#include "device/topology.h"
+
+namespace fq::device {
+
+/** A named device: topology + calibration snapshot. */
+struct Device
+{
+    std::string name;
+    Topology topology;
+    Calibration calibration;
+
+    int num_qubits() const { return topology.num_qubits(); }
+};
+
+/** Build one of the catalog devices by name (case-sensitive). */
+Device make_device(const std::string& name);
+
+/** Names of the eight IBMQ systems used in the paper, evaluation order. */
+std::vector<std::string> ibm_device_names();
+
+/** All eight IBMQ devices. */
+std::vector<Device> all_ibm_devices();
+
+/**
+ * k x k grid device with the Section 6.3 optimistic uniform error model:
+ * 0.1% CX error, 0.5% readout error, 500 us decoherence.
+ */
+Device make_grid_device(int rows, int cols);
+
+} // namespace fq::device
+
+#endif // FQ_DEVICE_CATALOG_H

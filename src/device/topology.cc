@@ -1,0 +1,177 @@
+#include "device/topology.h"
+
+#include <deque>
+#include <limits>
+
+#include "common/error.h"
+
+namespace fq::device {
+
+namespace {
+
+constexpr std::uint16_t kUnreached = std::numeric_limits<std::uint16_t>::max();
+
+} // namespace
+
+Topology::Topology(std::string name, graph::Graph coupling)
+    : name_(std::move(name)), coupling_(std::move(coupling))
+{
+    distance_rows_.resize(coupling_.num_nodes());
+}
+
+bool
+Topology::are_coupled(int a, int b) const
+{
+    return coupling_.has_edge(a, b);
+}
+
+std::vector<int>
+Topology::neighbors(int q) const
+{
+    std::vector<int> out;
+    out.reserve(coupling_.neighbors(q).size());
+    for (const auto& [v, _] : coupling_.neighbors(q))
+        out.push_back(v);
+    return out;
+}
+
+void
+Topology::ensure_row(int source) const
+{
+    auto& row = distance_rows_[source];
+    if (!row.empty())
+        return;
+    row.assign(coupling_.num_nodes(), kUnreached);
+    row[source] = 0;
+    std::deque<int> frontier{source};
+    while (!frontier.empty()) {
+        const int u = frontier.front();
+        frontier.pop_front();
+        for (const auto& [v, _] : coupling_.neighbors(u)) {
+            if (row[v] == kUnreached) {
+                row[v] = static_cast<std::uint16_t>(row[u] + 1);
+                frontier.push_back(v);
+            }
+        }
+    }
+}
+
+int
+Topology::distance(int a, int b) const
+{
+    FQ_REQUIRE(a >= 0 && a < num_qubits() && b >= 0 && b < num_qubits(),
+               "qubit index out of range");
+    ensure_row(a);
+    const std::uint16_t d = distance_rows_[a][b];
+    return d == kUnreached ? std::numeric_limits<int>::max() / 2 : d;
+}
+
+Topology
+make_grid(int rows, int cols)
+{
+    FQ_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+    graph::Graph g(rows * cols);
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                g.add_edge(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                g.add_edge(id(r, c), id(r + 1, c));
+        }
+    }
+    return Topology("grid-" + std::to_string(rows) + "x" +
+                        std::to_string(cols),
+                    std::move(g));
+}
+
+Topology
+make_linear(int n)
+{
+    FQ_REQUIRE(n >= 1, "linear topology needs at least one qubit");
+    graph::Graph g(n);
+    for (int q = 1; q < n; ++q)
+        g.add_edge(q - 1, q);
+    return Topology("linear-" + std::to_string(n), std::move(g));
+}
+
+Topology
+make_all_to_all(int n)
+{
+    FQ_REQUIRE(n >= 1, "topology needs at least one qubit");
+    graph::Graph g(n);
+    for (int a = 0; a < n; ++a)
+        for (int b = a + 1; b < n; ++b)
+            g.add_edge(a, b);
+    return Topology("all-to-all-" + std::to_string(n), std::move(g));
+}
+
+Topology
+make_falcon_27(const std::string& name)
+{
+    // The published 27-qubit Falcon r4 lattice (ibmq_montreal and siblings).
+    static constexpr int kEdges[][2] = {
+        {0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},   {4, 7},
+        {5, 8},   {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12},
+        {11, 14}, {12, 13}, {12, 15}, {13, 14}, {14, 16}, {15, 18},
+        {16, 19}, {17, 18}, {18, 21}, {19, 20}, {19, 22}, {21, 23},
+        {22, 25}, {23, 24}, {24, 25}, {25, 26},
+    };
+    graph::Graph g(27);
+    for (const auto& e : kEdges)
+        g.add_edge(e[0], e[1]);
+    return Topology(name, std::move(g));
+}
+
+Topology
+make_heavy_hex(int rows, int row_len, const std::string& name)
+{
+    FQ_REQUIRE(rows >= 2, "heavy-hex needs at least two rows");
+    FQ_REQUIRE(row_len >= 5, "heavy-hex rows must have at least 5 columns");
+
+    graph::Graph g;
+    // qubit_at[r][c] = physical index of the row-r qubit in column c (-1 if
+    // the column is truncated away on the first/last row); bridge_at[r][c]
+    // = index of the bridge qubit below row r in column c. Ids are assigned
+    // in reading order: each row's qubits, then its bridges.
+    std::vector<std::vector<int>> qubit_at(rows,
+                                           std::vector<int>(row_len, -1));
+    std::vector<std::vector<int>> bridge_at(rows,
+                                            std::vector<int>(row_len, -1));
+    int next = 0;
+    for (int r = 0; r < rows; ++r) {
+        const int c_begin = (r == rows - 1) ? 1 : 0;
+        const int c_end = (r == 0) ? row_len - 1 : row_len;
+        for (int c = c_begin; c < c_end; ++c)
+            qubit_at[r][c] = next++;
+        // Bridges between row r and r+1, alternating column offsets 0 / 2.
+        if (r + 1 < rows) {
+            const int offset = (r % 2 == 0) ? 0 : 2;
+            for (int c = offset; c < row_len; c += 4)
+                bridge_at[r][c] = next++;
+        }
+    }
+    g.ensure_nodes(next);
+
+    for (int r = 0; r < rows; ++r) {
+        // Intra-row chain.
+        for (int c = 1; c < row_len; ++c)
+            if (qubit_at[r][c - 1] != -1 && qubit_at[r][c] != -1)
+                g.add_edge(qubit_at[r][c - 1], qubit_at[r][c]);
+        // Bridge columns connect this row to the next.
+        if (r + 1 < rows) {
+            for (int c = 0; c < row_len; ++c) {
+                const int b = bridge_at[r][c];
+                if (b == -1)
+                    continue;
+                if (qubit_at[r][c] != -1)
+                    g.add_edge(qubit_at[r][c], b);
+                if (qubit_at[r + 1][c] != -1)
+                    g.add_edge(b, qubit_at[r + 1][c]);
+            }
+        }
+    }
+    return Topology(name, std::move(g));
+}
+
+} // namespace fq::device

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Device topology: the qubit coupling map plus all-pairs shortest-path
+ * distances (computed lazily by per-source BFS and cached). NISQ devices
+ * only execute CNOTs between coupled qubits; the router consults distances
+ * to pick SWAPs (Section 2.2).
+ *
+ * Constructors cover the topology families used in the paper: the IBM
+ * heavy-hex family (27q Falcon exact map; a parameterized row/bridge
+ * constructor for the 65q and 127q classes), 2-D grids (Figure 3 and the
+ * Section 6 50x50 practical-scale study), and linear chains.
+ */
+#ifndef FQ_DEVICE_TOPOLOGY_H
+#define FQ_DEVICE_TOPOLOGY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fq::device {
+
+/** Immutable coupling map with cached BFS distances. */
+class Topology
+{
+  public:
+    Topology() = default;
+
+    /** Wrap a coupling graph; @p name is used in reports. */
+    Topology(std::string name, graph::Graph coupling);
+
+    const std::string& name() const { return name_; }
+    int num_qubits() const { return coupling_.num_nodes(); }
+    int num_couplings() const { return coupling_.num_edges(); }
+    const graph::Graph& coupling_graph() const { return coupling_; }
+
+    /** True when a CX can execute directly between @p a and @p b. */
+    bool are_coupled(int a, int b) const;
+
+    /** Physical neighbors of qubit @p q. */
+    std::vector<int> neighbors(int q) const;
+
+    /** Hop distance between qubits; INT_MAX/2 when disconnected. */
+    int distance(int a, int b) const;
+
+    /** Degree of physical qubit @p q. */
+    int degree(int q) const { return coupling_.degree(q); }
+
+    /** Physical qubits sorted by descending connectivity. */
+    std::vector<int> qubits_by_degree_desc() const
+    {
+        return coupling_.nodes_by_degree_desc();
+    }
+
+  private:
+    void ensure_row(int source) const;
+
+    std::string name_;
+    graph::Graph coupling_;
+    // Lazy per-source BFS rows; ~N^2 bytes worst case (uint16 hops).
+    mutable std::vector<std::vector<std::uint16_t>> distance_rows_;
+};
+
+/** k x l grid (nearest-neighbor couplings). */
+Topology make_grid(int rows, int cols);
+
+/** Linear chain of n qubits. */
+Topology make_linear(int n);
+
+/** Fully connected coupling (idealized; routing becomes a no-op). */
+Topology make_all_to_all(int n);
+
+/** The exact 27-qubit IBM Falcon coupling map (Montreal et al.). */
+Topology make_falcon_27(const std::string& name = "falcon-27");
+
+/**
+ * Parameterized heavy-hex lattice: @p rows long rows of @p row_len qubits
+ * each, consecutive rows joined through bridge qubits every 4 columns with
+ * the column offset alternating 0/2; the first row drops its last column and
+ * the last row its first (IBM Eagle convention). rows=7, row_len=15 yields
+ * the 127-qubit Eagle count; rows=5, row_len=11 yields the 65-qubit
+ * Hummingbird count.
+ */
+Topology make_heavy_hex(int rows, int row_len, const std::string& name);
+
+} // namespace fq::device
+
+#endif // FQ_DEVICE_TOPOLOGY_H

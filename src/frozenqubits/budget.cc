@@ -1,0 +1,58 @@
+#include "frozenqubits/budget.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "runtime/cost_model.h"
+
+namespace fq::frozenqubits {
+
+FreezeRecommendation
+recommend_num_freeze(const ising::IsingModel& model,
+                     const FreezeBudget& budget)
+{
+    FQ_REQUIRE(budget.max_circuits >= 1, "budget must admit one circuit");
+    FQ_REQUIRE(budget.hard_cap >= 0 && budget.hard_cap <= 20,
+               "hard cap out of range");
+
+    FreezeRecommendation rec;
+    const int max_m =
+        std::min(budget.hard_cap, std::max(0, model.num_spins() - 2));
+
+    // Iterative hotspot ranking on the live degree view (Section 3.5).
+    Rng rng(0); // MaxDegree never consults it
+    const auto order = max_m > 0
+        ? select_hotspots(model, max_m, HotspotPolicy::MaxDegree, rng)
+        : std::vector<int>{};
+
+    int remaining = model.num_quadratic_terms();
+    std::vector<int> frozen_prefix;
+    for (int m = 1; m <= max_m; ++m) {
+        frozen_prefix.push_back(order[m - 1]);
+        const int dropped_total =
+            dropped_edge_count(model, frozen_prefix);
+        FreezePlanStep step;
+        step.m = m;
+        step.spin = order[m - 1];
+        step.edges_dropped =
+            dropped_total - (model.num_quadratic_terms() - remaining);
+        step.marginal_fraction =
+            remaining > 0
+                ? static_cast<double>(step.edges_dropped) / remaining
+                : 0.0;
+        remaining -= step.edges_dropped;
+        step.edges_remaining = remaining;
+        step.circuits = runtime::quantum_cost(m, budget.symmetry_pruning);
+
+        // Stop criteria: over budget or diminishing returns.
+        if (step.circuits > budget.max_circuits)
+            break;
+        if (step.marginal_fraction < budget.min_marginal_edge_fraction)
+            break;
+        rec.steps.push_back(step);
+        rec.num_freeze = m;
+    }
+    return rec;
+}
+
+} // namespace fq::frozenqubits

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Choosing how many qubits to freeze (Section 3.4).
+ *
+ * Freezing is a fidelity-vs-quantum-cost trade-off: every extra frozen
+ * qubit halves nothing and doubles the circuit count, while the CNOT
+ * savings per frozen qubit shrink once the true hotspots are gone
+ * (power-law degree decay). The paper proposes picking m from circuit
+ * properties — CNOT count and depth predict the fidelity trend (Fig 9b) —
+ * under a user-supplied quantum budget. This module implements that
+ * recommendation rule without any hardware execution: it inspects the
+ * dropped-edge curve of iterative hotspot freezing.
+ */
+#ifndef FQ_FROZENQUBITS_BUDGET_H
+#define FQ_FROZENQUBITS_BUDGET_H
+
+#include <vector>
+
+#include "frozenqubits/hotspot.h"
+#include "ising/ising_model.h"
+
+namespace fq::frozenqubits {
+
+/** Constraints and stop criteria for the recommendation. */
+struct FreezeBudget
+{
+    /** Maximum circuits the user will run (>= 1); with symmetry pruning a
+     *  budget of 2^{k-1} admits m = k. */
+    long long max_circuits = 2;
+    /** Stop when freezing one more qubit would drop fewer than this
+     *  fraction of the REMAINING quadratic terms (diminishing returns). */
+    double min_marginal_edge_fraction = 0.10;
+    /** Never freeze more than this many qubits regardless of budget. */
+    int hard_cap = 10;
+    bool symmetry_pruning = true;
+};
+
+/** Per-candidate-m diagnostics backing a recommendation. */
+struct FreezePlanStep
+{
+    int m = 0;
+    int spin = -1;              ///< hotspot frozen at this step
+    int edges_dropped = 0;      ///< by this step alone
+    int edges_remaining = 0;
+    long long circuits = 1;     ///< executed circuits at this m
+    double marginal_fraction = 0.0;
+};
+
+/** A full recommendation: the chosen m plus the per-step trace. */
+struct FreezeRecommendation
+{
+    int num_freeze = 0;
+    std::vector<FreezePlanStep> steps; ///< steps[0] is m=1
+};
+
+/**
+ * Recommend how many hotspots to freeze for @p model under @p budget.
+ * Returns m = 0 when even one freeze fails the criteria (e.g. no edges).
+ */
+FreezeRecommendation recommend_num_freeze(const ising::IsingModel& model,
+                                          const FreezeBudget& budget = {});
+
+} // namespace fq::frozenqubits
+
+#endif // FQ_FROZENQUBITS_BUDGET_H

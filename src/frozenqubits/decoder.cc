@@ -1,0 +1,84 @@
+#include "frozenqubits/decoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/bitops.h"
+#include "common/error.h"
+
+namespace fq::frozenqubits {
+
+ising::SpinVector
+lift_assignment(const SubProblem& sub, const ising::SpinVector& sub_assignment)
+{
+    FQ_REQUIRE(static_cast<int>(sub_assignment.size()) ==
+                   sub.model.num_spins(),
+               "sub-assignment size mismatch");
+    const int original_n =
+        sub.model.num_spins() + static_cast<int>(sub.frozen.size());
+    ising::SpinVector full(original_n, 0);
+    for (std::size_t i = 0; i < sub_assignment.size(); ++i)
+        full[sub.original_of[i]] = sub_assignment[i];
+    for (const auto& fs : sub.frozen)
+        full[fs.original_index] = static_cast<std::int8_t>(fs.value);
+    return full;
+}
+
+ising::SpinVector
+lift_state(const SubProblem& sub, std::uint64_t state, int original_num_spins)
+{
+    FQ_REQUIRE(original_num_spins ==
+                   sub.model.num_spins() +
+                       static_cast<int>(sub.frozen.size()),
+               "original width mismatch");
+    return lift_assignment(
+        sub, ising::state_to_spins(state, sub.model.num_spins()));
+}
+
+DecodedSolution
+decode_best(const ising::IsingModel& original,
+            const std::vector<SubProblem>& subproblems,
+            const std::vector<sim::Counts>& counts_per_sub)
+{
+    FQ_REQUIRE(subproblems.size() == counts_per_sub.size(),
+               "one distribution per sub-problem required");
+    DecodedSolution best;
+    best.cost = std::numeric_limits<double>::infinity();
+
+    for (std::size_t s = 0; s < subproblems.size(); ++s) {
+        const auto& sub = subproblems[s];
+        const auto& counts = counts_per_sub[s];
+        if (counts.total_shots() == 0)
+            continue;
+        for (const auto& [state, _] : counts.histogram()) {
+            const auto lifted =
+                lift_state(sub, state, original.num_spins());
+            const double cost = original.evaluate(lifted);
+            if (cost < best.cost) {
+                best.cost = cost;
+                best.assignment = lifted;
+                best.subproblem_index = static_cast<int>(s);
+            }
+        }
+    }
+    FQ_REQUIRE(best.subproblem_index >= 0,
+               "no outcomes to decode (all distributions empty)");
+    return best;
+}
+
+double
+decoding_consistency_error(const ising::IsingModel& original,
+                           const SubProblem& sub, const sim::Counts& counts)
+{
+    double worst = 0.0;
+    for (const auto& [state, _] : counts.histogram()) {
+        const double sub_cost = sub.model.evaluate_state(state);
+        const double full_cost =
+            original.evaluate(lift_state(sub, state, original.num_spins()));
+        worst = std::max(worst, std::abs(sub_cost - full_cost));
+    }
+    return worst;
+}
+
+} // namespace fq::frozenqubits

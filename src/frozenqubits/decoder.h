@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Outcome decoding (Section 3.6).
+ *
+ * Each sub-problem explores one cell of the partitioned state space; its
+ * measured assignments are lifted back to the original variable space by
+ * re-inserting the frozen values. The final FrozenQubits answer is simply
+ * the minimum-cost lifted solution over all sub-problems — no exponential
+ * post-processing (the contrast with CutQC, Section 3.9). Lifting one
+ * outcome is O(m); verifying its cost is O(N + |J|).
+ */
+#ifndef FQ_FROZENQUBITS_DECODER_H
+#define FQ_FROZENQUBITS_DECODER_H
+
+#include <vector>
+
+#include "frozenqubits/freeze.h"
+#include "sim/counts.h"
+
+namespace fq::frozenqubits {
+
+/** Re-insert frozen values: sub-space assignment -> original assignment. */
+ising::SpinVector lift_assignment(const SubProblem& sub,
+                                  const ising::SpinVector& sub_assignment);
+
+/** Lift a basis-state index measured on the sub-problem register. */
+ising::SpinVector lift_state(const SubProblem& sub, std::uint64_t state,
+                             int original_num_spins);
+
+/** A decoded candidate solution in the original variable space. */
+struct DecodedSolution
+{
+    double cost = 0.0;
+    ising::SpinVector assignment;
+    int subproblem_index = -1;
+};
+
+/**
+ * Decode the best (minimum original-Hamiltonian cost) outcome across
+ * per-sub-problem output distributions. @p counts_per_sub must align with
+ * @p subproblems; empty distributions are skipped.
+ */
+DecodedSolution decode_best(const ising::IsingModel& original,
+                            const std::vector<SubProblem>& subproblems,
+                            const std::vector<sim::Counts>& counts_per_sub);
+
+/**
+ * Verify the offset bookkeeping: for every observed outcome the sub-model
+ * cost must equal the original-model cost of the lifted assignment.
+ * Returns the largest absolute discrepancy (0 when exact).
+ */
+double decoding_consistency_error(const ising::IsingModel& original,
+                                  const SubProblem& sub,
+                                  const sim::Counts& counts);
+
+} // namespace fq::frozenqubits
+
+#endif // FQ_FROZENQUBITS_DECODER_H

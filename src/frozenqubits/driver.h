@@ -1,0 +1,105 @@
+/**
+ * @file
+ * End-to-end FrozenQubits driver (Figure 4): the orchestration layer that
+ * the benchmark harnesses and examples call.
+ *
+ * For a problem Hamiltonian and a target device it runs both arms:
+ *   baseline — one QAOA circuit, noise-adaptively compiled, angles tuned on
+ *     the ideal p=1 landscape, executed under the device noise model;
+ *   FrozenQubits — select m hotspots, freeze into 2^m sub-problems, prune
+ *     mirrors (Section 3.7.2), compile ONE template and edit it per
+ *     sub-problem (Section 3.7.1), tune and execute each, decode the best.
+ * The report carries per-circuit structure (CX/depth/duration/EPS) and
+ * fidelity (EV_ideal, EV_noisy, ARG) for every figure in the evaluation.
+ */
+#ifndef FQ_FROZENQUBITS_DRIVER_H
+#define FQ_FROZENQUBITS_DRIVER_H
+
+#include <vector>
+
+#include "device/catalog.h"
+#include "frozenqubits/freeze.h"
+#include "frozenqubits/hotspot.h"
+#include "ising/ising_model.h"
+#include "qaoa/analytic_p1.h"
+#include "sim/counts.h"
+#include "transpiler/pipeline.h"
+
+namespace fq::frozenqubits {
+
+/** Driver configuration. */
+struct DriverConfig
+{
+    int num_freeze = 1;                      ///< m
+    HotspotPolicy policy = HotspotPolicy::MaxDegree;
+    bool symmetry_pruning = true;            ///< Section 3.7.2
+    bool use_template_editing = true;        ///< Section 3.7.1
+    transpiler::CompileOptions compile{};
+    int p1_grid_resolution = 32;             ///< angle-search coarse grid
+    std::uint64_t seed = 7;
+};
+
+/** Structure + fidelity record for one executed circuit. */
+struct CircuitStats
+{
+    int num_qubits = 0;
+    int pre_routing_cx = 0;     ///< before SWAP insertion
+    int post_routing_cx = 0;    ///< after compilation (SWAPs as 3 CX)
+    int swaps = 0;
+    int depth = 0;
+    double duration_ns = 0.0;
+    double compile_time_ms = 0.0;
+    double eps = 0.0;           ///< expected probability of success
+    qaoa::P1Angles angles{};    ///< tuned parameters
+    double ev_ideal = 0.0;      ///< noiseless EV at tuned angles (with offset)
+    double ev_noisy = 0.0;      ///< device-noise EV at tuned angles
+};
+
+/** Full baseline-vs-FrozenQubits comparison for one instance. */
+struct Report
+{
+    CircuitStats baseline;
+    std::vector<int> hotspots;          ///< frozen original spin indices
+    int num_subproblems = 0;            ///< 2^m
+    int num_executed = 0;               ///< 2^{m-1} with pruning
+    std::vector<CircuitStats> executed; ///< one per executed sub-circuit
+    double ev_ideal_fq = 0.0;           ///< best sub-problem ideal EV
+    double ev_noisy_fq = 0.0;           ///< best sub-problem noisy EV
+    double arg_baseline = 0.0;          ///< Equation (4)
+    double arg_fq = 0.0;
+
+    /** ARG improvement factor (floored denominator). */
+    double improvement(double floor = 1e-3) const;
+};
+
+/** Evaluate one circuit-arm on @p dev (exposed for ablations). */
+CircuitStats evaluate_instance(const ising::IsingModel& model,
+                               const device::Device& dev,
+                               const DriverConfig& config);
+
+/** Run the full baseline-vs-FQ comparison. */
+Report run_pipeline(const ising::IsingModel& model,
+                    const device::Device& dev, const DriverConfig& config);
+
+/**
+ * Sampled end-to-end solve (examples / integration tests; statevector
+ * width limits apply): executes every planned sub-circuit with the sampled
+ * global-depolarizing + readout noise channel, infers mirror distributions
+ * by bit flipping, decodes the best solution.
+ */
+struct SampledSolve
+{
+    ising::SpinVector best_assignment;
+    double best_cost = 0.0;
+    int from_subproblem = -1;
+    std::vector<sim::Counts> distributions; ///< per sub-problem (2^m)
+};
+
+SampledSolve solve_with_sampling(const ising::IsingModel& model,
+                                 const device::Device& dev,
+                                 const DriverConfig& config, int shots,
+                                 Rng& rng);
+
+} // namespace fq::frozenqubits
+
+#endif // FQ_FROZENQUBITS_DRIVER_H

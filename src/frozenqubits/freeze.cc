@@ -1,0 +1,124 @@
+#include "frozenqubits/freeze.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace fq::frozenqubits {
+
+SubProblem
+as_subproblem(const ising::IsingModel& model)
+{
+    SubProblem sp;
+    sp.model = model;
+    sp.original_of.resize(model.num_spins());
+    std::iota(sp.original_of.begin(), sp.original_of.end(), 0);
+    return sp;
+}
+
+SubProblem
+freeze_spin(const SubProblem& parent, int original_index, int value)
+{
+    FQ_REQUIRE(value == +1 || value == -1, "frozen value must be +-1");
+    // Locate the spin inside the parent's dense index space.
+    int k = -1;
+    for (std::size_t i = 0; i < parent.original_of.size(); ++i) {
+        if (parent.original_of[i] == original_index) {
+            k = static_cast<int>(i);
+            break;
+        }
+    }
+    FQ_REQUIRE(k != -1, "spin is not present (already frozen?)");
+
+    const auto& pm = parent.model;
+    const int n = pm.num_spins();
+    FQ_REQUIRE(n >= 2, "cannot freeze the last remaining spin");
+
+    SubProblem sub;
+    sub.model = ising::IsingModel(n - 1);
+    sub.frozen = parent.frozen;
+    sub.frozen.push_back({original_index, value});
+
+    // Dense remap: parent index -> sub index, skipping k.
+    std::vector<int> remap(n, -1);
+    int next = 0;
+    for (int i = 0; i < n; ++i)
+        if (i != k)
+            remap[i] = next++;
+
+    sub.original_of.resize(n - 1);
+    for (int i = 0; i < n; ++i)
+        if (i != k)
+            sub.original_of[remap[i]] = parent.original_of[i];
+
+    // Table 2 update rules.
+    // offset' = offset + s * h_k
+    sub.model.set_offset(pm.offset() + value * pm.linear(k));
+    // h'_i = h_i (+ s * J_ki for neighbors of k)
+    for (int i = 0; i < n; ++i)
+        if (i != k)
+            sub.model.set_linear(remap[i], pm.linear(i));
+    for (const auto& [j, J] : pm.couplings_of(k))
+        sub.model.add_linear(remap[j], value * J);
+    // J' = J minus row/column k.
+    for (const auto& term : pm.quadratic_terms())
+        if (term.i != k && term.j != k)
+            sub.model.add_quadratic(remap[term.i], remap[term.j],
+                                    term.coefficient);
+    return sub;
+}
+
+std::vector<SubProblem>
+freeze_all(const ising::IsingModel& model, const std::vector<int>& spins)
+{
+    const int m = static_cast<int>(spins.size());
+    FQ_REQUIRE(m >= 0 && m < model.num_spins(),
+               "must freeze fewer spins than exist");
+    FQ_REQUIRE(m <= 20, "2^m sub-problems: m capped at 20");
+
+    std::vector<SubProblem> out;
+    out.reserve(std::size_t(1) << m);
+    for (std::uint64_t assignment = 0; assignment < (std::uint64_t(1) << m);
+         ++assignment) {
+        SubProblem sp = as_subproblem(model);
+        for (int b = 0; b < m; ++b) {
+            const int value = (assignment >> b) & 1 ? -1 : +1;
+            sp = freeze_spin(sp, spins[b], value);
+        }
+        out.push_back(std::move(sp));
+    }
+    return out;
+}
+
+std::vector<ExecutionPlanEntry>
+plan_executions(const ising::IsingModel& original_model, int num_frozen,
+                bool enable_pruning)
+{
+    FQ_REQUIRE(num_frozen >= 0 && num_frozen <= 20,
+               "m capped at 20 (2^m sub-problems)");
+    const std::uint64_t total = std::uint64_t(1) << num_frozen;
+
+    std::vector<ExecutionPlanEntry> plan;
+    const bool symmetric =
+        enable_pruning && original_model.has_zero_linear_terms();
+    if (!symmetric || num_frozen == 0) {
+        for (std::uint64_t i = 0; i < total; ++i)
+            plan.push_back({static_cast<int>(i), {}});
+        return plan;
+    }
+
+    // Assignment i's mirror is the bitwise complement (every frozen value
+    // negated). Canonical representative: the one with bit 0 == 0 (first
+    // frozen spin = +1). For a flip-symmetric parent, H_mirror(z) = H(-z).
+    const std::uint64_t mask = total - 1;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const std::uint64_t mirror = (~i) & mask;
+        if (i < mirror)
+            plan.push_back({static_cast<int>(i),
+                            {static_cast<int>(mirror)}});
+    }
+    return plan;
+}
+
+} // namespace fq::frozenqubits

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The freeze transform (Sections 3.3 and 3.7.2) — the paper's core
+ * contribution.
+ *
+ * Freezing spin k with measured value s in {-1,+1} substitutes z_k = s in
+ * the Ising Hamiltonian (Equations (2)-(3), Table 2):
+ *
+ *   h'_i     = h_i + s * J_ki        for every i coupled to k,
+ *   offset'  = offset + s * h_k,
+ *   J'       = J with row/column k deleted,
+ *
+ * yielding a sub-problem over N-1 spins. Freezing m spins produces 2^m
+ * sub-problems that exactly partition the original state space. When the
+ * ORIGINAL Hamiltonian has all-zero linear coefficients, sub-problems come
+ * in mirror pairs — the one frozen at s and the one frozen at -s satisfy
+ * H_{-s}(z) = H_{s}(-z) — so only 2^{m-1} need to be executed; the other
+ * half is inferred by flipping bits (symmetry pruning).
+ */
+#ifndef FQ_FROZENQUBITS_FREEZE_H
+#define FQ_FROZENQUBITS_FREEZE_H
+
+#include <vector>
+
+#include "ising/ising_model.h"
+
+namespace fq::frozenqubits {
+
+/** One frozen spin: its index in the ORIGINAL model and its value. */
+struct FrozenSpin
+{
+    int original_index = 0;
+    int value = +1; ///< -1 or +1
+};
+
+/** A sub-problem: reduced Hamiltonian plus index bookkeeping. */
+struct SubProblem
+{
+    /** Hamiltonian over the surviving spins (dense indices 0..N-m-1). */
+    ising::IsingModel model;
+    /** original_of[i] = index in the original model of sub-spin i. */
+    std::vector<int> original_of;
+    /** Frozen assignment, in freeze order. */
+    std::vector<FrozenSpin> frozen;
+};
+
+/** Wrap an unfrozen model as the trivial (identity) sub-problem. */
+SubProblem as_subproblem(const ising::IsingModel& model);
+
+/**
+ * Freeze one spin of @p parent. @p original_index identifies the spin by
+ * its index in the ORIGINAL model (must be present, i.e. not yet frozen).
+ */
+SubProblem freeze_spin(const SubProblem& parent, int original_index,
+                       int value);
+
+/**
+ * Freeze all of @p spins (original indices) in order, enumerating all 2^m
+ * value assignments. Result order: assignment bits follow the freeze order
+ * with bit b of the enumeration index giving spin b's value (0 -> +1,
+ * 1 -> -1), so result[0] is the all-+1 freeze.
+ */
+std::vector<SubProblem> freeze_all(const ising::IsingModel& model,
+                                   const std::vector<int>& spins);
+
+/**
+ * Symmetry-pruned execution plan (Section 3.7.2).
+ * Entry (solve, mirrors): run QAOA on sub-problem index `solve`; each index
+ * in `mirrors` is recovered from it by flipping all output bits.
+ */
+struct ExecutionPlanEntry
+{
+    int solve = 0;
+    std::vector<int> mirrors;
+};
+
+/**
+ * Build the execution plan for the sub-problems of @p original_model. When
+ * the original linear coefficients are all zero (and @p enable_pruning),
+ * mirror pairs (s, -s) collapse into one executed circuit — 2^{m-1} runs
+ * for 2^m sub-spaces. Otherwise every sub-problem is executed.
+ */
+std::vector<ExecutionPlanEntry> plan_executions(
+    const ising::IsingModel& original_model, int num_frozen,
+    bool enable_pruning = true);
+
+} // namespace fq::frozenqubits
+
+#endif // FQ_FROZENQUBITS_FREEZE_H

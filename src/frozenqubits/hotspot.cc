@@ -1,0 +1,77 @@
+#include "frozenqubits/hotspot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fq::frozenqubits {
+
+std::vector<int>
+select_hotspots(const ising::IsingModel& model, int m, HotspotPolicy policy,
+                Rng& rng)
+{
+    const int n = model.num_spins();
+    FQ_REQUIRE(m >= 0 && m < n, "must freeze fewer qubits than exist");
+
+    std::vector<int> chosen;
+    if (m == 0)
+        return chosen;
+
+    if (policy == HotspotPolicy::Random) {
+        auto idx = rng.sample_without_replacement(n, m);
+        chosen.assign(idx.begin(), idx.end());
+        return chosen;
+    }
+
+    // Iterative greedy: pick the best-scoring spin, drop its edges from the
+    // live degree view, repeat. Scores: edge count or summed |J|.
+    std::vector<bool> frozen(n, false);
+    std::vector<double> score(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+        for (const auto& [j, J] : model.couplings_of(i)) {
+            (void)j;
+            score[i] += policy == HotspotPolicy::MaxDegree ? 1.0
+                                                           : std::abs(J);
+        }
+    }
+
+    for (int pick = 0; pick < m; ++pick) {
+        int best = -1;
+        for (int i = 0; i < n; ++i) {
+            if (frozen[i])
+                continue;
+            if (best == -1 || score[i] > score[best])
+                best = i;
+        }
+        FQ_ASSERT(best != -1, "ran out of spins to freeze");
+        chosen.push_back(best);
+        frozen[best] = true;
+        for (const auto& [j, J] : model.couplings_of(best)) {
+            if (!frozen[j]) {
+                score[j] -= policy == HotspotPolicy::MaxDegree ? 1.0
+                                                               : std::abs(J);
+            }
+        }
+    }
+    return chosen;
+}
+
+int
+dropped_edge_count(const ising::IsingModel& model,
+                   const std::vector<int>& spins)
+{
+    std::vector<bool> selected(model.num_spins(), false);
+    for (int s : spins) {
+        FQ_REQUIRE(s >= 0 && s < model.num_spins(),
+                   "spin index out of range");
+        selected[s] = true;
+    }
+    int dropped = 0;
+    for (const auto& term : model.quadratic_terms())
+        if (selected[term.i] || selected[term.j])
+            ++dropped;
+    return dropped;
+}
+
+} // namespace fq::frozenqubits

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hotspot-qubit selection (Section 3.5).
+ *
+ * FrozenQubits freezes the qubits that contribute the most CNOTs — in the
+ * problem graph, the highest-degree (hotspot) nodes. Selection is
+ * iterative: after the top hotspot is (conceptually) removed, degrees are
+ * recomputed before picking the next, which matters on power-law graphs
+ * where hubs share many neighbors. Alternative policies exist for the
+ * ablation study (random selection, weighted CNOT contribution).
+ */
+#ifndef FQ_FROZENQUBITS_HOTSPOT_H
+#define FQ_FROZENQUBITS_HOTSPOT_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ising/ising_model.h"
+
+namespace fq::frozenqubits {
+
+/** Which qubits to freeze. */
+enum class HotspotPolicy {
+    /** Iteratively remove the max-degree node (the paper's policy). */
+    MaxDegree,
+    /** Max total |J| weight (CNOT contribution weighted by coupling). */
+    WeightedDegree,
+    /** Uniform random choice — the ablation baseline Section 3.5 argues
+     *  against. */
+    Random,
+};
+
+/**
+ * Pick @p m spins of @p model to freeze under @p policy. The returned
+ * indices refer to the original model and are ordered by selection (first
+ * entry = first frozen). @p rng is only consulted by Random.
+ */
+std::vector<int> select_hotspots(const ising::IsingModel& model, int m,
+                                 HotspotPolicy policy, Rng& rng);
+
+/**
+ * Number of quadratic terms dropped by freezing @p spins (edges incident to
+ * the selected set) — the paper's "dropped edges" metric (Figure 14).
+ */
+int dropped_edge_count(const ising::IsingModel& model,
+                       const std::vector<int>& spins);
+
+} // namespace fq::frozenqubits
+
+#endif // FQ_FROZENQUBITS_HOTSPOT_H

@@ -1,0 +1,50 @@
+#include "frozenqubits/template_editor.h"
+
+#include "common/error.h"
+
+namespace fq::frozenqubits {
+
+circuit::Circuit
+edit_template(const circuit::Circuit& compiled_template,
+              const ising::IsingModel& target)
+{
+    const int n = target.num_spins();
+    const auto& terms = target.quadratic_terms();
+
+    circuit::Circuit out(compiled_template.num_qubits());
+    for (circuit::Gate g : compiled_template.gates()) {
+        if (circuit::has_angle(g.type) && !g.angle.is_constant() &&
+            g.angle.kind == circuit::Parameter::Kind::Gamma &&
+            g.angle.tag >= 0) {
+            const int tag = g.angle.tag;
+            if (tag < n) {
+                g.angle.coefficient = 2.0 * target.linear(tag);
+            } else {
+                const int t = tag - n;
+                FQ_REQUIRE(t < static_cast<int>(terms.size()),
+                           "template tag exceeds target term count");
+                g.angle.coefficient = 2.0 * terms[t].coefficient;
+            }
+        }
+        out.append(g);
+    }
+    return out;
+}
+
+bool
+templates_compatible(const ising::IsingModel& source,
+                     const ising::IsingModel& target)
+{
+    if (source.num_spins() != target.num_spins())
+        return false;
+    const auto& a = source.quadratic_terms();
+    const auto& b = target.quadratic_terms();
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t t = 0; t < a.size(); ++t)
+        if (a[t].i != b[t].i || a[t].j != b[t].j)
+            return false;
+    return true;
+}
+
+} // namespace fq::frozenqubits

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Compiled-template editing (Section 3.7.1).
+ *
+ * All 2^m sub-problems of a freeze share the same quadratic structure and
+ * differ only in linear coefficients and offset, so their compiled circuits
+ * are identical up to RZ rotation angles. FrozenQubits therefore compiles
+ * ONE template (built with placeholder RZ slots for every linear term) and
+ * derives each sibling executable by rewriting coefficients on the tagged
+ * symbolic parameters — an O(gates) string-of-angles edit instead of a full
+ * transpiler run, giving the O(1) compilation complexity of Table 3.
+ */
+#ifndef FQ_FROZENQUBITS_TEMPLATE_EDITOR_H
+#define FQ_FROZENQUBITS_TEMPLATE_EDITOR_H
+
+#include "circuit/circuit.h"
+#include "ising/ising_model.h"
+
+namespace fq::frozenqubits {
+
+/**
+ * Rewrite the tagged gamma-parameters of @p compiled_template to the
+ * coefficients of @p target: tag i in [0, N) takes 2*h_i, tag N+t takes
+ * 2*J_t (aligned with target.quadratic_terms()). The template must come
+ * from a sibling sub-problem with identical quadratic structure, built
+ * with BuildOptions::keep_zero_linear_rz = true.
+ */
+circuit::Circuit edit_template(const circuit::Circuit& compiled_template,
+                               const ising::IsingModel& target);
+
+/**
+ * Check that @p target is structurally edit-compatible with @p source:
+ * same spin count and identical quadratic term list (indices and order).
+ */
+bool templates_compatible(const ising::IsingModel& source,
+                          const ising::IsingModel& target);
+
+} // namespace fq::frozenqubits
+
+#endif // FQ_FROZENQUBITS_TEMPLATE_EDITOR_H

@@ -1,0 +1,194 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace fq::graph {
+
+Graph
+barabasi_albert(int n, int d, Rng& rng)
+{
+    FQ_REQUIRE(n >= 2, "BA graph needs at least two nodes");
+    FQ_REQUIRE(d >= 1 && d < n, "BA attachment factor must be in [1, n)");
+
+    Graph g(n);
+    // The urn holds one entry per edge endpoint, so sampling an entry is
+    // degree-proportional sampling — the standard linear-time BA method.
+    std::vector<int> urn;
+    urn.reserve(static_cast<std::size_t>(2 * d) * n);
+
+    // Seed: a (d+1)-clique so every early node already has degree >= d.
+    const int seed_size = d + 1;
+    FQ_REQUIRE(seed_size <= n, "BA seed larger than graph");
+    for (int u = 0; u < seed_size; ++u) {
+        for (int v = u + 1; v < seed_size; ++v) {
+            g.add_edge(u, v);
+            urn.push_back(u);
+            urn.push_back(v);
+        }
+    }
+
+    std::vector<int> targets;
+    for (int u = seed_size; u < n; ++u) {
+        targets.clear();
+        // Draw d distinct targets degree-proportionally.
+        while (static_cast<int>(targets.size()) < d) {
+            const int candidate = urn[rng.uniform_int(urn.size())];
+            if (std::find(targets.begin(), targets.end(), candidate) ==
+                targets.end()) {
+                targets.push_back(candidate);
+            }
+        }
+        for (int t : targets) {
+            g.add_edge(u, t);
+            urn.push_back(u);
+            urn.push_back(t);
+        }
+    }
+    return g;
+}
+
+Graph
+random_regular(int n, int d, Rng& rng)
+{
+    FQ_REQUIRE(d >= 1 && d < n, "degree must be in [1, n)");
+    FQ_REQUIRE((static_cast<long long>(n) * d) % 2 == 0,
+               "n*d must be even for a d-regular graph");
+
+    // Configuration model: pair up n*d stubs uniformly; restart whenever the
+    // pairing creates a self-loop or parallel edge. For the small d used in
+    // QAOA benchmarks the expected number of restarts is O(1).
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+        std::vector<int> stubs;
+        stubs.reserve(static_cast<std::size_t>(n) * d);
+        for (int u = 0; u < n; ++u)
+            for (int k = 0; k < d; ++k)
+                stubs.push_back(u);
+        rng.shuffle(stubs);
+
+        Graph g(n);
+        bool ok = true;
+        for (std::size_t i = 0; i + 1 < stubs.size() && ok; i += 2) {
+            const int u = stubs[i], v = stubs[i + 1];
+            if (u == v || !g.add_edge(u, v))
+                ok = false;
+        }
+        if (ok)
+            return g;
+    }
+    FQ_REQUIRE(false, "random_regular failed to converge");
+    return Graph(); // unreachable
+}
+
+Graph
+complete(int n)
+{
+    FQ_REQUIRE(n >= 1, "complete graph needs at least one node");
+    Graph g(n);
+    for (int u = 0; u < n; ++u)
+        for (int v = u + 1; v < n; ++v)
+            g.add_edge(u, v);
+    return g;
+}
+
+Graph
+erdos_renyi(int n, double p, Rng& rng)
+{
+    FQ_REQUIRE(n >= 1, "ER graph needs at least one node");
+    FQ_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability outside [0,1]");
+    Graph g(n);
+    for (int u = 0; u < n; ++u)
+        for (int v = u + 1; v < n; ++v)
+            if (rng.bernoulli(p))
+                g.add_edge(u, v);
+    return g;
+}
+
+Graph
+star(int n)
+{
+    FQ_REQUIRE(n >= 2, "star needs at least two nodes");
+    Graph g(n);
+    for (int v = 1; v < n; ++v)
+        g.add_edge(0, v);
+    return g;
+}
+
+Graph
+path(int n)
+{
+    FQ_REQUIRE(n >= 1, "path needs at least one node");
+    Graph g(n);
+    for (int v = 1; v < n; ++v)
+        g.add_edge(v - 1, v);
+    return g;
+}
+
+Graph
+airport_network(int n, int hubs, Rng& rng)
+{
+    FQ_REQUIRE(hubs >= 1 && hubs < n, "hub count must be in [1, n)");
+    Graph g(n);
+    std::vector<int> urn;
+
+    // Hub core: a clique of the major airports.
+    for (int u = 0; u < hubs; ++u) {
+        for (int v = u + 1; v < hubs; ++v) {
+            g.add_edge(u, v);
+            urn.push_back(u);
+            urn.push_back(v);
+        }
+    }
+    if (hubs == 1)
+        urn.push_back(0); // degree-0 core still needs a target
+
+    // Regional airports attach preferentially, which concentrates new routes
+    // on the existing hubs — the mechanism behind Figure 1(b).
+    for (int u = hubs; u < n; ++u) {
+        const int target = urn[rng.uniform_int(urn.size())];
+        g.add_edge(u, target);
+        urn.push_back(u);
+        urn.push_back(target);
+        // Occasionally add a second spoke to model multi-homed cities.
+        if (rng.bernoulli(0.25)) {
+            const int second = urn[rng.uniform_int(urn.size())];
+            if (second != u && !g.has_edge(u, second)) {
+                g.add_edge(u, second);
+                urn.push_back(u);
+                urn.push_back(second);
+            }
+        }
+    }
+    return g;
+}
+
+namespace {
+
+/** Rebuild @p g with weights produced by @p next_weight. */
+template <typename F>
+void
+reweight(Graph& g, F&& next_weight)
+{
+    Graph out(g.num_nodes());
+    for (const Edge& e : g.edges())
+        out.add_edge(e.u, e.v, next_weight());
+    g = std::move(out);
+}
+
+} // namespace
+
+void
+assign_random_pm1_weights(Graph& g, Rng& rng)
+{
+    reweight(g, [&] { return static_cast<double>(rng.sign()); });
+}
+
+void
+assign_gaussian_weights(Graph& g, Rng& rng)
+{
+    reweight(g, [&] { return rng.normal(); });
+}
+
+} // namespace fq::graph

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Random-graph generators for the paper's benchmark classes (Section 4.1):
+ * Barabási–Albert power-law graphs (dBA = 1, 2, 3), random 3-regular graphs,
+ * and fully-connected (Sherrington–Kirkpatrick) graphs; plus Erdős–Rényi and
+ * a synthetic hub-and-spoke "airport" network used to reproduce the
+ * power-law motivation in Figure 1(b).
+ *
+ * All generators are deterministic given the Rng and produce unweighted
+ * structures; edge weights are assigned separately (see
+ * assign_random_pm1_weights, matching the paper's +-1 edge weights).
+ */
+#ifndef FQ_GRAPH_GENERATORS_H
+#define FQ_GRAPH_GENERATORS_H
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace fq::graph {
+
+/**
+ * Barabási–Albert preferential-attachment graph.
+ *
+ * Starts from a d-clique seed (a single node for d=1) and attaches each new
+ * node to @p d existing nodes chosen with probability proportional to their
+ * degree (the repeated-nodes urn method). d=1 yields a random tree whose
+ * degree distribution is the paper's default power-law benchmark.
+ *
+ * @param n  total nodes (n > d)
+ * @param d  preferential-attachment factor dBA (edges per new node)
+ */
+Graph barabasi_albert(int n, int d, Rng& rng);
+
+/**
+ * Uniform random d-regular graph via the configuration (pairing) model with
+ * restarts on parallel edges/self-loops. Requires n*d even and d < n.
+ */
+Graph random_regular(int n, int d, Rng& rng);
+
+/** Fully connected graph on n nodes (the SK-model topology). */
+Graph complete(int n);
+
+/** Erdős–Rényi G(n, p). */
+Graph erdos_renyi(int n, double p, Rng& rng);
+
+/** Star: node 0 is connected to all others (the extreme hotspot case). */
+Graph star(int n);
+
+/** Path 0-1-...-n-1 (the minimal-connectivity contrast case). */
+Graph path(int n);
+
+/**
+ * Synthetic airport-style network for the Figure 1(b) study: a small core of
+ * hub nodes forming a clique, with the remaining nodes attached
+ * preferentially — produces the hub-vs-average degree gap the paper reports
+ * (top-10 hubs with ~10x the mean connectivity).
+ */
+Graph airport_network(int n, int hubs, Rng& rng);
+
+/** Assign each edge a weight drawn uniformly from {-1, +1} (Section 4.1). */
+void assign_random_pm1_weights(Graph& g, Rng& rng);
+
+/** Assign each edge a weight drawn from N(0, 1) (SK-model variant). */
+void assign_gaussian_weights(Graph& g, Rng& rng);
+
+} // namespace fq::graph
+
+#endif // FQ_GRAPH_GENERATORS_H

@@ -1,0 +1,180 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace fq::graph {
+
+Graph::Graph(int num_nodes)
+{
+    FQ_REQUIRE(num_nodes >= 0, "negative node count");
+    adjacency_.resize(num_nodes);
+}
+
+void
+Graph::ensure_nodes(int n)
+{
+    FQ_REQUIRE(n >= 0, "negative node count");
+    if (n > num_nodes())
+        adjacency_.resize(n);
+}
+
+void
+Graph::check_node(int u) const
+{
+    FQ_REQUIRE(u >= 0 && u < num_nodes(), "node index out of range");
+}
+
+bool
+Graph::add_edge(int u, int v, double weight)
+{
+    check_node(u);
+    check_node(v);
+    FQ_REQUIRE(u != v, "self-loops are not representable as Ising edges");
+    if (has_edge(u, v))
+        return false;
+    if (u > v)
+        std::swap(u, v);
+    edges_.push_back({u, v, weight});
+    adjacency_[u].emplace_back(v, weight);
+    adjacency_[v].emplace_back(u, weight);
+    return true;
+}
+
+bool
+Graph::has_edge(int u, int v) const
+{
+    check_node(u);
+    check_node(v);
+    // Scan the smaller adjacency list.
+    const int probe = degree(u) <= degree(v) ? u : v;
+    const int other = probe == u ? v : u;
+    for (const auto& [w, _] : adjacency_[probe])
+        if (w == other)
+            return true;
+    return false;
+}
+
+double
+Graph::edge_weight(int u, int v) const
+{
+    check_node(u);
+    check_node(v);
+    for (const auto& [w, weight] : adjacency_[u])
+        if (w == v)
+            return weight;
+    FQ_REQUIRE(false, "edge_weight queried for a missing edge");
+    return 0.0; // unreachable
+}
+
+const std::vector<std::pair<int, double>>&
+Graph::neighbors(int u) const
+{
+    check_node(u);
+    return adjacency_[u];
+}
+
+int
+Graph::degree(int u) const
+{
+    check_node(u);
+    return static_cast<int>(adjacency_[u].size());
+}
+
+std::vector<int>
+Graph::degree_sequence() const
+{
+    std::vector<int> degrees(num_nodes());
+    for (int u = 0; u < num_nodes(); ++u)
+        degrees[u] = degree(u);
+    return degrees;
+}
+
+std::vector<int>
+Graph::nodes_by_degree_desc() const
+{
+    std::vector<int> order(num_nodes());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+        return degree(a) > degree(b);
+    });
+    return order;
+}
+
+double
+Graph::average_degree() const
+{
+    if (num_nodes() == 0)
+        return 0.0;
+    return 2.0 * num_edges() / num_nodes();
+}
+
+int
+Graph::max_degree() const
+{
+    int best = 0;
+    for (int u = 0; u < num_nodes(); ++u)
+        best = std::max(best, degree(u));
+    return best;
+}
+
+Graph
+Graph::without_node(int node, std::vector<int>* old_to_new) const
+{
+    check_node(node);
+    std::vector<int> remap(num_nodes(), -1);
+    int next = 0;
+    for (int u = 0; u < num_nodes(); ++u)
+        if (u != node)
+            remap[u] = next++;
+
+    Graph out(num_nodes() - 1);
+    for (const Edge& e : edges_)
+        if (e.u != node && e.v != node)
+            out.add_edge(remap[e.u], remap[e.v], e.weight);
+
+    if (old_to_new)
+        *old_to_new = std::move(remap);
+    return out;
+}
+
+int
+Graph::num_connected_components() const
+{
+    std::vector<int> color(num_nodes(), -1);
+    int components = 0;
+    std::vector<int> stack;
+    for (int start = 0; start < num_nodes(); ++start) {
+        if (color[start] != -1)
+            continue;
+        ++components;
+        stack.push_back(start);
+        color[start] = components;
+        while (!stack.empty()) {
+            int u = stack.back();
+            stack.pop_back();
+            for (const auto& [v, _] : adjacency_[u]) {
+                if (color[v] == -1) {
+                    color[v] = components;
+                    stack.push_back(v);
+                }
+            }
+        }
+    }
+    return components;
+}
+
+std::string
+Graph::summary() const
+{
+    std::ostringstream os;
+    os << "Graph(N=" << num_nodes() << ", E=" << num_edges()
+       << ", avg_deg=" << average_degree() << ", max_deg=" << max_degree()
+       << ")";
+    return os.str();
+}
+
+} // namespace fq::graph

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Undirected weighted graph used to represent QAOA problem instances.
+ *
+ * Nodes are dense integers [0, N). Parallel edges are rejected; self-loops
+ * are rejected (an Ising z_i*z_i term is a constant and belongs in the
+ * offset). The structure keeps both an edge list (stable iteration order for
+ * reproducibility) and an adjacency list (O(deg) neighborhood queries, the
+ * representation the paper's complexity analysis in Section 3.8 assumes).
+ */
+#ifndef FQ_GRAPH_GRAPH_H
+#define FQ_GRAPH_GRAPH_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fq::graph {
+
+/** One undirected weighted edge with u < v normalized ordering. */
+struct Edge
+{
+    int u = 0;
+    int v = 0;
+    double weight = 1.0;
+};
+
+/** Undirected weighted graph over dense integer nodes. */
+class Graph
+{
+  public:
+    Graph() = default;
+    explicit Graph(int num_nodes);
+
+    int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+    int num_edges() const { return static_cast<int>(edges_.size()); }
+
+    /** Grow the node set to at least @p n nodes. */
+    void ensure_nodes(int n);
+
+    /**
+     * Insert edge (u,v) with @p weight. Returns false (and leaves the graph
+     * unchanged) if the edge already exists; throws on u==v or out-of-range.
+     */
+    bool add_edge(int u, int v, double weight = 1.0);
+
+    /** True when (u,v) is present (order-insensitive). */
+    bool has_edge(int u, int v) const;
+
+    /** Weight of edge (u,v); requires the edge to exist. */
+    double edge_weight(int u, int v) const;
+
+    /** All edges, normalized u < v, in insertion order. */
+    const std::vector<Edge>& edges() const { return edges_; }
+
+    /** Neighbors of @p u with edge weights, in insertion order. */
+    const std::vector<std::pair<int, double>>& neighbors(int u) const;
+
+    /** Degree of node @p u. */
+    int degree(int u) const;
+
+    /** Degrees of all nodes. */
+    std::vector<int> degree_sequence() const;
+
+    /** Node indices sorted by descending degree (ties: lower index first). */
+    std::vector<int> nodes_by_degree_desc() const;
+
+    /** Mean degree = 2|E|/N (0 for the empty graph). */
+    double average_degree() const;
+
+    /** Maximum degree (0 for the empty graph). */
+    int max_degree() const;
+
+    /**
+     * The subgraph induced by deleting @p node: nodes are renumbered densely,
+     * preserving relative order. @p old_to_new (optional) receives the node
+     * remapping with -1 for the removed node.
+     */
+    Graph without_node(int node, std::vector<int>* old_to_new = nullptr) const;
+
+    /** Number of connected components (isolated nodes each count as one). */
+    int num_connected_components() const;
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+
+  private:
+    void check_node(int u) const;
+
+    std::vector<Edge> edges_;
+    std::vector<std::vector<std::pair<int, double>>> adjacency_;
+};
+
+} // namespace fq::graph
+
+#endif // FQ_GRAPH_GRAPH_H

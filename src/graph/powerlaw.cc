@@ -1,0 +1,60 @@
+#include "graph/powerlaw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fq::graph {
+
+std::vector<int>
+degree_histogram(const Graph& g)
+{
+    std::vector<int> hist(static_cast<std::size_t>(g.max_degree()) + 1, 0);
+    for (int u = 0; u < g.num_nodes(); ++u)
+        ++hist[g.degree(u)];
+    return hist;
+}
+
+double
+powerlaw_alpha_mle(const std::vector<int>& degrees, int k_min)
+{
+    FQ_REQUIRE(k_min >= 1, "k_min must be positive");
+    double log_sum = 0.0;
+    int n = 0;
+    for (int d : degrees) {
+        if (d >= k_min) {
+            log_sum += std::log(static_cast<double>(d) / (k_min - 0.5));
+            ++n;
+        }
+    }
+    if (n < 2 || log_sum <= 0.0)
+        return 0.0;
+    return 1.0 + n / log_sum;
+}
+
+DegreeStats
+degree_stats(const Graph& g, int top_k, int k_min)
+{
+    DegreeStats s;
+    s.num_nodes = g.num_nodes();
+    s.num_edges = g.num_edges();
+    s.average_degree = g.average_degree();
+    s.max_degree = g.max_degree();
+    s.k_min = k_min;
+
+    auto degrees = g.degree_sequence();
+    s.alpha_mle = powerlaw_alpha_mle(degrees, k_min);
+
+    std::sort(degrees.begin(), degrees.end(), std::greater<int>());
+    s.top_k = std::min<int>(top_k, static_cast<int>(degrees.size()));
+    double hot_sum = 0.0;
+    for (int i = 0; i < s.top_k; ++i)
+        hot_sum += degrees[i];
+    s.hotspot_average_degree = s.top_k ? hot_sum / s.top_k : 0.0;
+    s.hotspot_ratio = s.average_degree > 0.0
+        ? s.hotspot_average_degree / s.average_degree : 0.0;
+    return s;
+}
+
+} // namespace fq::graph

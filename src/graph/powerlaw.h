@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Degree-distribution statistics used to characterize power-law benchmark
+ * graphs: degree histograms, hotspot-vs-average connectivity ratios
+ * (Figure 1(b)'s "top hubs have 10x the mean" observation), and a simple
+ * discrete maximum-likelihood estimate of the power-law tail exponent.
+ */
+#ifndef FQ_GRAPH_POWERLAW_H
+#define FQ_GRAPH_POWERLAW_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fq::graph {
+
+/** Summary of a graph's degree distribution. */
+struct DegreeStats
+{
+    int num_nodes = 0;
+    int num_edges = 0;
+    double average_degree = 0.0;
+    int max_degree = 0;
+    /** Mean degree of the @c top_k highest-degree nodes. */
+    double hotspot_average_degree = 0.0;
+    /** hotspot_average_degree / average_degree (the Fig 1(b) ratio). */
+    double hotspot_ratio = 0.0;
+    int top_k = 0;
+    /** MLE estimate of the tail exponent alpha for degrees >= k_min. */
+    double alpha_mle = 0.0;
+    int k_min = 1;
+};
+
+/** Compute degree statistics; @p top_k hotspots (clamped to N). */
+DegreeStats degree_stats(const Graph& g, int top_k = 10, int k_min = 1);
+
+/** Histogram: result[d] = number of nodes of degree d. */
+std::vector<int> degree_histogram(const Graph& g);
+
+/**
+ * Discrete power-law tail exponent via the standard MLE
+ * alpha = 1 + n / sum(ln(d_i / (k_min - 0.5))) over degrees >= k_min.
+ * Returns 0 when fewer than two qualifying nodes exist.
+ */
+double powerlaw_alpha_mle(const std::vector<int>& degrees, int k_min = 1);
+
+} // namespace fq::graph
+
+#endif // FQ_GRAPH_POWERLAW_H

@@ -1,0 +1,74 @@
+#include "ising/exact_solver.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/error.h"
+
+namespace fq::ising {
+
+ExactSolution
+solve_exact(const IsingModel& model, int max_spins)
+{
+    const int n = model.num_spins();
+    FQ_REQUIRE(n >= 1, "cannot solve an empty model");
+    FQ_REQUIRE(n <= max_spins && n <= 63,
+               "instance too large for exact enumeration");
+
+    // Start from the all +1 assignment (Gray code of 0).
+    SpinVector z(n, 1);
+    double cost = model.evaluate(z);
+
+    ExactSolution best;
+    best.min_cost = cost;
+    best.max_cost = cost;
+    best.argmin = z;
+    best.num_minima = 1;
+    double cost_sum = cost;
+
+    const std::uint64_t total = 1ull << n;
+    constexpr double kTol = 1e-9;
+    for (std::uint64_t k = 1; k < total; ++k) {
+        const int bit = gray_flip_bit(k);
+        cost += model.flip_delta(z, bit);
+        z[bit] = static_cast<std::int8_t>(-z[bit]);
+        cost_sum += cost;
+
+        if (cost < best.min_cost - kTol) {
+            best.min_cost = cost;
+            best.argmin = z;
+            best.num_minima = 1;
+        } else if (std::abs(cost - best.min_cost) <= kTol) {
+            ++best.num_minima;
+        }
+        if (cost > best.max_cost)
+            best.max_cost = cost;
+    }
+    best.mean_cost = cost_sum / static_cast<double>(total);
+    return best;
+}
+
+std::vector<double>
+all_costs(const IsingModel& model)
+{
+    const int n = model.num_spins();
+    FQ_REQUIRE(n >= 1 && n <= 20, "all_costs limited to 20 spins");
+    const std::uint64_t total = 1ull << n;
+    std::vector<double> costs(total);
+
+    // Enumerate in Gray-code order but store by natural state index.
+    SpinVector z(n, 1);
+    double cost = model.evaluate(z);
+    costs[0] = cost;
+    std::uint64_t state = 0;
+    for (std::uint64_t k = 1; k < total; ++k) {
+        const int bit = gray_flip_bit(k);
+        cost += model.flip_delta(z, bit);
+        z[bit] = static_cast<std::int8_t>(-z[bit]);
+        state ^= (1ull << bit);
+        costs[state] = cost;
+    }
+    return costs;
+}
+
+} // namespace fq::ising

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Exact Ising ground-state search by Gray-code enumeration.
+ *
+ * Consecutive Gray codes differ in one bit, so the cost can be updated
+ * incrementally in O(deg) per visited state instead of O(|J|) per state,
+ * giving O(2^N * avg_deg) total work. This provides the exact C_min and
+ * EV_ideal references the paper's AR/ARG metrics require (Section 4.3)
+ * for instances up to ~26 spins.
+ */
+#ifndef FQ_ISING_EXACT_SOLVER_H
+#define FQ_ISING_EXACT_SOLVER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ising/ising_model.h"
+
+namespace fq::ising {
+
+/** Result of an exact exhaustive search. */
+struct ExactSolution
+{
+    double min_cost = 0.0;
+    double max_cost = 0.0;
+    /** One (arbitrary, deterministic) minimizing assignment. */
+    SpinVector argmin;
+    /** Number of global minima (within tolerance 1e-9). */
+    std::uint64_t num_minima = 0;
+    /** Mean of C over the whole state space (uniform distribution EV). */
+    double mean_cost = 0.0;
+};
+
+/** Exhaustively solve @p model; requires num_spins() <= max_spins. */
+ExactSolution solve_exact(const IsingModel& model, int max_spins = 26);
+
+/**
+ * All costs in basis-state order (index = little-endian state encoding).
+ * Requires num_spins() <= 20 to bound memory. Used by landscape and
+ * distribution tests.
+ */
+std::vector<double> all_costs(const IsingModel& model);
+
+} // namespace fq::ising
+
+#endif // FQ_ISING_EXACT_SOLVER_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Plain-text serialization for Ising models — the interchange format the
+ * CLI tool and examples use. The format is line-oriented and stable:
+ *
+ *   ising <num_spins>
+ *   offset <value>
+ *   h <index> <value>          # one line per non-zero linear term
+ *   J <i> <j> <value>          # one line per quadratic term
+ *
+ * Lines starting with '#' and blank lines are ignored. Deterministic
+ * round-trip: write(parse(text)) == canonical form of text.
+ */
+#ifndef FQ_ISING_IO_H
+#define FQ_ISING_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "ising/ising_model.h"
+
+namespace fq::ising {
+
+/** Serialize @p model in the canonical text format. */
+std::string to_text(const IsingModel& model);
+
+/** Write to a stream. */
+void write_model(std::ostream& os, const IsingModel& model);
+
+/** Parse a model from text; throws fq::Error on malformed input. */
+IsingModel parse_model(const std::string& text);
+
+/** Read a model from a stream (consumes the whole stream). */
+IsingModel read_model(std::istream& is);
+
+} // namespace fq::ising
+
+#endif // FQ_ISING_IO_H

@@ -1,0 +1,34 @@
+#include "ising/maxcut.h"
+
+#include "common/error.h"
+
+namespace fq::ising {
+
+IsingModel
+maxcut_hamiltonian(const graph::Graph& g)
+{
+    return IsingModel::from_graph(g);
+}
+
+double
+cut_value(const graph::Graph& g, const SpinVector& z)
+{
+    FQ_REQUIRE(static_cast<int>(z.size()) == g.num_nodes(),
+               "assignment size mismatch");
+    double cut = 0.0;
+    for (const auto& e : g.edges())
+        if (z[e.u] != z[e.v])
+            cut += e.weight;
+    return cut;
+}
+
+double
+cut_from_cost(const graph::Graph& g, double ising_cost)
+{
+    double total = 0.0;
+    for (const auto& e : g.edges())
+        total += e.weight;
+    return (total - ising_cost) / 2.0;
+}
+
+} // namespace fq::ising

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Max-Cut <-> Ising translation (Section 2.1).
+ *
+ * For Max-Cut, each edge (i, j) with weight w contributes w * z_i z_j to the
+ * Hamiltonian; z_i z_j = -1 means the endpoints are in different partitions.
+ * Minimizing the Ising cost maximizes the cut:
+ *   cut(z) = (W - C(z)) / 2, with W = total edge weight (for offset 0).
+ */
+#ifndef FQ_ISING_MAXCUT_H
+#define FQ_ISING_MAXCUT_H
+
+#include "graph/graph.h"
+#include "ising/ising_model.h"
+
+namespace fq::ising {
+
+/** Build the Max-Cut Ising Hamiltonian for @p g (h = 0, offset = 0). */
+IsingModel maxcut_hamiltonian(const graph::Graph& g);
+
+/** Total cut weight of the partition encoded by @p z. */
+double cut_value(const graph::Graph& g, const SpinVector& z);
+
+/** Recover the cut weight from an Ising cost: (W - cost + offset) / 2. */
+double cut_from_cost(const graph::Graph& g, double ising_cost);
+
+} // namespace fq::ising
+
+#endif // FQ_ISING_MAXCUT_H

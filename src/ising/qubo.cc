@@ -1,0 +1,128 @@
+#include "ising/qubo.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fq::ising {
+
+QuboModel::QuboModel(int num_variables)
+{
+    FQ_REQUIRE(num_variables >= 0, "negative variable count");
+    linear_.resize(num_variables, 0.0);
+}
+
+void
+QuboModel::add_linear(int i, double delta)
+{
+    FQ_REQUIRE(i >= 0 && i < num_variables(), "variable out of range");
+    linear_[i] += delta;
+}
+
+double
+QuboModel::linear(int i) const
+{
+    FQ_REQUIRE(i >= 0 && i < num_variables(), "variable out of range");
+    return linear_[i];
+}
+
+void
+QuboModel::add_quadratic(int i, int j, double delta)
+{
+    FQ_REQUIRE(i >= 0 && i < num_variables() && j >= 0 &&
+                   j < num_variables(),
+               "variable out of range");
+    FQ_REQUIRE(i != j, "diagonal QUBO terms are linear (x^2 = x)");
+    if (i > j)
+        std::swap(i, j);
+    for (auto& term : quadratic_) {
+        if (term.i == i && term.j == j) {
+            term.coefficient += delta;
+            return;
+        }
+    }
+    quadratic_.push_back({i, j, delta});
+}
+
+double
+QuboModel::evaluate(const BinaryVector& x) const
+{
+    FQ_REQUIRE(static_cast<int>(x.size()) == num_variables(),
+               "assignment size mismatch");
+    double value = constant_;
+    for (int i = 0; i < num_variables(); ++i) {
+        FQ_REQUIRE(x[i] == 0 || x[i] == 1, "binary values must be 0/1");
+        value += linear_[i] * x[i];
+    }
+    for (const auto& term : quadratic_)
+        value += term.coefficient * x[term.i] * x[term.j];
+    return value;
+}
+
+IsingModel
+QuboModel::to_ising() const
+{
+    IsingModel ising(num_variables());
+    double offset = constant_;
+    // a x = a (1 - z)/2.
+    for (int i = 0; i < num_variables(); ++i) {
+        ising.add_linear(i, -linear_[i] / 2.0);
+        offset += linear_[i] / 2.0;
+    }
+    // b x_i x_j = b (1 - z_i)(1 - z_j)/4.
+    for (const auto& term : quadratic_) {
+        const double quarter = term.coefficient / 4.0;
+        ising.add_quadratic(term.i, term.j, quarter);
+        ising.add_linear(term.i, -quarter);
+        ising.add_linear(term.j, -quarter);
+        offset += quarter;
+    }
+    ising.set_offset(offset);
+    ising.prune_zero_terms();
+    return ising;
+}
+
+QuboModel
+QuboModel::from_ising(const IsingModel& ising)
+{
+    QuboModel qubo(ising.num_spins());
+    double constant = ising.offset();
+    // h z = h (1 - 2x).
+    for (int i = 0; i < ising.num_spins(); ++i) {
+        qubo.add_linear(i, -2.0 * ising.linear(i));
+        constant += ising.linear(i);
+    }
+    // J z_i z_j = J (1 - 2x_i)(1 - 2x_j).
+    for (const auto& term : ising.quadratic_terms()) {
+        qubo.add_quadratic(term.i, term.j, 4.0 * term.coefficient);
+        qubo.add_linear(term.i, -2.0 * term.coefficient);
+        qubo.add_linear(term.j, -2.0 * term.coefficient);
+        constant += term.coefficient;
+    }
+    qubo.add_constant(constant);
+    return qubo;
+}
+
+BinaryVector
+spins_to_binary(const SpinVector& z)
+{
+    BinaryVector x(z.size());
+    for (std::size_t i = 0; i < z.size(); ++i) {
+        FQ_REQUIRE(z[i] == 1 || z[i] == -1, "spins must be +-1");
+        x[i] = z[i] < 0 ? 1 : 0;
+    }
+    return x;
+}
+
+SpinVector
+binary_to_spins(const BinaryVector& x)
+{
+    SpinVector z(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        FQ_REQUIRE(x[i] == 0 || x[i] == 1, "binary values must be 0/1");
+        z[i] = x[i] ? -1 : 1;
+    }
+    return z;
+}
+
+} // namespace fq::ising

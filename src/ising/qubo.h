@@ -1,0 +1,75 @@
+/**
+ * @file
+ * QUBO (quadratic unconstrained binary optimization) front end.
+ *
+ * Most applications in the paper's Table 1 (vehicle routing, portfolio
+ * selection, scheduling) are naturally expressed over binary variables
+ * x_i in {0, 1}:
+ *
+ *   minimize  sum_i a_i x_i + sum_{i<j} b_ij x_i x_j + constant.
+ *
+ * The standard substitution x_i = (1 - z_i) / 2 converts a QUBO to the
+ * Ising form of Equation (1), which is what the QAOA/FrozenQubits stack
+ * consumes. The conversion is exact and invertible.
+ */
+#ifndef FQ_ISING_QUBO_H
+#define FQ_ISING_QUBO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ising/ising_model.h"
+
+namespace fq::ising {
+
+/** Binary assignment; entries are 0 or 1. */
+using BinaryVector = std::vector<std::uint8_t>;
+
+/** QUBO problem over binary variables. */
+class QuboModel
+{
+  public:
+    QuboModel() = default;
+    explicit QuboModel(int num_variables);
+
+    int num_variables() const { return static_cast<int>(linear_.size()); }
+
+    /** Add @p delta to the linear coefficient a_i. */
+    void add_linear(int i, double delta);
+    double linear(int i) const;
+
+    /** Add @p delta to the quadratic coefficient b_ij (i != j). */
+    void add_quadratic(int i, int j, double delta);
+
+    const std::vector<QuadraticTerm>& quadratic_terms() const
+    {
+        return quadratic_;
+    }
+
+    void add_constant(double delta) { constant_ += delta; }
+    double constant() const { return constant_; }
+
+    /** Objective value at @p x. */
+    double evaluate(const BinaryVector& x) const;
+
+    /** Exact Ising equivalent via x = (1 - z)/2. */
+    IsingModel to_ising() const;
+
+    /** Inverse conversion (z = 1 - 2x). */
+    static QuboModel from_ising(const IsingModel& ising);
+
+  private:
+    std::vector<double> linear_;
+    std::vector<QuadraticTerm> quadratic_;
+    double constant_ = 0.0;
+};
+
+/** Map spins to binaries: z=+1 -> x=0, z=-1 -> x=1. */
+BinaryVector spins_to_binary(const SpinVector& z);
+
+/** Map binaries to spins: x=0 -> z=+1, x=1 -> z=-1. */
+SpinVector binary_to_spins(const BinaryVector& x);
+
+} // namespace fq::ising
+
+#endif // FQ_ISING_QUBO_H

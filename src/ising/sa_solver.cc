@@ -1,0 +1,84 @@
+#include "ising/sa_solver.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fq::ising {
+
+SaSolution
+solve_annealing(const IsingModel& model, const SaConfig& config, Rng& rng)
+{
+    const int n = model.num_spins();
+    FQ_REQUIRE(n >= 1, "cannot anneal an empty model");
+    FQ_REQUIRE(config.num_restarts >= 1 && config.sweeps_per_restart >= 1,
+               "SA effort must be positive");
+
+    const double magnitude = model.coefficient_magnitude_sum();
+    const double t_initial = std::max(
+        config.final_temperature * 2.0,
+        config.initial_temperature_scale * magnitude /
+            std::max(1, model.num_spins()));
+
+    SaSolution solution;
+    bool have_solution = false;
+
+    for (int restart = 0; restart < config.num_restarts; ++restart) {
+        SpinVector z(n);
+        for (int i = 0; i < n; ++i)
+            z[i] = static_cast<std::int8_t>(rng.sign());
+        double cost = model.evaluate(z);
+
+        const int sweeps = config.sweeps_per_restart;
+        // Geometric schedule hitting final_temperature on the last sweep.
+        const double decay = std::pow(config.final_temperature / t_initial,
+                                      1.0 / std::max(1, sweeps - 1));
+        double temperature = t_initial;
+
+        for (int sweep = 0; sweep < sweeps; ++sweep) {
+            for (int k = 0; k < n; ++k) {
+                const double delta = model.flip_delta(z, k);
+                if (delta <= 0.0 ||
+                    rng.uniform() < std::exp(-delta / temperature)) {
+                    z[k] = static_cast<std::int8_t>(-z[k]);
+                    cost += delta;
+                    ++solution.moves_accepted;
+                }
+            }
+            temperature *= decay;
+        }
+        greedy_descent(model, z);
+        cost = model.evaluate(z);
+
+        if (!have_solution || cost < solution.best_cost) {
+            solution.best_cost = cost;
+            solution.best_assignment = z;
+            have_solution = true;
+        }
+        ++solution.restarts_used;
+    }
+    return solution;
+}
+
+double
+greedy_descent(const IsingModel& model, SpinVector& start)
+{
+    FQ_REQUIRE(static_cast<int>(start.size()) == model.num_spins(),
+               "assignment size mismatch");
+    double cost = model.evaluate(start);
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (int k = 0; k < model.num_spins(); ++k) {
+            const double delta = model.flip_delta(start, k);
+            if (delta < -1e-12) {
+                start[k] = static_cast<std::int8_t>(-start[k]);
+                cost += delta;
+                improved = true;
+            }
+        }
+    }
+    return cost;
+}
+
+} // namespace fq::ising

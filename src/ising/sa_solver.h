@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Simulated-annealing Ising solver.
+ *
+ * The classical heuristic substrate: provides near-optimal C_min references
+ * for instances too large for exact enumeration (e.g. the paper's 500-qubit
+ * practical-scale study) and serves as the classical-baseline comparator in
+ * the examples. Geometric cooling with single-spin Metropolis moves and
+ * O(deg) incremental cost updates.
+ */
+#ifndef FQ_ISING_SA_SOLVER_H
+#define FQ_ISING_SA_SOLVER_H
+
+#include "common/rng.h"
+#include "ising/ising_model.h"
+
+namespace fq::ising {
+
+/** Annealing schedule and effort knobs. */
+struct SaConfig
+{
+    int num_restarts = 8;
+    int sweeps_per_restart = 600;
+    /** Initial temperature as a fraction of the coefficient magnitude sum. */
+    double initial_temperature_scale = 1.0;
+    double final_temperature = 1e-3;
+};
+
+/** Result of a simulated-annealing run. */
+struct SaSolution
+{
+    double best_cost = 0.0;
+    SpinVector best_assignment;
+    int restarts_used = 0;
+    long long moves_accepted = 0;
+};
+
+/** Run simulated annealing on @p model with the given effort. */
+SaSolution solve_annealing(const IsingModel& model, const SaConfig& config,
+                           Rng& rng);
+
+/** Greedy single-spin descent from @p start until no flip improves. */
+double greedy_descent(const IsingModel& model, SpinVector& start);
+
+} // namespace fq::ising
+
+#endif // FQ_ISING_SA_SOLVER_H

@@ -1,0 +1,44 @@
+#include "ising/symmetry.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fq::ising {
+
+bool
+is_flip_symmetric(const IsingModel& model)
+{
+    return model.has_zero_linear_terms();
+}
+
+bool
+verify_flip_symmetry_exhaustive(const IsingModel& model, double tolerance)
+{
+    const int n = model.num_spins();
+    FQ_REQUIRE(n >= 1 && n <= 20, "exhaustive check limited to 20 spins");
+    const std::uint64_t total = 1ull << n;
+    const std::uint64_t mask = total - 1;
+    for (std::uint64_t s = 0; s < total; ++s) {
+        const std::uint64_t flipped = (~s) & mask;
+        if (std::abs(model.evaluate_state(s) -
+                     model.evaluate_state(flipped)) > tolerance) {
+            return false;
+        }
+    }
+    return true;
+}
+
+IsingModel
+mirror_model(const IsingModel& model)
+{
+    IsingModel out(model.num_spins());
+    for (int i = 0; i < model.num_spins(); ++i)
+        out.set_linear(i, -model.linear(i));
+    for (const auto& term : model.quadratic_terms())
+        out.add_quadratic(term.i, term.j, term.coefficient);
+    out.set_offset(model.offset());
+    return out;
+}
+
+} // namespace fq::ising

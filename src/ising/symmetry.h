@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Spin-flip symmetry analysis (Section 3.7.2).
+ *
+ * For a Hamiltonian with all-zero linear coefficients, C(z) = C(-z): every
+ * quadratic term z_i z_j is invariant under a global flip. FrozenQubits
+ * exploits this to skip half of the 2^m sub-problems. These helpers verify
+ * and apply the symmetry.
+ */
+#ifndef FQ_ISING_SYMMETRY_H
+#define FQ_ISING_SYMMETRY_H
+
+#include "ising/ising_model.h"
+
+namespace fq::ising {
+
+/**
+ * True when the model is provably global-flip symmetric, i.e. all linear
+ * coefficients are zero (the offset never breaks the symmetry).
+ */
+bool is_flip_symmetric(const IsingModel& model);
+
+/**
+ * Exhaustively verify C(z) == C(-z) for every assignment. O(2^N); intended
+ * for tests (N <= ~20).
+ */
+bool verify_flip_symmetry_exhaustive(const IsingModel& model,
+                                     double tolerance = 1e-9);
+
+/**
+ * Mirror model M' with M'(z) = M(-z): negates every linear coefficient,
+ * keeps quadratic terms and the offset. Used to relate the +1/-1 freeze
+ * sub-problems of a symmetric parent.
+ */
+IsingModel mirror_model(const IsingModel& model);
+
+} // namespace fq::ising
+
+#endif // FQ_ISING_SYMMETRY_H

@@ -1,0 +1,114 @@
+#include "mitigation/readout_mitigation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/error.h"
+
+namespace fq::mitigation {
+
+ReadoutMitigator::ReadoutMitigator(std::vector<double> flip_probabilities)
+    : flip_(std::move(flip_probabilities))
+{
+    FQ_REQUIRE(!flip_.empty(), "need at least one qubit");
+    for (double e : flip_)
+        FQ_REQUIRE(e >= 0.0 && e < 0.5,
+                   "flip probability must be in [0, 0.5) for invertibility");
+}
+
+ReadoutMitigator
+ReadoutMitigator::from_calibration(const device::Calibration& calibration,
+                                   const std::vector<int>& physical_qubits)
+{
+    std::vector<double> flips;
+    flips.reserve(physical_qubits.size());
+    for (int q : physical_qubits)
+        flips.push_back(calibration.qubit(q).readout_error);
+    return ReadoutMitigator(std::move(flips));
+}
+
+double
+ReadoutMitigator::z_attenuation(int qubit) const
+{
+    FQ_REQUIRE(qubit >= 0 && qubit < num_qubits(), "qubit out of range");
+    return 1.0 - 2.0 * flip_[qubit];
+}
+
+double
+ReadoutMitigator::mitigated_expectation(const ising::IsingModel& model,
+                                        const sim::Counts& counts) const
+{
+    FQ_REQUIRE(model.num_spins() == num_qubits() &&
+                   counts.num_qubits() == num_qubits(),
+               "model/counts width must match the mitigator");
+    FQ_REQUIRE(counts.total_shots() > 0, "empty distribution");
+
+    // Observed per-term correlators.
+    const int n = num_qubits();
+    std::vector<double> z_obs(n, 0.0);
+    std::vector<double> zz_obs(model.quadratic_terms().size(), 0.0);
+    const auto& terms = model.quadratic_terms();
+    for (const auto& [state, count] : counts.histogram()) {
+        const double w = static_cast<double>(count);
+        for (int i = 0; i < n; ++i)
+            z_obs[i] += w * spin_of_bit(state, i);
+        for (std::size_t t = 0; t < terms.size(); ++t)
+            zz_obs[t] += w * spin_of_bit(state, terms[t].i) *
+                         spin_of_bit(state, terms[t].j);
+    }
+    const double shots = static_cast<double>(counts.total_shots());
+
+    double ev = model.offset();
+    for (int i = 0; i < n; ++i)
+        ev += model.linear(i) * (z_obs[i] / shots) / z_attenuation(i);
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+        ev += terms[t].coefficient * (zz_obs[t] / shots) /
+              (z_attenuation(terms[t].i) * z_attenuation(terms[t].j));
+    }
+    return ev;
+}
+
+std::vector<double>
+ReadoutMitigator::mitigated_distribution(const sim::Counts& counts) const
+{
+    const int n = num_qubits();
+    FQ_REQUIRE(counts.num_qubits() == n,
+               "counts width must match the mitigator");
+    FQ_REQUIRE(n <= 16, "dense correction limited to 16 qubits");
+    FQ_REQUIRE(counts.total_shots() > 0, "empty distribution");
+
+    const std::size_t dim = std::size_t(1) << n;
+    std::vector<double> p(dim, 0.0);
+    for (const auto& [state, count] : counts.histogram())
+        p[state] = static_cast<double>(count) /
+                   static_cast<double>(counts.total_shots());
+
+    // Apply the per-qubit 2x2 inverse confusion matrices.
+    for (int q = 0; q < n; ++q) {
+        const double e = flip_[q];
+        const double inv = 1.0 / (1.0 - 2.0 * e);
+        const std::size_t bit = std::size_t(1) << q;
+        for (std::size_t s = 0; s < dim; ++s) {
+            if (s & bit)
+                continue;
+            const double p0 = p[s];
+            const double p1 = p[s | bit];
+            p[s] = inv * ((1.0 - e) * p0 - e * p1);
+            p[s | bit] = inv * ((1.0 - e) * p1 - e * p0);
+        }
+    }
+
+    // Clip quasi-probabilities and renormalize.
+    double mass = 0.0;
+    for (double& v : p) {
+        v = std::max(0.0, v);
+        mass += v;
+    }
+    if (mass > 0.0)
+        for (double& v : p)
+            v /= mass;
+    return p;
+}
+
+} // namespace fq::mitigation

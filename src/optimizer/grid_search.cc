@@ -1,0 +1,36 @@
+#include "optimizer/grid_search.h"
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace fq::optimizer {
+
+GridSearchResult
+grid_search_2d(const std::function<double(double, double)>& f,
+               const GridAxis& x_axis, const GridAxis& y_axis)
+{
+    FQ_REQUIRE(x_axis.samples >= 1 && y_axis.samples >= 1,
+               "grid axes need at least one sample");
+    GridSearchResult result;
+    result.best_value = std::numeric_limits<double>::infinity();
+
+    const double dx = (x_axis.hi - x_axis.lo) / x_axis.samples;
+    const double dy = (y_axis.hi - y_axis.lo) / y_axis.samples;
+    for (int ix = 0; ix < x_axis.samples; ++ix) {
+        const double x = x_axis.lo + dx * ix;
+        for (int iy = 0; iy < y_axis.samples; ++iy) {
+            const double y = y_axis.lo + dy * iy;
+            const double v = f(x, y);
+            ++result.evaluations;
+            if (v < result.best_value) {
+                result.best_value = v;
+                result.best_x = x;
+                result.best_y = y;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace fq::optimizer

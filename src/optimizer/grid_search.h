@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Dense 2-D grid search. QAOA p=1 has two parameters (gamma, beta); the
+ * paper's Section 5.3 landscape study evaluates a 50x50 grid, and the
+ * FrozenQubits driver seeds Nelder–Mead from the best grid cell.
+ */
+#ifndef FQ_OPTIMIZER_GRID_SEARCH_H
+#define FQ_OPTIMIZER_GRID_SEARCH_H
+
+#include <functional>
+#include <vector>
+
+namespace fq::optimizer {
+
+/** Inclusive-exclusive axis specification [lo, hi) with n samples. */
+struct GridAxis
+{
+    double lo = 0.0;
+    double hi = 1.0;
+    int samples = 50;
+};
+
+/** Result of a 2-D grid scan. */
+struct GridSearchResult
+{
+    double best_x = 0.0;
+    double best_y = 0.0;
+    double best_value = 0.0;
+    int evaluations = 0;
+};
+
+/** Minimize f(x, y) over the grid. */
+GridSearchResult grid_search_2d(
+    const std::function<double(double, double)>& f, const GridAxis& x_axis,
+    const GridAxis& y_axis);
+
+} // namespace fq::optimizer
+
+#endif // FQ_OPTIMIZER_GRID_SEARCH_H

@@ -1,0 +1,130 @@
+#include "optimizer/landscape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+
+namespace fq::optimizer {
+
+Landscape
+scan_landscape(const std::function<double(double, double)>& f, int nx,
+               int ny, double x_max, double y_max)
+{
+    FQ_REQUIRE(nx >= 2 && ny >= 2, "landscape needs at least a 2x2 grid");
+    Landscape land;
+    land.nx = nx;
+    land.ny = ny;
+    land.values.resize(static_cast<std::size_t>(nx) * ny);
+    for (int ix = 0; ix < nx; ++ix) {
+        const double x = x_max * ix / nx;
+        for (int iy = 0; iy < ny; ++iy) {
+            const double y = y_max * iy / ny;
+            land.values[static_cast<std::size_t>(ix) * ny + iy] = f(x, y);
+        }
+    }
+    return land;
+}
+
+LandscapeStats
+landscape_stats(const Landscape& landscape)
+{
+    FQ_REQUIRE(!landscape.values.empty(), "empty landscape");
+    LandscapeStats stats;
+    stats.min_value = landscape.values.front();
+    stats.max_value = landscape.values.front();
+    double sum = 0.0;
+    for (double v : landscape.values) {
+        stats.min_value = std::min(stats.min_value, v);
+        stats.max_value = std::max(stats.max_value, v);
+        sum += v;
+    }
+    stats.mean_value = sum / static_cast<double>(landscape.values.size());
+
+    // Neighbor differences serve double duty: their mean magnitude is the
+    // gradient metric; their standard deviation estimates the cell-to-cell
+    // jitter (the shot-noise floor) for the contrast metric.
+    double diff_sum = 0.0, diff_sq_sum = 0.0;
+    long long diff_count = 0;
+    for (int ix = 0; ix < landscape.nx; ++ix) {
+        for (int iy = 0; iy < landscape.ny; ++iy) {
+            const double v = landscape.at(ix, iy);
+            if (ix + 1 < landscape.nx) {
+                const double d = landscape.at(ix + 1, iy) - v;
+                diff_sum += std::abs(d);
+                diff_sq_sum += d * d;
+                ++diff_count;
+            }
+            if (iy + 1 < landscape.ny) {
+                const double d = landscape.at(ix, iy + 1) - v;
+                diff_sum += std::abs(d);
+                diff_sq_sum += d * d;
+                ++diff_count;
+            }
+        }
+    }
+    if (diff_count > 0) {
+        stats.mean_gradient_magnitude =
+            diff_sum / static_cast<double>(diff_count);
+        const double jitter =
+            std::sqrt(diff_sq_sum / static_cast<double>(diff_count));
+        stats.contrast = jitter > 1e-15
+            ? (stats.max_value - stats.min_value) / jitter
+            : 0.0;
+    }
+    return stats;
+}
+
+Landscape
+downsample(const Landscape& landscape, int nx, int ny)
+{
+    FQ_REQUIRE(nx >= 1 && ny >= 1 && nx <= landscape.nx &&
+                   ny <= landscape.ny,
+               "invalid downsample target");
+    Landscape out;
+    out.nx = nx;
+    out.ny = ny;
+    out.values.assign(static_cast<std::size_t>(nx) * ny, 0.0);
+    std::vector<int> counts(out.values.size(), 0);
+    for (int ix = 0; ix < landscape.nx; ++ix) {
+        const int ox = ix * nx / landscape.nx;
+        for (int iy = 0; iy < landscape.ny; ++iy) {
+            const int oy = iy * ny / landscape.ny;
+            out.values[static_cast<std::size_t>(ox) * ny + oy] +=
+                landscape.at(ix, iy);
+            ++counts[static_cast<std::size_t>(ox) * ny + oy];
+        }
+    }
+    for (std::size_t i = 0; i < out.values.size(); ++i)
+        if (counts[i] > 0)
+            out.values[i] /= counts[i];
+    return out;
+}
+
+std::string
+render_ascii(const Landscape& landscape)
+{
+    static const char kShades[] = " .:-=+*#%@";
+    constexpr int kLevels = 9;
+    double lo = landscape.values.front(), hi = landscape.values.front();
+    for (double v : landscape.values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double span = hi - lo > 1e-15 ? hi - lo : 1.0;
+
+    std::string out;
+    for (int iy = landscape.ny - 1; iy >= 0; --iy) {
+        for (int ix = 0; ix < landscape.nx; ++ix) {
+            const double t = (landscape.at(ix, iy) - lo) / span;
+            const int level =
+                std::clamp(static_cast<int>(t * kLevels), 0, kLevels);
+            out += kShades[level];
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace fq::optimizer

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Parameter-landscape scanning and sharpness metrics (Section 5.3 /
+ * Figure 12). A landscape is the objective evaluated on a dense
+ * (gamma, beta) grid; the paper's qualitative claim — noise blurs the
+ * baseline landscape while FrozenQubits keeps gradients sharp — is
+ * quantified here by contrast (peak-to-peak span over noise floor) and
+ * mean absolute finite-difference gradient.
+ */
+#ifndef FQ_OPTIMIZER_LANDSCAPE_H
+#define FQ_OPTIMIZER_LANDSCAPE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fq::optimizer {
+
+/** Dense grid of objective values; row-major [ix * ny + iy]. */
+struct Landscape
+{
+    int nx = 0;
+    int ny = 0;
+    std::vector<double> values;
+
+    double at(int ix, int iy) const { return values[ix * ny + iy]; }
+};
+
+/** Evaluate f over an nx-by-ny grid spanning [0,xmax) x [0,ymax). */
+Landscape scan_landscape(const std::function<double(double, double)>& f,
+                         int nx, int ny, double x_max, double y_max);
+
+/** Summary statistics used to compare landscape sharpness. */
+struct LandscapeStats
+{
+    double min_value = 0.0;
+    double max_value = 0.0;
+    double mean_value = 0.0;
+    /** Mean |finite difference| across neighboring cells. */
+    double mean_gradient_magnitude = 0.0;
+    /** (max-min) normalized by the std of cell-to-cell jitter; the
+     *  "is there signal above the noise floor" contrast measure. */
+    double contrast = 0.0;
+};
+
+/** Compute stats for a scanned landscape. */
+LandscapeStats landscape_stats(const Landscape& landscape);
+
+/** Down-sample to a coarse grid (block means) for console rendering. */
+Landscape downsample(const Landscape& landscape, int nx, int ny);
+
+/** ASCII heat map (one char per cell, darker = lower value). */
+std::string render_ascii(const Landscape& landscape);
+
+} // namespace fq::optimizer
+
+#endif // FQ_OPTIMIZER_LANDSCAPE_H

@@ -1,0 +1,117 @@
+#include "optimizer/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fq::optimizer {
+
+OptimizationResult
+nelder_mead(const Objective& f, const std::vector<double>& start,
+            const NelderMeadOptions& options)
+{
+    const std::size_t n = start.size();
+    FQ_REQUIRE(n >= 1, "need at least one dimension");
+
+    // Standard coefficients: reflection, expansion, contraction, shrink.
+    constexpr double kAlpha = 1.0, kGamma = 2.0, kRho = 0.5, kSigma = 0.5;
+
+    OptimizationResult result;
+
+    // Initial simplex: start plus one step along each axis.
+    std::vector<std::vector<double>> simplex;
+    simplex.push_back(start);
+    for (std::size_t d = 0; d < n; ++d) {
+        auto v = start;
+        v[d] += options.initial_step;
+        simplex.push_back(v);
+    }
+    std::vector<double> values;
+    for (const auto& v : simplex) {
+        values.push_back(f(v));
+        ++result.evaluations;
+    }
+
+    std::vector<std::size_t> order(simplex.size());
+    while (result.evaluations < options.max_evaluations) {
+        // Sort vertex indices by value.
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(), [&values](auto a, auto b) {
+            return values[a] < values[b];
+        });
+        const std::size_t best = order.front();
+        const std::size_t worst = order.back();
+        const std::size_t second_worst = order[order.size() - 2];
+
+        if (std::abs(values[worst] - values[best]) < options.tolerance) {
+            result.converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        std::vector<double> centroid(n, 0.0);
+        for (std::size_t i = 0; i < simplex.size(); ++i) {
+            if (i == worst)
+                continue;
+            for (std::size_t d = 0; d < n; ++d)
+                centroid[d] += simplex[i][d];
+        }
+        for (auto& c : centroid)
+            c /= static_cast<double>(n);
+
+        auto blend = [&](double t) {
+            std::vector<double> p(n);
+            for (std::size_t d = 0; d < n; ++d)
+                p[d] = centroid[d] + t * (simplex[worst][d] - centroid[d]);
+            return p;
+        };
+
+        const auto reflected = blend(-kAlpha);
+        const double fr = f(reflected);
+        ++result.evaluations;
+
+        if (fr < values[best]) {
+            const auto expanded = blend(-kAlpha * kGamma);
+            const double fe = f(expanded);
+            ++result.evaluations;
+            if (fe < fr) {
+                simplex[worst] = expanded;
+                values[worst] = fe;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = fr;
+            }
+        } else if (fr < values[second_worst]) {
+            simplex[worst] = reflected;
+            values[worst] = fr;
+        } else {
+            const auto contracted = blend(kRho);
+            const double fc = f(contracted);
+            ++result.evaluations;
+            if (fc < values[worst]) {
+                simplex[worst] = contracted;
+                values[worst] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                for (std::size_t i = 0; i < simplex.size(); ++i) {
+                    if (i == best)
+                        continue;
+                    for (std::size_t d = 0; d < n; ++d)
+                        simplex[i][d] = simplex[best][d] +
+                            kSigma * (simplex[i][d] - simplex[best][d]);
+                    values[i] = f(simplex[i]);
+                    ++result.evaluations;
+                }
+            }
+        }
+    }
+
+    const auto best_it = std::min_element(values.begin(), values.end());
+    result.best_value = *best_it;
+    result.best_point = simplex[best_it - values.begin()];
+    return result;
+}
+
+} // namespace fq::optimizer

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Nelder–Mead downhill-simplex minimizer.
+ *
+ * The classical parameter-tuning loop of QAOA (Figure 1(a)) is a
+ * derivative-free optimization over the 2p circuit parameters; Nelder–Mead
+ * is the standard choice in QAOA toolchains and is what the FrozenQubits
+ * driver uses to refine angles after the coarse grid stage.
+ */
+#ifndef FQ_OPTIMIZER_NELDER_MEAD_H
+#define FQ_OPTIMIZER_NELDER_MEAD_H
+
+#include <functional>
+#include <vector>
+
+namespace fq::optimizer {
+
+/** Objective: R^n -> R, minimized. */
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/** Termination and shape controls. */
+struct NelderMeadOptions
+{
+    int max_evaluations = 400;
+    double initial_step = 0.25;
+    double tolerance = 1e-7; ///< simplex value spread at convergence
+};
+
+/** Minimization outcome. */
+struct OptimizationResult
+{
+    std::vector<double> best_point;
+    double best_value = 0.0;
+    int evaluations = 0;
+    bool converged = false;
+};
+
+/** Minimize @p f starting from @p start. */
+OptimizationResult nelder_mead(const Objective& f,
+                               const std::vector<double>& start,
+                               const NelderMeadOptions& options = {});
+
+} // namespace fq::optimizer
+
+#endif // FQ_OPTIMIZER_NELDER_MEAD_H

@@ -1,0 +1,51 @@
+#include "optimizer/spsa.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fq::optimizer {
+
+OptimizationResult
+spsa(const Objective& f, const std::vector<double>& start,
+     const SpsaOptions& options, Rng& rng)
+{
+    const std::size_t n = start.size();
+    FQ_REQUIRE(n >= 1, "need at least one dimension");
+
+    std::vector<double> theta = start;
+    OptimizationResult result;
+    result.best_point = theta;
+    result.best_value = f(theta);
+    ++result.evaluations;
+
+    std::vector<double> delta(n), plus(n), minus(n);
+    for (int k = 0; k < options.iterations; ++k) {
+        const double ak =
+            options.a / std::pow(k + 1 + options.stability, options.alpha);
+        const double ck = options.c / std::pow(k + 1, options.gamma);
+
+        for (std::size_t d = 0; d < n; ++d) {
+            delta[d] = rng.sign();
+            plus[d] = theta[d] + ck * delta[d];
+            minus[d] = theta[d] - ck * delta[d];
+        }
+        const double fp = f(plus);
+        const double fm = f(minus);
+        result.evaluations += 2;
+
+        for (std::size_t d = 0; d < n; ++d)
+            theta[d] -= ak * (fp - fm) / (2.0 * ck * delta[d]);
+
+        const double fv = f(theta);
+        ++result.evaluations;
+        if (fv < result.best_value) {
+            result.best_value = fv;
+            result.best_point = theta;
+        }
+    }
+    result.converged = true;
+    return result;
+}
+
+} // namespace fq::optimizer

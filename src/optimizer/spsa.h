@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Simultaneous Perturbation Stochastic Approximation (SPSA).
+ *
+ * The optimizer of choice when the objective is a *sampled* (shot-noisy)
+ * QAOA expectation: each iteration estimates the full gradient from two
+ * evaluations regardless of dimension, tolerating noise that breaks
+ * Nelder–Mead. Standard (a, c, A, alpha, gamma) gain schedule.
+ */
+#ifndef FQ_OPTIMIZER_SPSA_H
+#define FQ_OPTIMIZER_SPSA_H
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "optimizer/nelder_mead.h"
+
+namespace fq::optimizer {
+
+/** SPSA gain-sequence parameters. */
+struct SpsaOptions
+{
+    int iterations = 150;
+    double a = 0.2;
+    double c = 0.1;
+    double stability = 10.0; ///< the "A" offset
+    double alpha = 0.602;
+    double gamma = 0.101;
+};
+
+/** Minimize a (possibly stochastic) objective from @p start. */
+OptimizationResult spsa(const Objective& f, const std::vector<double>& start,
+                        const SpsaOptions& options, Rng& rng);
+
+} // namespace fq::optimizer
+
+#endif // FQ_OPTIMIZER_SPSA_H

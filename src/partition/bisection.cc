@@ -1,0 +1,99 @@
+#include "partition/bisection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fq::partition {
+
+int
+count_cut_edges(const graph::Graph& g, const std::vector<int>& side)
+{
+    FQ_REQUIRE(static_cast<int>(side.size()) == g.num_nodes(),
+               "side assignment size mismatch");
+    int cut = 0;
+    for (const auto& e : g.edges())
+        if (side[e.u] != side[e.v])
+            ++cut;
+    return cut;
+}
+
+int
+hotspot_cut_edges(const graph::Graph& g, const std::vector<int>& side,
+                  int top_k)
+{
+    const auto order = g.nodes_by_degree_desc();
+    std::vector<bool> hot(g.num_nodes(), false);
+    for (int k = 0; k < std::min<int>(top_k, g.num_nodes()); ++k)
+        hot[order[k]] = true;
+    int cut = 0;
+    for (const auto& e : g.edges())
+        if (side[e.u] != side[e.v] && (hot[e.u] || hot[e.v]))
+            ++cut;
+    return cut;
+}
+
+Bisection
+bisect(const graph::Graph& g, Rng& rng, int refinement_rounds)
+{
+    const int n = g.num_nodes();
+    FQ_REQUIRE(n >= 2, "bisection needs at least two nodes");
+
+    // Balanced random start.
+    std::vector<int> nodes(n);
+    for (int v = 0; v < n; ++v)
+        nodes[v] = v;
+    rng.shuffle(nodes);
+    std::vector<int> side(n, 0);
+    for (int k = n / 2; k < n; ++k)
+        side[nodes[k]] = 1;
+
+    // Moving v across cuts its cross edges free (-cross) and exposes its
+    // same-side edges (+same), so the cut shrinks by (cross - same).
+    auto move_gain = [&](int v) {
+        int same = 0, cross = 0;
+        for (const auto& [u, _] : g.neighbors(v)) {
+            if (side[u] == side[v])
+                ++same;
+            else
+                ++cross;
+        }
+        return cross - same; // positive = cut shrinks if v moves
+    };
+
+    for (int round = 0; round < refinement_rounds; ++round) {
+        bool improved = false;
+        for (int a = 0; a < n; ++a) {
+            if (side[a] != 0)
+                continue;
+            for (int b = 0; b < n; ++b) {
+                if (side[b] != 1)
+                    continue;
+                // Swap gain; an (a,b) edge stays cut after the swap even
+                // though both individual gains counted it as freed.
+                int gain = move_gain(a) + move_gain(b);
+                if (g.has_edge(a, b))
+                    gain -= 2;
+                if (gain > 0) {
+                    side[a] = 1;
+                    side[b] = 0;
+                    improved = true;
+                    break; // restart scan from the swapped state
+                }
+            }
+        }
+        if (!improved)
+            break;
+    }
+
+    Bisection out;
+    out.side = std::move(side);
+    out.cut_edges = count_cut_edges(g, out.side);
+    for (const auto& e : g.edges())
+        if (out.side[e.u] != out.side[e.v])
+            out.cut_weight += std::abs(e.weight);
+    return out;
+}
+
+} // namespace fq::partition

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Balanced graph bisection (Kernighan–Lin style) — the substrate for the
+ * edge-cutting divide-and-conquer baseline the paper contrasts against
+ * (Section 1, Li et al. [71]). The quality metric is the number of cut
+ * edges: every cut edge's coupling is lost by independent sub-problem
+ * solving, and on power-law graphs the hotspots force many cuts — the
+ * structural reason the paper rejects this approach.
+ */
+#ifndef FQ_PARTITION_BISECTION_H
+#define FQ_PARTITION_BISECTION_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace fq::partition {
+
+/** A two-way node partition. */
+struct Bisection
+{
+    /** side[v] = 0 or 1. */
+    std::vector<int> side;
+    int cut_edges = 0;
+    double cut_weight = 0.0; ///< sum |w| over cut edges
+};
+
+/**
+ * Balanced bisection minimizing cut edges: random balanced start followed
+ * by greedy pair-swap refinement (one KL pass repeated until no swap
+ * improves). Deterministic given @p rng.
+ */
+Bisection bisect(const graph::Graph& g, Rng& rng, int refinement_rounds = 8);
+
+/** Count cut edges for an externally supplied side assignment. */
+int count_cut_edges(const graph::Graph& g, const std::vector<int>& side);
+
+/**
+ * How many cut edges touch the top-k hotspots — the paper's observation
+ * that hubs appear in every sub-graph.
+ */
+int hotspot_cut_edges(const graph::Graph& g, const std::vector<int>& side,
+                      int top_k);
+
+} // namespace fq::partition
+
+#endif // FQ_PARTITION_BISECTION_H

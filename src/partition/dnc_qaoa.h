@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Edge-cutting divide-and-conquer QAOA — the comparison baseline of
+ * Section 1 (Li et al. [71], simplified): bisect the problem graph, solve
+ * each half as an independent QAOA instance (dropping the cut couplings),
+ * concatenate the halves' solutions, then repair with greedy descent.
+ *
+ * The approach loses all cut-edge energy during the quantum phase; on
+ * power-law graphs the hotspots force many cut edges, which is exactly the
+ * degradation the paper contrasts FrozenQubits against (FrozenQubits
+ * *keeps* hotspot couplings by moving them into linear terms).
+ */
+#ifndef FQ_PARTITION_DNC_QAOA_H
+#define FQ_PARTITION_DNC_QAOA_H
+
+#include "device/catalog.h"
+#include "ising/ising_model.h"
+#include "partition/bisection.h"
+
+namespace fq::partition {
+
+/** Outcome of the divide-and-conquer baseline. */
+struct DncResult
+{
+    Bisection bisection;
+    int cut_edges = 0;          ///< couplings lost to the cut
+    double lost_coupling = 0.0; ///< sum |J| over cut edges
+    /** EV of the better half-circuits combined (ideal / noisy), relative
+     *  to the ORIGINAL Hamiltonian (cut terms contribute their uniform
+     *  expectation of zero during the quantum phase). */
+    double ev_ideal = 0.0;
+    double ev_noisy = 0.0;
+    /** Cost of the repaired classical solution under the original model. */
+    double repaired_cost = 0.0;
+    ising::SpinVector repaired_assignment;
+    int subcircuit_cx = 0;      ///< worst half's compiled CX count
+};
+
+/**
+ * Run the baseline: bisect, build both half-Hamiltonians, tune p=1 angles
+ * per half, compile on @p dev, estimate noisy EVs, combine the halves'
+ * exact sub-minima and greedily repair across the cut.
+ */
+DncResult run_dnc_qaoa(const ising::IsingModel& model,
+                       const device::Device& dev, Rng& rng);
+
+} // namespace fq::partition
+
+#endif // FQ_PARTITION_DNC_QAOA_H

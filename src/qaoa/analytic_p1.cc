@@ -1,0 +1,158 @@
+#include "qaoa/analytic_p1.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace fq::qaoa {
+
+namespace {
+
+/** prod_{k in N(i)} cos(2g J_ik), optionally excluding one neighbor. */
+double
+neighbor_cos_product(const ising::IsingModel& model, int i, double gamma,
+                     int exclude)
+{
+    double prod = 1.0;
+    for (const auto& [k, J] : model.couplings_of(i)) {
+        if (k == exclude)
+            continue;
+        prod *= std::cos(2.0 * gamma * J);
+    }
+    return prod;
+}
+
+/**
+ * The sin^2(2b) bracket of <Z_i Z_j>: products of cos(2g(J_ik +- J_jk))
+ * over the union of the two neighborhoods, excluding i and j themselves.
+ */
+void
+union_cos_products(const ising::IsingModel& model, int i, int j, double gamma,
+                   double& prod_sum, double& prod_diff)
+{
+    prod_sum = 1.0;
+    prod_diff = 1.0;
+    // Merge the two sparse neighbor lists: k -> (J_ik, J_jk).
+    std::unordered_map<int, std::pair<double, double>> merged;
+    for (const auto& [k, J] : model.couplings_of(i)) {
+        if (k != j)
+            merged[k].first = J;
+    }
+    for (const auto& [k, J] : model.couplings_of(j)) {
+        if (k != i)
+            merged[k].second = J;
+    }
+    for (const auto& [k, Js] : merged) {
+        (void)k;
+        prod_sum *= std::cos(2.0 * gamma * (Js.first + Js.second));
+        prod_diff *= std::cos(2.0 * gamma * (Js.first - Js.second));
+    }
+}
+
+} // namespace
+
+P1Expectations
+evaluate_p1(const ising::IsingModel& model, const P1Angles& angles)
+{
+    const double g = angles.gamma;
+    const double b = angles.beta;
+    const int n = model.num_spins();
+
+    P1Expectations out;
+    out.z.resize(n);
+
+    const double sin_2b = std::sin(2.0 * b);
+    const double sin_4b = std::sin(4.0 * b);
+
+    for (int i = 0; i < n; ++i) {
+        out.z[i] = sin_2b * std::sin(2.0 * g * model.linear(i)) *
+                   neighbor_cos_product(model, i, g, /*exclude=*/-1);
+    }
+
+    out.zz.reserve(model.quadratic_terms().size());
+    for (const auto& term : model.quadratic_terms()) {
+        const int i = term.i, j = term.j;
+        const double hi = model.linear(i), hj = model.linear(j);
+
+        const double prod_i = neighbor_cos_product(model, i, g, j);
+        const double prod_j = neighbor_cos_product(model, j, g, i);
+        const double first =
+            0.5 * sin_4b * std::sin(2.0 * g * term.coefficient) *
+            (std::cos(2.0 * g * hi) * prod_i +
+             std::cos(2.0 * g * hj) * prod_j);
+
+        double prod_sum, prod_diff;
+        union_cos_products(model, i, j, g, prod_sum, prod_diff);
+        const double second =
+            0.5 * sin_2b * sin_2b *
+            (std::cos(2.0 * g * (hi + hj)) * prod_sum -
+             std::cos(2.0 * g * (hi - hj)) * prod_diff);
+
+        out.zz.push_back(first - second);
+    }
+
+    out.energy = model.offset();
+    for (int i = 0; i < n; ++i)
+        out.energy += model.linear(i) * out.z[i];
+    const auto& terms = model.quadratic_terms();
+    for (std::size_t t = 0; t < terms.size(); ++t)
+        out.energy += terms[t].coefficient * out.zz[t];
+    return out;
+}
+
+double
+evaluate_p1_energy(const ising::IsingModel& model, const P1Angles& angles)
+{
+    return evaluate_p1(model, angles).energy;
+}
+
+P1OptimizationResult
+optimize_p1(const ising::IsingModel& model, int grid_resolution,
+            int refine_iterations)
+{
+    FQ_REQUIRE(grid_resolution >= 2, "grid too coarse");
+    P1OptimizationResult result;
+    result.energy = std::numeric_limits<double>::infinity();
+
+    const double pi = M_PI;
+    // Coarse grid over one period.
+    for (int a = 0; a < grid_resolution; ++a) {
+        for (int c = 0; c < grid_resolution; ++c) {
+            P1Angles angles{a * pi / grid_resolution,
+                            c * pi / grid_resolution};
+            const double e = evaluate_p1_energy(model, angles);
+            ++result.evaluations;
+            if (e < result.energy) {
+                result.energy = e;
+                result.angles = angles;
+            }
+        }
+    }
+
+    // Pattern-search refinement: shrink a step around the best cell.
+    double step = pi / grid_resolution;
+    for (int it = 0; it < refine_iterations; ++it) {
+        bool improved = false;
+        const P1Angles base = result.angles;
+        const P1Angles candidates[] = {
+            {base.gamma + step, base.beta}, {base.gamma - step, base.beta},
+            {base.gamma, base.beta + step}, {base.gamma, base.beta - step},
+        };
+        for (const auto& cand : candidates) {
+            const double e = evaluate_p1_energy(model, cand);
+            ++result.evaluations;
+            if (e < result.energy) {
+                result.energy = e;
+                result.angles = cand;
+                improved = true;
+            }
+        }
+        if (!improved)
+            step *= 0.5;
+    }
+    return result;
+}
+
+} // namespace fq::qaoa

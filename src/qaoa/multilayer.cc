@@ -1,0 +1,103 @@
+#include "qaoa/multilayer.h"
+
+#include "common/bitops.h"
+#include "common/error.h"
+#include "optimizer/nelder_mead.h"
+#include "qaoa/analytic_p1.h"
+#include "qaoa/qaoa_builder.h"
+
+namespace fq::qaoa {
+
+StateExpectations
+state_expectations(const ising::IsingModel& model,
+                   const sim::Statevector& state)
+{
+    FQ_REQUIRE(model.num_spins() == state.num_qubits(),
+               "model/state width mismatch");
+    const int n = model.num_spins();
+    StateExpectations out;
+    out.z.assign(n, 0.0);
+    const auto& terms = model.quadratic_terms();
+    out.zz.assign(terms.size(), 0.0);
+
+    const auto probs = state.probabilities();
+    for (std::uint64_t s = 0; s < probs.size(); ++s) {
+        const double p = probs[s];
+        if (p == 0.0)
+            continue;
+        for (int i = 0; i < n; ++i)
+            out.z[i] += p * spin_of_bit(s, i);
+        for (std::size_t t = 0; t < terms.size(); ++t)
+            out.zz[t] += p * spin_of_bit(s, terms[t].i) *
+                         spin_of_bit(s, terms[t].j);
+    }
+
+    out.energy = model.offset();
+    for (int i = 0; i < n; ++i)
+        out.energy += model.linear(i) * out.z[i];
+    for (std::size_t t = 0; t < terms.size(); ++t)
+        out.energy += terms[t].coefficient * out.zz[t];
+    return out;
+}
+
+StateExpectations
+evaluate_multilayer(const ising::IsingModel& model,
+                    const std::vector<double>& gammas,
+                    const std::vector<double>& betas)
+{
+    FQ_REQUIRE(!gammas.empty() && gammas.size() == betas.size(),
+               "need one (gamma, beta) pair per layer");
+    FQ_REQUIRE(model.num_spins() <= 20,
+               "statevector evaluation limited to 20 spins");
+    BuildOptions opts;
+    opts.num_layers = static_cast<int>(gammas.size());
+    opts.include_measurements = false;
+    const auto circuit = build_qaoa_circuit(model, opts);
+    const auto state = sim::run_circuit(circuit.bind(gammas, betas));
+    return state_expectations(model, state);
+}
+
+MultilayerResult
+optimize_multilayer(const ising::IsingModel& model, int num_layers,
+                    int max_evaluations)
+{
+    FQ_REQUIRE(num_layers >= 1, "need at least one layer");
+
+    // Warm start: p=1 optimum, layers ramped linearly (gamma up, beta
+    // down) — the standard interpolation heuristic.
+    const auto seed = optimize_p1(model, 32);
+    std::vector<double> start;
+    for (int l = 0; l < num_layers; ++l) {
+        start.push_back(seed.angles.gamma * (l + 1) /
+                        static_cast<double>(num_layers));
+    }
+    for (int l = 0; l < num_layers; ++l) {
+        start.push_back(seed.angles.beta * (num_layers - l) /
+                        static_cast<double>(num_layers));
+    }
+
+    optimizer::NelderMeadOptions opts;
+    opts.max_evaluations = max_evaluations;
+    opts.initial_step = 0.15;
+    const auto tuned = optimizer::nelder_mead(
+        [&](const std::vector<double>& x) {
+            const std::vector<double> gammas(x.begin(),
+                                             x.begin() + num_layers);
+            const std::vector<double> betas(x.begin() + num_layers,
+                                            x.end());
+            return evaluate_multilayer(model, gammas, betas).energy;
+        },
+        start, opts);
+
+    MultilayerResult out;
+    out.gammas.assign(tuned.best_point.begin(),
+                      tuned.best_point.begin() + num_layers);
+    out.betas.assign(tuned.best_point.begin() + num_layers,
+                     tuned.best_point.end());
+    out.energy = tuned.best_value;
+    out.evaluations = tuned.evaluations;
+    return out;
+}
+
+} // namespace fq::qaoa
+

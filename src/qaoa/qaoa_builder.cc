@@ -1,0 +1,73 @@
+#include "qaoa/qaoa_builder.h"
+
+#include "common/error.h"
+
+namespace fq::qaoa {
+
+circuit::Circuit
+build_qaoa_circuit(const ising::IsingModel& model, const BuildOptions& options)
+{
+    FQ_REQUIRE(options.num_layers >= 1, "QAOA needs at least one layer");
+    const int n = model.num_spins();
+    FQ_REQUIRE(n >= 1, "QAOA circuit needs at least one qubit");
+
+    circuit::Circuit c(n);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+
+    for (int layer = 0; layer < options.num_layers; ++layer) {
+        // Cost unitary e^{-i gamma_l H_Z}: linear terms first (Fig 2(b)),
+        // then the two-CNOT sandwich per quadratic term.
+        // Term tags: linear term i -> tag i; quadratic term t -> tag N + t.
+        // These survive compilation and let the template editor rebind a
+        // sibling sub-problem's coefficients (Section 3.7.1).
+        for (int i = 0; i < n; ++i) {
+            const double h_i = model.linear(i);
+            if (h_i != 0.0 || options.keep_zero_linear_rz)
+                c.rz(i, circuit::Parameter::gamma(layer, 2.0 * h_i, i));
+        }
+        const auto& terms = model.quadratic_terms();
+        for (std::size_t t = 0; t < terms.size(); ++t) {
+            const auto& term = terms[t];
+            c.cx(term.i, term.j);
+            c.rz(term.j,
+                 circuit::Parameter::gamma(layer, 2.0 * term.coefficient,
+                                           n + static_cast<int>(t)));
+            c.cx(term.i, term.j);
+        }
+        // Mixer e^{-i beta_l sum X}.
+        for (int q = 0; q < n; ++q)
+            c.rx(q, circuit::Parameter::beta(layer, 2.0));
+    }
+
+    if (options.include_measurements) {
+        c.barrier();
+        c.measure_all();
+    }
+    return c;
+}
+
+QaoaGateBudget
+predict_gate_budget(const ising::IsingModel& model,
+                    const BuildOptions& options)
+{
+    QaoaGateBudget b;
+    const int n = model.num_spins();
+    int linear_rz = 0;
+    if (options.keep_zero_linear_rz) {
+        linear_rz = n;
+    } else {
+        for (int i = 0; i < n; ++i)
+            if (model.linear(i) != 0.0)
+                ++linear_rz;
+    }
+    const int terms = model.num_quadratic_terms();
+    b.h = n;
+    b.cx = 2 * terms * options.num_layers;
+    b.rz = (terms + linear_rz) * options.num_layers;
+    b.rx = n * options.num_layers;
+    b.measure = options.include_measurements ? n : 0;
+    return b;
+}
+
+} // namespace fq::qaoa

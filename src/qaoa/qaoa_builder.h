@@ -1,0 +1,54 @@
+/**
+ * @file
+ * QAOA circuit construction (Section 2.1, Figure 2).
+ *
+ * For an Ising Hamiltonian H_Z and p layers the circuit is
+ *
+ *   |+>^N  then for each layer l:  e^{-i gamma_l H_Z}  e^{-i beta_l B},
+ *
+ * realized as: H on every qubit; per linear term an RZ(2 h_i gamma_l); per
+ * quadratic term the CX - RZ(2 J_ij gamma_l) - CX sandwich (two CNOTs per
+ * edge per layer — the paper's core cost observation); and an RX(2 beta_l)
+ * mixer on every qubit. Angles are emitted symbolically so one build serves
+ * all parameter values and, after compilation, all sub-problems that share
+ * the template (Section 3.7.1).
+ */
+#ifndef FQ_QAOA_QAOA_BUILDER_H
+#define FQ_QAOA_QAOA_BUILDER_H
+
+#include "circuit/circuit.h"
+#include "ising/ising_model.h"
+
+namespace fq::qaoa {
+
+/** Construction options. */
+struct BuildOptions
+{
+    int num_layers = 1;          ///< p
+    bool include_measurements = true;
+    /** Emit RZ for zero linear coefficients too (keeps templates editable
+     *  across sub-problems whose h differ only by becoming non-zero). */
+    bool keep_zero_linear_rz = false;
+};
+
+/** Build the parametric QAOA circuit for @p model. */
+circuit::Circuit build_qaoa_circuit(const ising::IsingModel& model,
+                                    const BuildOptions& options = {});
+
+/** Expected gate counts for a build (used by tests and cost estimates). */
+struct QaoaGateBudget
+{
+    int cx = 0;
+    int rz = 0;
+    int rx = 0;
+    int h = 0;
+    int measure = 0;
+};
+
+/** Predict the gate budget of build_qaoa_circuit without building. */
+QaoaGateBudget predict_gate_budget(const ising::IsingModel& model,
+                                   const BuildOptions& options = {});
+
+} // namespace fq::qaoa
+
+#endif // FQ_QAOA_QAOA_BUILDER_H

@@ -1,0 +1,51 @@
+#include "runtime/cost_model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fq::runtime {
+
+long long
+quantum_cost(int num_frozen, bool symmetry_pruned)
+{
+    FQ_REQUIRE(num_frozen >= 0 && num_frozen <= 40, "m out of range");
+    if (num_frozen == 0)
+        return 1;
+    const long long full = 1ll << num_frozen;
+    return symmetry_pruned ? full / 2 : full;
+}
+
+double
+frozenqubits_postprocess_ops(int num_frozen, long long outcomes,
+                             int num_spins, int num_terms)
+{
+    FQ_REQUIRE(outcomes >= 0 && num_spins >= 1 && num_terms >= 0,
+               "invalid cost-model inputs");
+    return static_cast<double>(outcomes) *
+           std::pow(2.0, num_frozen) *
+           static_cast<double>(num_frozen + num_spins + num_terms);
+}
+
+double
+cutqc_postprocess_ops(int num_cuts, int num_spins)
+{
+    FQ_REQUIRE(num_cuts >= 0 && num_spins >= 1, "invalid cost-model inputs");
+    return std::pow(4.0, num_cuts) * std::pow(2.0, num_spins);
+}
+
+OverheadRow
+frozenqubits_overheads()
+{
+    return {"FrozenQubits", "QAOA", "O(1)", "exponential in m (m <= 2)",
+            "polynomial"};
+}
+
+OverheadRow
+cutqc_overheads()
+{
+    return {"CutQC", "generic", "linear", "linear",
+            "exponential in qubits"};
+}
+
+} // namespace fq::runtime

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quantum/classical overhead cost models: the quantum-resource cost of
+ * FrozenQubits (Section 3.8) and the FrozenQubits-vs-CutQC comparison of
+ * Table 3 / Section 3.9, made quantitative with illustrative operation
+ * counts.
+ */
+#ifndef FQ_RUNTIME_COST_MODEL_H
+#define FQ_RUNTIME_COST_MODEL_H
+
+#include <string>
+
+namespace fq::runtime {
+
+/**
+ * Number of QAOA circuits FrozenQubits must execute for m frozen qubits:
+ * 2^m without pruning, 2^{m-1} when the parent Hamiltonian is symmetric
+ * (h == 0) and mirror sub-problems are inferred (Section 3.7.2). m = 0
+ * (the baseline) costs one circuit either way.
+ */
+long long quantum_cost(int num_frozen, bool symmetry_pruned);
+
+/**
+ * Classical decode cost of FrozenQubits (Section 3.8):
+ * O(s * 2^m * (m + N + |J|)) operations for s distinct outcomes.
+ */
+double frozenqubits_postprocess_ops(int num_frozen, long long outcomes,
+                                    int num_spins, int num_terms);
+
+/**
+ * CutQC-style reconstruction cost: cutting c wires requires combining
+ * 4^c Pauli-basis sub-circuit variants and a tensor-network contraction
+ * whose output alone is Omega(2^N) for a full distribution; we model the
+ * dominant 4^c * 2^N term (Tang et al., ASPLOS'21).
+ */
+double cutqc_postprocess_ops(int num_cuts, int num_spins);
+
+/** One row of the Table 3 qualitative comparison. */
+struct OverheadRow
+{
+    std::string design;
+    std::string applicability;
+    std::string compile_overhead;
+    std::string quantum_overhead;
+    std::string postprocess_overhead;
+};
+
+/** The two rows of Table 3. */
+OverheadRow frozenqubits_overheads();
+OverheadRow cutqc_overheads();
+
+} // namespace fq::runtime
+
+#endif // FQ_RUNTIME_COST_MODEL_H

@@ -1,0 +1,48 @@
+#include "runtime/runtime_model.h"
+
+#include "common/error.h"
+
+namespace fq::runtime {
+
+std::vector<ExecutionModel>
+figure18_execution_models()
+{
+    // Shared access ~ 30 min queueing per job; dedicated ~ none. IBMQ-style
+    // batching admits up to 900 circuits per job (Section 6.5).
+    return {
+        {"sequential+shared", 1, 1800.0},
+        {"sequential+dedicated", 1, 0.0},
+        {"batched+shared", 900, 1800.0},
+        {"batched+dedicated", 900, 0.0},
+    };
+}
+
+double
+end_to_end_runtime_s(int num_circuits, const ExecutionModel& exec,
+                     const WorkflowParams& params)
+{
+    FQ_REQUIRE(num_circuits >= 1, "need at least one circuit");
+    FQ_REQUIRE(exec.batch_capacity >= 1, "batch capacity must be positive");
+
+    const long long batches =
+        (num_circuits + exec.batch_capacity - 1) / exec.batch_capacity;
+
+    const double per_iteration =
+        static_cast<double>(num_circuits) *
+            static_cast<double>(params.trials) * params.t_shot_s +
+        static_cast<double>(batches) * exec.cloud_latency_s +
+        params.optimizer_latency_s;
+
+    return params.compile_latency_s +
+           static_cast<double>(params.iterations) * per_iteration +
+           params.postprocess_s;
+}
+
+double
+end_to_end_runtime_hours(int num_circuits, const ExecutionModel& exec,
+                         const WorkflowParams& params)
+{
+    return end_to_end_runtime_s(num_circuits, exec, params) / 3600.0;
+}
+
+} // namespace fq::runtime

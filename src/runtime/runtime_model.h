@@ -1,0 +1,56 @@
+/**
+ * @file
+ * End-to-end workflow runtime model (Section 6.5, Equation (6)):
+ *
+ *   T = d_compile + I * (C * tau * t_NISQ + N_batch * D_cloud + D_opt)
+ *       + d_pp
+ *
+ * where C is the number of circuits trained per iteration, N_batch the
+ * number of cloud jobs needed per iteration (ceil(C / batch capacity)),
+ * tau the trials per circuit, t_NISQ the per-trial execution time, D_cloud
+ * the cloud access latency, D_opt the classical-optimizer latency per
+ * iteration, d_compile the one-time compilation latency and d_pp the final
+ * post-processing time. The four execution models of Figure 18 combine
+ * {no batching, 900-circuit batching} x {shared, dedicated} access.
+ */
+#ifndef FQ_RUNTIME_RUNTIME_MODEL_H
+#define FQ_RUNTIME_RUNTIME_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace fq::runtime {
+
+/** Cloud execution mode (batching capacity + access latency). */
+struct ExecutionModel
+{
+    std::string name;
+    int batch_capacity = 1;        ///< circuits per cloud job (1 = none)
+    double cloud_latency_s = 0.0;  ///< queueing delay per job
+};
+
+/** The four models of Figure 18 (Azure/Amazon/IBMQ-style). */
+std::vector<ExecutionModel> figure18_execution_models();
+
+/** Workflow constants (defaults are the paper's Section 6.5 assumptions). */
+struct WorkflowParams
+{
+    long long iterations = 1000;      ///< I
+    long long trials = 25000;         ///< tau
+    double t_shot_s = 1e-3;           ///< t_NISQ
+    double optimizer_latency_s = 60.0;  ///< D_opt per iteration
+    double compile_latency_s = 7200.0;  ///< d_compile (2 hours)
+    double postprocess_s = 60.0;        ///< d_pp
+};
+
+/** Equation (6): end-to-end runtime in seconds for @p num_circuits. */
+double end_to_end_runtime_s(int num_circuits, const ExecutionModel& exec,
+                            const WorkflowParams& params);
+
+/** Convenience: hours instead of seconds. */
+double end_to_end_runtime_hours(int num_circuits, const ExecutionModel& exec,
+                                const WorkflowParams& params);
+
+} // namespace fq::runtime
+
+#endif // FQ_RUNTIME_RUNTIME_MODEL_H

@@ -1,0 +1,129 @@
+#include "sim/counts.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace fq::sim {
+
+Counts::Counts(int num_qubits) : num_qubits_(num_qubits)
+{
+    FQ_REQUIRE(num_qubits >= 1 && num_qubits <= 63,
+               "counts limited to 1..63 qubits");
+}
+
+void
+Counts::add(std::uint64_t state, std::uint64_t count)
+{
+    FQ_REQUIRE(state < (std::uint64_t(1) << num_qubits_),
+               "state exceeds register width");
+    histogram_[state] += count;
+    total_ += count;
+}
+
+Counts
+Counts::from_samples(int num_qubits, const std::vector<std::uint64_t>& samples)
+{
+    Counts c(num_qubits);
+    for (auto s : samples)
+        c.add(s);
+    return c;
+}
+
+double
+Counts::expectation(const ising::IsingModel& model) const
+{
+    FQ_REQUIRE(model.num_spins() == num_qubits_,
+               "Hamiltonian width must match register width");
+    FQ_REQUIRE(total_ > 0, "expectation of an empty distribution");
+    double ev = 0.0;
+    for (const auto& [state, count] : histogram_)
+        ev += static_cast<double>(count) * model.evaluate_state(state);
+    return ev / static_cast<double>(total_);
+}
+
+Counts::BestOutcome
+Counts::best(const ising::IsingModel& model) const
+{
+    FQ_REQUIRE(model.num_spins() == num_qubits_,
+               "Hamiltonian width must match register width");
+    FQ_REQUIRE(total_ > 0, "best of an empty distribution");
+    BestOutcome out;
+    out.cost = std::numeric_limits<double>::infinity();
+    for (const auto& [state, count] : histogram_) {
+        const double c = model.evaluate_state(state);
+        if (c < out.cost) {
+            out.cost = c;
+            out.state = state;
+            out.multiplicity = count;
+        }
+    }
+    return out;
+}
+
+Counts
+Counts::flip_all_bits() const
+{
+    Counts out(num_qubits_);
+    const std::uint64_t mask = (std::uint64_t(1) << num_qubits_) - 1;
+    for (const auto& [state, count] : histogram_)
+        out.add((~state) & mask, count);
+    return out;
+}
+
+void
+Counts::merge(const Counts& other)
+{
+    FQ_REQUIRE(other.num_qubits_ == num_qubits_,
+               "merge requires equal register widths");
+    for (const auto& [state, count] : other.histogram_)
+        add(state, count);
+}
+
+double
+Counts::probability(std::uint64_t state) const
+{
+    if (total_ == 0)
+        return 0.0;
+    const auto it = histogram_.find(state);
+    return it == histogram_.end()
+        ? 0.0
+        : static_cast<double>(it->second) / static_cast<double>(total_);
+}
+
+double
+Counts::total_variation_distance(const Counts& other) const
+{
+    FQ_REQUIRE(other.num_qubits_ == num_qubits_,
+               "TVD requires equal register widths");
+    double tvd = 0.0;
+    for (const auto& [state, _] : histogram_)
+        tvd += std::abs(probability(state) - other.probability(state));
+    for (const auto& [state, _] : other.histogram_)
+        if (histogram_.find(state) == histogram_.end())
+            tvd += other.probability(state);
+    return tvd / 2.0;
+}
+
+Counts
+apply_readout_errors(const Counts& counts,
+                     const std::vector<double>& flip_probability, Rng& rng)
+{
+    FQ_REQUIRE(static_cast<int>(flip_probability.size()) ==
+                   counts.num_qubits(),
+               "need one flip probability per qubit");
+    Counts out(counts.num_qubits());
+    for (const auto& [state, count] : counts.histogram()) {
+        for (std::uint64_t k = 0; k < count; ++k) {
+            std::uint64_t s = state;
+            for (int q = 0; q < counts.num_qubits(); ++q)
+                if (rng.bernoulli(flip_probability[q]))
+                    s ^= (std::uint64_t(1) << q);
+            out.add(s);
+        }
+    }
+    return out;
+}
+
+} // namespace fq::sim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Analytic hardware-noise models.
+ *
+ * Substitute for real-IBMQ execution (see DESIGN.md). Two models:
+ *
+ * 1. Expected Probability of Success (EPS) — Section 6.3's metric: the
+ *    probability that every gate and measurement is error-free and the
+ *    state survives decoherence over the circuit's critical path:
+ *      EPS = prod_gates (1-eps_g) * prod_meas (1-eps_ro)
+ *            * exp(-T_circuit / mean T1 of active qubits).
+ *
+ * 2. Signal-attenuation model for expectation values: each physical qubit
+ *    accumulates a survival factor from (a) the infidelity of gates that
+ *    touch it (a two-qubit gate's infidelity splits evenly across its two
+ *    operands), (b) thermal relaxation/dephasing over the circuit critical
+ *    path, and (c) readout-error attenuation (a symmetric bit flip with
+ *    probability e scales <Z> by 1-2e). A measured correlator is the ideal
+ *    value scaled by the product of its operand-qubit survivals:
+ *      <Z_i>_real    = s_i <Z_i>_ideal,
+ *      <Z_i Z_j>_real = s_i s_j <Z_i Z_j>_ideal.
+ *    The Hamiltonian offset is classical and unattenuated — which is
+ *    exactly the mechanism by which FrozenQubits converts frozen-edge
+ *    energy into noise-free signal.
+ *
+ * The Monte-Carlo trajectory simulator (trajectory.h) validates model 2 on
+ * small circuits.
+ */
+#ifndef FQ_SIM_NOISE_MODEL_H
+#define FQ_SIM_NOISE_MODEL_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "device/calibration.h"
+#include "ising/ising_model.h"
+#include "sim/counts.h"
+#include "sim/statevector.h"
+
+namespace fq::sim {
+
+/** Per-physical-qubit signal-survival factors for one compiled circuit. */
+struct NoiseAttenuation
+{
+    /** exp(sum of log(1-eps) over touching gates), per physical qubit. */
+    std::vector<double> gate_survival;
+    /** exp(-duration / min(T1,T2)), per physical qubit. */
+    std::vector<double> decoherence;
+    /** 1 - 2*readout_error, per physical qubit. */
+    std::vector<double> readout;
+    /** Qubits touched by at least one gate or measurement. */
+    std::vector<char> active;
+    double duration_ns = 0.0;
+
+    /** Combined <Z> attenuation for one physical qubit. */
+    double z_survival(int physical_qubit) const;
+
+    /**
+     * Whole-state survival probability: product of gate survival and
+     * decoherence over the ACTIVE qubits only (equals the product of
+     * (1-eps) over all gates times the per-qubit idle-decay factors).
+     * Drives the sampled global-depolarizing noise channel.
+     */
+    double global_state_survival() const;
+};
+
+/**
+ * Analyze a compiled (physical) circuit against device calibration.
+ * SWAPs are treated as three CXs. RZ gates are error-free (Section 3.3).
+ */
+NoiseAttenuation compute_attenuation(const circuit::Circuit& physical,
+                                     const device::Calibration& calibration);
+
+/**
+ * Noisy expectation value of @p logical_model given per-term ideal
+ * expectations (from the analytic p=1 evaluator or the statevector) and the
+ * logical->physical qubit placement of the compiled circuit.
+ */
+double noisy_expectation(const ising::IsingModel& logical_model,
+                         const std::vector<double>& ideal_z,
+                         const std::vector<double>& ideal_zz,
+                         const NoiseAttenuation& attenuation,
+                         const std::vector<int>& logical_to_physical);
+
+/** EPS of a compiled circuit (Section 6.3 figure of merit). */
+double expected_probability_of_success(
+    const circuit::Circuit& physical,
+    const device::Calibration& calibration);
+
+/**
+ * ln(EPS) — exact even when EPS underflows double (500-qubit baselines
+ * reach e^{-hundreds}); relative-EPS figures are computed in log space.
+ */
+double log_expected_probability_of_success(
+    const circuit::Circuit& physical,
+    const device::Calibration& calibration);
+
+/**
+ * Sample a noisy output distribution under the global-depolarizing +
+ * readout model: with probability @p state_survival a shot is drawn from
+ * the ideal state, otherwise from the uniform distribution; each measured
+ * bit then flips with its readout-error probability.
+ */
+Counts sample_noisy_counts(const Statevector& ideal, double state_survival,
+                           const std::vector<double>& readout_flip_probability,
+                           int shots, Rng& rng);
+
+/**
+ * Approximation Ratio Gap (Equation (4)):
+ * ARG = 100 * |EV_ideal - EV_real| / |EV_ideal|.
+ */
+double approximation_ratio_gap(double ev_ideal, double ev_real);
+
+/** Approximation Ratio (Equation (5)): AR = EV / C_min. */
+double approximation_ratio(double ev, double c_min);
+
+} // namespace fq::sim
+
+#endif // FQ_SIM_NOISE_MODEL_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * The ideal-execution reference for EV_ideal (Section 4.3) and the oracle
+ * against which the closed-form p=1 evaluator and the transpiler's
+ * semantics-preservation are property-tested. Amplitudes are little-endian:
+ * bit q of the basis-state index is qubit q, |0> = +1 in the z basis.
+ * Practical up to ~22 qubits (2^22 complex doubles = 64 MiB).
+ */
+#ifndef FQ_SIM_STATEVECTOR_H
+#define FQ_SIM_STATEVECTOR_H
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "ising/ising_model.h"
+
+namespace fq::sim {
+
+/** Dense 2^N-amplitude quantum state. */
+class Statevector
+{
+  public:
+    using Amplitude = std::complex<double>;
+
+    /** Initialize to |0...0>. */
+    explicit Statevector(int num_qubits);
+
+    int num_qubits() const { return num_qubits_; }
+    std::uint64_t dimension() const { return std::uint64_t(1) << num_qubits_; }
+
+    Amplitude amplitude(std::uint64_t state) const;
+    double probability(std::uint64_t state) const;
+    std::vector<double> probabilities() const;
+
+    /// @name Gate application (constant angles)
+    /// @{
+    void apply_h(int q);
+    void apply_x(int q);
+    void apply_sx(int q);
+    void apply_rz(int q, double theta);
+    void apply_rx(int q, double theta);
+    void apply_ry(int q, double theta);
+    void apply_cx(int control, int target);
+    void apply_swap(int a, int b);
+    /** Fused e^{-i(theta/2) Z_a Z_b} two-qubit diagonal. */
+    void apply_rzz(int a, int b, double theta);
+    /** Apply a Pauli (0=I, 1=X, 2=Y, 3=Z) — used by the trajectory sim. */
+    void apply_pauli(int q, int pauli);
+    /// @}
+
+    /** Apply one gate; MEASURE and BARRIER are ignored. */
+    void apply_gate(const circuit::Gate& gate);
+
+    /** Apply every gate of a bound (non-parametric) circuit. */
+    void apply_circuit(const circuit::Circuit& c);
+
+    /** <C> = sum_s |amp_s|^2 C(s) for a diagonal Ising Hamiltonian. */
+    double expectation_ising(const ising::IsingModel& model) const;
+
+    /** Draw @p shots basis states from the Born distribution. */
+    std::vector<std::uint64_t> sample(int shots, Rng& rng) const;
+
+    /** L2 norm (should stay 1 within rounding). */
+    double norm() const;
+
+    /**
+     * Fidelity |<self|other>|^2 with another state of equal dimension.
+     * Used by equivalence tests.
+     */
+    double overlap(const Statevector& other) const;
+
+  private:
+    int num_qubits_;
+    std::vector<Amplitude> amps_;
+};
+
+/**
+ * Run a bound circuit from |0...0> and return the final state.
+ * Measurements are ignored (use sample()).
+ */
+Statevector run_circuit(const circuit::Circuit& c);
+
+} // namespace fq::sim
+
+#endif // FQ_SIM_STATEVECTOR_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Monte-Carlo Pauli-trajectory noisy simulation.
+ *
+ * Each trajectory runs the circuit on a statevector; after every physical
+ * gate a depolarizing error fires with the gate's calibrated error rate and
+ * injects a uniformly random non-identity Pauli on the gate's operand(s).
+ * Measurement applies per-qubit readout bit flips. Averaging over
+ * trajectories converges to the depolarizing-channel density matrix, which
+ * is how the closed-form attenuation model of noise_model.h is validated
+ * in the test suite.
+ */
+#ifndef FQ_SIM_TRAJECTORY_H
+#define FQ_SIM_TRAJECTORY_H
+
+#include "circuit/circuit.h"
+#include "device/calibration.h"
+#include "ising/ising_model.h"
+#include "sim/counts.h"
+
+namespace fq::sim {
+
+/** Effort/controls for trajectory simulation. */
+struct TrajectoryConfig
+{
+    int num_trajectories = 200;
+    int shots_per_trajectory = 64;
+    bool apply_readout_errors = true;
+    bool apply_decoherence = true; ///< idle amplitude-damping approximation
+};
+
+/** Results of a trajectory-simulated execution. */
+struct TrajectoryResult
+{
+    Counts counts;
+    double expectation = 0.0; ///< EV of @p model over all trajectories
+    int error_events = 0;     ///< total Pauli injections
+};
+
+/**
+ * Simulate @p physical (a bound circuit on device qubits, <= ~22 wide)
+ * against @p calibration, computing the expectation of @p logical_model
+ * through @p logical_to_physical.
+ */
+TrajectoryResult simulate_trajectories(
+    const circuit::Circuit& physical,
+    const device::Calibration& calibration,
+    const ising::IsingModel& logical_model,
+    const std::vector<int>& logical_to_physical,
+    const TrajectoryConfig& config, Rng& rng);
+
+} // namespace fq::sim
+
+#endif // FQ_SIM_TRAJECTORY_H

@@ -1,0 +1,201 @@
+#include "transpiler/layout.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace fq::transpiler {
+
+std::vector<std::vector<std::pair<int, int>>>
+interaction_graph(const circuit::Circuit& logical)
+{
+    std::vector<std::vector<std::pair<int, int>>> adj(logical.num_qubits());
+    auto bump = [&adj](int a, int b) {
+        for (auto& [q, w] : adj[a]) {
+            if (q == b) {
+                ++w;
+                return;
+            }
+        }
+        adj[a].emplace_back(b, 1);
+    };
+    for (const auto& g : logical.gates()) {
+        if (circuit::is_two_qubit(g.type)) {
+            bump(g.q0, g.q1);
+            bump(g.q1, g.q0);
+        }
+    }
+    return adj;
+}
+
+namespace {
+
+/** Mean CX error of the links adjacent to physical qubit @p p. */
+double
+local_link_error(const device::Topology& topology,
+                 const device::Calibration* calibration, int p)
+{
+    if (!calibration)
+        return 0.0;
+    double sum = 0.0;
+    int links = 0;
+    for (int nb : topology.neighbors(p)) {
+        sum += calibration->cx_error(p, nb);
+        ++links;
+    }
+    return links ? sum / links : 1.0;
+}
+
+/**
+ * Placement order: components by total interaction weight (hotspot
+ * component first); within a component, BFS from its heaviest node so every
+ * later qubit has an already-placed partner to sit next to. This keeps each
+ * connected component contiguous on the device — the property that lets
+ * FrozenQubits' forest-shaped sub-problems route nearly SWAP-free.
+ */
+std::vector<int>
+bfs_placement_order(
+    const std::vector<std::vector<std::pair<int, int>>>& interactions)
+{
+    const int n = static_cast<int>(interactions.size());
+    auto weight_of = [&interactions](int q) {
+        int w = 0;
+        for (const auto& [_, count] : interactions[q])
+            w += count;
+        return w;
+    };
+
+    std::vector<int> order;
+    order.reserve(n);
+    std::vector<char> visited(n, 0);
+
+    // Roots in descending weight; each unvisited root starts a BFS.
+    std::vector<int> roots(n);
+    std::iota(roots.begin(), roots.end(), 0);
+    std::stable_sort(roots.begin(), roots.end(), [&](int a, int b) {
+        return weight_of(a) > weight_of(b);
+    });
+
+    for (int root : roots) {
+        if (visited[root])
+            continue;
+        std::size_t frontier_begin = order.size();
+        order.push_back(root);
+        visited[root] = 1;
+        while (frontier_begin < order.size()) {
+            const int u = order[frontier_begin++];
+            // Heaviest-first expansion keeps dense neighborhoods together.
+            std::vector<std::pair<int, int>> nbs = interactions[u];
+            std::stable_sort(nbs.begin(), nbs.end(),
+                             [](const auto& a, const auto& b) {
+                                 return a.second > b.second;
+                             });
+            for (const auto& [v, _] : nbs) {
+                if (!visited[v]) {
+                    visited[v] = 1;
+                    order.push_back(v);
+                }
+            }
+        }
+    }
+    return order;
+}
+
+std::vector<int>
+greedy_layout(const circuit::Circuit& logical,
+              const device::Topology& topology,
+              const device::Calibration* calibration, bool noise_aware)
+{
+    const int n = logical.num_qubits();
+    const int phys_n = topology.num_qubits();
+    const auto interactions = interaction_graph(logical);
+    const auto logical_order = bfs_placement_order(interactions);
+
+    std::vector<int> layout(n, -1);
+    std::vector<bool> used(phys_n, false);
+    std::vector<int> free_neighbors(phys_n, 0);
+    for (int p = 0; p < phys_n; ++p)
+        free_neighbors[p] = topology.degree(p);
+
+    auto noise_penalty = [&](int p) {
+        if (!noise_aware)
+            return 0.0;
+        return 20.0 * local_link_error(topology, calibration, p) +
+               2.0 * calibration->qubit(p).readout_error;
+    };
+
+    auto occupy = [&](int logical_q, int p) {
+        layout[logical_q] = p;
+        used[p] = true;
+        for (int nb : topology.neighbors(p))
+            --free_neighbors[nb];
+    };
+
+    for (int q : logical_order) {
+        bool has_placed_partner = false;
+        for (const auto& [nb, _] : interactions[q])
+            if (layout[nb] != -1)
+                has_placed_partner = true;
+
+        int best_p = -1;
+        double best_score = std::numeric_limits<double>::infinity();
+        for (int p = 0; p < phys_n; ++p) {
+            if (used[p])
+                continue;
+            double score;
+            if (has_placed_partner) {
+                // Weighted distance to placed partners dominates; free
+                // neighbor head-room breaks ties so children still fit.
+                score = 0.0;
+                for (const auto& [nb, count] : interactions[q])
+                    if (layout[nb] != -1)
+                        score += static_cast<double>(count) *
+                                 topology.distance(p, layout[nb]);
+                score -= 0.2 * free_neighbors[p];
+            } else {
+                // Component root: a well-connected spot with as much free
+                // room as possible, away from nothing in particular.
+                score = -(2.0 * free_neighbors[p] + topology.degree(p));
+            }
+            score += noise_penalty(p);
+            if (score < best_score) {
+                best_score = score;
+                best_p = p;
+            }
+        }
+        FQ_ASSERT(best_p != -1, "no free physical qubit found");
+        occupy(q, best_p);
+    }
+    return layout;
+}
+
+} // namespace
+
+std::vector<int>
+compute_layout(const circuit::Circuit& logical,
+               const device::Topology& topology,
+               const device::Calibration* calibration,
+               LayoutStrategy strategy)
+{
+    FQ_REQUIRE(logical.num_qubits() <= topology.num_qubits(),
+               "circuit needs more qubits than the device has");
+    switch (strategy) {
+      case LayoutStrategy::Trivial: {
+        std::vector<int> layout(logical.num_qubits());
+        std::iota(layout.begin(), layout.end(), 0);
+        return layout;
+      }
+      case LayoutStrategy::DegreeGreedy:
+        return greedy_layout(logical, topology, calibration, false);
+      case LayoutStrategy::NoiseAdaptive:
+        FQ_REQUIRE(calibration != nullptr,
+                   "noise-adaptive layout needs calibration");
+        return greedy_layout(logical, topology, calibration, true);
+    }
+    FQ_REQUIRE(false, "unknown layout strategy");
+    return {};
+}
+
+} // namespace fq::transpiler

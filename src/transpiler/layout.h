@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Initial qubit placement (layout) strategies.
+ *
+ * A layout maps logical circuit qubits to physical device qubits. The
+ * paper's baseline compiles with "noise-adaptive routing and the highest
+ * optimization level" (Section 4.2); we provide:
+ *  - Trivial: logical i -> physical i.
+ *  - DegreeGreedy: hotspot-aware greedy — highest-interaction logical
+ *    qubits land on the best-connected physical qubits, subsequent qubits
+ *    land near their already-placed interaction partners.
+ *  - NoiseAdaptive: DegreeGreedy with link/readout quality folded into the
+ *    placement score (prefers low-CX-error neighborhoods).
+ */
+#ifndef FQ_TRANSPILER_LAYOUT_H
+#define FQ_TRANSPILER_LAYOUT_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "device/calibration.h"
+#include "device/topology.h"
+
+namespace fq::transpiler {
+
+/** Placement policy. */
+enum class LayoutStrategy {
+    Trivial,
+    DegreeGreedy,
+    NoiseAdaptive,
+};
+
+/**
+ * Interaction multigraph of a circuit: weight[i][j] = number of two-qubit
+ * gates between logical qubits i and j.
+ */
+std::vector<std::vector<std::pair<int, int>>> interaction_graph(
+    const circuit::Circuit& logical);
+
+/**
+ * Compute a layout (logical -> physical). The device must have at least as
+ * many qubits as the circuit. @p calibration may be null for strategies
+ * that ignore noise.
+ */
+std::vector<int> compute_layout(const circuit::Circuit& logical,
+                                const device::Topology& topology,
+                                const device::Calibration* calibration,
+                                LayoutStrategy strategy);
+
+} // namespace fq::transpiler
+
+#endif // FQ_TRANSPILER_LAYOUT_H

@@ -1,0 +1,154 @@
+#include "transpiler/passes.h"
+
+#include <cmath>
+#include <vector>
+
+namespace fq::transpiler {
+
+namespace {
+
+/** Indices of retained gates after one CX-cancellation sweep. */
+bool
+cancel_cx_once(const std::vector<circuit::Gate>& gates,
+               std::vector<char>& removed, int num_qubits)
+{
+    // last_touch[q] = index of the most recent retained gate on qubit q.
+    std::vector<int> last_touch(num_qubits, -1);
+    bool changed = false;
+
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (removed[i])
+            continue;
+        const auto& g = gates[i];
+        if (g.type == circuit::GateType::BARRIER) {
+            for (auto& t : last_touch)
+                t = static_cast<int>(i);
+            continue;
+        }
+        if (g.type == circuit::GateType::CX) {
+            const int prev0 = last_touch[g.q0];
+            const int prev1 = last_touch[g.q1];
+            if (prev0 != -1 && prev0 == prev1 && !removed[prev0]) {
+                const auto& p = gates[prev0];
+                if (p.type == circuit::GateType::CX && p.q0 == g.q0 &&
+                    p.q1 == g.q1) {
+                    removed[i] = removed[prev0] = 1;
+                    changed = true;
+                    // The qubits' last_touch entries now point at a removed
+                    // gate; recompute lazily by rewinding to -1 (safe: a
+                    // future pair can still cancel in a later sweep).
+                    last_touch[g.q0] = -1;
+                    last_touch[g.q1] = -1;
+                    continue;
+                }
+            }
+        }
+        last_touch[g.q0] = static_cast<int>(i);
+        if (circuit::is_two_qubit(g.type))
+            last_touch[g.q1] = static_cast<int>(i);
+    }
+    return changed;
+}
+
+} // namespace
+
+circuit::Circuit
+cancel_adjacent_cx(const circuit::Circuit& c)
+{
+    std::vector<char> removed(c.size(), 0);
+    while (cancel_cx_once(c.gates(), removed, c.num_qubits())) {
+    }
+    circuit::Circuit out(c.num_qubits());
+    for (std::size_t i = 0; i < c.size(); ++i)
+        if (!removed[i])
+            out.append(c.gates()[i]);
+    return out;
+}
+
+circuit::Circuit
+merge_adjacent_rz(const circuit::Circuit& c)
+{
+    using circuit::GateType;
+    using circuit::Parameter;
+
+    circuit::Circuit out(c.num_qubits());
+    // pending_rz[q]: index into `building` of a mergeable trailing RZ.
+    std::vector<int> pending_rz(c.num_qubits(), -1);
+    std::vector<circuit::Gate> building;
+
+    auto flush_qubit = [&pending_rz](int q) { pending_rz[q] = -1; };
+
+    for (const auto& g : c.gates()) {
+        if (g.type == GateType::BARRIER) {
+            for (int q = 0; q < c.num_qubits(); ++q)
+                flush_qubit(q);
+            building.push_back(g);
+            continue;
+        }
+        if (g.type == GateType::RZ) {
+            const int prev = pending_rz[g.q0];
+            if (prev != -1) {
+                auto& p = building[prev];
+                const bool both_constant =
+                    p.angle.is_constant() && g.angle.is_constant();
+                // Symbolic merges additionally require identical term tags:
+                // merging RZs from different Hamiltonian terms would destroy
+                // the identity the template editor rewrites (Section 3.7.1).
+                const bool same_symbol =
+                    !p.angle.is_constant() && !g.angle.is_constant() &&
+                    p.angle.kind == g.angle.kind &&
+                    p.angle.layer == g.angle.layer &&
+                    p.angle.tag == g.angle.tag;
+                if (both_constant || same_symbol) {
+                    p.angle.coefficient += g.angle.coefficient;
+                    continue;
+                }
+            }
+            pending_rz[g.q0] = static_cast<int>(building.size());
+            building.push_back(g);
+            continue;
+        }
+        flush_qubit(g.q0);
+        if (circuit::is_two_qubit(g.type))
+            flush_qubit(g.q1);
+        building.push_back(g);
+    }
+
+    for (const auto& g : building)
+        out.append(g);
+    return out;
+}
+
+circuit::Circuit
+drop_identity_rotations(const circuit::Circuit& c, double epsilon)
+{
+    circuit::Circuit out(c.num_qubits());
+    for (const auto& g : c.gates()) {
+        // Only constant zeros are dropped: a zero-coefficient symbolic RZ is
+        // also an identity, but it is the placeholder slot that lets a
+        // compiled template be re-bound to a sub-problem whose coefficient
+        // is non-zero (Section 3.7.1), so it must survive optimization.
+        const bool zero_rotation =
+            circuit::has_angle(g.type) && g.angle.is_constant() &&
+            std::abs(g.angle.coefficient) <= epsilon;
+        if (!zero_rotation)
+            out.append(g);
+    }
+    return out;
+}
+
+circuit::Circuit
+optimize(const circuit::Circuit& c)
+{
+    circuit::Circuit current = c;
+    std::size_t previous_size = current.size() + 1;
+    while (current.size() < previous_size) {
+        previous_size = current.size();
+        current = cancel_adjacent_cx(current);
+        current = merge_adjacent_rz(current);
+        current = drop_identity_rotations(current);
+    }
+    return current;
+}
+
+} // namespace fq::transpiler

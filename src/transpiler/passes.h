@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Post-routing optimization passes (the "optimization level 3"-style
+ * cleanups of the baseline toolchain, Section 4.2):
+ *
+ *  - cancel_adjacent_cx: remove CX pairs with identical control/target and
+ *    no intervening gate on either qubit (CX is self-inverse).
+ *  - merge_adjacent_rz: fuse consecutive RZ rotations on one qubit when no
+ *    other gate touches that qubit in between; compatible symbolic
+ *    parameters (same kind and layer) fuse by coefficient addition.
+ *  - drop_identity_rotations: delete rotations that are exactly zero.
+ *
+ * All passes preserve circuit semantics; the test suite checks unitary
+ * equivalence on random circuits via the statevector simulator.
+ */
+#ifndef FQ_TRANSPILER_PASSES_H
+#define FQ_TRANSPILER_PASSES_H
+
+#include "circuit/circuit.h"
+
+namespace fq::transpiler {
+
+/** Cancel adjacent self-inverse CX pairs; iterates to a fixpoint. */
+circuit::Circuit cancel_adjacent_cx(const circuit::Circuit& c);
+
+/** Fuse adjacent same-qubit RZ gates with compatible parameters. */
+circuit::Circuit merge_adjacent_rz(const circuit::Circuit& c);
+
+/** Remove zero-angle rotations. */
+circuit::Circuit drop_identity_rotations(const circuit::Circuit& c,
+                                         double epsilon = 1e-12);
+
+/** Run all passes in a sensible order until the gate count stabilizes. */
+circuit::Circuit optimize(const circuit::Circuit& c);
+
+} // namespace fq::transpiler
+
+#endif // FQ_TRANSPILER_PASSES_H

@@ -1,0 +1,47 @@
+#include "transpiler/pipeline.h"
+
+#include <chrono>
+
+#include "common/error.h"
+#include "transpiler/passes.h"
+
+namespace fq::transpiler {
+
+CompileResult
+compile(const circuit::Circuit& logical, const device::Device& dev,
+        const CompileOptions& options)
+{
+    FQ_REQUIRE(logical.num_qubits() >= 1, "cannot compile an empty circuit");
+    FQ_REQUIRE(logical.num_qubits() <= dev.num_qubits(),
+               "circuit wider than target device");
+
+    const auto start = std::chrono::steady_clock::now();
+
+    CompileResult result;
+    result.pre_routing_cx = logical.cx_count();
+    result.initial_layout = compute_layout(
+        logical, dev.topology, &dev.calibration, options.layout);
+
+    RoutingResult routed =
+        route(logical, dev.topology, result.initial_layout, options.router);
+    result.final_layout = std::move(routed.final_layout);
+    result.swaps_inserted = routed.swaps_inserted;
+
+    circuit::Circuit physical = std::move(routed.physical);
+    if (options.decompose_swaps)
+        physical = physical.decompose_swaps();
+    if (options.run_optimization_passes)
+        physical = optimize(physical);
+    result.physical = std::move(physical);
+
+    result.metrics =
+        circuit::compute_metrics(result.physical,
+                                 dev.calibration.durations());
+
+    const auto end = std::chrono::steady_clock::now();
+    result.compile_time_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    return result;
+}
+
+} // namespace fq::transpiler

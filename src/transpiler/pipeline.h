@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The compile() entry point: layout -> route -> optimize -> (optionally)
+ * decompose SWAPs, with stats. This is the reproduction of the paper's
+ * baseline toolchain ("Qiskit with noise-adaptive routing and the highest
+ * optimization level 3", Section 4.2).
+ */
+#ifndef FQ_TRANSPILER_PIPELINE_H
+#define FQ_TRANSPILER_PIPELINE_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/metrics.h"
+#include "device/catalog.h"
+#include "transpiler/layout.h"
+#include "transpiler/router.h"
+
+namespace fq::transpiler {
+
+/** Pipeline configuration. */
+struct CompileOptions
+{
+    LayoutStrategy layout = LayoutStrategy::NoiseAdaptive;
+    RouterOptions router{};
+    bool run_optimization_passes = true;
+    /** Emit CX-only output (SWAPs replaced by 3 CX). */
+    bool decompose_swaps = true;
+};
+
+/** Compiled circuit with placement bookkeeping and cost statistics. */
+struct CompileResult
+{
+    circuit::Circuit physical;      ///< device-width executable circuit
+    std::vector<int> initial_layout; ///< logical -> physical at entry
+    std::vector<int> final_layout;   ///< logical -> physical at measurement
+    int swaps_inserted = 0;
+    circuit::CircuitMetrics metrics; ///< of the final physical circuit
+    int pre_routing_cx = 0;          ///< logical-circuit CX count
+    double compile_time_ms = 0.0;
+};
+
+/** Compile @p logical for @p dev. */
+CompileResult compile(const circuit::Circuit& logical,
+                      const device::Device& dev,
+                      const CompileOptions& options = {});
+
+} // namespace fq::transpiler
+
+#endif // FQ_TRANSPILER_PIPELINE_H

@@ -1,0 +1,308 @@
+#include "transpiler/router.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace fq::transpiler {
+
+namespace {
+
+/** Dependency DAG node: a gate plus its unsatisfied-predecessor count. */
+struct DagGate
+{
+    circuit::Gate gate;
+    int pending_predecessors = 0;
+    std::vector<int> successors;
+};
+
+/** Build the per-qubit dependency DAG over the gate list. */
+std::vector<DagGate>
+build_dag(const circuit::Circuit& logical)
+{
+    std::vector<DagGate> dag;
+    dag.reserve(logical.size());
+    std::vector<int> last_on_qubit(logical.num_qubits(), -1);
+    // A barrier orders everything before it against everything after; it is
+    // recorded as extra predecessor edges on the gates that follow it.
+    std::vector<int> barrier_preds;
+    bool barrier_pending = false;
+
+    for (const auto& g : logical.gates()) {
+        if (g.type == circuit::GateType::BARRIER) {
+            // Implement as: all subsequent gates depend on all prior gates.
+            barrier_preds.clear();
+            for (int q = 0; q < logical.num_qubits(); ++q)
+                if (last_on_qubit[q] != -1)
+                    barrier_preds.push_back(last_on_qubit[q]);
+            barrier_pending = true;
+            continue;
+        }
+        const int id = static_cast<int>(dag.size());
+        dag.push_back({g, 0, {}});
+
+        auto add_dep = [&](int pred) {
+            if (pred == -1)
+                return;
+            dag[pred].successors.push_back(id);
+            ++dag[id].pending_predecessors;
+        };
+
+        if (barrier_pending) {
+            // Fence every post-barrier gate on every pre-barrier chain tail.
+            // Redundant with the per-qubit chains for same-qubit pairs but
+            // cheap (QAOA barriers precede only the measurement layer).
+            for (int pred : barrier_preds)
+                add_dep(pred);
+        }
+
+        add_dep(last_on_qubit[g.q0]);
+        last_on_qubit[g.q0] = id;
+        if (circuit::is_two_qubit(g.type)) {
+            add_dep(last_on_qubit[g.q1]);
+            last_on_qubit[g.q1] = id;
+        }
+    }
+    return dag;
+}
+
+} // namespace
+
+RoutingResult
+route(const circuit::Circuit& logical, const device::Topology& topology,
+      const std::vector<int>& initial_layout, const RouterOptions& options)
+{
+    const int n_logical = logical.num_qubits();
+    const int n_physical = topology.num_qubits();
+    FQ_REQUIRE(static_cast<int>(initial_layout.size()) == n_logical,
+               "layout size mismatch");
+    FQ_REQUIRE(n_logical <= n_physical, "circuit wider than device");
+
+    // l2p / p2l mapping state.
+    std::vector<int> l2p = initial_layout;
+    std::vector<int> p2l(n_physical, -1);
+    for (int q = 0; q < n_logical; ++q) {
+        FQ_REQUIRE(l2p[q] >= 0 && l2p[q] < n_physical,
+                   "layout entry out of range");
+        FQ_REQUIRE(p2l[l2p[q]] == -1, "layout entries must be distinct");
+        p2l[l2p[q]] = q;
+    }
+
+    auto dag = build_dag(logical);
+    RoutingResult result;
+    result.physical = circuit::Circuit(n_physical);
+
+    // Front: ready gate ids (pending_predecessors == 0), FIFO order.
+    std::vector<int> front;
+    for (std::size_t i = 0; i < dag.size(); ++i)
+        if (dag[i].pending_predecessors == 0)
+            front.push_back(static_cast<int>(i));
+
+    std::vector<double> decay(n_physical, 1.0);
+    Rng rng(options.seed);
+    std::vector<char> seen(dag.size(), 0); // scratch for lookahead BFS
+
+    auto retire = [&](int id, std::vector<int>& new_ready) {
+        for (int succ : dag[id].successors)
+            if (--dag[succ].pending_predecessors == 0)
+                new_ready.push_back(succ);
+    };
+
+    auto emit_mapped = [&](const circuit::Gate& g) {
+        circuit::Gate mapped = g;
+        mapped.q0 = l2p[g.q0];
+        if (circuit::is_two_qubit(g.type))
+            mapped.q1 = l2p[g.q1];
+        result.physical.append(mapped);
+    };
+
+    // Distance sum of front (and lookahead) gates under a hypothetical swap.
+    auto gate_distance = [&](const circuit::Gate& g) {
+        return static_cast<double>(
+            topology.distance(l2p[g.q0], l2p[g.q1]));
+    };
+
+    int stall_counter = 0;
+    const int stall_limit = 4 * n_physical + 64;
+
+    while (!front.empty()) {
+        // Phase 1: execute everything executable.
+        std::vector<int> blocked;
+        std::vector<int> new_ready;
+        bool executed_any = false;
+        for (int id : front) {
+            const auto& g = dag[id].gate;
+            const bool executable =
+                !circuit::is_two_qubit(g.type) ||
+                topology.are_coupled(l2p[g.q0], l2p[g.q1]);
+            if (executable) {
+                emit_mapped(g);
+                retire(id, new_ready);
+                executed_any = true;
+            } else {
+                blocked.push_back(id);
+            }
+        }
+        front = std::move(blocked);
+        front.insert(front.end(), new_ready.begin(), new_ready.end());
+        if (executed_any) {
+            stall_counter = 0;
+            std::fill(decay.begin(), decay.end(), 1.0);
+            continue;
+        }
+        if (front.empty())
+            break;
+
+        // Phase 2: all front gates are blocked 2q gates — pick a SWAP.
+        ++stall_counter;
+        if (stall_counter > stall_limit) {
+            // Escape hatch: shortest-path route the oldest blocked gate.
+            const auto& g = dag[front.front()].gate;
+            int a = l2p[g.q0];
+            const int b = l2p[g.q1];
+            while (!topology.are_coupled(a, b)) {
+                int next = -1;
+                for (int nb : topology.neighbors(a)) {
+                    if (next == -1 ||
+                        topology.distance(nb, b) < topology.distance(next, b))
+                        next = nb;
+                }
+                FQ_ASSERT(next != -1, "disconnected topology during routing");
+                result.physical.swap(a, next);
+                ++result.swaps_inserted;
+                std::swap(p2l[a], p2l[next]);
+                if (p2l[a] != -1)
+                    l2p[p2l[a]] = a;
+                if (p2l[next] != -1)
+                    l2p[p2l[next]] = next;
+                a = next;
+            }
+            stall_counter = 0;
+            continue;
+        }
+
+        // Wide circuits (complete-graph QAOA) can have hundreds of blocked
+        // gates; score only the oldest few to bound per-swap cost.
+        constexpr std::size_t kScoredFrontCap = 32;
+        const std::size_t scored =
+            std::min(front.size(), kScoredFrontCap);
+
+        // Candidate SWAPs: physical edges adjacent to a scored front
+        // gate's operands.
+        std::vector<std::pair<int, int>> candidates;
+        for (std::size_t f = 0; f < scored; ++f) {
+            const auto& g = dag[front[f]].gate;
+            for (int lq : {g.q0, g.q1}) {
+                const int p = l2p[lq];
+                for (int nb : topology.neighbors(p)) {
+                    auto edge = std::minmax(p, nb);
+                    candidates.emplace_back(edge.first, edge.second);
+                }
+            }
+        }
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                         candidates.end());
+        FQ_ASSERT(!candidates.empty(), "no swap candidates for blocked front");
+
+        // Lookahead set: the next few 2q gates beyond the scored front.
+        std::vector<const circuit::Gate*> lookahead;
+        {
+            // BFS over successors approximates program order. The scratch
+            // `seen` array is reset via the visited list to keep each step
+            // O(visited), not O(total gates).
+            std::vector<int> frontier(front.begin(),
+                                      front.begin() + scored);
+            for (int id : frontier)
+                seen[id] = 1;
+            std::size_t cursor = 0;
+            while (cursor < frontier.size() &&
+                   static_cast<int>(lookahead.size()) < options.lookahead) {
+                const int id = frontier[cursor++];
+                for (int succ : dag[id].successors) {
+                    if (seen[succ])
+                        continue;
+                    seen[succ] = 1;
+                    frontier.push_back(succ);
+                    if (circuit::is_two_qubit(dag[succ].gate.type)) {
+                        lookahead.push_back(&dag[succ].gate);
+                        if (static_cast<int>(lookahead.size()) >=
+                            options.lookahead)
+                            break;
+                    }
+                }
+            }
+            for (int id : frontier)
+                seen[id] = 0;
+        }
+
+        auto score_swap = [&](int pa, int pb) {
+            // Tentatively apply.
+            std::swap(p2l[pa], p2l[pb]);
+            if (p2l[pa] != -1)
+                l2p[p2l[pa]] = pa;
+            if (p2l[pb] != -1)
+                l2p[p2l[pb]] = pb;
+
+            double front_cost = 0.0;
+            for (std::size_t f = 0; f < scored; ++f)
+                front_cost += gate_distance(dag[front[f]].gate);
+            double look_cost = 0.0;
+            for (const auto* g : lookahead)
+                look_cost += gate_distance(*g);
+
+            // Revert.
+            std::swap(p2l[pa], p2l[pb]);
+            if (p2l[pa] != -1)
+                l2p[p2l[pa]] = pa;
+            if (p2l[pb] != -1)
+                l2p[p2l[pb]] = pb;
+
+            double score = front_cost / static_cast<double>(scored);
+            if (!lookahead.empty()) {
+                score += options.lookahead_weight * look_cost /
+                         static_cast<double>(lookahead.size());
+            }
+            return score * std::max(decay[pa], decay[pb]);
+        };
+
+        double best_score = std::numeric_limits<double>::infinity();
+        std::pair<int, int> best_swap{-1, -1};
+        for (const auto& [pa, pb] : candidates) {
+            const double s = score_swap(pa, pb);
+            if (s < best_score - 1e-12 ||
+                (std::abs(s - best_score) <= 1e-12 && rng.bernoulli(0.5))) {
+                best_score = s;
+                best_swap = {pa, pb};
+            }
+        }
+
+        const auto [pa, pb] = best_swap;
+        result.physical.swap(pa, pb);
+        ++result.swaps_inserted;
+        std::swap(p2l[pa], p2l[pb]);
+        if (p2l[pa] != -1)
+            l2p[p2l[pa]] = pa;
+        if (p2l[pb] != -1)
+            l2p[p2l[pb]] = pb;
+        decay[pa] += options.decay;
+        decay[pb] += options.decay;
+    }
+
+    result.final_layout = l2p;
+    return result;
+}
+
+bool
+respects_coupling(const circuit::Circuit& physical,
+                  const device::Topology& topology)
+{
+    for (const auto& g : physical.gates())
+        if (circuit::is_two_qubit(g.type) &&
+            !topology.are_coupled(g.q0, g.q1))
+            return false;
+    return true;
+}
+
+} // namespace fq::transpiler

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SWAP routing (SABRE-style heuristic).
+ *
+ * NISQ devices execute CX only between coupled qubits (Section 2.2); the
+ * router rewrites a logical circuit into a physical one by tracking the
+ * logical->physical mapping and inserting SWAPs chosen by a front-layer +
+ * lookahead distance heuristic (Li, Ding, Xie — the algorithm behind
+ * Qiskit's SabreSwap). Includes an escape hatch that routes the oldest
+ * blocked gate along a shortest path if the heuristic stalls, so routing
+ * always terminates.
+ */
+#ifndef FQ_TRANSPILER_ROUTER_H
+#define FQ_TRANSPILER_ROUTER_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "device/topology.h"
+
+namespace fq::transpiler {
+
+/** Router tuning knobs. */
+struct RouterOptions
+{
+    /** Number of upcoming 2q gates scored in the lookahead set. */
+    int lookahead = 20;
+    /** Relative weight of the lookahead term in the SWAP score. */
+    double lookahead_weight = 0.5;
+    /** Per-qubit decay discouraging back-to-back swaps on one qubit. */
+    double decay = 0.001;
+    /** Deterministic tie-breaking seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Routed circuit plus mapping bookkeeping. */
+struct RoutingResult
+{
+    circuit::Circuit physical;       ///< device-width circuit with SWAPs
+    std::vector<int> final_layout;   ///< logical -> physical at circuit end
+    int swaps_inserted = 0;
+};
+
+/**
+ * Route @p logical onto @p topology starting from @p initial_layout
+ * (logical -> physical, all entries distinct). The result's gates act on
+ * physical indices and respect the coupling map.
+ */
+RoutingResult route(const circuit::Circuit& logical,
+                    const device::Topology& topology,
+                    const std::vector<int>& initial_layout,
+                    const RouterOptions& options = {});
+
+/** Verify every 2q gate of @p physical acts on a coupled pair. */
+bool respects_coupling(const circuit::Circuit& physical,
+                       const device::Topology& topology);
+
+} // namespace fq::transpiler
+
+#endif // FQ_TRANSPILER_ROUTER_H

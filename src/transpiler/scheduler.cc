@@ -1,0 +1,116 @@
+#include "transpiler/scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fq::transpiler {
+
+Schedule
+make_asap_schedule(const circuit::Circuit& c)
+{
+    Schedule schedule;
+    schedule.layer_of.assign(c.size(), -1);
+
+    std::vector<int> qubit_frontier(c.num_qubits(), 0);
+    int barrier_floor = 0;
+
+    for (std::size_t g = 0; g < c.size(); ++g) {
+        const auto& gate = c.gates()[g];
+        if (gate.type == circuit::GateType::BARRIER) {
+            for (int q = 0; q < c.num_qubits(); ++q)
+                barrier_floor = std::max(barrier_floor, qubit_frontier[q]);
+            continue;
+        }
+        int layer = std::max(barrier_floor, qubit_frontier[gate.q0]);
+        if (circuit::is_two_qubit(gate.type))
+            layer = std::max(layer, qubit_frontier[gate.q1]);
+
+        schedule.layer_of[g] = layer;
+        if (layer >= static_cast<int>(schedule.layers.size()))
+            schedule.layers.resize(layer + 1);
+        schedule.layers[layer].push_back(static_cast<int>(g));
+
+        qubit_frontier[gate.q0] = layer + 1;
+        if (circuit::is_two_qubit(gate.type))
+            qubit_frontier[gate.q1] = layer + 1;
+    }
+    return schedule;
+}
+
+CrosstalkReport
+analyze_crosstalk(const circuit::Circuit& c,
+                  const device::Topology& topology)
+{
+    FQ_REQUIRE(c.num_qubits() <= topology.num_qubits(),
+               "circuit wider than topology");
+    const auto schedule = make_asap_schedule(c);
+
+    CrosstalkReport report;
+    report.adjacent_overlaps.assign(c.size(), 0);
+
+    auto is_two_qubit_gate = [&](int g) {
+        return circuit::is_two_qubit(c.gates()[g].type);
+    };
+    // Two couplings are crosstalk-adjacent when they share no qubit but
+    // some qubit of one is coupled to some qubit of the other (nearest-
+    // neighbor drives); couplings sharing a qubit serialize instead.
+    auto adjacent = [&](const circuit::Gate& a, const circuit::Gate& b) {
+        const int aq[2] = {a.q0, a.q1};
+        const int bq[2] = {b.q0, b.q1};
+        for (int x : aq)
+            for (int y : bq)
+                if (x == y)
+                    return false; // shared qubit -> cannot be simultaneous
+        for (int x : aq)
+            for (int y : bq)
+                if (topology.are_coupled(x, y))
+                    return true;
+        return false;
+    };
+
+    int cx_gates = 0;
+    for (const auto& layer : schedule.layers) {
+        for (std::size_t i = 0; i < layer.size(); ++i) {
+            if (!is_two_qubit_gate(layer[i]))
+                continue;
+            ++cx_gates;
+            for (std::size_t j = 0; j < layer.size(); ++j) {
+                if (i == j || !is_two_qubit_gate(layer[j]))
+                    continue;
+                if (adjacent(c.gates()[layer[i]], c.gates()[layer[j]])) {
+                    ++report.adjacent_overlaps[layer[i]];
+                }
+            }
+        }
+    }
+    for (std::size_t g = 0; g < c.size(); ++g) {
+        report.total_overlapping_pairs += report.adjacent_overlaps[g];
+        report.max_exposure =
+            std::max(report.max_exposure, report.adjacent_overlaps[g]);
+    }
+    report.total_overlapping_pairs /= 2; // each pair counted twice
+    report.mean_exposure =
+        cx_gates > 0
+            ? static_cast<double>(2 * report.total_overlapping_pairs) /
+                  cx_gates
+            : 0.0;
+    return report;
+}
+
+std::vector<int>
+busy_layers_per_qubit(const circuit::Circuit& c, const Schedule& schedule)
+{
+    std::vector<int> busy(c.num_qubits(), 0);
+    for (std::size_t g = 0; g < c.size(); ++g) {
+        if (schedule.layer_of[g] == -1)
+            continue;
+        const auto& gate = c.gates()[g];
+        ++busy[gate.q0];
+        if (circuit::is_two_qubit(gate.type))
+            ++busy[gate.q1];
+    }
+    return busy;
+}
+
+} // namespace fq::transpiler

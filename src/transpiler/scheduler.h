@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Explicit ASAP gate scheduling: assigns every gate to a discrete layer
+ * such that gates in one layer act on disjoint qubits. Used for
+ *  - exact simultaneity analysis (which CXs actually overlap — the input
+ *    the crosstalk model approximates when given only gate counts), and
+ *  - per-qubit busy/idle accounting for decoherence studies.
+ */
+#ifndef FQ_TRANSPILER_SCHEDULER_H
+#define FQ_TRANSPILER_SCHEDULER_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "device/calibration.h"
+
+namespace fq::transpiler {
+
+/** A layered schedule over a circuit's gates. */
+struct Schedule
+{
+    /** layer_of[g] = layer index of gate g (-1 for barriers). */
+    std::vector<int> layer_of;
+    /** layers[l] = indices of gates scheduled in layer l. */
+    std::vector<std::vector<int>> layers;
+
+    int depth() const { return static_cast<int>(layers.size()); }
+};
+
+/** Compute the ASAP schedule (every gate as early as dependencies allow). */
+Schedule make_asap_schedule(const circuit::Circuit& c);
+
+/** Exact crosstalk exposure of one circuit on a device. */
+struct CrosstalkReport
+{
+    /** Per-gate count of simultaneous CXs on ADJACENT couplings. */
+    std::vector<int> adjacent_overlaps;
+    int total_overlapping_pairs = 0;
+    double mean_exposure = 0.0; ///< mean overlaps per CX gate
+    int max_exposure = 0;
+};
+
+/**
+ * Count, per CX/SWAP gate, how many other CX/SWAP gates share its layer
+ * AND act on a coupling adjacent to it (sharing-a-neighbor qubit) —
+ * exactly the condition for ZZ-crosstalk on fixed-frequency transmons.
+ */
+CrosstalkReport analyze_crosstalk(const circuit::Circuit& c,
+                                  const device::Topology& topology);
+
+/** Per-qubit busy-layer counts (for idle-time decoherence accounting). */
+std::vector<int> busy_layers_per_qubit(const circuit::Circuit& c,
+                                       const Schedule& schedule);
+
+} // namespace fq::transpiler
+
+#endif // FQ_TRANSPILER_SCHEDULER_H

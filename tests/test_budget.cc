@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the Section 3.4 freeze-count recommendation: budget limits,
+ * diminishing-returns stopping, and structural sanity of the trace.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "frozenqubits/budget.h"
+#include "graph/generators.h"
+#include "ising/ising_model.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::frozenqubits;
+
+TEST(FreezeBudget, StarFreezesExactlyTheHub)
+{
+    // After the hub every remaining node has degree 0: one freeze, then
+    // the marginal fraction collapses to zero.
+    const auto model = ising::IsingModel::from_graph(graph::star(12));
+    FreezeBudget budget;
+    budget.max_circuits = 64;
+    const auto rec = recommend_num_freeze(model, budget);
+    EXPECT_EQ(rec.num_freeze, 1);
+    ASSERT_EQ(rec.steps.size(), 1u);
+    EXPECT_EQ(rec.steps[0].spin, 0);
+    EXPECT_EQ(rec.steps[0].edges_dropped, 11);
+    EXPECT_EQ(rec.steps[0].edges_remaining, 0);
+}
+
+TEST(FreezeBudget, BudgetCapsTheRecommendation)
+{
+    Rng rng(1);
+    const auto model = ising::IsingModel::from_graph(
+        graph::barabasi_albert(40, 2, rng));
+    FreezeBudget tight;
+    tight.max_circuits = 2; // admits m <= 2 with pruning
+    tight.min_marginal_edge_fraction = 0.0;
+    const auto rec = recommend_num_freeze(model, tight);
+    EXPECT_LE(rec.num_freeze, 2);
+    EXPECT_GE(rec.num_freeze, 1);
+    for (const auto& step : rec.steps)
+        EXPECT_LE(step.circuits, 2);
+}
+
+TEST(FreezeBudget, PruningDoublesAdmissibleM)
+{
+    Rng rng(2);
+    const auto model = ising::IsingModel::from_graph(
+        graph::barabasi_albert(40, 2, rng));
+    FreezeBudget pruned;
+    pruned.max_circuits = 4;
+    pruned.min_marginal_edge_fraction = 0.0;
+    FreezeBudget full = pruned;
+    full.symmetry_pruning = false;
+    const auto with = recommend_num_freeze(model, pruned);
+    const auto without = recommend_num_freeze(model, full);
+    // 4 circuits admit m=3 pruned (2^2=4) but only m=2 unpruned.
+    EXPECT_EQ(with.num_freeze, 3);
+    EXPECT_EQ(without.num_freeze, 2);
+}
+
+TEST(FreezeBudget, DiminishingReturnsStopsOnRegularGraphs)
+{
+    // On a 3-regular graph each freeze drops ~3 of ~36 edges (~8%);
+    // a 10% threshold should refuse to freeze anything.
+    Rng rng(3);
+    const auto model = ising::IsingModel::from_graph(
+        graph::random_regular(24, 3, rng));
+    FreezeBudget budget;
+    budget.max_circuits = 1024;
+    budget.min_marginal_edge_fraction = 0.10;
+    const auto rec = recommend_num_freeze(model, budget);
+    EXPECT_EQ(rec.num_freeze, 0);
+}
+
+TEST(FreezeBudget, PowerLawRecommendsMoreThanRegular)
+{
+    Rng rng(4);
+    const auto powerlaw = ising::IsingModel::from_graph(
+        graph::barabasi_albert(24, 1, rng));
+    const auto regular = ising::IsingModel::from_graph(
+        graph::random_regular(24, 3, rng));
+    FreezeBudget budget;
+    budget.max_circuits = 1024;
+    budget.min_marginal_edge_fraction = 0.10;
+    EXPECT_GT(recommend_num_freeze(powerlaw, budget).num_freeze,
+              recommend_num_freeze(regular, budget).num_freeze);
+}
+
+TEST(FreezeBudget, TraceIsConsistent)
+{
+    Rng rng(5);
+    const auto model = ising::IsingModel::from_graph(
+        graph::barabasi_albert(30, 1, rng));
+    FreezeBudget budget;
+    budget.max_circuits = 1 << 9;
+    budget.min_marginal_edge_fraction = 0.0;
+    budget.hard_cap = 6;
+    const auto rec = recommend_num_freeze(model, budget);
+    ASSERT_EQ(rec.num_freeze, 6);
+    int dropped = 0;
+    for (const auto& step : rec.steps) {
+        dropped += step.edges_dropped;
+        EXPECT_EQ(step.edges_remaining,
+                  model.num_quadratic_terms() - dropped);
+        EXPECT_GE(step.marginal_fraction, 0.0);
+        EXPECT_LE(step.marginal_fraction, 1.0);
+    }
+}
+
+TEST(FreezeBudget, ValidatesInputs)
+{
+    ising::IsingModel m(4);
+    FreezeBudget bad;
+    bad.max_circuits = 0;
+    EXPECT_THROW(recommend_num_freeze(m, bad), Error);
+    FreezeBudget cap;
+    cap.hard_cap = 30;
+    EXPECT_THROW(recommend_num_freeze(m, cap), Error);
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the circuit IR: builder helpers, parameter binding and
+ * resolution, qubit remapping, SWAP decomposition, metrics (counts, depth,
+ * duration), and the printers.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.h"
+#include "circuit/metrics.h"
+#include "circuit/printer.h"
+#include "common/error.h"
+#include "sim/statevector.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::circuit;
+
+TEST(Parameter, ResolveKinds)
+{
+    const std::vector<double> gammas{0.3, 0.7};
+    const std::vector<double> betas{0.1};
+    EXPECT_DOUBLE_EQ(Parameter::constant(1.5).resolve(gammas, betas), 1.5);
+    EXPECT_DOUBLE_EQ(Parameter::gamma(1, 2.0).resolve(gammas, betas), 1.4);
+    EXPECT_DOUBLE_EQ(Parameter::beta(0, -4.0).resolve(gammas, betas), -0.4);
+    EXPECT_THROW(Parameter::gamma(2, 1.0).resolve(gammas, betas), Error);
+}
+
+TEST(Circuit, BuilderAndCounts)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(1, 0.5);
+    c.cx(0, 1);
+    c.swap(1, 2);
+    c.rx(2, Parameter::beta(0, 2.0));
+    c.measure_all();
+
+    EXPECT_EQ(c.count(GateType::H), 1);
+    EXPECT_EQ(c.count(GateType::CX), 2);
+    EXPECT_EQ(c.count(GateType::SWAP), 1);
+    EXPECT_EQ(c.count(GateType::MEASURE), 3);
+    EXPECT_EQ(c.cx_count(), 2 + 3); // SWAP = 3 CX
+    EXPECT_TRUE(c.is_parametric());
+    EXPECT_EQ(c.num_layers(), 1);
+}
+
+TEST(Circuit, ValidatesQubits)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.h(2), Error);
+    EXPECT_THROW(c.cx(0, 0), Error);
+    EXPECT_THROW(c.cx(0, 5), Error);
+}
+
+TEST(Circuit, BindResolvesAllParameters)
+{
+    Circuit c(2);
+    c.rz(0, Parameter::gamma(0, 3.0));
+    c.rx(1, Parameter::beta(0, 2.0));
+    const auto bound = c.bind({0.5}, {0.25});
+    EXPECT_FALSE(bound.is_parametric());
+    EXPECT_DOUBLE_EQ(bound.gates()[0].angle.coefficient, 1.5);
+    EXPECT_DOUBLE_EQ(bound.gates()[1].angle.coefficient, 0.5);
+}
+
+TEST(Circuit, RemapQubits)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.measure(0);
+    const auto mapped = c.remap_qubits({4, 2}, 5);
+    EXPECT_EQ(mapped.num_qubits(), 5);
+    EXPECT_EQ(mapped.gates()[0].q0, 4);
+    EXPECT_EQ(mapped.gates()[0].q1, 2);
+    EXPECT_EQ(mapped.gates()[1].q0, 4);
+}
+
+TEST(Circuit, DecomposeSwapsPreservesSemantics)
+{
+    Circuit c(3);
+    c.h(0);
+    c.rx(1, 0.37);
+    c.swap(0, 2);
+    c.swap(1, 2);
+    const auto decomposed = c.decompose_swaps();
+    EXPECT_EQ(decomposed.count(GateType::SWAP), 0);
+    EXPECT_EQ(decomposed.count(GateType::CX), 6);
+
+    const auto a = sim::run_circuit(c);
+    const auto b = sim::run_circuit(decomposed);
+    EXPECT_NEAR(a.overlap(b), 1.0, 1e-10);
+}
+
+TEST(Circuit, ExtendRequiresMatchingWidth)
+{
+    Circuit a(2), b(3);
+    b.h(0);
+    EXPECT_THROW(a.extend(b), Error);
+    Circuit c(2);
+    c.h(1);
+    a.extend(c);
+    EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(Circuit, DropTrivialRotations)
+{
+    Circuit c(1);
+    c.rz(0, 0.0);
+    c.rz(0, 0.5);
+    c.rx(0, 1e-15);
+    const auto cleaned = c.drop_trivial_rotations();
+    EXPECT_EQ(cleaned.size(), 1u);
+    EXPECT_DOUBLE_EQ(cleaned.gates()[0].angle.coefficient, 0.5);
+}
+
+TEST(Metrics, DepthSimpleChains)
+{
+    Circuit c(2);
+    c.h(0);
+    c.h(0);
+    c.h(1);
+    EXPECT_EQ(circuit_depth(c), 2); // two serial on q0, one parallel on q1
+
+    Circuit d(2);
+    d.h(0);
+    d.cx(0, 1);
+    d.h(1);
+    EXPECT_EQ(circuit_depth(d), 3);
+}
+
+TEST(Metrics, SwapCountsAsThreeLevels)
+{
+    Circuit c(2);
+    c.swap(0, 1);
+    EXPECT_EQ(circuit_depth(c), 3);
+}
+
+TEST(Metrics, FreeRzDepth)
+{
+    Circuit c(1);
+    c.rz(0, 0.3);
+    c.rz(0, 0.4);
+    c.sx(0);
+    EXPECT_EQ(circuit_depth(c, /*free_rz=*/false), 3);
+    EXPECT_EQ(circuit_depth(c, /*free_rz=*/true), 1);
+}
+
+TEST(Metrics, BarrierSynchronizes)
+{
+    Circuit c(2);
+    c.h(0); // depth 1 on q0
+    c.barrier();
+    c.h(1); // must start after the barrier
+    EXPECT_EQ(circuit_depth(c), 2);
+}
+
+TEST(Metrics, DurationUsesGateLatencies)
+{
+    GateDurations durations;
+    durations.single_qubit_ns = 10.0;
+    durations.cx_ns = 100.0;
+    durations.measure_ns = 500.0;
+
+    Circuit c(2);
+    c.h(0);        // 10
+    c.cx(0, 1);    // +100
+    c.rz(1, 0.5);  // +0 (virtual)
+    c.measure(1);  // +500
+    EXPECT_DOUBLE_EQ(circuit_duration_ns(c, durations), 610.0);
+}
+
+TEST(Metrics, ComputeMetricsAggregates)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.swap(1, 2);
+    c.rz(2, 0.1);
+    c.measure_all();
+    const auto m = compute_metrics(c);
+    EXPECT_EQ(m.num_qubits, 3);
+    EXPECT_EQ(m.cx_gates, 1 + 3);
+    EXPECT_EQ(m.swap_gates, 1);
+    EXPECT_EQ(m.rz_gates, 1);
+    EXPECT_EQ(m.single_qubit_gates, 2); // h + rz
+    EXPECT_EQ(m.measurements, 3);
+    EXPECT_GT(m.duration_ns, 0.0);
+}
+
+TEST(Printer, TextContainsGatesAndParams)
+{
+    Circuit c(2);
+    c.h(0);
+    c.rz(1, Parameter::gamma(0, 1.5));
+    c.cx(0, 1);
+    const auto text = to_text(c);
+    EXPECT_NE(text.find("h q0"), std::string::npos);
+    EXPECT_NE(text.find("1.5*g0"), std::string::npos);
+    EXPECT_NE(text.find("cx q0, q1"), std::string::npos);
+}
+
+TEST(Printer, QasmRequiresBoundCircuit)
+{
+    Circuit c(1);
+    c.rz(0, Parameter::gamma(0, 1.0));
+    EXPECT_THROW(to_qasm(c), Error);
+    const auto qasm = to_qasm(c.bind({0.5}, {}));
+    EXPECT_NE(qasm.find("OPENQASM 2.0"), std::string::npos);
+    EXPECT_NE(qasm.find("rz(0.5)"), std::string::npos); // 1.0 * gamma
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the device substrate: topology constructors and their
+ * structural invariants (heavy-hex degree bounds, published qubit counts,
+ * grid distances), calibration synthesis ranges, and the IBMQ catalog.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "device/calibration.h"
+#include "device/catalog.h"
+#include "device/topology.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::device;
+
+TEST(Topology, GridStructure)
+{
+    const auto t = make_grid(3, 4);
+    EXPECT_EQ(t.num_qubits(), 12);
+    // Grid edges: r*(c-1) + (r-1)*c = 3*3 + 2*4 = 17.
+    EXPECT_EQ(t.num_couplings(), 17);
+    EXPECT_TRUE(t.are_coupled(0, 1));
+    EXPECT_TRUE(t.are_coupled(0, 4));
+    EXPECT_FALSE(t.are_coupled(0, 5));
+    // Manhattan distances.
+    EXPECT_EQ(t.distance(0, 11), 2 + 3);
+    EXPECT_EQ(t.distance(5, 5), 0);
+}
+
+TEST(Topology, DistanceSymmetricAndTriangle)
+{
+    const auto t = make_grid(5, 5);
+    for (int a = 0; a < 25; a += 3) {
+        for (int b = 0; b < 25; b += 4) {
+            EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+            for (int c = 0; c < 25; c += 7)
+                EXPECT_LE(t.distance(a, b),
+                          t.distance(a, c) + t.distance(c, b));
+        }
+    }
+}
+
+TEST(Topology, LinearChain)
+{
+    const auto t = make_linear(6);
+    EXPECT_EQ(t.num_couplings(), 5);
+    EXPECT_EQ(t.distance(0, 5), 5);
+    EXPECT_EQ(t.degree(0), 1);
+    EXPECT_EQ(t.degree(3), 2);
+}
+
+TEST(Topology, AllToAll)
+{
+    const auto t = make_all_to_all(5);
+    EXPECT_EQ(t.num_couplings(), 10);
+    EXPECT_EQ(t.distance(0, 4), 1);
+}
+
+TEST(Topology, Falcon27Structure)
+{
+    const auto t = make_falcon_27();
+    EXPECT_EQ(t.num_qubits(), 27);
+    EXPECT_EQ(t.num_couplings(), 28);
+    // Heavy-hex: degree never exceeds 3; the lattice is connected.
+    int deg3 = 0;
+    for (int q = 0; q < 27; ++q) {
+        EXPECT_LE(t.degree(q), 3);
+        EXPECT_GE(t.degree(q), 1);
+        if (t.degree(q) == 3)
+            ++deg3;
+    }
+    EXPECT_GT(deg3, 0);
+    EXPECT_EQ(t.coupling_graph().num_connected_components(), 1);
+}
+
+TEST(Topology, HeavyHexPublishedQubitCounts)
+{
+    // rows=5, len=11 -> 65 qubits (Hummingbird class).
+    const auto hummingbird = make_heavy_hex(5, 11, "hh65");
+    EXPECT_EQ(hummingbird.num_qubits(), 65);
+    // rows=7, len=15 -> 127 qubits (Eagle class).
+    const auto eagle = make_heavy_hex(7, 15, "hh127");
+    EXPECT_EQ(eagle.num_qubits(), 127);
+
+    for (const auto* t : {&hummingbird, &eagle}) {
+        EXPECT_EQ(t->coupling_graph().num_connected_components(), 1);
+        for (int q = 0; q < t->num_qubits(); ++q)
+            EXPECT_LE(t->degree(q), 3) << "heavy-hex degree bound";
+    }
+}
+
+TEST(Calibration, SynthesizedValuesInPhysicalRanges)
+{
+    const auto topo = make_falcon_27();
+    CalibrationProfile profile;
+    const auto cal = Calibration::synthesize(topo, profile, 42);
+
+    EXPECT_EQ(cal.num_qubits(), 27);
+    for (int q = 0; q < 27; ++q) {
+        const auto& p = cal.qubit(q);
+        EXPECT_GT(p.t1_us, 10.0);
+        EXPECT_LT(p.t1_us, 1000.0);
+        EXPECT_LE(p.t2_us, 2.0 * p.t1_us);
+        EXPECT_GT(p.readout_error, 0.0);
+        EXPECT_LT(p.readout_error, 0.5);
+        EXPECT_GT(p.sq_error, 0.0);
+        EXPECT_LT(p.sq_error, 0.1);
+    }
+    for (const auto& e : topo.coupling_graph().edges()) {
+        const double eps = cal.cx_error(e.u, e.v);
+        EXPECT_GT(eps, 0.0);
+        EXPECT_LT(eps, 0.5);
+    }
+    EXPECT_NEAR(cal.average_cx_error(), profile.cx_error_mean,
+                profile.cx_error_mean); // same order of magnitude
+}
+
+TEST(Calibration, DeterministicPerSeed)
+{
+    const auto topo = make_falcon_27();
+    CalibrationProfile profile;
+    const auto a = Calibration::synthesize(topo, profile, 7);
+    const auto b = Calibration::synthesize(topo, profile, 7);
+    const auto c = Calibration::synthesize(topo, profile, 8);
+    EXPECT_DOUBLE_EQ(a.qubit(5).t1_us, b.qubit(5).t1_us);
+    EXPECT_NE(a.qubit(5).t1_us, c.qubit(5).t1_us);
+}
+
+TEST(Calibration, UniformModel)
+{
+    const auto topo = make_grid(4, 4);
+    const auto cal = Calibration::uniform(topo, 1e-3, 5e-3, 500.0);
+    for (int q = 0; q < topo.num_qubits(); ++q) {
+        EXPECT_DOUBLE_EQ(cal.qubit(q).readout_error, 5e-3);
+        EXPECT_DOUBLE_EQ(cal.qubit(q).t1_us, 500.0);
+    }
+    for (const auto& e : topo.coupling_graph().edges())
+        EXPECT_DOUBLE_EQ(cal.cx_error(e.u, e.v), 1e-3);
+}
+
+TEST(Calibration, CxErrorRequiresCoupledPair)
+{
+    const auto topo = make_linear(4);
+    const auto cal = Calibration::uniform(topo, 1e-2, 1e-2, 100.0);
+    EXPECT_THROW(cal.cx_error(0, 3), Error);
+}
+
+TEST(Catalog, AllEightPaperDevices)
+{
+    const auto names = ibm_device_names();
+    ASSERT_EQ(names.size(), 8u);
+    const auto devices = all_ibm_devices();
+    ASSERT_EQ(devices.size(), 8u);
+
+    for (const auto& dev : devices) {
+        EXPECT_GE(dev.num_qubits(), 27);
+        EXPECT_LE(dev.num_qubits(), 127);
+        EXPECT_EQ(dev.calibration.num_qubits(), dev.num_qubits());
+    }
+    // Washington is the 127-qubit Eagle; the Falcons are 27.
+    EXPECT_EQ(make_device("ibm-washington").num_qubits(), 127);
+    EXPECT_EQ(make_device("ibm-brooklyn").num_qubits(), 65);
+    EXPECT_EQ(make_device("ibm-montreal").num_qubits(), 27);
+}
+
+TEST(Catalog, CalibrationIsStablePerDevice)
+{
+    const auto a = make_device("ibm-hanoi");
+    const auto b = make_device("ibm-hanoi");
+    EXPECT_DOUBLE_EQ(a.calibration.qubit(3).readout_error,
+                     b.calibration.qubit(3).readout_error);
+}
+
+TEST(Catalog, UnknownDeviceRejected)
+{
+    EXPECT_THROW(make_device("ibm-nonexistent"), Error);
+}
+
+TEST(Catalog, GridDeviceOptimisticModel)
+{
+    const auto dev = make_grid_device(10, 10);
+    EXPECT_EQ(dev.num_qubits(), 100);
+    EXPECT_DOUBLE_EQ(dev.calibration.qubit(0).t1_us, 500.0);
+    EXPECT_DOUBLE_EQ(dev.calibration.qubit(0).readout_error, 5e-3);
+}
+
+} // namespace

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Failure-injection battery: every public API must reject misuse with
+ * fq::Error (not UB, not silent wrong answers). One test per API family.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "device/catalog.h"
+#include "frozenqubits/decoder.h"
+#include "frozenqubits/driver.h"
+#include "frozenqubits/freeze.h"
+#include "frozenqubits/hotspot.h"
+#include "frozenqubits/template_editor.h"
+#include "graph/generators.h"
+#include "ising/exact_solver.h"
+#include "ising/qubo.h"
+#include "ising/sa_solver.h"
+#include "ising/symmetry.h"
+#include "optimizer/grid_search.h"
+#include "optimizer/landscape.h"
+#include "optimizer/nelder_mead.h"
+#include "qaoa/analytic_p1.h"
+#include "qaoa/multilayer.h"
+#include "qaoa/qaoa_builder.h"
+#include "runtime/runtime_model.h"
+#include "sim/counts.h"
+#include "sim/noise_model.h"
+#include "sim/statevector.h"
+#include "sim/trajectory.h"
+#include "transpiler/pipeline.h"
+
+namespace {
+
+using namespace fq;
+
+TEST(FailureInjection, GraphGenerators)
+{
+    Rng rng(1);
+    EXPECT_THROW(graph::barabasi_albert(1, 1, rng), Error);
+    EXPECT_THROW(graph::barabasi_albert(5, 5, rng), Error);
+    EXPECT_THROW(graph::random_regular(5, 5, rng), Error);
+    EXPECT_THROW(graph::erdos_renyi(10, 1.5, rng), Error);
+    EXPECT_THROW(graph::star(1), Error);
+    EXPECT_THROW(graph::airport_network(5, 5, rng), Error);
+}
+
+TEST(FailureInjection, IsingModel)
+{
+    ising::IsingModel m(3);
+    EXPECT_THROW(m.linear(3), Error);
+    EXPECT_THROW(m.add_linear(-1, 1.0), Error);
+    EXPECT_THROW(m.add_quadratic(0, 0, 1.0), Error);
+    EXPECT_THROW(m.add_quadratic(0, 9, 1.0), Error);
+    EXPECT_THROW(m.evaluate({1, 1}), Error);          // wrong width
+    EXPECT_THROW(m.flip_delta({1, 1, 1}, 5), Error);  // bad index
+    EXPECT_THROW(ising::spins_to_state({1, 0, -1}), Error); // 0 not a spin
+}
+
+TEST(FailureInjection, ExactAndAnnealingSolvers)
+{
+    ising::IsingModel empty(0);
+    EXPECT_THROW(ising::solve_exact(empty), Error);
+    ising::IsingModel big(30);
+    EXPECT_THROW(ising::solve_exact(big, 26), Error);
+    EXPECT_THROW(ising::all_costs(big), Error);
+
+    ising::SaConfig bad;
+    bad.num_restarts = 0;
+    ising::IsingModel m(4);
+    Rng rng(2);
+    EXPECT_THROW(ising::solve_annealing(m, bad, rng), Error);
+    EXPECT_THROW(ising::verify_flip_symmetry_exhaustive(big), Error);
+}
+
+TEST(FailureInjection, Qubo)
+{
+    ising::QuboModel q(2);
+    EXPECT_THROW(q.add_quadratic(1, 1, 1.0), Error);
+    EXPECT_THROW(q.add_linear(2, 1.0), Error);
+    EXPECT_THROW(q.evaluate({1}), Error);
+    EXPECT_THROW(q.evaluate({1, 2}), Error);
+}
+
+TEST(FailureInjection, CircuitAndBuilder)
+{
+    circuit::Circuit c(2);
+    EXPECT_THROW(c.h(-1), Error);
+    EXPECT_THROW(c.cx(1, 1), Error);
+    EXPECT_THROW(c.remap_qubits({0}, 3), Error);
+    c.rz(0, circuit::Parameter::gamma(0, 1.0));
+    EXPECT_THROW(c.bind({}, {}), Error); // missing gamma layer
+
+    ising::IsingModel m(2);
+    qaoa::BuildOptions opts;
+    opts.num_layers = 0;
+    EXPECT_THROW(qaoa::build_qaoa_circuit(m, opts), Error);
+}
+
+TEST(FailureInjection, Statevector)
+{
+    EXPECT_THROW(sim::Statevector(0), Error);
+    EXPECT_THROW(sim::Statevector(27), Error);
+    sim::Statevector sv(2);
+    EXPECT_THROW(sv.amplitude(4), Error);
+    EXPECT_THROW(sv.apply_pauli(0, 4), Error);
+    circuit::Circuit wide(3);
+    EXPECT_THROW(sv.apply_circuit(wide), Error);
+    circuit::Circuit param(2);
+    param.rz(0, circuit::Parameter::gamma(0, 1.0));
+    EXPECT_THROW(sv.apply_circuit(param), Error); // unbound parameter
+    ising::IsingModel m(3);
+    EXPECT_THROW(sv.expectation_ising(m), Error);
+}
+
+TEST(FailureInjection, CountsAndNoise)
+{
+    EXPECT_THROW(sim::Counts(0), Error);
+    sim::Counts c(2);
+    EXPECT_THROW(c.add(4), Error);
+    ising::IsingModel m(2);
+    EXPECT_THROW(c.expectation(m), Error); // empty distribution
+    c.add(1);
+    ising::IsingModel wrong(3);
+    EXPECT_THROW(c.expectation(wrong), Error);
+    sim::Counts other(3);
+    EXPECT_THROW(c.merge(other), Error);
+
+    sim::Statevector sv(2);
+    Rng rng(3);
+    EXPECT_THROW(
+        sim::sample_noisy_counts(sv, 1.5, {0.0, 0.0}, 10, rng), Error);
+    EXPECT_THROW(sim::sample_noisy_counts(sv, 0.5, {0.0}, 10, rng), Error);
+    EXPECT_THROW(sim::approximation_ratio(-1.0, 2.0), Error);
+}
+
+TEST(FailureInjection, AttenuationAndTrajectory)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    circuit::Circuit too_wide(30);
+    EXPECT_THROW(sim::compute_attenuation(too_wide, dev.calibration),
+                 Error);
+
+    sim::NoiseAttenuation att;
+    att.gate_survival = {1.0};
+    att.decoherence = {1.0};
+    att.readout = {1.0};
+    EXPECT_THROW(att.z_survival(2), Error);
+
+    circuit::Circuit c(23);
+    c.h(0);
+    ising::IsingModel m(2);
+    sim::TrajectoryConfig cfg;
+    Rng rng(4);
+    EXPECT_THROW(sim::simulate_trajectories(c, dev.calibration, m, {0, 1},
+                                            cfg, rng),
+                 Error); // > 22 qubits
+}
+
+TEST(FailureInjection, TranspilerPipeline)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    circuit::Circuit empty(0);
+    EXPECT_THROW(transpiler::compile(empty, dev), Error);
+
+    const auto topo = device::make_linear(3);
+    circuit::Circuit c(2);
+    c.cx(0, 1);
+    EXPECT_THROW(transpiler::compute_layout(
+                     c, topo, nullptr,
+                     transpiler::LayoutStrategy::NoiseAdaptive),
+                 Error); // noise-adaptive without calibration
+}
+
+TEST(FailureInjection, FrozenQubitsCore)
+{
+    ising::IsingModel m(4);
+    m.add_quadratic(0, 1, 1.0);
+    Rng rng(5);
+    EXPECT_THROW(frozenqubits::select_hotspots(
+                     m, 4, frozenqubits::HotspotPolicy::MaxDegree, rng),
+                 Error); // cannot freeze all spins
+    EXPECT_THROW(frozenqubits::freeze_all(m, {0, 0}), Error)
+        << "freezing the same spin twice must fail";
+    EXPECT_THROW(frozenqubits::dropped_edge_count(m, {9}), Error);
+
+    auto sub = frozenqubits::as_subproblem(m);
+    EXPECT_THROW(frozenqubits::lift_assignment(sub, {1, 1}), Error);
+
+    const auto dev = device::make_device("ibm-montreal");
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 0;
+    EXPECT_THROW(frozenqubits::run_pipeline(m, dev, config), Error);
+}
+
+TEST(FailureInjection, DecoderRejectsEmpty)
+{
+    ising::IsingModel m(4);
+    m.add_quadratic(0, 1, 1.0);
+    const auto subs = frozenqubits::freeze_all(m, {0});
+    std::vector<sim::Counts> empty_counts(2, sim::Counts(3));
+    EXPECT_THROW(frozenqubits::decode_best(m, subs, empty_counts), Error);
+    std::vector<sim::Counts> mismatched(1, sim::Counts(3));
+    EXPECT_THROW(frozenqubits::decode_best(m, subs, mismatched), Error);
+}
+
+TEST(FailureInjection, TemplateEditor)
+{
+    ising::IsingModel a(3), b(3);
+    a.add_quadratic(0, 1, 1.0);
+    b.add_quadratic(0, 1, 1.0);
+    b.add_quadratic(1, 2, 1.0);
+    qaoa::BuildOptions opts;
+    opts.keep_zero_linear_rz = true;
+    const auto tmpl = qaoa::build_qaoa_circuit(a, opts);
+    // Editing against a target with MORE quadratic terms than the
+    // template has tags for must fail loudly.
+    EXPECT_FALSE(frozenqubits::templates_compatible(a, b));
+    const auto tmpl_b = qaoa::build_qaoa_circuit(b, opts);
+    EXPECT_THROW(frozenqubits::edit_template(tmpl_b, a), Error);
+}
+
+TEST(FailureInjection, Optimizers)
+{
+    EXPECT_THROW(optimizer::nelder_mead(
+                     [](const std::vector<double>&) { return 0.0; }, {}),
+                 Error);
+    optimizer::GridAxis bad{0.0, 1.0, 0};
+    EXPECT_THROW(optimizer::grid_search_2d(
+                     [](double, double) { return 0.0; }, bad, bad),
+                 Error);
+    EXPECT_THROW(optimizer::scan_landscape(
+                     [](double, double) { return 0.0; }, 1, 5, 1.0, 1.0),
+                 Error);
+    optimizer::Landscape land;
+    EXPECT_THROW(optimizer::landscape_stats(land), Error);
+}
+
+TEST(FailureInjection, RuntimeModel)
+{
+    runtime::WorkflowParams params;
+    runtime::ExecutionModel exec{"x", 0, 0.0};
+    EXPECT_THROW(runtime::end_to_end_runtime_s(1, exec, params), Error);
+    runtime::ExecutionModel ok{"x", 1, 0.0};
+    EXPECT_THROW(runtime::end_to_end_runtime_s(0, ok, params), Error);
+}
+
+TEST(FailureInjection, MultilayerBounds)
+{
+    ising::IsingModel big(21);
+    EXPECT_THROW(qaoa::evaluate_multilayer(big, {0.1}, {0.1}), Error);
+}
+
+} // namespace

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit and property tests for the graph substrate: structure operations,
+ * every generator's defining invariants, and power-law statistics.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/powerlaw.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::graph;
+
+TEST(Graph, BasicEdgeOperations)
+{
+    Graph g(4);
+    EXPECT_TRUE(g.add_edge(0, 1, 2.0));
+    EXPECT_TRUE(g.add_edge(3, 1, -1.0));
+    EXPECT_FALSE(g.add_edge(1, 0)); // duplicate (order-insensitive)
+    EXPECT_EQ(g.num_edges(), 2);
+    EXPECT_TRUE(g.has_edge(1, 3));
+    EXPECT_FALSE(g.has_edge(0, 2));
+    EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(g.edge_weight(1, 3), -1.0);
+    EXPECT_EQ(g.degree(1), 2);
+    EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadIndices)
+{
+    Graph g(3);
+    EXPECT_THROW(g.add_edge(1, 1), Error);
+    EXPECT_THROW(g.add_edge(0, 3), Error);
+    EXPECT_THROW(g.degree(-1), Error);
+    EXPECT_THROW(g.edge_weight(0, 1), Error); // missing edge
+}
+
+TEST(Graph, EdgesAreNormalized)
+{
+    Graph g(3);
+    g.add_edge(2, 0, 5.0);
+    ASSERT_EQ(g.edges().size(), 1u);
+    EXPECT_EQ(g.edges()[0].u, 0);
+    EXPECT_EQ(g.edges()[0].v, 2);
+}
+
+TEST(Graph, DegreeOrderingAndStats)
+{
+    Graph g = star(6); // node 0 has degree 5
+    const auto order = g.nodes_by_degree_desc();
+    EXPECT_EQ(order.front(), 0);
+    EXPECT_EQ(g.max_degree(), 5);
+    EXPECT_DOUBLE_EQ(g.average_degree(), 2.0 * 5 / 6);
+}
+
+TEST(Graph, WithoutNodeRemapsDensely)
+{
+    Graph g(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 2.0);
+    g.add_edge(2, 3, 3.0);
+    std::vector<int> remap;
+    Graph h = g.without_node(1, &remap);
+    EXPECT_EQ(h.num_nodes(), 3);
+    EXPECT_EQ(h.num_edges(), 1); // only (2,3) survives
+    EXPECT_EQ(remap[1], -1);
+    EXPECT_EQ(remap[0], 0);
+    EXPECT_EQ(remap[2], 1);
+    EXPECT_EQ(remap[3], 2);
+    EXPECT_TRUE(h.has_edge(1, 2));
+    EXPECT_DOUBLE_EQ(h.edge_weight(1, 2), 3.0);
+}
+
+TEST(Graph, ConnectedComponents)
+{
+    Graph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    EXPECT_EQ(g.num_connected_components(), 3); // {0,1} {2,3} {4}
+    g.add_edge(1, 2);
+    g.add_edge(3, 4);
+    EXPECT_EQ(g.num_connected_components(), 1);
+}
+
+TEST(Generators, BarabasiAlbertTreeForD1)
+{
+    Rng rng(1);
+    const auto g = barabasi_albert(50, 1, rng);
+    EXPECT_EQ(g.num_nodes(), 50);
+    // d=1 BA growth yields a connected tree: N-1 edges.
+    EXPECT_EQ(g.num_edges(), 49);
+    EXPECT_EQ(g.num_connected_components(), 1);
+}
+
+TEST(Generators, BarabasiAlbertEdgeCountForDenser)
+{
+    Rng rng(2);
+    for (int d : {2, 3}) {
+        const auto g = barabasi_albert(40, d, rng);
+        // seed clique + d edges per added node
+        const int expected =
+            d * (d + 1) / 2 + d * (40 - (d + 1));
+        EXPECT_EQ(g.num_edges(), expected) << "d=" << d;
+        EXPECT_EQ(g.num_connected_components(), 1);
+    }
+}
+
+TEST(Generators, BarabasiAlbertHasHubs)
+{
+    Rng rng(3);
+    const auto g = barabasi_albert(300, 1, rng);
+    // Preferential attachment concentrates degree: the max degree must be
+    // far above the mean (~2) — the paper's hotspot premise.
+    EXPECT_GT(g.max_degree(), 4 * g.average_degree());
+}
+
+TEST(Generators, RandomRegularDegrees)
+{
+    Rng rng(4);
+    for (int n : {8, 14, 24}) {
+        const auto g = random_regular(n, 3, rng);
+        for (int u = 0; u < n; ++u)
+            EXPECT_EQ(g.degree(u), 3) << "n=" << n << " u=" << u;
+    }
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct)
+{
+    Rng rng(5);
+    EXPECT_THROW(random_regular(7, 3, rng), Error);
+}
+
+TEST(Generators, CompleteGraph)
+{
+    const auto g = complete(9);
+    EXPECT_EQ(g.num_edges(), 36);
+    EXPECT_EQ(g.max_degree(), 8);
+}
+
+TEST(Generators, ErdosRenyiDensityIsPlausible)
+{
+    Rng rng(6);
+    const auto g = erdos_renyi(60, 0.2, rng);
+    const int max_edges = 60 * 59 / 2;
+    const double density = static_cast<double>(g.num_edges()) / max_edges;
+    EXPECT_NEAR(density, 0.2, 0.05);
+}
+
+TEST(Generators, StarAndPath)
+{
+    const auto s = star(7);
+    EXPECT_EQ(s.degree(0), 6);
+    for (int v = 1; v < 7; ++v)
+        EXPECT_EQ(s.degree(v), 1);
+    const auto p = path(5);
+    EXPECT_EQ(p.num_edges(), 4);
+    EXPECT_EQ(p.degree(0), 1);
+    EXPECT_EQ(p.degree(2), 2);
+}
+
+TEST(Generators, AirportNetworkHasHotspots)
+{
+    Rng rng(7);
+    const auto g = airport_network(400, 10, rng);
+    const auto stats = degree_stats(g, 10);
+    // The paper's Figure 1(b) observation: top hubs carry ~10x the mean.
+    EXPECT_GT(stats.hotspot_ratio, 4.0);
+    EXPECT_EQ(g.num_connected_components(), 1);
+}
+
+TEST(Generators, WeightAssignments)
+{
+    Rng rng(8);
+    auto g = complete(12);
+    assign_random_pm1_weights(g, rng);
+    int plus = 0;
+    for (const auto& e : g.edges()) {
+        ASSERT_TRUE(e.weight == 1.0 || e.weight == -1.0);
+        if (e.weight > 0)
+            ++plus;
+    }
+    EXPECT_GT(plus, 10);
+    EXPECT_LT(plus, 56);
+
+    assign_gaussian_weights(g, rng);
+    bool non_integer = false;
+    for (const auto& e : g.edges())
+        if (e.weight != 1.0 && e.weight != -1.0)
+            non_integer = true;
+    EXPECT_TRUE(non_integer);
+}
+
+TEST(Powerlaw, DegreeHistogram)
+{
+    const auto g = star(5);
+    const auto hist = degree_histogram(g);
+    ASSERT_EQ(hist.size(), 5u); // degrees 0..4
+    EXPECT_EQ(hist[1], 4);
+    EXPECT_EQ(hist[4], 1);
+}
+
+TEST(Powerlaw, AlphaEstimateOnSyntheticPowerLaw)
+{
+    Rng rng(9);
+    const auto g = barabasi_albert(2000, 1, rng);
+    const auto alpha = powerlaw_alpha_mle(g.degree_sequence(), 2);
+    // BA graphs have a tail exponent near 3; MLE on finite samples lands
+    // in a broad band.
+    EXPECT_GT(alpha, 1.8);
+    EXPECT_LT(alpha, 4.5);
+}
+
+TEST(Powerlaw, StatsFields)
+{
+    Rng rng(10);
+    const auto g = barabasi_albert(100, 1, rng);
+    const auto stats = degree_stats(g, 5);
+    EXPECT_EQ(stats.num_nodes, 100);
+    EXPECT_EQ(stats.num_edges, 99);
+    EXPECT_EQ(stats.top_k, 5);
+    EXPECT_GE(stats.max_degree, stats.hotspot_average_degree);
+    EXPECT_GT(stats.hotspot_ratio, 1.0);
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's qualitative claims
+ * reproduced end-to-end on seeded instances — FrozenQubits improves ARG on
+ * power-law graphs, gains grow with m, hotspot selection beats random,
+ * and the practical-scale (grid-device) pipeline holds together.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/catalog.h"
+#include "frozenqubits/driver.h"
+#include "frozenqubits/freeze.h"
+#include "frozenqubits/hotspot.h"
+#include "graph/generators.h"
+#include "ising/ising_model.h"
+#include "qaoa/qaoa_builder.h"
+#include "sim/noise_model.h"
+#include "transpiler/pipeline.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::frozenqubits;
+
+ising::IsingModel
+ba_model(int n, int d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto g = graph::barabasi_albert(n, d, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    return ising::IsingModel::from_graph(g);
+}
+
+TEST(Integration, FrozenQubitsImprovesArgOnPowerLawSweep)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    int wins = 0, total = 0;
+    double gain_sum = 0.0;
+    for (int n : {12, 16, 20}) {
+        for (std::uint64_t seed : {1u, 2u, 3u}) {
+            const auto model = ba_model(n, 1, seed);
+            DriverConfig config;
+            config.num_freeze = 1;
+            const auto report = run_pipeline(model, dev, config);
+            ++total;
+            if (report.arg_fq <= report.arg_baseline + 1e-9)
+                ++wins;
+            gain_sum += report.improvement();
+        }
+    }
+    // FrozenQubits must win on every power-law instance and deliver a
+    // meaningful mean gain (the paper reports 6.75x for m=1 on BA d=1).
+    EXPECT_EQ(wins, total);
+    EXPECT_GT(gain_sum / total, 1.2);
+}
+
+TEST(Integration, FreezingMoreQubitsHelpsMore)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    const auto model = ba_model(18, 1, 4);
+
+    DriverConfig m1;
+    m1.num_freeze = 1;
+    DriverConfig m2;
+    m2.num_freeze = 2;
+    const auto r1 = run_pipeline(model, dev, m1);
+    const auto r2 = run_pipeline(model, dev, m2);
+
+    // m=2 drops at least as many CNOTs as m=1 and must not be worse.
+    EXPECT_LE(r2.executed[0].post_routing_cx,
+              r1.executed[0].post_routing_cx);
+    EXPECT_LE(r2.arg_fq, r1.arg_fq + 1e-9);
+    // Quantum cost doubles: 2 executed circuits instead of 1.
+    EXPECT_EQ(r1.num_executed, 1);
+    EXPECT_EQ(r2.num_executed, 2);
+}
+
+TEST(Integration, HotspotSelectionBeatsRandomOnStar)
+{
+    // On an extreme hotspot graph the policy choice is decisive: freezing
+    // the hub deletes every edge; a random pick almost surely does not.
+    const int n = 14;
+    graph::Graph g = graph::star(n);
+    Rng wrng(5);
+    graph::assign_random_pm1_weights(g, wrng);
+    const auto model = ising::IsingModel::from_graph(g);
+    Rng rng(6);
+
+    const auto hub =
+        select_hotspots(model, 1, HotspotPolicy::MaxDegree, rng);
+    EXPECT_EQ(dropped_edge_count(model, hub), n - 1);
+
+    int random_dropped = 0;
+    for (int trial = 0; trial < 8; ++trial) {
+        const auto pick =
+            select_hotspots(model, 1, HotspotPolicy::Random, rng);
+        random_dropped += dropped_edge_count(model, pick);
+    }
+    EXPECT_LT(random_dropped / 8.0, n - 1);
+}
+
+TEST(Integration, BaselineArgGrowsWithProblemSize)
+{
+    // Figure 8's baseline trend: fidelity decays rapidly with size.
+    const auto dev = device::make_device("ibm-montreal");
+    DriverConfig config;
+    config.num_freeze = 1;
+    double previous = -1.0;
+    for (int n : {8, 14, 20}) {
+        const auto model = ba_model(n, 1, 7);
+        const auto report = run_pipeline(model, dev, config);
+        EXPECT_GT(report.arg_baseline, previous);
+        previous = report.arg_baseline;
+    }
+}
+
+TEST(Integration, DenseGraphsSeeSmallerGains)
+{
+    // Figures 8 vs 10-11: power-law (d=1) gains exceed dense-graph gains
+    // because hotspots carry a larger share of the CNOTs.
+    const auto dev = device::make_device("ibm-montreal");
+    DriverConfig config;
+    config.num_freeze = 1;
+
+    double gain_sparse = 0.0, gain_dense = 0.0;
+    for (std::uint64_t seed : {11u, 12u, 13u}) {
+        gain_sparse +=
+            run_pipeline(ba_model(14, 1, seed), dev, config).improvement();
+        gain_dense +=
+            run_pipeline(ba_model(14, 3, seed), dev, config).improvement();
+    }
+    EXPECT_GT(gain_sparse, gain_dense);
+}
+
+TEST(Integration, PracticalScaleGridPipeline)
+{
+    // Section 6 in miniature: a 100-qubit BA instance on a 12x12 grid
+    // device with the optimistic error model.
+    const auto dev = device::make_grid_device(12, 12);
+    const auto model = ba_model(100, 1, 21);
+
+    Rng rng(22);
+    const auto hotspots =
+        select_hotspots(model, 3, HotspotPolicy::MaxDegree, rng);
+    const auto subs = freeze_all(model, hotspots);
+    EXPECT_EQ(subs.size(), 8u);
+
+    // Compile baseline and the first sub-problem; count the reduction.
+    const auto base_circuit = qaoa::build_qaoa_circuit(model);
+    const auto base = transpiler::compile(base_circuit, dev);
+
+    qaoa::BuildOptions opts;
+    opts.keep_zero_linear_rz = true;
+    const auto sub_circuit = qaoa::build_qaoa_circuit(subs[0].model, opts);
+    const auto sub = transpiler::compile(sub_circuit, dev);
+
+    EXPECT_LT(sub.metrics.cx_gates, base.metrics.cx_gates);
+    EXPECT_LT(sub.metrics.depth, base.metrics.depth);
+
+    const double eps_base = sim::expected_probability_of_success(
+        base.physical, dev.calibration);
+    const double eps_sub = sim::expected_probability_of_success(
+        sub.physical, dev.calibration);
+    EXPECT_GT(eps_sub, eps_base); // Figure 16's direction
+}
+
+TEST(Integration, DecoherenceDominatesOnSlowDevices)
+{
+    // Same circuit, two calibrations differing only in T1: the shorter
+    // coherence must produce a strictly worse ARG.
+    const auto model = ba_model(12, 1, 31);
+    const auto logical = qaoa::build_qaoa_circuit(model);
+
+    auto make_dev = [](double t1_us) {
+        device::Device dev;
+        dev.topology = device::make_grid(4, 4);
+        dev.name = "grid";
+        dev.calibration = device::Calibration::uniform(
+            dev.topology, 5e-3, 2e-2, t1_us);
+        return dev;
+    };
+
+    DriverConfig config;
+    config.num_freeze = 1;
+    const auto fast = run_pipeline(model, make_dev(500.0), config);
+    const auto slow = run_pipeline(model, make_dev(20.0), config);
+    EXPECT_GT(slow.arg_baseline, fast.arg_baseline);
+}
+
+TEST(Integration, ReportEpsConsistentWithCxCounts)
+{
+    const auto dev = device::make_device("ibm-auckland");
+    const auto model = ba_model(16, 2, 41);
+    DriverConfig config;
+    config.num_freeze = 2;
+    const auto report = run_pipeline(model, dev, config);
+
+    // EPS must decay roughly exponentially in CX count: the sub-circuit
+    // with fewer CXs cannot have smaller EPS.
+    for (const auto& sub : report.executed) {
+        EXPECT_GT(sub.eps, 0.0);
+        EXPECT_GE(sub.eps, report.baseline.eps);
+    }
+}
+
+} // namespace

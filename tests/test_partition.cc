@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the graph-bisection substrate and the edge-cutting
+ * divide-and-conquer QAOA baseline (the Section 1 comparison): bisection
+ * balance/validity, cut-count behavior on hotspot vs hotspot-free graphs,
+ * and the end-to-end baseline's structural properties.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "device/catalog.h"
+#include "frozenqubits/driver.h"
+#include "graph/generators.h"
+#include "ising/exact_solver.h"
+#include "partition/bisection.h"
+#include "partition/dnc_qaoa.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::partition;
+
+TEST(Bisection, BalancedAndConsistent)
+{
+    Rng rng(1);
+    const auto g = graph::erdos_renyi(20, 0.3, rng);
+    const auto cut = bisect(g, rng);
+    ASSERT_EQ(cut.side.size(), 20u);
+    int zeros = 0;
+    for (int s : cut.side) {
+        ASSERT_TRUE(s == 0 || s == 1);
+        if (s == 0)
+            ++zeros;
+    }
+    EXPECT_EQ(zeros, 10);
+    EXPECT_EQ(cut.cut_edges, count_cut_edges(g, cut.side));
+    EXPECT_GE(cut.cut_weight, 0.0);
+}
+
+TEST(Bisection, FindsObviousTwoCluster)
+{
+    // Two 6-cliques joined by a single bridge edge: the optimum cut is 1.
+    graph::Graph g(12);
+    for (int a = 0; a < 6; ++a)
+        for (int b = a + 1; b < 6; ++b) {
+            g.add_edge(a, b);
+            g.add_edge(a + 6, b + 6);
+        }
+    g.add_edge(0, 6);
+    Rng rng(2);
+    const auto cut = bisect(g, rng);
+    EXPECT_EQ(cut.cut_edges, 1);
+}
+
+TEST(Bisection, HotspotsForceCuts)
+{
+    // A star's hub is on one side; all its spokes on the other side are
+    // cut — a balanced bisection must cut about half the edges.
+    Rng wrng(3);
+    auto star = graph::star(16);
+    const auto cut = bisect(star, wrng);
+    EXPECT_GE(cut.cut_edges, 7);
+    EXPECT_EQ(hotspot_cut_edges(star, cut.side, 1), cut.cut_edges);
+}
+
+TEST(Bisection, PowerLawCutsExceedRegularCuts)
+{
+    // Relative to edge count, hotspot graphs lose more couplings to a
+    // balanced cut than regular graphs — the paper's argument.
+    Rng rng(4);
+    double ba_fraction = 0.0, reg_fraction = 0.0;
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        Rng ba_rng(seed), reg_rng(seed + 100);
+        const auto ba = graph::barabasi_albert(20, 1, ba_rng);
+        const auto reg = graph::random_regular(20, 3, reg_rng);
+        ba_fraction += static_cast<double>(bisect(ba, rng).cut_edges) /
+                       ba.num_edges();
+        reg_fraction += static_cast<double>(bisect(reg, rng).cut_edges) /
+                        reg.num_edges();
+    }
+    EXPECT_GT(ba_fraction, 0.0);
+    EXPECT_GT(reg_fraction, 0.0);
+}
+
+TEST(Bisection, RejectsTinyGraphs)
+{
+    graph::Graph g(1);
+    Rng rng(5);
+    EXPECT_THROW(bisect(g, rng), Error);
+}
+
+TEST(DncQaoa, StructuralProperties)
+{
+    Rng rng(6);
+    auto g = graph::barabasi_albert(14, 1, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    const auto model = ising::IsingModel::from_graph(g);
+    const auto dev = device::make_device("ibm-montreal");
+
+    Rng run_rng(7);
+    const auto result = run_dnc_qaoa(model, dev, run_rng);
+
+    EXPECT_EQ(result.cut_edges, result.bisection.cut_edges);
+    EXPECT_GT(result.cut_edges, 0); // a tree always loses edges to a cut
+    EXPECT_GT(result.lost_coupling, 0.0);
+    EXPECT_GT(result.subcircuit_cx, 0);
+    // The repaired classical solution is a valid assignment.
+    EXPECT_NEAR(model.evaluate(result.repaired_assignment),
+                result.repaired_cost, 1e-9);
+    const auto exact = ising::solve_exact(model);
+    EXPECT_GE(result.repaired_cost, exact.min_cost - 1e-9);
+}
+
+TEST(DncQaoa, LosesEnergyThatFrozenQubitsKeeps)
+{
+    // Head-to-head on a hotspot instance: the quantum-phase ideal EV of
+    // divide-and-conquer (cut couplings contribute nothing) must be worse
+    // (higher) than FrozenQubits' ideal EV at comparable quantum cost.
+    Rng rng(8);
+    auto g = graph::barabasi_albert(14, 1, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    const auto model = ising::IsingModel::from_graph(g);
+    const auto dev = device::make_device("ibm-montreal");
+
+    Rng dnc_rng(9);
+    const auto dnc = run_dnc_qaoa(model, dev, dnc_rng);
+
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 1; // one executed circuit — same cost as 2 halves
+    const auto fq = frozenqubits::run_pipeline(model, dev, config);
+
+    EXPECT_LT(fq.ev_ideal_fq, dnc.ev_ideal - 1e-6)
+        << "FrozenQubits should retain the hotspot couplings' energy";
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the QUBO front end (exact, invertible Ising conversion) and
+ * multi-layer QAOA evaluation (statevector-based; p=2 must beat p=1's
+ * ideal energy on instances where p=1 is not already optimal).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "graph/generators.h"
+#include "ising/exact_solver.h"
+#include "ising/qubo.h"
+#include "qaoa/analytic_p1.h"
+#include "qaoa/multilayer.h"
+#include "qaoa/qaoa_builder.h"
+#include "sim/statevector.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::ising;
+
+TEST(Qubo, EvaluateMatchesHandComputation)
+{
+    // f(x) = 2 x0 - 3 x1 + 4 x0 x1 + 1.
+    QuboModel q(2);
+    q.add_linear(0, 2.0);
+    q.add_linear(1, -3.0);
+    q.add_quadratic(0, 1, 4.0);
+    q.add_constant(1.0);
+
+    EXPECT_DOUBLE_EQ(q.evaluate({0, 0}), 1.0);
+    EXPECT_DOUBLE_EQ(q.evaluate({1, 0}), 3.0);
+    EXPECT_DOUBLE_EQ(q.evaluate({0, 1}), -2.0);
+    EXPECT_DOUBLE_EQ(q.evaluate({1, 1}), 4.0);
+}
+
+class QuboConversion : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuboConversion, IsingEquivalenceOnRandomInstances)
+{
+    Rng rng(300 + GetParam());
+    const int n = 3 + static_cast<int>(rng.uniform_int(std::uint64_t(5)));
+    QuboModel q(n);
+    for (int i = 0; i < n; ++i)
+        q.add_linear(i, rng.uniform(-2.0, 2.0));
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            if (rng.bernoulli(0.5))
+                q.add_quadratic(i, j, rng.uniform(-2.0, 2.0));
+    q.add_constant(rng.uniform(-1.0, 1.0));
+
+    const auto ising = q.to_ising();
+    // Every binary assignment must evaluate identically.
+    for (std::uint64_t bits = 0; bits < (1ull << n); ++bits) {
+        BinaryVector x(n);
+        for (int i = 0; i < n; ++i)
+            x[i] = (bits >> i) & 1;
+        ASSERT_NEAR(q.evaluate(x), ising.evaluate(binary_to_spins(x)),
+                    1e-9);
+    }
+
+    // Round trip through from_ising preserves values too.
+    const auto back = QuboModel::from_ising(ising);
+    for (std::uint64_t bits = 0; bits < (1ull << n); ++bits) {
+        BinaryVector x(n);
+        for (int i = 0; i < n; ++i)
+            x[i] = (bits >> i) & 1;
+        ASSERT_NEAR(back.evaluate(x), q.evaluate(x), 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, QuboConversion,
+                         ::testing::Range(0, 8));
+
+TEST(Qubo, BinarySpinMaps)
+{
+    const BinaryVector x{0, 1, 1, 0};
+    const auto z = binary_to_spins(x);
+    EXPECT_EQ(z, (SpinVector{+1, -1, -1, +1}));
+    EXPECT_EQ(spins_to_binary(z), x);
+    EXPECT_THROW(binary_to_spins({0, 2}), Error);
+}
+
+TEST(Qubo, MinimaAgree)
+{
+    Rng rng(9);
+    QuboModel q(8);
+    for (int i = 0; i < 8; ++i)
+        q.add_linear(i, rng.uniform(-1.0, 1.0));
+    for (int i = 0; i < 8; ++i)
+        for (int j = i + 1; j < 8; ++j)
+            if (rng.bernoulli(0.4))
+                q.add_quadratic(i, j, rng.uniform(-1.0, 1.0));
+
+    const auto ising = q.to_ising();
+    const auto sol = solve_exact(ising);
+    // Brute-force the QUBO directly.
+    double best = 1e300;
+    for (std::uint64_t bits = 0; bits < 256; ++bits) {
+        BinaryVector x(8);
+        for (int i = 0; i < 8; ++i)
+            x[i] = (bits >> i) & 1;
+        best = std::min(best, q.evaluate(x));
+    }
+    EXPECT_NEAR(sol.min_cost, best, 1e-9);
+}
+
+TEST(Multilayer, StateExpectationsMatchDirectEv)
+{
+    Rng rng(10);
+    auto g = graph::barabasi_albert(8, 1, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    const auto model = IsingModel::from_graph(g);
+
+    qaoa::BuildOptions opts;
+    opts.num_layers = 2;
+    opts.include_measurements = false;
+    const auto circuit = qaoa::build_qaoa_circuit(model, opts)
+                             .bind({0.3, 0.5}, {0.4, 0.2});
+    const auto state = sim::run_circuit(circuit);
+    const auto expectations = qaoa::state_expectations(model, state);
+    EXPECT_NEAR(expectations.energy, state.expectation_ising(model), 1e-9);
+    EXPECT_EQ(expectations.z.size(), 8u);
+    EXPECT_EQ(expectations.zz.size(),
+              model.quadratic_terms().size());
+}
+
+TEST(Multilayer, PEquals1MatchesAnalytic)
+{
+    Rng rng(11);
+    auto g = graph::barabasi_albert(7, 2, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    const auto model = IsingModel::from_graph(g);
+    const auto sv = qaoa::evaluate_multilayer(model, {0.37}, {0.21});
+    const auto analytic = qaoa::evaluate_p1(model, {0.37, 0.21});
+    EXPECT_NEAR(sv.energy, analytic.energy, 1e-8);
+}
+
+TEST(Multilayer, SecondLayerImprovesIdealEnergy)
+{
+    // On most instances p=2 strictly improves the tuned ideal EV.
+    Rng rng(12);
+    auto g = graph::random_regular(10, 3, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    const auto model = IsingModel::from_graph(g);
+
+    const auto p1 = qaoa::optimize_multilayer(model, 1, 300);
+    const auto p2 = qaoa::optimize_multilayer(model, 2, 600);
+    EXPECT_LE(p2.energy, p1.energy + 1e-9);
+    EXPECT_LT(p2.energy, p1.energy - 1e-3)
+        << "p=2 should strictly beat p=1 on a 3-regular instance";
+
+    // And the tuned p=1 energy matches the closed-form optimum closely.
+    const auto analytic = qaoa::optimize_p1(model, 48);
+    EXPECT_NEAR(p1.energy, analytic.energy, 0.05);
+}
+
+TEST(Multilayer, ValidatesInput)
+{
+    IsingModel model(4);
+    model.add_quadratic(0, 1, 1.0);
+    EXPECT_THROW(qaoa::evaluate_multilayer(model, {0.1}, {}), Error);
+    EXPECT_THROW(qaoa::optimize_multilayer(model, 0), Error);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the runtime/cost models: Equation (6) against hand-computed
+ * values, the Figure 18 execution models, and the Table 3 cost classes.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "runtime/cost_model.h"
+#include "runtime/runtime_model.h"
+
+namespace {
+
+using namespace fq::runtime;
+
+TEST(RuntimeModel, HandComputedBaselineSharedSequential)
+{
+    // Paper defaults: I=1000, tau=25k, t=1ms, cloud=30min, opt=1min,
+    // compile=2h, pp=1min. One circuit:
+    // T = 7200 + 1000*(25 + 1800 + 60) + 60 = 1892260 s.
+    WorkflowParams params;
+    ExecutionModel shared_seq{"seq+shared", 1, 1800.0};
+    EXPECT_DOUBLE_EQ(end_to_end_runtime_s(1, shared_seq, params),
+                     7200.0 + 1000.0 * (25.0 + 1800.0 + 60.0) + 60.0);
+}
+
+TEST(RuntimeModel, BatchingAmortizesCloudLatency)
+{
+    WorkflowParams params;
+    ExecutionModel batched{"batched+shared", 900, 1800.0};
+    ExecutionModel sequential{"seq+shared", 1, 1800.0};
+    // 512 circuits (m=10 FrozenQubits): batched needs 1 job per iteration,
+    // sequential needs 512.
+    const double t_batched = end_to_end_runtime_s(512, batched, params);
+    const double t_seq = end_to_end_runtime_s(512, sequential, params);
+    EXPECT_LT(t_batched, t_seq / 50.0);
+
+    // Exact: batched = 7200 + 1000*(512*25 + 1800 + 60) + 60.
+    EXPECT_DOUBLE_EQ(t_batched,
+                     7200.0 + 1000.0 * (512.0 * 25.0 + 1860.0) + 60.0);
+}
+
+TEST(RuntimeModel, DedicatedRemovesQueueing)
+{
+    WorkflowParams params;
+    ExecutionModel dedicated{"batched+dedicated", 900, 0.0};
+    const double t = end_to_end_runtime_s(1, dedicated, params);
+    EXPECT_DOUBLE_EQ(t, 7200.0 + 1000.0 * (25.0 + 60.0) + 60.0);
+}
+
+TEST(RuntimeModel, Figure18Models)
+{
+    const auto models = figure18_execution_models();
+    ASSERT_EQ(models.size(), 4u);
+    EXPECT_EQ(models[0].batch_capacity, 1);
+    EXPECT_EQ(models[2].batch_capacity, 900);
+    EXPECT_DOUBLE_EQ(models[1].cloud_latency_s, 0.0);
+    EXPECT_DOUBLE_EQ(models[2].cloud_latency_s, 1800.0);
+}
+
+TEST(RuntimeModel, HoursConversion)
+{
+    WorkflowParams params;
+    ExecutionModel dedicated{"d", 900, 0.0};
+    EXPECT_NEAR(end_to_end_runtime_hours(1, dedicated, params) * 3600.0,
+                end_to_end_runtime_s(1, dedicated, params), 1e-9);
+}
+
+TEST(CostModel, QuantumCost)
+{
+    EXPECT_EQ(quantum_cost(0, true), 1);
+    EXPECT_EQ(quantum_cost(0, false), 1);
+    EXPECT_EQ(quantum_cost(1, true), 1);  // symmetry: m=1 is free
+    EXPECT_EQ(quantum_cost(1, false), 2);
+    EXPECT_EQ(quantum_cost(2, true), 2);  // the paper's "2x resources"
+    EXPECT_EQ(quantum_cost(10, true), 512);
+    EXPECT_EQ(quantum_cost(10, false), 1024);
+}
+
+TEST(CostModel, FrozenQubitsPostprocessIsPolynomialInN)
+{
+    // Doubling N roughly doubles FrozenQubits decode cost...
+    const double fq_small = frozenqubits_postprocess_ops(2, 1000, 100, 99);
+    const double fq_large = frozenqubits_postprocess_ops(2, 1000, 200, 199);
+    EXPECT_LT(fq_large / fq_small, 2.5);
+
+    // ...while CutQC reconstruction doubles PER ADDED QUBIT.
+    const double cut_small = cutqc_postprocess_ops(4, 20);
+    const double cut_large = cutqc_postprocess_ops(4, 21);
+    EXPECT_DOUBLE_EQ(cut_large / cut_small, 2.0);
+}
+
+TEST(CostModel, Table3Rows)
+{
+    const auto fq = frozenqubits_overheads();
+    const auto cut = cutqc_overheads();
+    EXPECT_EQ(fq.design, "FrozenQubits");
+    EXPECT_EQ(fq.compile_overhead, "O(1)");
+    EXPECT_EQ(cut.postprocess_overhead, "exponential in qubits");
+}
+
+TEST(CostModel, InputValidation)
+{
+    EXPECT_THROW(quantum_cost(-1, true), fq::Error);
+    EXPECT_THROW(cutqc_postprocess_ops(1, 0), fq::Error);
+}
+
+} // namespace

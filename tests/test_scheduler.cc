@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the ASAP scheduler and the exact crosstalk analysis: layer
+ * validity (disjoint qubits per layer), agreement with the depth metric,
+ * barrier handling, busy-qubit accounting, and the crosstalk adjacency
+ * semantics on known layouts.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/metrics.h"
+#include "device/topology.h"
+#include "graph/generators.h"
+#include "ising/ising_model.h"
+#include "qaoa/qaoa_builder.h"
+#include "transpiler/pipeline.h"
+#include "transpiler/scheduler.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::transpiler;
+
+TEST(Scheduler, LayersHaveDisjointQubits)
+{
+    Rng rng(1);
+    circuit::Circuit c(6);
+    for (int k = 0; k < 60; ++k) {
+        const int q = static_cast<int>(rng.uniform_int(std::uint64_t(6)));
+        if (rng.bernoulli(0.5)) {
+            c.h(q);
+        } else {
+            int r = static_cast<int>(rng.uniform_int(std::uint64_t(6)));
+            if (r == q)
+                r = (q + 1) % 6;
+            c.cx(q, r);
+        }
+    }
+    const auto schedule = make_asap_schedule(c);
+    for (const auto& layer : schedule.layers) {
+        std::vector<bool> used(6, false);
+        for (int g : layer) {
+            const auto& gate = c.gates()[g];
+            ASSERT_FALSE(used[gate.q0]);
+            used[gate.q0] = true;
+            if (circuit::is_two_qubit(gate.type)) {
+                ASSERT_FALSE(used[gate.q1]);
+                used[gate.q1] = true;
+            }
+        }
+    }
+}
+
+TEST(Scheduler, DepthMatchesMetric)
+{
+    // For circuits without SWAP/RZ specials, schedule depth == metric
+    // depth (both count one level per gate).
+    Rng rng(2);
+    circuit::Circuit c(5);
+    for (int k = 0; k < 40; ++k) {
+        const int q = static_cast<int>(rng.uniform_int(std::uint64_t(5)));
+        if (rng.bernoulli(0.5))
+            c.h(q);
+        else
+            c.cx(q, (q + 2) % 5);
+    }
+    EXPECT_EQ(make_asap_schedule(c).depth(), circuit::circuit_depth(c));
+}
+
+TEST(Scheduler, PreservesDependencies)
+{
+    circuit::Circuit c(3);
+    c.h(0);        // layer 0
+    c.cx(0, 1);    // layer 1 (waits for h)
+    c.h(2);        // layer 0 (parallel)
+    c.cx(1, 2);    // layer 2 (waits for both)
+    const auto s = make_asap_schedule(c);
+    EXPECT_EQ(s.layer_of[0], 0);
+    EXPECT_EQ(s.layer_of[1], 1);
+    EXPECT_EQ(s.layer_of[2], 0);
+    EXPECT_EQ(s.layer_of[3], 2);
+}
+
+TEST(Scheduler, BarrierForcesNewLayer)
+{
+    circuit::Circuit c(2);
+    c.h(0);
+    c.barrier();
+    c.h(1); // would fit layer 0 without the barrier
+    const auto s = make_asap_schedule(c);
+    EXPECT_EQ(s.layer_of[0], 0);
+    EXPECT_EQ(s.layer_of[1], -1); // the barrier itself
+    EXPECT_EQ(s.layer_of[2], 1);
+}
+
+TEST(Scheduler, BusyLayersPerQubit)
+{
+    circuit::Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.h(0);
+    const auto s = make_asap_schedule(c);
+    const auto busy = busy_layers_per_qubit(c, s);
+    EXPECT_EQ(busy[0], 3);
+    EXPECT_EQ(busy[1], 1);
+    EXPECT_EQ(busy[2], 0);
+}
+
+TEST(Crosstalk, AdjacentSimultaneousCxDetected)
+{
+    // Linear chain 0-1-2-3: CX(0,1) and CX(2,3) are simultaneous and the
+    // couplings are adjacent (qubit 1 coupled to qubit 2).
+    const auto topo = device::make_linear(4);
+    circuit::Circuit c(4);
+    c.cx(0, 1);
+    c.cx(2, 3);
+    const auto report = analyze_crosstalk(c, topo);
+    EXPECT_EQ(report.total_overlapping_pairs, 1);
+    EXPECT_EQ(report.max_exposure, 1);
+    EXPECT_DOUBLE_EQ(report.mean_exposure, 1.0);
+}
+
+TEST(Crosstalk, DistantGatesDoNotInteract)
+{
+    // Chain of 6: CX(0,1) and CX(4,5) are separated by idle qubits 2,3.
+    const auto topo = device::make_linear(6);
+    circuit::Circuit c(6);
+    c.cx(0, 1);
+    c.cx(4, 5);
+    const auto report = analyze_crosstalk(c, topo);
+    EXPECT_EQ(report.total_overlapping_pairs, 0);
+}
+
+TEST(Crosstalk, SerializedGatesDoNotInteract)
+{
+    // Same qubits across layers never overlap.
+    const auto topo = device::make_linear(4);
+    circuit::Circuit c(4);
+    c.cx(0, 1);
+    c.cx(1, 2); // shares qubit 1 -> next layer
+    const auto report = analyze_crosstalk(c, topo);
+    EXPECT_EQ(report.total_overlapping_pairs, 0);
+}
+
+TEST(Crosstalk, HotspotCircuitsAreMoreExposed)
+{
+    // Compiled baseline QAOA on a hub-heavy graph shows more adjacent
+    // overlap than the hub-free FrozenQubits sub-circuit.
+    Rng rng(3);
+    auto g = graph::barabasi_albert(16, 1, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    const auto model = ising::IsingModel::from_graph(g);
+    const auto dev = device::make_device("ibm-montreal");
+
+    const auto base =
+        compile(qaoa::build_qaoa_circuit(model), dev);
+    const auto base_report =
+        analyze_crosstalk(base.physical, dev.topology);
+
+    // Drop the hub and recompile.
+    const auto hub = model.to_graph().nodes_by_degree_desc()[0];
+    ising::IsingModel reduced(16);
+    for (const auto& term : model.quadratic_terms())
+        if (term.i != hub && term.j != hub)
+            reduced.add_quadratic(term.i, term.j, term.coefficient);
+    reduced.prune_zero_terms();
+    const auto sub = compile(qaoa::build_qaoa_circuit(reduced), dev);
+    const auto sub_report = analyze_crosstalk(sub.physical, dev.topology);
+
+    EXPECT_GE(base_report.total_overlapping_pairs,
+              sub_report.total_overlapping_pairs);
+}
+
+} // namespace

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Tests for the simulation substrate: statevector gate semantics, sampling,
+ * counts operations, the EPS and attenuation noise models (including the
+ * trajectory-simulator cross-validation), and the ARG/AR metrics.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.h"
+#include "common/error.h"
+#include "device/catalog.h"
+#include "graph/generators.h"
+#include "ising/ising_model.h"
+#include "qaoa/analytic_p1.h"
+#include "qaoa/qaoa_builder.h"
+#include "sim/counts.h"
+#include "sim/noise_model.h"
+#include "sim/statevector.h"
+#include "sim/trajectory.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::sim;
+
+TEST(Statevector, InitialState)
+{
+    Statevector sv(3);
+    EXPECT_NEAR(sv.probability(0), 1.0, 1e-12);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, HadamardCreatesSuperposition)
+{
+    Statevector sv(1);
+    sv.apply_h(0);
+    EXPECT_NEAR(sv.probability(0), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probability(1), 0.5, 1e-12);
+    sv.apply_h(0); // H^2 = I
+    EXPECT_NEAR(sv.probability(0), 1.0, 1e-12);
+}
+
+TEST(Statevector, CnotTruthTable)
+{
+    // |10> (control q0 = 1) -> |11>.
+    Statevector sv(2);
+    sv.apply_x(0);
+    sv.apply_cx(0, 1);
+    EXPECT_NEAR(sv.probability(0b11), 1.0, 1e-12);
+
+    // |01> (control q0 = 0) unchanged.
+    Statevector sv2(2);
+    sv2.apply_x(1);
+    sv2.apply_cx(0, 1);
+    EXPECT_NEAR(sv2.probability(0b10), 1.0, 1e-12);
+}
+
+TEST(Statevector, SwapGate)
+{
+    Statevector sv(2);
+    sv.apply_x(0);
+    sv.apply_swap(0, 1);
+    EXPECT_NEAR(sv.probability(0b10), 1.0, 1e-12);
+}
+
+TEST(Statevector, SxSquaredIsX)
+{
+    Statevector a(1), b(1);
+    a.apply_sx(0);
+    a.apply_sx(0);
+    b.apply_x(0);
+    EXPECT_NEAR(a.overlap(b), 1.0, 1e-12);
+}
+
+TEST(Statevector, RzzEqualsCxRzCx)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 4; ++trial) {
+        const double theta = rng.uniform(-2.0, 2.0);
+        Statevector a(3), b(3);
+        // Random-ish product state first.
+        for (auto* sv : {&a, &b}) {
+            sv->apply_h(0);
+            sv->apply_rx(1, 0.7);
+            sv->apply_ry(2, -0.4);
+        }
+        a.apply_rzz(0, 2, theta);
+        b.apply_cx(0, 2);
+        b.apply_rz(2, theta);
+        b.apply_cx(0, 2);
+        EXPECT_NEAR(a.overlap(b), 1.0, 1e-10);
+    }
+}
+
+TEST(Statevector, PauliYMatrix)
+{
+    // Y|0> = i|1>.
+    Statevector sv(1);
+    sv.apply_pauli(0, 2);
+    EXPECT_NEAR(sv.amplitude(1).imag(), 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitude(0)), 0.0, 1e-12);
+}
+
+TEST(Statevector, NormPreservedByRandomCircuit)
+{
+    Rng rng(2);
+    Statevector sv(4);
+    for (int k = 0; k < 50; ++k) {
+        const int q = static_cast<int>(rng.uniform_int(std::uint64_t(4)));
+        const int r = (q + 1) % 4;
+        switch (rng.uniform_int(std::uint64_t(4))) {
+          case 0: sv.apply_h(q); break;
+          case 1: sv.apply_rx(q, rng.uniform(-1.0, 1.0)); break;
+          case 2: sv.apply_rz(q, rng.uniform(-1.0, 1.0)); break;
+          default: sv.apply_cx(q, r); break;
+        }
+    }
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+}
+
+TEST(Statevector, ExpectationIsingOnBasisState)
+{
+    ising::IsingModel m(2);
+    m.add_quadratic(0, 1, 1.0);
+    m.set_linear(0, 0.5);
+    Statevector sv(2);
+    sv.apply_x(0); // |01> basis: z0 = -1, z1 = +1
+    EXPECT_NEAR(sv.expectation_ising(m), -1.0 - 0.5, 1e-12);
+}
+
+TEST(Statevector, SamplingFollowsBornRule)
+{
+    Statevector sv(2);
+    sv.apply_h(0); // uniform over {00, 01}
+    Rng rng(3);
+    const auto samples = sv.sample(10000, rng);
+    int ones = 0;
+    for (auto s : samples) {
+        ASSERT_TRUE(s == 0 || s == 1);
+        if (s == 1)
+            ++ones;
+    }
+    EXPECT_NEAR(ones / 10000.0, 0.5, 0.03);
+}
+
+TEST(Counts, ExpectationAndBest)
+{
+    ising::IsingModel m(2);
+    m.add_quadratic(0, 1, 1.0); // C(00)=C(11)=1, C(01)=C(10)=-1
+    Counts c(2);
+    c.add(0b00, 25);
+    c.add(0b01, 75);
+    EXPECT_NEAR(c.expectation(m), 0.25 * 1.0 + 0.75 * -1.0, 1e-12);
+    const auto best = c.best(m);
+    EXPECT_DOUBLE_EQ(best.cost, -1.0);
+    EXPECT_EQ(best.state, 0b01u);
+    EXPECT_EQ(best.multiplicity, 75u);
+}
+
+TEST(Counts, FlipAllBitsMapsMirrorExpectations)
+{
+    // Under h != 0 the mirror model's EV equals the flipped distribution's
+    // EV — the identity the Section 3.7.2 inference relies on.
+    Rng rng(4);
+    ising::IsingModel m(3);
+    m.set_linear(0, 0.7);
+    m.add_quadratic(0, 2, -1.0);
+    ising::IsingModel mirror(3);
+    mirror.set_linear(0, -0.7);
+    mirror.add_quadratic(0, 2, -1.0);
+
+    Counts c(3);
+    for (int k = 0; k < 50; ++k)
+        c.add(rng() & 0b111);
+    EXPECT_NEAR(c.flip_all_bits().expectation(mirror), c.expectation(m),
+                1e-12);
+    EXPECT_EQ(c.flip_all_bits().total_shots(), c.total_shots());
+}
+
+TEST(Counts, MergeAndTvd)
+{
+    Counts a(2), b(2);
+    a.add(0, 10);
+    b.add(1, 10);
+    EXPECT_NEAR(a.total_variation_distance(b), 1.0, 1e-12);
+    a.merge(b);
+    EXPECT_EQ(a.total_shots(), 20u);
+    EXPECT_NEAR(a.probability(0), 0.5, 1e-12);
+}
+
+TEST(Counts, ReadoutErrorsFlipBits)
+{
+    Counts clean(4);
+    clean.add(0b0000, 2000);
+    Rng rng(5);
+    const auto noisy =
+        apply_readout_errors(clean, {0.5, 0.0, 0.0, 0.0}, rng);
+    // Qubit 0 flips half the time; others never.
+    std::uint64_t flipped = 0;
+    for (const auto& [state, count] : noisy.histogram()) {
+        ASSERT_TRUE(state == 0b0000 || state == 0b0001);
+        if (state == 1)
+            flipped = count;
+    }
+    EXPECT_NEAR(flipped / 2000.0, 0.5, 0.05);
+}
+
+TEST(NoiseModel, AttenuationBoundsAndMonotonicity)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    circuit::Circuit small(27), large(27);
+    for (int k = 0; k < 4; ++k)
+        small.cx(0, 1);
+    for (int k = 0; k < 40; ++k)
+        large.cx(0, 1);
+
+    const auto a_small = compute_attenuation(small, dev.calibration);
+    const auto a_large = compute_attenuation(large, dev.calibration);
+    for (int q : {0, 1}) {
+        EXPECT_GT(a_small.z_survival(q), 0.0);
+        EXPECT_LE(a_small.z_survival(q), 1.0);
+        // More gates on the same wire -> strictly less survival.
+        EXPECT_LT(a_large.z_survival(q), a_small.z_survival(q));
+    }
+    // Untouched qubits only suffer decoherence+readout, not gate error.
+    EXPECT_GT(a_large.gate_survival[5], 0.999999);
+    EXPECT_FALSE(a_large.active[5]);
+    EXPECT_TRUE(a_large.active[0]);
+}
+
+TEST(NoiseModel, EpsDecreasesWithCircuitSize)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    circuit::Circuit c(27);
+    double previous = 1.0;
+    for (int round = 0; round < 5; ++round) {
+        for (int k = 0; k < 10; ++k)
+            c.cx(1, 2);
+        const double eps =
+            expected_probability_of_success(c, dev.calibration);
+        EXPECT_LT(eps, previous);
+        EXPECT_GT(eps, 0.0);
+        previous = eps;
+    }
+}
+
+TEST(NoiseModel, RzIsErrorFree)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    circuit::Circuit c(27);
+    for (int k = 0; k < 100; ++k)
+        c.rz(0, 0.1);
+    const auto att = compute_attenuation(c, dev.calibration);
+    EXPECT_DOUBLE_EQ(att.gate_survival[0], 1.0);
+}
+
+TEST(NoiseModel, NoisyExpectationAttenuatesTowardOffset)
+{
+    Rng rng(6);
+    auto g = graph::barabasi_albert(8, 1, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    auto model = ising::IsingModel::from_graph(g);
+    model.set_offset(2.0);
+
+    const auto dev = device::make_device("ibm-montreal");
+    const auto logical = qaoa::build_qaoa_circuit(model);
+    const auto tuned = qaoa::optimize_p1(model, 24);
+    const auto ideal = qaoa::evaluate_p1(model, tuned.angles);
+
+    // Identity placement on a fake all-good circuit: zero gates -> only
+    // readout attenuation applies.
+    circuit::Circuit empty(27);
+    const auto att = compute_attenuation(empty, dev.calibration);
+    std::vector<int> placement(8);
+    for (int i = 0; i < 8; ++i)
+        placement[i] = i;
+    const double ev =
+        noisy_expectation(model, ideal.z, ideal.zz, att, placement);
+
+    // Noisy EV sits between the ideal EV and the offset (fully mixed).
+    EXPECT_GT(ev, tuned.energy);
+    EXPECT_LT(ev, model.offset() + 1e-9);
+    (void)logical;
+}
+
+TEST(NoiseModel, SampledCountsInterpolateIdealAndUniform)
+{
+    // survival=1 reproduces the ideal distribution; survival=0 is uniform.
+    Statevector sv(3);
+    sv.apply_x(0); // deterministic |001>
+    Rng rng(7);
+    const std::vector<double> no_flip(3, 0.0);
+
+    const auto ideal = sample_noisy_counts(sv, 1.0, no_flip, 500, rng);
+    EXPECT_EQ(ideal.num_distinct(), 1u);
+    EXPECT_NEAR(ideal.probability(1), 1.0, 1e-12);
+
+    const auto mixed = sample_noisy_counts(sv, 0.0, no_flip, 4000, rng);
+    EXPECT_GT(mixed.num_distinct(), 6u);
+    EXPECT_NEAR(mixed.probability(1), 1.0 / 8.0, 0.05);
+}
+
+TEST(NoiseModel, TrajectorySimAgreesWithAttenuationModel)
+{
+    // 6-qubit ring QAOA on a linear device with uniform errors: the
+    // closed-form attenuated EV and the Monte-Carlo EV must land within
+    // sampling error of each other.
+    Rng rng(8);
+    auto g = graph::path(6);
+    graph::assign_random_pm1_weights(g, rng);
+    const auto model = ising::IsingModel::from_graph(g);
+
+    device::Device dev;
+    dev.topology = device::make_linear(6);
+    dev.name = "linear-6";
+    dev.calibration =
+        device::Calibration::uniform(dev.topology, 0.02, 0.02, 300.0);
+
+    const auto tuned = qaoa::optimize_p1(model, 24);
+    qaoa::BuildOptions opts;
+    const auto logical = qaoa::build_qaoa_circuit(model, opts);
+    const auto bound =
+        logical.bind({tuned.angles.gamma}, {tuned.angles.beta});
+
+    std::vector<int> identity{0, 1, 2, 3, 4, 5};
+
+    const auto att = compute_attenuation(bound, dev.calibration);
+    const auto ideal = qaoa::evaluate_p1(model, tuned.angles);
+    const double analytic_ev =
+        noisy_expectation(model, ideal.z, ideal.zz, att, identity);
+
+    TrajectoryConfig config;
+    config.num_trajectories = 400;
+    config.shots_per_trajectory = 16;
+    Rng traj_rng(9);
+    const auto mc = simulate_trajectories(bound, dev.calibration, model,
+                                          identity, config, traj_rng);
+
+    // Both must attenuate the ideal EV; agreement within the Monte-Carlo
+    // band (models differ in error placement, so the band is generous).
+    EXPECT_LT(analytic_ev, 0.0);
+    EXPECT_LT(mc.expectation, 0.0);
+    EXPECT_GT(analytic_ev, tuned.energy);
+    EXPECT_GT(mc.expectation, tuned.energy);
+    EXPECT_NEAR(mc.expectation, analytic_ev,
+                0.35 * std::abs(tuned.energy));
+    EXPECT_GT(mc.error_events, 0);
+}
+
+TEST(Metrics, ApproximationRatioGap)
+{
+    EXPECT_DOUBLE_EQ(approximation_ratio_gap(-10.0, -10.0), 0.0);
+    EXPECT_DOUBLE_EQ(approximation_ratio_gap(-10.0, -5.0), 50.0);
+    EXPECT_DOUBLE_EQ(approximation_ratio_gap(-10.0, 0.0), 100.0);
+    EXPECT_DOUBLE_EQ(approximation_ratio_gap(0.0, 5.0), 0.0); // guarded
+}
+
+TEST(Metrics, ApproximationRatio)
+{
+    EXPECT_DOUBLE_EQ(approximation_ratio(-5.0, -10.0), 0.5);
+    EXPECT_THROW(approximation_ratio(-5.0, 10.0), Error);
+}
+
+} // namespace

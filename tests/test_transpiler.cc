@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Tests for the transpiler: layout validity, routing correctness (coupling
+ * compliance plus full unitary-equivalence against the statevector), the
+ * optimization passes' semantics preservation, and the compile pipeline.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "device/catalog.h"
+#include "graph/generators.h"
+#include "ising/ising_model.h"
+#include "qaoa/qaoa_builder.h"
+#include "sim/statevector.h"
+#include "transpiler/layout.h"
+#include "transpiler/passes.h"
+#include "transpiler/pipeline.h"
+#include "transpiler/router.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::transpiler;
+
+/** A random bound circuit exercising all gate kinds. */
+circuit::Circuit
+random_circuit(int n, int gates, Rng& rng)
+{
+    circuit::Circuit c(n);
+    for (int k = 0; k < gates; ++k) {
+        const int q = static_cast<int>(rng.uniform_int(std::uint64_t(n)));
+        switch (rng.uniform_int(std::uint64_t(5))) {
+          case 0:
+            c.h(q);
+            break;
+          case 1:
+            c.rz(q, rng.uniform(-1.5, 1.5));
+            break;
+          case 2:
+            c.rx(q, rng.uniform(-1.5, 1.5));
+            break;
+          default: {
+            int r = static_cast<int>(rng.uniform_int(std::uint64_t(n)));
+            if (r == q)
+                r = (q + 1) % n;
+            c.cx(q, r);
+            break;
+          }
+        }
+    }
+    return c;
+}
+
+/**
+ * Compare the logical circuit's state against the physical circuit's state
+ * under the final layout permutation (logical bit i lives at physical bit
+ * final_layout[i]).
+ */
+void
+expect_equivalent(const circuit::Circuit& logical,
+                  const circuit::Circuit& physical,
+                  const std::vector<int>& final_layout)
+{
+    const auto sv_logical = sim::run_circuit(logical);
+    const auto sv_physical = sim::run_circuit(physical);
+
+    const int n = logical.num_qubits();
+    for (std::uint64_t s = 0; s < sv_logical.dimension(); ++s) {
+        std::uint64_t mapped = 0;
+        for (int i = 0; i < n; ++i)
+            if (s & (std::uint64_t(1) << i))
+                mapped |= std::uint64_t(1) << final_layout[i];
+        const auto a = sv_logical.amplitude(s);
+        const auto b = sv_physical.amplitude(mapped);
+        ASSERT_NEAR(a.real(), b.real(), 1e-9) << "state " << s;
+        ASSERT_NEAR(a.imag(), b.imag(), 1e-9) << "state " << s;
+    }
+}
+
+TEST(Layout, TrivialIsIdentity)
+{
+    circuit::Circuit c(4);
+    c.cx(0, 3);
+    const auto topo = device::make_linear(6);
+    const auto layout =
+        compute_layout(c, topo, nullptr, LayoutStrategy::Trivial);
+    EXPECT_EQ(layout, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Layout, ProducesDistinctPhysicalQubits)
+{
+    Rng rng(1);
+    auto g = graph::barabasi_albert(10, 2, rng);
+    const auto model = ising::IsingModel::from_graph(g);
+    const auto c = qaoa::build_qaoa_circuit(model);
+    const auto dev = device::make_device("ibm-montreal");
+
+    for (auto strategy : {LayoutStrategy::DegreeGreedy,
+                          LayoutStrategy::NoiseAdaptive}) {
+        const auto layout =
+            compute_layout(c, dev.topology, &dev.calibration, strategy);
+        ASSERT_EQ(layout.size(), 10u);
+        std::set<int> used(layout.begin(), layout.end());
+        EXPECT_EQ(used.size(), 10u);
+        for (int p : layout) {
+            EXPECT_GE(p, 0);
+            EXPECT_LT(p, 27);
+        }
+    }
+}
+
+TEST(Layout, HotspotLandsOnWellConnectedQubit)
+{
+    // Star interaction graph: logical 0 talks to everyone.
+    circuit::Circuit c(5);
+    for (int v = 1; v < 5; ++v)
+        c.cx(0, v);
+    const auto dev = device::make_device("ibm-montreal");
+    const auto layout = compute_layout(c, dev.topology, &dev.calibration,
+                                       LayoutStrategy::DegreeGreedy);
+    // The hub must get a degree-3 site (max available on heavy-hex).
+    EXPECT_EQ(dev.topology.degree(layout[0]), 3);
+}
+
+TEST(Layout, InteractionGraphCountsMultiplicity)
+{
+    circuit::Circuit c(3);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    const auto adj = interaction_graph(c);
+    ASSERT_EQ(adj[0].size(), 1u);
+    EXPECT_EQ(adj[0][0].first, 1);
+    EXPECT_EQ(adj[0][0].second, 2);
+    EXPECT_EQ(adj[1].size(), 2u);
+}
+
+TEST(Router, RespectsCouplingOnLinearChain)
+{
+    Rng rng(2);
+    const auto topo = device::make_linear(6);
+    const auto logical = random_circuit(6, 40, rng);
+    std::vector<int> identity{0, 1, 2, 3, 4, 5};
+    const auto routed = route(logical, topo, identity);
+    EXPECT_TRUE(respects_coupling(routed.physical, topo));
+}
+
+class RouterEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RouterEquivalence, PreservesSemanticsOnRandomCircuits)
+{
+    Rng rng(100 + GetParam());
+    const int n = 4 + static_cast<int>(rng.uniform_int(std::uint64_t(3)));
+    const auto logical = random_circuit(n, 30, rng);
+
+    // Route onto a linear chain of exactly n qubits so the statevector
+    // comparison stays cheap.
+    const auto topo = device::make_linear(n);
+    std::vector<int> identity(n);
+    for (int i = 0; i < n; ++i)
+        identity[i] = i;
+
+    const auto routed = route(logical, topo, identity);
+    ASSERT_TRUE(respects_coupling(routed.physical, topo));
+    expect_equivalent(logical, routed.physical, routed.final_layout);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, RouterEquivalence,
+                         ::testing::Range(0, 8));
+
+TEST(Router, NoSwapsWhenAlreadyCoupled)
+{
+    const auto topo = device::make_linear(4);
+    circuit::Circuit c(4);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.cx(2, 3);
+    const auto routed = route(c, topo, {0, 1, 2, 3});
+    EXPECT_EQ(routed.swaps_inserted, 0);
+    EXPECT_EQ(routed.final_layout, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Router, DistantGateNeedsSwaps)
+{
+    const auto topo = device::make_linear(5);
+    circuit::Circuit c(5);
+    c.cx(0, 4);
+    const auto routed = route(c, topo, {0, 1, 2, 3, 4});
+    EXPECT_GE(routed.swaps_inserted, 3); // distance 4 needs >= 3 swaps
+    EXPECT_TRUE(respects_coupling(routed.physical, topo));
+}
+
+TEST(Router, ValidatesLayout)
+{
+    const auto topo = device::make_linear(3);
+    circuit::Circuit c(2);
+    c.cx(0, 1);
+    EXPECT_THROW(route(c, topo, {0}), Error);       // size mismatch
+    EXPECT_THROW(route(c, topo, {0, 0}), Error);    // duplicate
+    EXPECT_THROW(route(c, topo, {0, 9}), Error);    // out of range
+}
+
+TEST(Passes, CancelAdjacentCxPairs)
+{
+    circuit::Circuit c(3);
+    c.cx(0, 1);
+    c.cx(0, 1); // cancels with previous
+    c.cx(1, 2);
+    c.h(1);
+    c.cx(1, 2); // does NOT cancel (H in between)
+    const auto out = cancel_adjacent_cx(c);
+    EXPECT_EQ(out.count(circuit::GateType::CX), 2);
+}
+
+TEST(Passes, CancelCascades)
+{
+    // c a a c -> outer pair becomes adjacent once inner pair cancels.
+    circuit::Circuit c(2);
+    c.cx(0, 1);
+    c.cx(1, 0);
+    c.cx(1, 0);
+    c.cx(0, 1);
+    const auto out = cancel_adjacent_cx(c);
+    EXPECT_EQ(out.count(circuit::GateType::CX), 0);
+}
+
+TEST(Passes, MergeAdjacentRz)
+{
+    circuit::Circuit c(2);
+    c.rz(0, 0.3);
+    c.rz(0, 0.4); // merges -> 0.7
+    c.h(0);
+    c.rz(0, 0.1); // separated by H, stays
+    c.rz(1, circuit::Parameter::gamma(0, 1.0, 5));
+    c.rz(1, circuit::Parameter::gamma(0, 2.0, 5)); // same tag merges
+    const auto out = merge_adjacent_rz(c);
+    EXPECT_EQ(out.count(circuit::GateType::RZ), 3);
+}
+
+TEST(Passes, SymbolicMergeRespectsTags)
+{
+    circuit::Circuit c(1);
+    c.rz(0, circuit::Parameter::gamma(0, 1.0, 1));
+    c.rz(0, circuit::Parameter::gamma(0, 2.0, 2)); // different tag
+    const auto out = merge_adjacent_rz(c);
+    EXPECT_EQ(out.count(circuit::GateType::RZ), 2);
+}
+
+TEST(Passes, OptimizePreservesSemantics)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 4; ++trial) {
+        auto c = random_circuit(5, 40, rng);
+        // Inject some removable structure.
+        c.cx(0, 1);
+        c.cx(0, 1);
+        c.rz(2, 0.2);
+        c.rz(2, -0.2);
+        const auto optimized = optimize(c);
+        EXPECT_LE(optimized.size(), c.size());
+        const auto a = sim::run_circuit(c);
+        const auto b = sim::run_circuit(optimized);
+        EXPECT_NEAR(a.overlap(b), 1.0, 1e-9) << "trial " << trial;
+    }
+}
+
+TEST(Pipeline, CompilesQaoaOntoMontreal)
+{
+    Rng rng(4);
+    auto g = graph::barabasi_albert(12, 1, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    const auto model = ising::IsingModel::from_graph(g);
+    const auto logical = qaoa::build_qaoa_circuit(model);
+    const auto dev = device::make_device("ibm-montreal");
+
+    const auto result = compile(logical, dev);
+    EXPECT_TRUE(respects_coupling(result.physical, dev.topology));
+    EXPECT_EQ(result.physical.count(circuit::GateType::SWAP), 0); // decomposed
+    EXPECT_GE(result.metrics.cx_gates, result.pre_routing_cx);
+    EXPECT_EQ(result.pre_routing_cx, 2 * model.num_quadratic_terms());
+    EXPECT_EQ(result.final_layout.size(), 12u);
+    EXPECT_GT(result.metrics.depth, 0);
+    EXPECT_GT(result.metrics.duration_ns, 0.0);
+}
+
+TEST(Pipeline, SwapOverheadGrowsWithDensity)
+{
+    // Fully-connected QAOA needs far more SWAP-CXs than a path graph —
+    // the Figure 3 effect in miniature.
+    Rng rng(5);
+    const auto dev = device::make_grid_device(4, 4);
+
+    const auto sparse_model =
+        ising::IsingModel::from_graph(graph::path(10));
+    const auto dense_model =
+        ising::IsingModel::from_graph(graph::complete(10));
+
+    const auto sparse =
+        compile(qaoa::build_qaoa_circuit(sparse_model), dev);
+    const auto dense = compile(qaoa::build_qaoa_circuit(dense_model), dev);
+
+    const double sparse_blowup =
+        static_cast<double>(sparse.metrics.cx_gates) / sparse.pre_routing_cx;
+    const double dense_blowup =
+        static_cast<double>(dense.metrics.cx_gates) / dense.pre_routing_cx;
+    EXPECT_GT(dense_blowup, sparse_blowup);
+}
+
+TEST(Pipeline, RejectsOversizedCircuit)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    circuit::Circuit c(28);
+    c.h(0);
+    EXPECT_THROW(compile(c, dev), Error);
+}
+
+} // namespace

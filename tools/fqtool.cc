@@ -1,0 +1,273 @@
+/**
+ * @file
+ * fqtool — command-line front end for the FrozenQubits pipeline.
+ *
+ * Subcommands:
+ *   generate --class ba1|ba2|ba3|3reg|sk --n <N> [--seed S]
+ *       Emit a random benchmark instance in the text model format.
+ *   analyze [--file F]
+ *       Read a model (file or stdin) and print graph/hotspot statistics.
+ *   run [--file F] --device <name> [--freeze M] [--seed S]
+ *       Read a model, run baseline-vs-FrozenQubits, print the report.
+ *   solve [--file F] --device <name> [--freeze M] [--shots K] [--seed S]
+ *       Sampled end-to-end solve (N - M <= 22 for the statevector).
+ *   devices
+ *       List the device catalog.
+ *
+ * Examples:
+ *   fqtool generate --class ba1 --n 16 > problem.ising
+ *   fqtool run --file problem.ising --device ibm-montreal --freeze 2
+ */
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/table.h"
+#include "device/catalog.h"
+#include "frozenqubits/budget.h"
+#include "frozenqubits/driver.h"
+#include "frozenqubits/hotspot.h"
+#include "graph/generators.h"
+#include "graph/powerlaw.h"
+#include "ising/io.h"
+#include "ising/maxcut.h"
+
+namespace {
+
+using namespace fq;
+
+/** Parsed --key value options. */
+using Options = std::map<std::string, std::string>;
+
+Options
+parse_options(int argc, char** argv, int first)
+{
+    Options opts;
+    for (int a = first; a < argc; ++a) {
+        std::string key = argv[a];
+        FQ_REQUIRE(key.rfind("--", 0) == 0, "expected --option, got " + key);
+        key = key.substr(2);
+        FQ_REQUIRE(a + 1 < argc, "missing value for --" + key);
+        opts[key] = argv[++a];
+    }
+    return opts;
+}
+
+std::string
+option(const Options& opts, const std::string& key,
+       const std::string& fallback)
+{
+    const auto it = opts.find(key);
+    return it == opts.end() ? fallback : it->second;
+}
+
+int
+int_option(const Options& opts, const std::string& key, int fallback)
+{
+    const auto it = opts.find(key);
+    return it == opts.end() ? fallback : std::stoi(it->second);
+}
+
+ising::IsingModel
+load_model(const Options& opts)
+{
+    const auto file = option(opts, "file", "");
+    if (file.empty())
+        return ising::read_model(std::cin);
+    std::ifstream in(file);
+    FQ_REQUIRE(in.good(), "cannot open " + file);
+    return ising::read_model(in);
+}
+
+int
+cmd_generate(const Options& opts)
+{
+    const auto klass = option(opts, "class", "ba1");
+    const int n = int_option(opts, "n", 16);
+    Rng rng(static_cast<std::uint64_t>(int_option(opts, "seed", 1)));
+
+    graph::Graph g;
+    if (klass == "ba1")
+        g = graph::barabasi_albert(n, 1, rng);
+    else if (klass == "ba2")
+        g = graph::barabasi_albert(n, 2, rng);
+    else if (klass == "ba3")
+        g = graph::barabasi_albert(n, 3, rng);
+    else if (klass == "3reg")
+        g = graph::random_regular(n, 3, rng);
+    else if (klass == "sk")
+        g = graph::complete(n);
+    else
+        FQ_REQUIRE(false, "unknown class: " + klass);
+    graph::assign_random_pm1_weights(g, rng);
+
+    std::cout << "# " << klass << " benchmark, N=" << n << "\n";
+    ising::write_model(std::cout, ising::maxcut_hamiltonian(g));
+    return 0;
+}
+
+int
+cmd_analyze(const Options& opts)
+{
+    const auto model = load_model(opts);
+    const auto g = model.to_graph();
+    const auto stats = graph::degree_stats(g, 5);
+
+    Table t("instance analysis");
+    t.set_header({"metric", "value"});
+    t.add_row({"spins", Table::num(model.num_spins())});
+    t.add_row({"quadratic terms", Table::num(model.num_quadratic_terms())});
+    t.add_row({"flip-symmetric (h==0)",
+               model.has_zero_linear_terms() ? "yes" : "no"});
+    t.add_row({"average degree", Table::num(stats.average_degree, 2)});
+    t.add_row({"max degree", Table::num(stats.max_degree)});
+    t.add_row({"top-5 hotspot ratio", Table::factor(stats.hotspot_ratio)});
+    t.print(std::cout);
+
+    Rng rng(1);
+    Table hotspots("hotspots (iterative max-degree order)");
+    hotspots.set_header({"rank", "spin", "edges dropped cumulatively"});
+    const auto picks = frozenqubits::select_hotspots(
+        model, std::min(5, model.num_spins() - 1),
+        frozenqubits::HotspotPolicy::MaxDegree, rng);
+    for (std::size_t k = 0; k < picks.size(); ++k) {
+        const std::vector<int> prefix(picks.begin(),
+                                      picks.begin() + k + 1);
+        hotspots.add_row({Table::num(k + 1), "z" + Table::num(picks[k]),
+                          Table::num(frozenqubits::dropped_edge_count(
+                              model, prefix))});
+    }
+    hotspots.print(std::cout);
+    return 0;
+}
+
+/** --freeze N or --freeze auto (Section 3.4 recommendation). */
+int
+resolve_freeze_count(const Options& opts, const ising::IsingModel& model)
+{
+    if (option(opts, "freeze", "1") != "auto")
+        return int_option(opts, "freeze", 1);
+    frozenqubits::FreezeBudget budget;
+    budget.max_circuits = int_option(opts, "budget", 4);
+    const auto rec = frozenqubits::recommend_num_freeze(model, budget);
+    std::cout << "auto freeze: m=" << rec.num_freeze;
+    for (const auto& step : rec.steps)
+        std::cout << "  [z" << step.spin << " drops "
+                  << step.edges_dropped << " edges]";
+    std::cout << "\n";
+    return std::max(1, rec.num_freeze);
+}
+
+int
+cmd_run(const Options& opts)
+{
+    const auto model = load_model(opts);
+    const auto dev = device::make_device(
+        option(opts, "device", "ibm-montreal"));
+    frozenqubits::DriverConfig config;
+    config.num_freeze = resolve_freeze_count(opts, model);
+    config.seed = static_cast<std::uint64_t>(int_option(opts, "seed", 7));
+
+    const auto r = frozenqubits::run_pipeline(model, dev, config);
+    Table t("baseline vs FrozenQubits(m=" +
+            Table::num(config.num_freeze) + ") on " + dev.name);
+    t.set_header({"arm", "circuits", "CXs", "SWAPs", "depth", "EPS",
+                  "EV ideal", "EV noisy", "ARG"});
+    t.add_row({"baseline", "1", Table::num(r.baseline.post_routing_cx),
+               Table::num(r.baseline.swaps), Table::num(r.baseline.depth),
+               Table::num(r.baseline.eps, 4),
+               Table::num(r.baseline.ev_ideal, 3),
+               Table::num(r.baseline.ev_noisy, 3),
+               Table::num(r.arg_baseline, 2)});
+    t.add_row({"FrozenQubits", Table::num(r.num_executed),
+               Table::num(r.executed[0].post_routing_cx),
+               Table::num(r.executed[0].swaps),
+               Table::num(r.executed[0].depth),
+               Table::num(r.executed[0].eps, 4),
+               Table::num(r.ev_ideal_fq, 3), Table::num(r.ev_noisy_fq, 3),
+               Table::num(r.arg_fq, 2)});
+    t.print(std::cout);
+    std::cout << "fidelity improvement: "
+              << Table::factor(r.improvement()) << "\n";
+    return 0;
+}
+
+int
+cmd_solve(const Options& opts)
+{
+    const auto model = load_model(opts);
+    const auto dev = device::make_device(
+        option(opts, "device", "ibm-montreal"));
+    frozenqubits::DriverConfig config;
+    config.num_freeze = resolve_freeze_count(opts, model);
+    Rng rng(static_cast<std::uint64_t>(int_option(opts, "seed", 7)));
+
+    const auto solved = frozenqubits::solve_with_sampling(
+        model, dev, config, int_option(opts, "shots", 8192), rng);
+    std::cout << "best cost: " << solved.best_cost << " (sub-problem "
+              << solved.from_subproblem << ")\nassignment: ";
+    for (auto z : solved.best_assignment)
+        std::cout << (z > 0 ? '+' : '-');
+    std::cout << "\n";
+    return 0;
+}
+
+int
+cmd_devices()
+{
+    Table t("device catalog");
+    t.set_header({"name", "qubits", "couplings", "avg CX error",
+                  "avg readout error"});
+    for (const auto& name : device::ibm_device_names()) {
+        const auto dev = device::make_device(name);
+        t.add_row({name, Table::num(dev.num_qubits()),
+                   Table::num(dev.topology.num_couplings()),
+                   Table::num(dev.calibration.average_cx_error(), 4),
+                   Table::num(dev.calibration.average_readout_error(), 4)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: fqtool <command> [options]\n"
+        "  generate --class ba1|ba2|ba3|3reg|sk --n N [--seed S]\n"
+        "  analyze  [--file F]\n"
+        "  run      [--file F] --device NAME [--freeze M|auto] [--seed S]\n"
+        "  solve    [--file F] --device NAME [--freeze M|auto] [--shots K]\n"
+        "  devices\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    try {
+        const auto opts = parse_options(argc, argv, 2);
+        if (command == "generate")
+            return cmd_generate(opts);
+        if (command == "analyze")
+            return cmd_analyze(opts);
+        if (command == "run")
+            return cmd_run(opts);
+        if (command == "solve")
+            return cmd_solve(opts);
+        if (command == "devices")
+            return cmd_devices();
+        return usage();
+    } catch (const fq::Error& e) {
+        std::cerr << "fqtool: " << e.what() << "\n";
+        return 1;
+    }
+}
