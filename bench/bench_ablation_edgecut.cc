@@ -47,7 +47,7 @@ print_figure()
             frozenqubits::DriverConfig config;
             config.num_freeze = 1;
             const auto fq =
-                frozenqubits::run_pipeline(model, dev, config);
+                run_fq(model, dev, config);
 
             dnc_quality.push_back(dnc.ev_noisy);
             fq_quality.push_back(fq.ev_noisy_fq);

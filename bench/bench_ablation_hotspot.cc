@@ -51,7 +51,7 @@ sweep_class(const std::string& title, bool powerlaw)
                 cfg.num_freeze = 2;
                 cfg.policy = policy;
                 cfg.seed = seed; // drives the Random policy draw
-                const auto r = frozenqubits::run_pipeline(model, dev, cfg);
+                const auto r = run_fq(model, dev, cfg);
                 args.push_back(r.arg_fq);
                 cxs.push_back(r.executed[0].post_routing_cx);
                 gains.push_back(r.improvement());

@@ -55,7 +55,7 @@ print_figure()
                 frozenqubits::DriverConfig cfg;
                 cfg.num_freeze = 1;
                 cfg.compile.layout = strategy;
-                const auto r = frozenqubits::run_pipeline(model, dev, cfg);
+                const auto r = run_fq(model, dev, cfg);
                 base_cx.push_back(r.baseline.post_routing_cx);
                 base_swaps.push_back(r.baseline.swaps);
                 fq_cx.push_back(r.executed[0].post_routing_cx);

@@ -34,8 +34,8 @@ print_figure()
         with.num_freeze = m;
         frozenqubits::DriverConfig without = with;
         without.symmetry_pruning = false;
-        const auto a = frozenqubits::run_pipeline(model, dev, with);
-        const auto b = frozenqubits::run_pipeline(model, dev, without);
+        const auto a = run_fq(model, dev, with);
+        const auto b = run_fq(model, dev, without);
         t.add_row({Table::num(m), Table::num(a.num_executed),
                    Table::num(b.num_executed), Table::num(a.arg_fq, 3),
                    Table::num(b.arg_fq, 3),

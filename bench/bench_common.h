@@ -18,10 +18,48 @@
 #include "common/math_utils.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "engine/engine.h"
 #include "graph/generators.h"
 #include "ising/ising_model.h"
 
 namespace fq::bench {
+
+/**
+ * Process-wide ExecutionEngine shared by the bench binaries: one thread
+ * pool (all hardware threads) plus one template cache, so a sweep over
+ * seeds or sizes pays each (topology, device) transpiler run once and runs
+ * its 2^{m-1} sub-circuits in parallel. Results are unchanged — the engine
+ * guarantees thread-count-independent output.
+ */
+inline engine::ExecutionEngine&
+shared_engine()
+{
+    static engine::ExecutionEngine engine(0); // 0 = hardware concurrency
+    return engine;
+}
+
+/** Engine-backed drop-in for frozenqubits::run_pipeline. */
+inline frozenqubits::Report
+run_fq(const ising::IsingModel& model, const device::Device& dev,
+       const frozenqubits::DriverConfig& config)
+{
+    return shared_engine().run(model, dev, config);
+}
+
+/**
+ * Cold-cache variant for BM_ timing loops: drops the shared engine's
+ * templates first so every iteration pays the full transpilation cost
+ * instead of timing cache hits. Iterations still run on the engine's full
+ * thread pool — the number measures the engine pipeline as shipped (cold
+ * caches, warm pool), not the old serial driver.
+ */
+inline frozenqubits::Report
+run_fq_cold(const ising::IsingModel& model, const device::Device& dev,
+            const frozenqubits::DriverConfig& config)
+{
+    shared_engine().clear_template_cache();
+    return shared_engine().run(model, dev, config);
+}
 
 /** BA power-law instance with +-1 weights (the paper's default class). */
 inline ising::IsingModel

@@ -34,8 +34,8 @@ sweep(const std::string& title, const std::string& paper_note,
             c1.num_freeze = 1;
             frozenqubits::DriverConfig c2;
             c2.num_freeze = 2;
-            const auto r1 = frozenqubits::run_pipeline(model, dev, c1);
-            const auto r2 = frozenqubits::run_pipeline(model, dev, c2);
+            const auto r1 = run_fq(model, dev, c1);
+            const auto r2 = run_fq(model, dev, c2);
             base.push_back(r1.arg_baseline);
             fq1.push_back(r1.arg_fq);
             fq2.push_back(r2.arg_fq);
@@ -82,7 +82,7 @@ BM_SkPipeline(benchmark::State& state)
     frozenqubits::DriverConfig cfg;
     cfg.num_freeze = 1;
     for (auto _ : state) {
-        auto r = frozenqubits::run_pipeline(model, dev, cfg);
+        auto r = run_fq_cold(model, dev, cfg);
         benchmark::DoNotOptimize(r.arg_fq);
     }
 }

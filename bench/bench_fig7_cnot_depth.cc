@@ -55,8 +55,8 @@ print_figure()
         cfg1.num_freeze = 1;
         frozenqubits::DriverConfig cfg2;
         cfg2.num_freeze = 2;
-        const auto r1 = frozenqubits::run_pipeline(model, dev, cfg1);
-        const auto r2 = frozenqubits::run_pipeline(model, dev, cfg2);
+        const auto r1 = run_fq(model, dev, cfg1);
+        const auto r2 = run_fq(model, dev, cfg2);
 
         const auto& base = r1.baseline;
         const auto& f1 = r1.executed[0];
@@ -105,7 +105,7 @@ BM_PipelineBaArg(benchmark::State& state)
     frozenqubits::DriverConfig cfg;
     cfg.num_freeze = 1;
     for (auto _ : state) {
-        auto report = frozenqubits::run_pipeline(model, dev, cfg);
+        auto report = run_fq_cold(model, dev, cfg);
         benchmark::DoNotOptimize(report.arg_fq);
     }
 }

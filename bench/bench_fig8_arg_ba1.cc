@@ -35,8 +35,8 @@ print_figure()
             cfg1.num_freeze = 1;
             frozenqubits::DriverConfig cfg2;
             cfg2.num_freeze = 2;
-            const auto r1 = frozenqubits::run_pipeline(model, dev, cfg1);
-            const auto r2 = frozenqubits::run_pipeline(model, dev, cfg2);
+            const auto r1 = run_fq(model, dev, cfg1);
+            const auto r2 = run_fq(model, dev, cfg2);
             base.push_back(r1.arg_baseline);
             fq1.push_back(r1.arg_fq);
             fq2.push_back(r2.arg_fq);
@@ -68,7 +68,7 @@ BM_ArgEvaluation(benchmark::State& state)
     frozenqubits::DriverConfig cfg;
     cfg.num_freeze = 2;
     for (auto _ : state) {
-        auto report = frozenqubits::run_pipeline(model, dev, cfg);
+        auto report = run_fq_cold(model, dev, cfg);
         benchmark::DoNotOptimize(report.improvement());
     }
 }

@@ -41,11 +41,11 @@ print_figure()
         const auto model = ba_model(n, d, 5);
         frozenqubits::DriverConfig cfg;
         cfg.num_freeze = 1;
-        const auto base = frozenqubits::run_pipeline(model, dev, cfg);
+        const auto base = run_fq(model, dev, cfg);
         for (int m = 1; m <= kMaxFreeze; ++m) {
             frozenqubits::DriverConfig c;
             c.num_freeze = m;
-            const auto r = frozenqubits::run_pipeline(model, dev, c);
+            const auto r = run_fq(model, dev, c);
             rel_arg[d].push_back(r.arg_fq /
                                  std::max(base.arg_baseline, 1e-9));
             if (d == 1) {
@@ -94,7 +94,7 @@ BM_FreezeSweep(benchmark::State& state)
     frozenqubits::DriverConfig cfg;
     cfg.num_freeze = static_cast<int>(state.range(0));
     for (auto _ : state) {
-        auto r = frozenqubits::run_pipeline(model, dev, cfg);
+        auto r = run_fq_cold(model, dev, cfg);
         benchmark::DoNotOptimize(r.arg_fq);
     }
 }

@@ -15,7 +15,7 @@
 
 #include "common/table.h"
 #include "device/catalog.h"
-#include "frozenqubits/driver.h"
+#include "engine/engine.h"
 #include "frozenqubits/freeze.h"
 #include "frozenqubits/hotspot.h"
 #include "graph/generators.h"
@@ -48,6 +48,9 @@ main()
 
     const auto hamiltonian = ising::maxcut_hamiltonian(network);
     const auto device = device::make_device("ibm-auckland");
+    // One engine for the whole sweep: the m=1..3 runs share its thread
+    // pool, and the baseline arm compiles once (template cache).
+    engine::ExecutionEngine engine(/*num_threads=*/0);
 
     // How much quantum circuit does each frozen hub save?
     Table budget("CNOT budget vs frozen hubs (ibm-auckland)");
@@ -56,8 +59,7 @@ main()
     for (int m = 1; m <= 3; ++m) {
         frozenqubits::DriverConfig config;
         config.num_freeze = m;
-        const auto report =
-            frozenqubits::run_pipeline(hamiltonian, device, config);
+        const auto report = engine.run(hamiltonian, device, config);
         if (m == 1) {
             budget.add_row({"0 (baseline)", "1",
                             Table::num(report.baseline.post_routing_cx),
@@ -76,8 +78,8 @@ main()
     frozenqubits::DriverConfig config;
     config.num_freeze = 2;
     Rng solve_rng(7);
-    const auto solved = frozenqubits::solve_with_sampling(
-        hamiltonian, device, config, /*shots=*/8192, solve_rng);
+    const auto solved =
+        engine.solve(hamiltonian, device, config, /*shots=*/8192, solve_rng);
 
     // Classical cross-check: simulated annealing.
     ising::SaConfig sa;

@@ -18,7 +18,7 @@
 
 #include "common/table.h"
 #include "device/catalog.h"
-#include "frozenqubits/driver.h"
+#include "engine/engine.h"
 #include "frozenqubits/freeze.h"
 #include "frozenqubits/hotspot.h"
 #include "graph/generators.h"
@@ -71,10 +71,11 @@ main()
               << "\n\n";
 
     const auto device = device::make_device("ibm-hanoi");
+    engine::ExecutionEngine engine(/*num_threads=*/0); // 0 = all cores
     frozenqubits::DriverConfig config;
     config.num_freeze = 2;
 
-    const auto report = frozenqubits::run_pipeline(model, device, config);
+    const auto report = engine.run(model, device, config);
     Table t("baseline vs FrozenQubits (m=2) on ibm-hanoi");
     t.set_header({"arm", "circuits", "CXs", "depth", "EV(ideal)",
                   "EV(noisy)", "ARG"});
@@ -97,8 +98,8 @@ main()
 
     // Decode an actual portfolio with sampling.
     Rng solve_rng(55);
-    const auto solved = frozenqubits::solve_with_sampling(
-        model, device, config, /*shots=*/8192, solve_rng);
+    const auto solved =
+        engine.solve(model, device, config, /*shots=*/8192, solve_rng);
     const auto exact = ising::solve_exact(model);
 
     std::cout << "selected assets (x_i = 1): ";

@@ -18,7 +18,7 @@
 
 #include "common/table.h"
 #include "device/catalog.h"
-#include "frozenqubits/driver.h"
+#include "engine/engine.h"
 #include "graph/generators.h"
 #include "ising/exact_solver.h"
 #include "ising/qubo.h"
@@ -63,11 +63,11 @@ main()
               << " (avg " << conflicts.average_degree() << ")\n\n";
 
     const auto device = device::make_device("ibm-mumbai");
+    engine::ExecutionEngine engine(/*num_threads=*/0); // 0 = all cores
     frozenqubits::DriverConfig config;
     config.num_freeze = 2;
 
-    const auto report =
-        frozenqubits::run_pipeline(hamiltonian, device, config);
+    const auto report = engine.run(hamiltonian, device, config);
     Table t("baseline vs FrozenQubits(m=2) on ibm-mumbai");
     t.set_header({"arm", "CXs", "depth", "ARG"});
     t.add_row({"baseline", Table::num(report.baseline.post_routing_cx),
@@ -81,8 +81,8 @@ main()
 
     // Solve and decode the vehicle assignment.
     Rng solve_rng(42);
-    const auto solved = frozenqubits::solve_with_sampling(
-        hamiltonian, device, config, /*shots=*/8192, solve_rng);
+    const auto solved =
+        engine.solve(hamiltonian, device, config, /*shots=*/8192, solve_rng);
     const auto exact = ising::solve_exact(hamiltonian);
     const auto assignment =
         ising::spins_to_binary(solved.best_assignment);

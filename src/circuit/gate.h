@@ -89,7 +89,12 @@ struct Parameter
     double resolve(const std::vector<double>& gammas,
                    const std::vector<double>& betas) const;
 
-    bool operator==(const Parameter&) const = default;
+    bool operator==(const Parameter& o) const
+    {
+        return kind == o.kind && layer == o.layer &&
+               coefficient == o.coefficient && tag == o.tag;
+    }
+    bool operator!=(const Parameter& o) const { return !(*this == o); }
 };
 
 /** One gate instance. q1 is -1 for single-qubit gates and MEASURE. */

@@ -9,7 +9,6 @@
 #ifndef FQ_COMMON_BITOPS_H
 #define FQ_COMMON_BITOPS_H
 
-#include <bit>
 #include <cstdint>
 
 namespace fq {
@@ -47,14 +46,32 @@ gray_code(std::uint64_t n)
 inline int
 gray_flip_bit(std::uint64_t n)
 {
-    return std::countr_zero(n);
+#if defined(__GNUC__) || defined(__clang__)
+    return n == 0 ? 64 : __builtin_ctzll(n);
+#else
+    if (n == 0)
+        return 64;
+    int c = 0;
+    while (!(n & 1ull)) {
+        n >>= 1;
+        ++c;
+    }
+    return c;
+#endif
 }
 
 /** Population count. */
 inline int
 popcount64(std::uint64_t x)
 {
-    return std::popcount(x);
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_popcountll(x);
+#else
+    int c = 0;
+    for (; x; x &= x - 1)
+        ++c;
+    return c;
+#endif
 }
 
 } // namespace fq

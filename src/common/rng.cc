@@ -34,6 +34,15 @@ combine_seeds(std::uint64_t a, std::uint64_t b)
     return splitmix64(s);
 }
 
+std::uint64_t
+subproblem_stream_seed(std::uint64_t seed, std::uint64_t subproblem_index)
+{
+    // Two splitmix rounds decorrelate the (small-integer) index from the
+    // base seed; combine_seeds alone mixes only one round.
+    std::uint64_t s = combine_seeds(seed, subproblem_index);
+    return splitmix64(s);
+}
+
 namespace {
 
 inline std::uint64_t

@@ -30,6 +30,17 @@ std::uint64_t hash_seed(const std::string& text);
 std::uint64_t combine_seeds(std::uint64_t a, std::uint64_t b);
 
 /**
+ * Seed of the independent RNG stream owned by sub-problem @p index.
+ *
+ * Execution-order free: the stream depends only on (seed, index), never on
+ * how many draws other sub-problems made, so a thread-pooled batch run
+ * produces bit-identical samples to a serial one (the ExecutionEngine's
+ * determinism guarantee).
+ */
+std::uint64_t subproblem_stream_seed(std::uint64_t seed,
+                                     std::uint64_t subproblem_index);
+
+/**
  * xoshiro256++ pseudo-random generator with convenience samplers.
  *
  * Satisfies UniformRandomBitGenerator, so it can also feed <random>

@@ -1,0 +1,249 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.h"
+#include "frozenqubits/template_editor.h"
+#include "qaoa/qaoa_builder.h"
+#include "sim/noise_model.h"
+
+namespace fq::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+ms_since(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/**
+ * Fill a CircuitStats from a compiled circuit + per-term expectations.
+ * @p shared_attenuation / @p shared_eps, when given, replace the O(gates)
+ * noise analysis — valid whenever the circuit is an RZ-angle edit of the
+ * one they were computed from (angles touch neither quantity).
+ */
+frozenqubits::CircuitStats
+stats_from_compile(const ising::IsingModel& model, const device::Device& dev,
+                   const transpiler::CompileResult& compiled,
+                   const qaoa::P1OptimizationResult& tuned,
+                   const sim::NoiseAttenuation* shared_attenuation = nullptr,
+                   const double* shared_eps = nullptr)
+{
+    frozenqubits::CircuitStats s;
+    s.num_qubits = model.num_spins();
+    s.pre_routing_cx = compiled.pre_routing_cx;
+    s.post_routing_cx = compiled.metrics.cx_gates;
+    s.swaps = compiled.swaps_inserted;
+    s.depth = compiled.metrics.depth;
+    s.duration_ns = compiled.metrics.duration_ns;
+    s.compile_time_ms = compiled.compile_time_ms;
+    s.angles = tuned.angles;
+    s.ev_ideal = tuned.energy;
+
+    sim::NoiseAttenuation local;
+    if (!shared_attenuation) {
+        local = sim::compute_attenuation(compiled.physical, dev.calibration);
+        shared_attenuation = &local;
+    }
+    s.eps = shared_eps ? *shared_eps
+                       : sim::expected_probability_of_success(
+                             compiled.physical, dev.calibration);
+
+    const auto ideal = qaoa::evaluate_p1(model, tuned.angles);
+    s.ev_noisy =
+        sim::noisy_expectation(model, ideal.z, ideal.zz,
+                               *shared_attenuation, compiled.final_layout);
+    return s;
+}
+
+/** The sub-problem whose structure the shared template was compiled from. */
+const frozenqubits::SubProblem&
+template_owner(const ExecutionPlan& plan)
+{
+    return plan.subproblems[static_cast<std::size_t>(
+        plan.tasks.front().solve)];
+}
+
+} // namespace
+
+ExecutionEngine::ExecutionEngine(int num_threads) : executor_(num_threads)
+{
+}
+
+frozenqubits::CircuitStats
+ExecutionEngine::evaluate(const ising::IsingModel& model,
+                          const device::Device& dev,
+                          const frozenqubits::DriverConfig& config)
+{
+    const auto tuned = qaoa::optimize_p1(model, config.p1_grid_resolution);
+    qaoa::BuildOptions build;
+    build.num_layers = 1;
+    bool was_hit = false;
+    const auto tpl =
+        cache_.get_or_compile(model, dev, config.compile, build, &was_hit);
+    auto stats = stats_from_compile(model, dev, tpl->compiled, tuned,
+                                    &tpl->attenuation, &tpl->eps);
+    if (was_hit)
+        stats.compile_time_ms = 0.0; // served from cache, nothing compiled
+    return stats;
+}
+
+frozenqubits::CircuitStats
+ExecutionEngine::run_task(const ExecutionPlan& plan,
+                          const SubProblemTask& task,
+                          const device::Device& dev,
+                          const frozenqubits::DriverConfig& config)
+{
+    const auto& sub =
+        plan.subproblems[static_cast<std::size_t>(task.solve)];
+    const auto tuned =
+        qaoa::optimize_p1(sub.model, config.p1_grid_resolution);
+
+    if (plan.compiled_template &&
+        frozenqubits::templates_compatible(template_owner(plan).model,
+                                           sub.model)) {
+        // Structure, routing, attenuation, and EPS are the template's for
+        // every sibling; the sibling's executable differs only by an
+        // RZ-angle edit (Section 3.7.1), which no reported stat reads — so
+        // the stats come straight from the shared entry, with compile time
+        // charged only to the task (and run) that actually compiled it.
+        const auto& tpl = *plan.compiled_template;
+        auto stats = stats_from_compile(sub.model, dev, tpl.compiled, tuned,
+                                        &tpl.attenuation, &tpl.eps);
+        if (task.plan_index != 0 || plan.template_cache_hit)
+            stats.compile_time_ms = 0.0; // edit / cache hit, not a compile
+        return stats;
+    }
+
+    const auto logical = qaoa::build_qaoa_circuit(sub.model, plan.build);
+    const auto compiled =
+        transpiler::compile(logical, dev, config.compile);
+    return stats_from_compile(sub.model, dev, compiled, tuned);
+}
+
+void
+ExecutionEngine::start_diagnostics(const ExecutionPlan& plan)
+{
+    diagnostics_ = Diagnostics{};
+    diagnostics_.num_subproblems = plan.num_subproblems();
+    diagnostics_.tasks_executed = plan.num_executed();
+    diagnostics_.template_cache_hit = plan.template_cache_hit;
+    diagnostics_.threads = executor_.num_threads();
+    for (const auto& task : plan.tasks) {
+        diagnostics_.executed_subproblems.push_back(task.solve);
+        for (int mirror : task.mirrors)
+            diagnostics_.pruned_subproblems.push_back(mirror);
+    }
+    diagnostics_.mirrors_inferred =
+        static_cast<int>(diagnostics_.pruned_subproblems.size());
+    if (plan.compiled_template)
+        diagnostics_.template_edits = plan.num_executed() - 1;
+}
+
+frozenqubits::Report
+ExecutionEngine::run(const ising::IsingModel& model,
+                     const device::Device& dev,
+                     const frozenqubits::DriverConfig& config)
+{
+    const auto start = Clock::now();
+    Rng rng(config.seed);
+    const auto plan = make_plan(model, dev, config, cache_, rng);
+    start_diagnostics(plan);
+
+    // Task 0 is the baseline arm; tasks 1..k are the planned sub-problems.
+    const int count = 1 + plan.num_executed();
+    // Report the EFFECTIVE width: a batch never spans more workers than it
+    // has tasks, and single-task batches run inline.
+    diagnostics_.threads = std::min(executor_.num_threads(), count);
+    auto stats = executor_.map<frozenqubits::CircuitStats>(
+        count, [&](int index, BatchExecutor::Scratch&) {
+            if (index == 0)
+                return evaluate(model, dev, config);
+            return run_task(plan, plan.tasks[static_cast<std::size_t>(
+                                      index - 1)],
+                            dev, config);
+        });
+
+    const auto baseline = stats.front();
+    stats.erase(stats.begin());
+    auto report = reduce_report(plan, baseline, std::move(stats));
+    diagnostics_.wall_ms = ms_since(start);
+    return report;
+}
+
+frozenqubits::SampledSolve
+ExecutionEngine::solve(const ising::IsingModel& model,
+                       const device::Device& dev,
+                       const frozenqubits::DriverConfig& config, int shots,
+                       Rng& rng)
+{
+    FQ_REQUIRE(shots >= 1, "need at least one shot");
+    const auto start = Clock::now();
+    const auto plan = make_plan(model, dev, config, cache_, rng);
+    start_diagnostics(plan);
+    // The sampled path re-simulates each logical circuit; the template only
+    // provides placement + attenuation, so no edits happen here.
+    diagnostics_.template_edits = 0;
+    diagnostics_.threads =
+        std::min(executor_.num_threads(), plan.num_executed());
+
+    const auto counts = executor_.map<sim::Counts>(
+        plan.num_executed(),
+        [&](int index, BatchExecutor::Scratch& scratch) {
+            const auto& task =
+                plan.tasks[static_cast<std::size_t>(index)];
+            const auto& sub =
+                plan.subproblems[static_cast<std::size_t>(task.solve)];
+            const auto tuned =
+                qaoa::optimize_p1(sub.model, config.p1_grid_resolution);
+
+            const auto logical =
+                qaoa::build_qaoa_circuit(sub.model, plan.build);
+
+            // Survival and readout-flip probabilities come precomputed
+            // from the shared template when available: siblings differ
+            // only in RZ angles, which touch neither. Otherwise (template
+            // editing disabled — deliberately unshared) compile this
+            // sub-problem directly and analyze its own circuit.
+            double state_survival = 0.0;
+            std::vector<double> readout_flip;
+            if (plan.compiled_template &&
+                frozenqubits::templates_compatible(
+                    template_owner(plan).model, sub.model)) {
+                state_survival = plan.compiled_template->attenuation
+                                     .global_state_survival();
+                readout_flip = plan.compiled_template->readout_flip;
+            } else {
+                const auto compiled =
+                    transpiler::compile(logical, dev, config.compile);
+                const auto attenuation = sim::compute_attenuation(
+                    compiled.physical, dev.calibration);
+                state_survival = attenuation.global_state_survival();
+                readout_flip = readout_flip_for(compiled, dev.calibration,
+                                                sub.model.num_spins());
+            }
+
+            // Ideal state on the LOGICAL register (statevector width
+            // limits), in this worker's reusable scratch buffer.
+            const auto bound =
+                logical.bind({tuned.angles.gamma}, {tuned.angles.beta});
+            const auto& sv = sim::run_circuit(bound, scratch.statevector);
+
+            // Private stream: determined by (seed, sub-problem index), so
+            // any thread count samples identically.
+            Rng task_rng(task.rng_seed);
+            return sim::sample_noisy_counts(sv, state_survival,
+                                            readout_flip, shots, task_rng);
+        });
+
+    auto solved = reduce_sampling(model, plan, counts);
+    diagnostics_.wall_ms = ms_since(start);
+    return solved;
+}
+
+} // namespace fq::engine

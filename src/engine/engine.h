@@ -1,0 +1,109 @@
+/**
+ * @file
+ * ExecutionEngine: the plan / execute / reduce orchestration layer.
+ *
+ * FrozenQubits' core cost is running 2^{m-1} independent sub-problem
+ * circuits per instance (Sections 3.5/3.7). The engine splits that work
+ * into three strictly separated stages:
+ *
+ *   Planner        (plan.h)           — serial; freeze assignments, mirror
+ *                                       links, shared compiled template,
+ *                                       per-task RNG stream seeds;
+ *   BatchExecutor  (batch_executor.h) — parallel; fixed thread pool,
+ *                                       per-worker Statevector scratch,
+ *                                       results keyed by task index;
+ *   Reducer        (reducer.h)        — serial; folds per-task results
+ *                                       into Report / SampledSolve.
+ *
+ * Determinism guarantee: the plan fixes every order-dependent decision
+ * before any task runs, tasks own disjoint result slots and private RNG
+ * streams derived from (seed, sub-problem index), and reduction runs in
+ * plan order — so any thread count produces bit-identical results.
+ *
+ * The legacy driver API (run_pipeline / evaluate_instance /
+ * solve_with_sampling) is a thin facade over this class; hold an engine
+ * directly to reuse its thread pool and template cache across calls
+ * (benchmark sweeps, servers). One engine instance must be driven from one
+ * thread at a time; parallelism lives inside.
+ */
+#ifndef FQ_ENGINE_ENGINE_H
+#define FQ_ENGINE_ENGINE_H
+
+#include <vector>
+
+#include "engine/batch_executor.h"
+#include "engine/plan.h"
+#include "engine/reducer.h"
+#include "engine/template_cache.h"
+#include "frozenqubits/driver.h"
+
+namespace fq::engine {
+
+class ExecutionEngine
+{
+  public:
+    /** Per-invocation observability (overwritten by each run/solve). */
+    struct Diagnostics
+    {
+        int num_subproblems = 0;     ///< 2^m
+        int tasks_executed = 0;      ///< 2^{m-1} with pruning
+        int mirrors_inferred = 0;    ///< sub-spaces served by bit flipping
+        /** Circuits served by the shared template (an RZ-angle edit away,
+         *  Section 3.7.1) instead of their own transpiler run. */
+        int template_edits = 0;
+        bool template_cache_hit = false;
+        std::vector<int> executed_subproblems; ///< solved indices
+        std::vector<int> pruned_subproblems;   ///< mirror (never-run) indices
+        double wall_ms = 0.0;
+        int threads = 1;
+    };
+
+    /** @p num_threads: 0 = auto (hardware concurrency). */
+    explicit ExecutionEngine(int num_threads = 0);
+
+    int num_threads() const { return executor_.num_threads(); }
+
+    /** Full baseline-vs-FrozenQubits comparison (run_pipeline semantics). */
+    frozenqubits::Report run(const ising::IsingModel& model,
+                             const device::Device& dev,
+                             const frozenqubits::DriverConfig& config);
+
+    /** One circuit-arm evaluation (evaluate_instance semantics). */
+    frozenqubits::CircuitStats evaluate(const ising::IsingModel& model,
+                                        const device::Device& dev,
+                                        const frozenqubits::DriverConfig&
+                                            config);
+
+    /** Sampled end-to-end solve (solve_with_sampling semantics). */
+    frozenqubits::SampledSolve solve(const ising::IsingModel& model,
+                                     const device::Device& dev,
+                                     const frozenqubits::DriverConfig&
+                                         config,
+                                     int shots, Rng& rng);
+
+    const TemplateCache& template_cache() const { return cache_; }
+    const Diagnostics& last_diagnostics() const { return diagnostics_; }
+
+    /**
+     * Drop all cached templates (counters are kept). For callers that need
+     * cold-compile semantics on a long-lived engine — e.g. timing loops
+     * that must keep transpilation in the measurement.
+     */
+    void clear_template_cache() { cache_.clear(); }
+
+  private:
+    frozenqubits::CircuitStats run_task(
+        const ExecutionPlan& plan, const SubProblemTask& task,
+        const device::Device& dev,
+        const frozenqubits::DriverConfig& config);
+
+    void start_diagnostics(const ExecutionPlan& plan);
+
+    TemplateCache cache_;
+    BatchExecutor executor_;
+    Diagnostics diagnostics_;
+};
+
+} // namespace fq::engine
+
+#endif // FQ_ENGINE_ENGINE_H

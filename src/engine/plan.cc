@@ -1,0 +1,50 @@
+#include "engine/plan.h"
+
+#include "common/error.h"
+#include "frozenqubits/hotspot.h"
+
+namespace fq::engine {
+
+ExecutionPlan
+make_plan(const ising::IsingModel& model, const device::Device& dev,
+          const frozenqubits::DriverConfig& config, TemplateCache& cache,
+          Rng& rng)
+{
+    FQ_REQUIRE(config.num_freeze >= 1,
+               "execution plan needs at least one frozen qubit");
+
+    ExecutionPlan plan;
+    plan.hotspots = frozenqubits::select_hotspots(model, config.num_freeze,
+                                                  config.policy, rng);
+    const std::uint64_t stream_seed = rng();
+    plan.subproblems = frozenqubits::freeze_all(model, plan.hotspots);
+    const auto entries = frozenqubits::plan_executions(
+        model, config.num_freeze, config.symmetry_pruning);
+
+    plan.tasks.reserve(entries.size());
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+        SubProblemTask task;
+        task.plan_index = static_cast<int>(k);
+        task.solve = entries[k].solve;
+        task.mirrors = entries[k].mirrors;
+        task.rng_seed = subproblem_stream_seed(
+            stream_seed, static_cast<std::uint64_t>(task.solve));
+        plan.tasks.push_back(std::move(task));
+    }
+
+    plan.build.num_layers = 1;
+    plan.build.keep_zero_linear_rz = true;
+
+    // Pre-resolve the shared template serially so parallel tasks never race
+    // to compile: every sibling is edit-compatible with the first planned
+    // sub-problem (identical quadratic structure by construction).
+    if (config.use_template_editing && !plan.tasks.empty()) {
+        const auto& owner = plan.subproblems[plan.tasks.front().solve];
+        plan.compiled_template =
+            cache.get_or_compile(owner.model, dev, config.compile,
+                                 plan.build, &plan.template_cache_hit);
+    }
+    return plan;
+}
+
+} // namespace fq::engine

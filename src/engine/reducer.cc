@@ -1,0 +1,75 @@
+#include "engine/reducer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "frozenqubits/decoder.h"
+#include "sim/noise_model.h"
+
+namespace fq::engine {
+
+frozenqubits::Report
+reduce_report(const ExecutionPlan& plan,
+              const frozenqubits::CircuitStats& baseline,
+              std::vector<frozenqubits::CircuitStats> per_task)
+{
+    FQ_REQUIRE(per_task.size() == plan.tasks.size(),
+               "per-task stats do not match the plan");
+
+    frozenqubits::Report report;
+    report.baseline = baseline;
+    report.arg_baseline = sim::approximation_ratio_gap(
+        baseline.ev_ideal, baseline.ev_noisy);
+
+    report.hotspots = plan.hotspots;
+    report.num_subproblems = plan.num_subproblems();
+    report.num_executed = plan.num_executed();
+
+    double best_ideal = std::numeric_limits<double>::infinity();
+    double best_noisy = std::numeric_limits<double>::infinity();
+    for (const auto& stats : per_task) {
+        best_ideal = std::min(best_ideal, stats.ev_ideal);
+        best_noisy = std::min(best_noisy, stats.ev_noisy);
+        // Mirror sub-problems share the executed circuit's spectrum
+        // (H_mirror(z) = H(-z)), so their EVs equal the solved one and need
+        // no separate accounting.
+    }
+    report.executed = std::move(per_task);
+
+    report.ev_ideal_fq = best_ideal;
+    report.ev_noisy_fq = best_noisy;
+    report.arg_fq = sim::approximation_ratio_gap(best_ideal, best_noisy);
+    return report;
+}
+
+frozenqubits::SampledSolve
+reduce_sampling(const ising::IsingModel& model, const ExecutionPlan& plan,
+                const std::vector<sim::Counts>& per_task)
+{
+    FQ_REQUIRE(per_task.size() == plan.tasks.size(),
+               "per-task counts do not match the plan");
+
+    const int sub_width =
+        model.num_spins() - static_cast<int>(plan.hotspots.size());
+    std::vector<sim::Counts> distributions(
+        plan.subproblems.size(), sim::Counts(sub_width));
+    for (std::size_t k = 0; k < plan.tasks.size(); ++k) {
+        const auto& task = plan.tasks[k];
+        distributions[task.solve] = per_task[k];
+        // Mirror distributions: flip every bit (Section 3.7.2).
+        for (int mirror : task.mirrors)
+            distributions[mirror] = per_task[k].flip_all_bits();
+    }
+
+    const auto decoded =
+        frozenqubits::decode_best(model, plan.subproblems, distributions);
+    frozenqubits::SampledSolve out;
+    out.best_assignment = decoded.assignment;
+    out.best_cost = decoded.cost;
+    out.from_subproblem = decoded.subproblem_index;
+    out.distributions = std::move(distributions);
+    return out;
+}
+
+} // namespace fq::engine

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reducer: fold per-task results back into the driver's public report
+ * types. Reduction is serial and runs in plan order, so it is independent
+ * of the execution schedule — the third leg (after planning and indexed
+ * result slots) of the engine's determinism guarantee.
+ */
+#ifndef FQ_ENGINE_REDUCER_H
+#define FQ_ENGINE_REDUCER_H
+
+#include <vector>
+
+#include "engine/plan.h"
+#include "frozenqubits/driver.h"
+#include "sim/counts.h"
+
+namespace fq::engine {
+
+/**
+ * Build the baseline-vs-FrozenQubits Report from the executed plan:
+ * per-task CircuitStats in plan order plus the baseline arm's stats.
+ */
+frozenqubits::Report reduce_report(
+    const ExecutionPlan& plan, const frozenqubits::CircuitStats& baseline,
+    std::vector<frozenqubits::CircuitStats> per_task);
+
+/**
+ * Build the SampledSolve from per-task output distributions (plan order):
+ * mirror distributions are inferred by bit flipping (Section 3.7.2), then
+ * the best lifted outcome across all 2^m sub-spaces is decoded.
+ */
+frozenqubits::SampledSolve reduce_sampling(
+    const ising::IsingModel& model, const ExecutionPlan& plan,
+    const std::vector<sim::Counts>& per_task);
+
+} // namespace fq::engine
+
+#endif // FQ_ENGINE_REDUCER_H

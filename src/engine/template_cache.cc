@@ -1,0 +1,189 @@
+#include "engine/template_cache.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace fq::engine {
+
+namespace {
+
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    return combine_seeds(h, v);
+}
+
+std::uint64_t
+mix_double(std::uint64_t h, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return mix(h, bits);
+}
+
+/** Salt for the hit-verification fingerprint (independent hash chain). */
+constexpr std::uint64_t kVerifySalt = 0x5bf0f5163ad2ab1dull;
+
+/** Entry cap; each entry holds a full compiled circuit + noise arrays. */
+constexpr std::size_t kMaxEntries = 256;
+
+} // namespace
+
+std::vector<double>
+readout_flip_for(const transpiler::CompileResult& compiled,
+                 const device::Calibration& calibration, int num_spins)
+{
+    std::vector<double> flip(static_cast<std::size_t>(num_spins));
+    for (int q = 0; q < num_spins; ++q) {
+        flip[static_cast<std::size_t>(q)] =
+            calibration
+                .qubit(compiled.final_layout[static_cast<std::size_t>(q)])
+                .readout_error;
+    }
+    return flip;
+}
+
+std::uint64_t
+device_fingerprint(const device::Device& dev, std::uint64_t salt)
+{
+    // The compile output depends on the coupling map (routing) and the full
+    // calibration (noise-adaptive layout, durations -> metrics), so all of
+    // it goes into the key — the name alone cannot alias two structurally
+    // different devices. O(N + E) per lookup, noise against a
+    // millisecond-scale transpiler run.
+    std::uint64_t h = mix(hash_seed(dev.name), salt);
+    h = mix(h, static_cast<std::uint64_t>(dev.num_qubits()));
+    for (const auto& edge : dev.topology.coupling_graph().edges()) {
+        h = mix(h, static_cast<std::uint64_t>(edge.u));
+        h = mix(h, static_cast<std::uint64_t>(edge.v));
+        h = mix_double(h, dev.calibration.cx_error(edge.u, edge.v));
+    }
+    for (int q = 0; q < dev.calibration.num_qubits(); ++q) {
+        const auto& p = dev.calibration.qubit(q);
+        h = mix_double(h, p.t1_us);
+        h = mix_double(h, p.t2_us);
+        h = mix_double(h, p.readout_error);
+        h = mix_double(h, p.sq_error);
+    }
+    const auto& d = dev.calibration.durations();
+    h = mix_double(h, d.single_qubit_ns);
+    h = mix_double(h, d.cx_ns);
+    h = mix_double(h, d.measure_ns);
+    h = mix_double(h, dev.calibration.crosstalk_kappa());
+    return h;
+}
+
+std::uint64_t
+topology_fingerprint(const ising::IsingModel& model, std::uint64_t salt)
+{
+    std::uint64_t h = mix(hash_seed("fq-topology"), salt);
+    h = mix(h, static_cast<std::uint64_t>(model.num_spins()));
+    for (const auto& term : model.quadratic_terms()) {
+        h = mix(h, static_cast<std::uint64_t>(term.i));
+        h = mix(h, static_cast<std::uint64_t>(term.j));
+    }
+    return h;
+}
+
+std::uint64_t
+template_key(const ising::IsingModel& model, const device::Device& dev,
+             const transpiler::CompileOptions& compile,
+             const qaoa::BuildOptions& build, std::uint64_t salt)
+{
+    std::uint64_t h = topology_fingerprint(model, salt);
+    h = mix(h, device_fingerprint(dev, salt));
+    h = mix(h, static_cast<std::uint64_t>(compile.layout));
+    h = mix(h, static_cast<std::uint64_t>(compile.router.lookahead));
+    h = mix_double(h, compile.router.lookahead_weight);
+    h = mix_double(h, compile.router.decay);
+    h = mix(h, compile.router.seed);
+    h = mix(h, (compile.run_optimization_passes ? 2u : 0u) |
+                   (compile.decompose_swaps ? 1u : 0u));
+    h = mix(h, static_cast<std::uint64_t>(build.num_layers));
+    h = mix(h, (build.include_measurements ? 2u : 0u) |
+                   (build.keep_zero_linear_rz ? 1u : 0u));
+    // Without keep_zero_linear_rz the builder emits an RZ only for nonzero
+    // h_i, so the compiled structure depends on WHICH linear terms are
+    // nonzero — that pattern must distinguish keys (with the flag set,
+    // every spin gets a slot and the pattern is irrelevant).
+    if (!build.keep_zero_linear_rz) {
+        std::uint64_t pattern = 0;
+        int bit = 0;
+        for (double hi : model.linear_terms()) {
+            pattern = (pattern << 1) | (hi != 0.0 ? 1u : 0u);
+            if (++bit == 64) {
+                h = mix(h, pattern);
+                pattern = 0;
+                bit = 0;
+            }
+        }
+        h = mix(h, pattern);
+    }
+    return h;
+}
+
+std::shared_ptr<const CompiledTemplate>
+TemplateCache::get_or_compile(const ising::IsingModel& model,
+                              const device::Device& dev,
+                              const transpiler::CompileOptions& compile,
+                              const qaoa::BuildOptions& build, bool* was_hit)
+{
+    const std::uint64_t key = template_key(model, dev, compile, build);
+    const std::uint64_t verify =
+        template_key(model, dev, compile, build, kVerifySalt);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.verify_key == verify) {
+        ++stats_.hits;
+        if (was_hit)
+            *was_hit = true;
+        return it->second.value;
+    }
+
+    const auto logical = qaoa::build_qaoa_circuit(model, build);
+    auto entry = std::make_shared<CompiledTemplate>();
+    entry->compiled = transpiler::compile(logical, dev, compile);
+    entry->attenuation =
+        sim::compute_attenuation(entry->compiled.physical, dev.calibration);
+    entry->eps = sim::expected_probability_of_success(
+        entry->compiled.physical, dev.calibration);
+    entry->readout_flip = readout_flip_for(entry->compiled, dev.calibration,
+                                           model.num_spins());
+    ++stats_.compiles;
+    // Crude bound on a cache that would otherwise grow for the process
+    // lifetime of a shared engine: wholesale reset at the cap (entries are
+    // cheap to rebuild relative to tracking LRU order).
+    if (entries_.size() >= kMaxEntries)
+        entries_.clear();
+    entries_[key] = Entry{verify, entry};
+    if (was_hit)
+        *was_hit = false;
+    return entry;
+}
+
+TemplateCache::Stats
+TemplateCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+TemplateCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+TemplateCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+} // namespace fq::engine

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Compile-once template cache (Section 3.7.1 made persistent).
+ *
+ * All 2^m siblings of one freeze share a quadratic structure, so their
+ * compiled circuits are identical up to RZ angles; one transpiler run
+ * serves them all via edit_template. This cache extends that sharing
+ * across engine invocations: entries are keyed on (model topology, device
+ * identity, compile + build options) — everything the transpiler's output
+ * structurally depends on, and nothing it doesn't (coefficient VALUES are
+ * excluded on purpose; they only move RZ angles, which the editor rewrites
+ * per task anyway).
+ *
+ * Devices are fingerprinted structurally — name, coupling map, and full
+ * calibration — so hand-built devices that alias on a name can never be
+ * served each other's compiles.
+ *
+ * Thread-safe; a lookup that misses compiles inside the lock so concurrent
+ * tasks requesting the same key get one compile and identical pointers.
+ */
+#ifndef FQ_ENGINE_TEMPLATE_CACHE_H
+#define FQ_ENGINE_TEMPLATE_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "device/catalog.h"
+#include "ising/ising_model.h"
+#include "qaoa/qaoa_builder.h"
+#include "sim/noise_model.h"
+#include "transpiler/pipeline.h"
+
+namespace fq::engine {
+
+/** Stable fingerprint of a model's quadratic structure (not its values).
+ *  @p salt varies the whole hash chain (for independent verification
+ *  fingerprints). */
+std::uint64_t topology_fingerprint(const ising::IsingModel& model,
+                                   std::uint64_t salt = 0);
+
+/** Stable fingerprint of a device: name, coupling map, calibration. */
+std::uint64_t device_fingerprint(const device::Device& dev,
+                                 std::uint64_t salt = 0);
+
+/** Stable fingerprint of the full cache key. */
+std::uint64_t template_key(const ising::IsingModel& model,
+                           const device::Device& dev,
+                           const transpiler::CompileOptions& compile,
+                           const qaoa::BuildOptions& build,
+                           std::uint64_t salt = 0);
+
+/**
+ * One cached template: the transpiled circuit plus every noise quantity
+ * that is a pure function of (circuit structure, device) — all shared
+ * verbatim by the template's RZ-angle-edited siblings, so computing them
+ * once here amortizes them across tasks AND across engine invocations.
+ */
+struct CompiledTemplate
+{
+    transpiler::CompileResult compiled;
+    sim::NoiseAttenuation attenuation;
+    double eps = 0.0; ///< expected probability of success
+    /** Readout-flip probability per logical qubit (final placement). */
+    std::vector<double> readout_flip;
+};
+
+/**
+ * Per-logical-qubit readout-flip probabilities under @p compiled's final
+ * placement — the single definition shared by the cache and the engine's
+ * uncached sampling path.
+ */
+std::vector<double> readout_flip_for(const transpiler::CompileResult& compiled,
+                                     const device::Calibration& calibration,
+                                     int num_spins);
+
+class TemplateCache
+{
+  public:
+    /** Cumulative counters (monotone; never reset). */
+    struct Stats
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t compiles = 0;
+    };
+
+    /**
+     * Return the compiled template for @p model's structure, compiling
+     * (build + transpile + noise analysis) on the first request for its
+     * key. Hits are verified against an independently-salted second
+     * fingerprint, so serving a wrong entry needs a simultaneous 128-bit
+     * collision. @p was_hit, if non-null, reports whether this lookup was
+     * served from cache.
+     */
+    std::shared_ptr<const CompiledTemplate>
+    get_or_compile(const ising::IsingModel& model, const device::Device& dev,
+                   const transpiler::CompileOptions& compile,
+                   const qaoa::BuildOptions& build, bool* was_hit = nullptr);
+
+    Stats stats() const;
+    std::size_t size() const;
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::uint64_t verify_key = 0;
+        std::shared_ptr<const CompiledTemplate> value;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    Stats stats_;
+};
+
+} // namespace fq::engine
+
+#endif // FQ_ENGINE_TEMPLATE_CACHE_H

@@ -1,0 +1,103 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+
+namespace fq::engine {
+
+int
+resolve_thread_count(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1u, hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    const int n = resolve_thread_count(num_threads);
+    workers_.reserve(n);
+    for (int w = 0; w < n; ++w)
+        workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutting_down_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::for_each_index(int count, const std::function<void(int, int)>& fn)
+{
+    if (count <= 0)
+        return;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_fn_ = &fn;
+    batch_count_ = count;
+    next_index_.store(0, std::memory_order_relaxed);
+    workers_active_ = num_threads();
+    first_error_index_ = -1;
+    first_error_ = nullptr;
+    ++batch_generation_;
+
+    work_ready_.notify_all();
+    batch_done_.wait(lock, [this] { return workers_active_ == 0; });
+    batch_fn_ = nullptr;
+
+    if (first_error_)
+        std::rethrow_exception(first_error_);
+}
+
+void
+ThreadPool::worker_loop(int worker_index)
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(int, int)>* fn = nullptr;
+        int count = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock, [&] {
+                return shutting_down_ || batch_generation_ != seen_generation;
+            });
+            if (shutting_down_)
+                return;
+            seen_generation = batch_generation_;
+            fn = batch_fn_;
+            count = batch_count_;
+        }
+
+        for (;;) {
+            const int i =
+                next_index_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                break;
+            try {
+                (*fn)(i, worker_index);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (first_error_index_ < 0 || i < first_error_index_) {
+                    first_error_index_ = i;
+                    first_error_ = std::current_exception();
+                }
+            }
+        }
+
+        bool last = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            last = (--workers_active_ == 0);
+        }
+        if (last)
+            batch_done_.notify_all();
+    }
+}
+
+} // namespace fq::engine

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-size worker pool for the ExecutionEngine.
+ *
+ * Workers are started once and reused across batches (a BatchExecutor owns
+ * one pool for its lifetime), so repeated run_pipeline calls pay no thread
+ * creation cost. The only scheduling primitive is for_each_index: dynamic
+ * (atomic-counter) distribution of [0, count) across the workers. Tasks are
+ * independent by construction — determinism comes from tasks writing only
+ * results[task_index], never from scheduling order.
+ */
+#ifndef FQ_ENGINE_THREAD_POOL_H
+#define FQ_ENGINE_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fq::engine {
+
+/** Resolve a thread-count request: <= 0 (auto) -> hardware concurrency. */
+int resolve_thread_count(int requested);
+
+class ThreadPool
+{
+  public:
+    /** Start @p num_threads workers (0 = auto; clamped to >= 1). */
+    explicit ThreadPool(int num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    int num_threads() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Run fn(task_index, worker_index) for every task_index in [0, count),
+     * distributing indices over the workers; blocks until all complete.
+     * worker_index is in [0, num_threads()) and identifies the executing
+     * worker (for per-worker scratch). If tasks throw, the exception of the
+     * lowest-indexed failing task is rethrown (deterministic regardless of
+     * scheduling).
+     */
+    void for_each_index(int count,
+                        const std::function<void(int, int)>& fn);
+
+  private:
+    void worker_loop(int worker_index);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable batch_done_;
+    bool shutting_down_ = false;
+
+    // Current batch; guarded by mutex_ except next_index_.
+    std::uint64_t batch_generation_ = 0;
+    const std::function<void(int, int)>* batch_fn_ = nullptr;
+    int batch_count_ = 0;
+    std::atomic<int> next_index_{0};
+    int workers_active_ = 0;
+    int first_error_index_ = -1;
+    std::exception_ptr first_error_;
+};
+
+} // namespace fq::engine
+
+#endif // FQ_ENGINE_THREAD_POOL_H

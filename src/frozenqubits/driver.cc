@@ -1,15 +1,17 @@
+/**
+ * @file
+ * Legacy driver entry points, now a thin facade over the ExecutionEngine
+ * (src/engine/): planning, thread-pooled batch execution and reduction all
+ * live there. Each call constructs a private engine so repeated calls stay
+ * semantically independent (fresh template cache); callers that want
+ * cross-call template reuse and a persistent thread pool should hold an
+ * engine::ExecutionEngine themselves.
+ */
 #include "frozenqubits/driver.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 
-#include "common/error.h"
-#include "frozenqubits/decoder.h"
-#include "frozenqubits/template_editor.h"
-#include "qaoa/qaoa_builder.h"
-#include "sim/noise_model.h"
-#include "sim/statevector.h"
+#include "engine/engine.h"
 
 namespace fq::frozenqubits {
 
@@ -19,181 +21,29 @@ Report::improvement(double floor) const
     return arg_baseline / std::max(arg_fq, floor);
 }
 
-namespace {
-
-/** Fill a CircuitStats from a compiled circuit + per-term expectations. */
-CircuitStats
-stats_from_compile(const ising::IsingModel& model, const device::Device& dev,
-                   const transpiler::CompileResult& compiled,
-                   const qaoa::P1OptimizationResult& tuned)
-{
-    CircuitStats s;
-    s.num_qubits = model.num_spins();
-    s.pre_routing_cx = compiled.pre_routing_cx;
-    s.post_routing_cx = compiled.metrics.cx_gates;
-    s.swaps = compiled.swaps_inserted;
-    s.depth = compiled.metrics.depth;
-    s.duration_ns = compiled.metrics.duration_ns;
-    s.compile_time_ms = compiled.compile_time_ms;
-    s.angles = tuned.angles;
-    s.ev_ideal = tuned.energy;
-
-    const auto attenuation =
-        sim::compute_attenuation(compiled.physical, dev.calibration);
-    s.eps = sim::expected_probability_of_success(compiled.physical,
-                                                 dev.calibration);
-
-    const auto ideal = qaoa::evaluate_p1(model, tuned.angles);
-    s.ev_noisy = sim::noisy_expectation(model, ideal.z, ideal.zz,
-                                        attenuation, compiled.final_layout);
-    return s;
-}
-
-} // namespace
-
 CircuitStats
 evaluate_instance(const ising::IsingModel& model, const device::Device& dev,
                   const DriverConfig& config)
 {
-    const auto tuned = qaoa::optimize_p1(model, config.p1_grid_resolution);
-    qaoa::BuildOptions build;
-    build.num_layers = 1;
-    const auto logical = qaoa::build_qaoa_circuit(model, build);
-    const auto compiled = transpiler::compile(logical, dev, config.compile);
-    return stats_from_compile(model, dev, compiled, tuned);
+    // Single-arm evaluation is serial; don't spin up a worker pool for it.
+    engine::ExecutionEngine eng(1);
+    return eng.evaluate(model, dev, config);
 }
 
 Report
 run_pipeline(const ising::IsingModel& model, const device::Device& dev,
              const DriverConfig& config)
 {
-    FQ_REQUIRE(config.num_freeze >= 1,
-               "run_pipeline needs at least one frozen qubit");
-    Report report;
-
-    // --- Baseline arm -----------------------------------------------------
-    report.baseline = evaluate_instance(model, dev, config);
-    report.arg_baseline = sim::approximation_ratio_gap(
-        report.baseline.ev_ideal, report.baseline.ev_noisy);
-
-    // --- FrozenQubits arm ---------------------------------------------------
-    Rng rng(config.seed);
-    report.hotspots =
-        select_hotspots(model, config.num_freeze, config.policy, rng);
-    const auto subproblems = freeze_all(model, report.hotspots);
-    const auto plan = plan_executions(model, config.num_freeze,
-                                      config.symmetry_pruning);
-    report.num_subproblems = static_cast<int>(subproblems.size());
-    report.num_executed = static_cast<int>(plan.size());
-
-    // Compile ONE template (placeholder RZ slots on every spin) and reuse
-    // it for every sibling: identical structure => identical routing and
-    // identical attenuation; only RZ angles differ (Section 3.7.1).
-    qaoa::BuildOptions build;
-    build.num_layers = 1;
-    build.keep_zero_linear_rz = true;
-
-    bool have_template = false;
-    transpiler::CompileResult template_compiled;
-    const ising::IsingModel* template_model = nullptr;
-
-    double best_ideal = std::numeric_limits<double>::infinity();
-    double best_noisy = std::numeric_limits<double>::infinity();
-
-    for (const auto& entry : plan) {
-        const auto& sub = subproblems[entry.solve];
-        const auto tuned =
-            qaoa::optimize_p1(sub.model, config.p1_grid_resolution);
-
-        CircuitStats stats;
-        if (config.use_template_editing && have_template &&
-            templates_compatible(*template_model, sub.model)) {
-            transpiler::CompileResult edited = template_compiled;
-            edited.physical =
-                edit_template(template_compiled.physical, sub.model);
-            edited.compile_time_ms = 0.0; // edit, not compile
-            stats = stats_from_compile(sub.model, dev, edited, tuned);
-        } else {
-            const auto logical = qaoa::build_qaoa_circuit(sub.model, build);
-            template_compiled =
-                transpiler::compile(logical, dev, config.compile);
-            template_model = &subproblems[entry.solve].model;
-            have_template = true;
-            stats = stats_from_compile(sub.model, dev, template_compiled,
-                                       tuned);
-        }
-
-        best_ideal = std::min(best_ideal, stats.ev_ideal);
-        best_noisy = std::min(best_noisy, stats.ev_noisy);
-        // Mirror sub-problems share the executed circuit's spectrum
-        // (H_mirror(z) = H(-z)), so their EVs equal the solved one and need
-        // no separate accounting.
-        report.executed.push_back(stats);
-    }
-
-    report.ev_ideal_fq = best_ideal;
-    report.ev_noisy_fq = best_noisy;
-    report.arg_fq =
-        sim::approximation_ratio_gap(best_ideal, best_noisy);
-    return report;
+    engine::ExecutionEngine eng(config.threads);
+    return eng.run(model, dev, config);
 }
 
 SampledSolve
 solve_with_sampling(const ising::IsingModel& model, const device::Device& dev,
                     const DriverConfig& config, int shots, Rng& rng)
 {
-    FQ_REQUIRE(shots >= 1, "need at least one shot");
-    const auto hotspots =
-        select_hotspots(model, config.num_freeze, config.policy, rng);
-    const auto subproblems = freeze_all(model, hotspots);
-    const auto plan = plan_executions(model, config.num_freeze,
-                                      config.symmetry_pruning);
-
-    qaoa::BuildOptions build;
-    build.num_layers = 1;
-    build.keep_zero_linear_rz = true;
-
-    std::vector<sim::Counts> distributions(
-        subproblems.size(), sim::Counts(model.num_spins() -
-                                        config.num_freeze));
-
-    for (const auto& entry : plan) {
-        const auto& sub = subproblems[entry.solve];
-        const auto tuned =
-            qaoa::optimize_p1(sub.model, config.p1_grid_resolution);
-
-        const auto logical = qaoa::build_qaoa_circuit(sub.model, build);
-        const auto compiled =
-            transpiler::compile(logical, dev, config.compile);
-        const auto attenuation =
-            sim::compute_attenuation(compiled.physical, dev.calibration);
-
-        // Ideal state on the LOGICAL register (statevector width limits).
-        auto bound = logical.bind({tuned.angles.gamma}, {tuned.angles.beta});
-        const auto sv = sim::run_circuit(bound);
-
-        std::vector<double> readout_flip(sub.model.num_spins());
-        for (int q = 0; q < sub.model.num_spins(); ++q) {
-            readout_flip[q] =
-                dev.calibration.qubit(compiled.final_layout[q])
-                    .readout_error;
-        }
-        const auto counts = sim::sample_noisy_counts(
-            sv, attenuation.global_state_survival(), readout_flip, shots,
-            rng);
-        distributions[entry.solve] = counts;
-        // Mirror distributions: flip every bit (Section 3.7.2).
-        for (int mirror : entry.mirrors)
-            distributions[mirror] = counts.flip_all_bits();
-    }
-
-    const auto decoded = decode_best(model, subproblems, distributions);
-    SampledSolve out;
-    out.best_assignment = decoded.assignment;
-    out.best_cost = decoded.cost;
-    out.from_subproblem = decoded.subproblem_index;
-    out.distributions = std::move(distributions);
-    return out;
+    engine::ExecutionEngine eng(config.threads);
+    return eng.solve(model, dev, config, shots, rng);
 }
 
 } // namespace fq::frozenqubits

@@ -37,6 +37,12 @@ struct DriverConfig
     transpiler::CompileOptions compile{};
     int p1_grid_resolution = 32;             ///< angle-search coarse grid
     std::uint64_t seed = 7;
+    /**
+     * Worker threads for the execution engine: <= 0 = auto (hardware
+     * concurrency), 1 = serial. Any value produces bit-identical results
+     * (the engine's determinism guarantee).
+     */
+    int threads = 0;
 };
 
 /** Structure + fidelity record for one executed circuit. */
@@ -72,7 +78,14 @@ struct Report
     double improvement(double floor = 1e-3) const;
 };
 
-/** Evaluate one circuit-arm on @p dev (exposed for ablations). */
+/**
+ * Evaluate one circuit-arm on @p dev (exposed for ablations).
+ *
+ * This and the functions below are thin facades over
+ * engine::ExecutionEngine, constructing a fresh engine (thread pool +
+ * template cache) per call. Hold an ExecutionEngine directly to amortize
+ * those across calls.
+ */
 CircuitStats evaluate_instance(const ising::IsingModel& model,
                                const device::Device& dev,
                                const DriverConfig& config);

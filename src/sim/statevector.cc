@@ -22,6 +22,16 @@ Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits)
     amps_[0] = {1.0, 0.0};
 }
 
+void
+Statevector::reset(int num_qubits)
+{
+    FQ_REQUIRE(num_qubits >= 1 && num_qubits <= kMaxSimQubits,
+               "statevector limited to 1..26 qubits");
+    num_qubits_ = num_qubits;
+    amps_.assign(std::uint64_t(1) << num_qubits, {0.0, 0.0});
+    amps_[0] = {1.0, 0.0};
+}
+
 Statevector::Amplitude
 Statevector::amplitude(std::uint64_t state) const
 {
@@ -285,6 +295,14 @@ run_circuit(const circuit::Circuit& c)
     Statevector sv(c.num_qubits());
     sv.apply_circuit(c);
     return sv;
+}
+
+Statevector&
+run_circuit(const circuit::Circuit& c, Statevector& scratch)
+{
+    scratch.reset(c.num_qubits());
+    scratch.apply_circuit(c);
+    return scratch;
 }
 
 } // namespace fq::sim

@@ -27,8 +27,22 @@ class Statevector
   public:
     using Amplitude = std::complex<double>;
 
+    /**
+     * Empty scratch state (0 qubits, the single amplitude 1). Give it a
+     * width with reset() before use; the amplitude buffer is then reused
+     * across resets — the per-thread scratch pattern of the engine's
+     * BatchExecutor.
+     */
+    Statevector() : num_qubits_(0), amps_(1, Amplitude{1.0, 0.0}) {}
+
     /** Initialize to |0...0>. */
     explicit Statevector(int num_qubits);
+
+    /**
+     * Reinitialize to |0...0> over @p num_qubits qubits without shrinking
+     * the amplitude buffer's capacity (cheap when widths repeat).
+     */
+    void reset(int num_qubits);
 
     int num_qubits() const { return num_qubits_; }
     std::uint64_t dimension() const { return std::uint64_t(1) << num_qubits_; }
@@ -84,6 +98,12 @@ class Statevector
  * Measurements are ignored (use sample()).
  */
 Statevector run_circuit(const circuit::Circuit& c);
+
+/**
+ * Run a bound circuit into @p scratch (reset to the circuit's width first),
+ * avoiding a fresh 2^N allocation per call. Returns @p scratch.
+ */
+Statevector& run_circuit(const circuit::Circuit& c, Statevector& scratch);
 
 } // namespace fq::sim
 

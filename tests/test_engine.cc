@@ -1,0 +1,299 @@
+/**
+ * @file
+ * ExecutionEngine tests: the determinism guarantee (thread-pooled batches
+ * bit-identical to serial), the compile-once template cache, and the
+ * symmetry-pruning contract (mirror tasks are never executed).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "device/catalog.h"
+#include "engine/engine.h"
+#include "engine/thread_pool.h"
+#include "graph/generators.h"
+#include "ising/ising_model.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::engine;
+
+ising::IsingModel
+ba_model(int n, int d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto g = graph::barabasi_albert(n, d, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    return ising::IsingModel::from_graph(g);
+}
+
+void
+expect_stats_equal(const frozenqubits::CircuitStats& a,
+                   const frozenqubits::CircuitStats& b)
+{
+    EXPECT_EQ(a.num_qubits, b.num_qubits);
+    EXPECT_EQ(a.pre_routing_cx, b.pre_routing_cx);
+    EXPECT_EQ(a.post_routing_cx, b.post_routing_cx);
+    EXPECT_EQ(a.swaps, b.swaps);
+    EXPECT_EQ(a.depth, b.depth);
+    EXPECT_DOUBLE_EQ(a.duration_ns, b.duration_ns);
+    EXPECT_DOUBLE_EQ(a.eps, b.eps);
+    EXPECT_DOUBLE_EQ(a.angles.gamma, b.angles.gamma);
+    EXPECT_DOUBLE_EQ(a.angles.beta, b.angles.beta);
+    EXPECT_DOUBLE_EQ(a.ev_ideal, b.ev_ideal);
+    EXPECT_DOUBLE_EQ(a.ev_noisy, b.ev_noisy);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4);
+
+    constexpr int kCount = 1000;
+    std::vector<std::atomic<int>> touched(kCount);
+    pool.for_each_index(kCount, [&](int index, int worker) {
+        ASSERT_GE(worker, 0);
+        ASSERT_LT(worker, 4);
+        touched[static_cast<std::size_t>(index)].fetch_add(1);
+    });
+    for (const auto& t : touched)
+        EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.for_each_index(
+                     8,
+                     [](int index, int) {
+                         if (index >= 4)
+                             throw std::runtime_error("task failed");
+                     }),
+                 std::runtime_error);
+    // The pool must survive a failed batch.
+    int sum = 0;
+    std::mutex m;
+    pool.for_each_index(4, [&](int index, int) {
+        std::lock_guard<std::mutex> lock(m);
+        sum += index;
+    });
+    EXPECT_EQ(sum, 6);
+}
+
+TEST(RngStreams, SubproblemStreamsAreStableAndDistinct)
+{
+    const auto a = subproblem_stream_seed(7, 0);
+    EXPECT_EQ(a, subproblem_stream_seed(7, 0));
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        seeds.insert(subproblem_stream_seed(7, i));
+    EXPECT_EQ(seeds.size(), 64u);
+    EXPECT_NE(subproblem_stream_seed(7, 1), subproblem_stream_seed(8, 1));
+}
+
+TEST(ExecutionEngine, ParallelReportBitIdenticalToSerial)
+{
+    // The acceptance contract: threads=4 and threads=1 produce identical
+    // Reports (EV fields exact, integer stats exact) on a 12-spin BA
+    // instance with m=3 (4 executed sub-circuits).
+    const auto model = ba_model(12, 1, 5);
+    const auto dev = device::make_device("ibm-montreal");
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 3;
+
+    ExecutionEngine serial(1);
+    ExecutionEngine parallel(4);
+    const auto a = serial.run(model, dev, config);
+    const auto b = parallel.run(model, dev, config);
+
+    EXPECT_EQ(a.hotspots, b.hotspots);
+    EXPECT_EQ(a.num_subproblems, b.num_subproblems);
+    EXPECT_EQ(a.num_executed, b.num_executed);
+    expect_stats_equal(a.baseline, b.baseline);
+    ASSERT_EQ(a.executed.size(), b.executed.size());
+    for (std::size_t k = 0; k < a.executed.size(); ++k)
+        expect_stats_equal(a.executed[k], b.executed[k]);
+    EXPECT_DOUBLE_EQ(a.ev_ideal_fq, b.ev_ideal_fq);
+    EXPECT_DOUBLE_EQ(a.ev_noisy_fq, b.ev_noisy_fq);
+    EXPECT_DOUBLE_EQ(a.arg_baseline, b.arg_baseline);
+    EXPECT_DOUBLE_EQ(a.arg_fq, b.arg_fq);
+}
+
+TEST(ExecutionEngine, ParallelSampledSolveBitIdenticalToSerial)
+{
+    // Per-sub-problem RNG streams derived from (seed, index) make even the
+    // SAMPLED path schedule-independent: identical histograms, not just
+    // statistically-equivalent ones.
+    const auto model = ba_model(10, 1, 9);
+    device::Device dev;
+    dev.topology = device::make_grid(3, 4);
+    dev.name = "grid-3x4-test";
+    dev.calibration =
+        device::Calibration::uniform(dev.topology, 1e-3, 5e-3, 500.0);
+
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 2;
+
+    ExecutionEngine serial(1);
+    ExecutionEngine parallel(4);
+    Rng rng_a(33), rng_b(33);
+    const auto a = serial.solve(model, dev, config, 2048, rng_a);
+    const auto b = parallel.solve(model, dev, config, 2048, rng_b);
+
+    EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+    EXPECT_EQ(a.best_assignment, b.best_assignment);
+    EXPECT_EQ(a.from_subproblem, b.from_subproblem);
+    ASSERT_EQ(a.distributions.size(), b.distributions.size());
+    for (std::size_t s = 0; s < a.distributions.size(); ++s)
+        EXPECT_EQ(a.distributions[s].histogram(),
+                  b.distributions[s].histogram());
+}
+
+TEST(ExecutionEngine, TemplateCompiledOnceAndHitOnSiblings)
+{
+    const auto model = ba_model(12, 1, 5);
+    const auto dev = device::make_device("ibm-montreal");
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 2;
+
+    ExecutionEngine eng(2);
+    const auto report = eng.run(model, dev, config);
+    ASSERT_EQ(report.num_executed, 2);
+
+    // One transpiler run serves both executed sub-circuits: the second is
+    // an RZ-angle edit of the compiled template, never a fresh compile.
+    const auto& diag = eng.last_diagnostics();
+    EXPECT_FALSE(diag.template_cache_hit); // first run must compile
+    EXPECT_EQ(diag.template_edits, 1);
+    EXPECT_GT(report.executed[0].compile_time_ms, 0.0);
+    EXPECT_EQ(report.executed[1].compile_time_ms, 0.0);
+
+    const auto cache_after_first = eng.template_cache().stats();
+    EXPECT_EQ(cache_after_first.compiles, 2u); // template + baseline arm
+
+    // A second run over the same structure is served from cache entirely.
+    const auto again = eng.run(model, dev, config);
+    EXPECT_TRUE(eng.last_diagnostics().template_cache_hit);
+    const auto cache_after_second = eng.template_cache().stats();
+    EXPECT_EQ(cache_after_second.compiles, cache_after_first.compiles);
+    EXPECT_GT(cache_after_second.hits, cache_after_first.hits);
+
+    // Cached compiles must not change any result.
+    EXPECT_DOUBLE_EQ(report.arg_fq, again.arg_fq);
+    EXPECT_DOUBLE_EQ(report.arg_baseline, again.arg_baseline);
+}
+
+TEST(ExecutionEngine, MirrorPrunedTasksAreNeverExecuted)
+{
+    const auto model = ba_model(12, 1, 7); // h == 0: pruning applies
+    ASSERT_TRUE(model.has_zero_linear_terms());
+    const auto dev = device::make_device("ibm-montreal");
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 3;
+
+    ExecutionEngine eng(4);
+    const auto report = eng.run(model, dev, config);
+    const auto& diag = eng.last_diagnostics();
+
+    EXPECT_EQ(report.num_subproblems, 8);
+    EXPECT_EQ(report.num_executed, 4); // 2^{m-1}
+    EXPECT_EQ(diag.mirrors_inferred, 4);
+
+    // Executed and pruned index sets partition [0, 2^m) and are disjoint:
+    // a pruned mirror is recovered by bit flipping, never run.
+    const std::set<int> executed(diag.executed_subproblems.begin(),
+                                 diag.executed_subproblems.end());
+    const std::set<int> pruned(diag.pruned_subproblems.begin(),
+                               diag.pruned_subproblems.end());
+    EXPECT_EQ(executed.size(), 4u);
+    EXPECT_EQ(pruned.size(), 4u);
+    std::set<int> overlap;
+    std::set_intersection(executed.begin(), executed.end(), pruned.begin(),
+                          pruned.end(),
+                          std::inserter(overlap, overlap.begin()));
+    EXPECT_TRUE(overlap.empty());
+    std::set<int> all;
+    std::set_union(executed.begin(), executed.end(), pruned.begin(),
+                   pruned.end(), std::inserter(all, all.begin()));
+    EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(ExecutionEngine, CacheDistinguishesLinearZeroPatterns)
+{
+    // Same quadratic topology, different h zero-patterns: without
+    // keep_zero_linear_rz the builder emits RZs only for nonzero h_i, so a
+    // shared engine must NOT serve one model's compiled baseline for the
+    // other (regression: the cache key once ignored linear terms).
+    const auto zero_h = ba_model(10, 1, 21); // Max-Cut: all h == 0
+    ASSERT_TRUE(zero_h.has_zero_linear_terms());
+    auto with_h = zero_h;
+    for (int i = 0; i < with_h.num_spins(); ++i)
+        with_h.set_linear(i, 0.5);
+
+    const auto dev = device::make_device("ibm-montreal");
+    frozenqubits::DriverConfig config;
+
+    ExecutionEngine shared(1);
+    const auto a = shared.evaluate(zero_h, dev, config);
+    const auto b = shared.evaluate(with_h, dev, config);
+
+    ExecutionEngine fresh(1);
+    const auto b_fresh = fresh.evaluate(with_h, dev, config);
+    expect_stats_equal(b, b_fresh);
+    EXPECT_EQ(shared.template_cache().stats().compiles, 2u);
+    (void)a;
+}
+
+TEST(ExecutionEngine, CacheDistinguishesDevicesStructurally)
+{
+    // Two hand-built devices aliasing on (name, qubit count) but with
+    // different coupling maps must never be served each other's compiled
+    // circuits by a shared engine (regression: the cache key once hashed
+    // only the device name and width).
+    const auto model = ba_model(10, 1, 13);
+    frozenqubits::DriverConfig config;
+
+    device::Device a;
+    a.topology = device::make_grid(2, 6);
+    a.name = "grid";
+    a.calibration =
+        device::Calibration::uniform(a.topology, 1e-3, 5e-3, 500.0);
+    device::Device b;
+    b.topology = device::make_grid(3, 4); // same 12 qubits, different map
+    b.name = "grid";
+    b.calibration =
+        device::Calibration::uniform(b.topology, 1e-3, 5e-3, 500.0);
+
+    ExecutionEngine shared(1);
+    const auto ra = shared.evaluate(model, a, config);
+    const auto rb = shared.evaluate(model, b, config);
+    EXPECT_EQ(shared.template_cache().stats().compiles, 2u);
+
+    ExecutionEngine fresh(1);
+    expect_stats_equal(rb, fresh.evaluate(model, b, config));
+    (void)ra;
+}
+
+TEST(ExecutionEngine, FacadeMatchesEngine)
+{
+    // run_pipeline is a facade over the engine; both paths must agree.
+    const auto model = ba_model(12, 1, 11);
+    const auto dev = device::make_device("ibm-hanoi");
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 2;
+    config.threads = 2;
+
+    ExecutionEngine eng(2);
+    const auto a = eng.run(model, dev, config);
+    const auto b = frozenqubits::run_pipeline(model, dev, config);
+    EXPECT_EQ(a.hotspots, b.hotspots);
+    EXPECT_DOUBLE_EQ(a.arg_baseline, b.arg_baseline);
+    EXPECT_DOUBLE_EQ(a.arg_fq, b.arg_fq);
+    expect_stats_equal(a.baseline, b.baseline);
+}
+
+} // namespace

@@ -7,12 +7,18 @@
  *       Emit a random benchmark instance in the text model format.
  *   analyze [--file F]
  *       Read a model (file or stdin) and print graph/hotspot statistics.
- *   run [--file F] --device <name> [--freeze M] [--seed S]
+ *   run [--file F] --device <name> [--freeze M] [--seed S] [--threads T]
  *       Read a model, run baseline-vs-FrozenQubits, print the report.
  *   solve [--file F] --device <name> [--freeze M] [--shots K] [--seed S]
+ *         [--threads T]
  *       Sampled end-to-end solve (N - M <= 22 for the statevector).
  *   devices
  *       List the device catalog.
+ *
+ * run and solve execute on the ExecutionEngine: the 2^{m-1} sub-problem
+ * circuits are batched over a thread pool (--threads, default all cores;
+ * results are identical for any thread count) and each invocation ends
+ * with a wall-clock summary line.
  *
  * Examples:
  *   fqtool generate --class ba1 --n 16 > problem.ising
@@ -27,6 +33,7 @@
 #include "common/error.h"
 #include "common/table.h"
 #include "device/catalog.h"
+#include "engine/engine.h"
 #include "frozenqubits/budget.h"
 #include "frozenqubits/driver.h"
 #include "frozenqubits/hotspot.h"
@@ -68,7 +75,16 @@ int
 int_option(const Options& opts, const std::string& key, int fallback)
 {
     const auto it = opts.find(key);
-    return it == opts.end() ? fallback : std::stoi(it->second);
+    if (it == opts.end())
+        return fallback;
+    try {
+        std::size_t consumed = 0;
+        const int value = std::stoi(it->second, &consumed);
+        if (consumed == it->second.size())
+            return value;
+    } catch (const std::logic_error&) {
+    }
+    throw Error("--" + key + " expects an integer, got " + it->second);
 }
 
 ising::IsingModel
@@ -161,6 +177,19 @@ resolve_freeze_count(const Options& opts, const ising::IsingModel& model)
     return std::max(1, rec.num_freeze);
 }
 
+/** Engine wall-clock summary: printed after every run/solve. */
+void
+print_wall_clock(const engine::ExecutionEngine& eng)
+{
+    const auto& d = eng.last_diagnostics();
+    std::cout << "wall-clock: " << Table::num(d.wall_ms, 1) << " ms | "
+              << d.threads << " thread" << (d.threads == 1 ? "" : "s")
+              << " | " << d.tasks_executed << "/" << d.num_subproblems
+              << " sub-circuits executed (" << d.mirrors_inferred
+              << " mirrored, " << d.template_edits << " template edits"
+              << (d.template_cache_hit ? ", template cached" : "") << ")\n";
+}
+
 int
 cmd_run(const Options& opts)
 {
@@ -170,8 +199,10 @@ cmd_run(const Options& opts)
     frozenqubits::DriverConfig config;
     config.num_freeze = resolve_freeze_count(opts, model);
     config.seed = static_cast<std::uint64_t>(int_option(opts, "seed", 7));
+    config.threads = int_option(opts, "threads", 0);
 
-    const auto r = frozenqubits::run_pipeline(model, dev, config);
+    engine::ExecutionEngine eng(config.threads);
+    const auto r = eng.run(model, dev, config);
     Table t("baseline vs FrozenQubits(m=" +
             Table::num(config.num_freeze) + ") on " + dev.name);
     t.set_header({"arm", "circuits", "CXs", "SWAPs", "depth", "EPS",
@@ -192,6 +223,7 @@ cmd_run(const Options& opts)
     t.print(std::cout);
     std::cout << "fidelity improvement: "
               << Table::factor(r.improvement()) << "\n";
+    print_wall_clock(eng);
     return 0;
 }
 
@@ -203,15 +235,18 @@ cmd_solve(const Options& opts)
         option(opts, "device", "ibm-montreal"));
     frozenqubits::DriverConfig config;
     config.num_freeze = resolve_freeze_count(opts, model);
+    config.threads = int_option(opts, "threads", 0);
     Rng rng(static_cast<std::uint64_t>(int_option(opts, "seed", 7)));
 
-    const auto solved = frozenqubits::solve_with_sampling(
-        model, dev, config, int_option(opts, "shots", 8192), rng);
+    engine::ExecutionEngine eng(config.threads);
+    const auto solved = eng.solve(model, dev, config,
+                                  int_option(opts, "shots", 8192), rng);
     std::cout << "best cost: " << solved.best_cost << " (sub-problem "
               << solved.from_subproblem << ")\nassignment: ";
     for (auto z : solved.best_assignment)
         std::cout << (z > 0 ? '+' : '-');
     std::cout << "\n";
+    print_wall_clock(eng);
     return 0;
 }
 
@@ -240,7 +275,9 @@ usage()
         "  generate --class ba1|ba2|ba3|3reg|sk --n N [--seed S]\n"
         "  analyze  [--file F]\n"
         "  run      [--file F] --device NAME [--freeze M|auto] [--seed S]\n"
+        "           [--threads T]\n"
         "  solve    [--file F] --device NAME [--freeze M|auto] [--shots K]\n"
+        "           [--threads T]\n"
         "  devices\n";
     return 2;
 }
