@@ -133,6 +133,7 @@ ExecutionEngine::start_diagnostics(const ExecutionPlan& plan)
     diagnostics_.num_subproblems = plan.num_subproblems();
     diagnostics_.tasks_executed = plan.num_executed();
     diagnostics_.template_cache_hit = plan.template_cache_hit;
+    diagnostics_.fused_simulation = plan.fuse_simulation;
     diagnostics_.threads = executor_.num_threads();
     for (const auto& task : plan.tasks) {
         diagnostics_.executed_subproblems.push_back(task.solve);
@@ -154,6 +155,10 @@ ExecutionEngine::run(const ising::IsingModel& model,
     Rng rng(config.seed);
     const auto plan = make_plan(model, dev, config, cache_, rng);
     start_diagnostics(plan);
+    // The report arms are evaluated analytically (p=1 closed form + noise
+    // model) — no statevector runs here, so fusion cannot apply and must
+    // not be advertised; only solve() simulates.
+    diagnostics_.fused_simulation = false;
 
     // Task 0 is the baseline arm; tasks 1..k are the planned sub-problems.
     const int count = 1 + plan.num_executed();
@@ -202,14 +207,13 @@ ExecutionEngine::solve(const ising::IsingModel& model,
             const auto tuned =
                 qaoa::optimize_p1(sub.model, config.p1_grid_resolution);
 
-            const auto logical =
-                qaoa::build_qaoa_circuit(sub.model, plan.build);
-
             // Survival and readout-flip probabilities come precomputed
             // from the shared template when available: siblings differ
             // only in RZ angles, which touch neither. Otherwise (template
             // editing disabled — deliberately unshared) compile this
-            // sub-problem directly and analyze its own circuit.
+            // sub-problem directly and analyze its own circuit. The
+            // logical circuit is built only by the branches that read it
+            // (the fused path gets its executable from the cache).
             double state_survival = 0.0;
             std::vector<double> readout_flip;
             if (plan.compiled_template &&
@@ -219,6 +223,8 @@ ExecutionEngine::solve(const ising::IsingModel& model,
                                      .global_state_survival();
                 readout_flip = plan.compiled_template->readout_flip;
             } else {
+                const auto logical =
+                    qaoa::build_qaoa_circuit(sub.model, plan.build);
                 const auto compiled =
                     transpiler::compile(logical, dev, config.compile);
                 const auto attenuation = sim::compute_attenuation(
@@ -229,10 +235,23 @@ ExecutionEngine::solve(const ising::IsingModel& model,
             }
 
             // Ideal state on the LOGICAL register (statevector width
-            // limits), in this worker's reusable scratch buffer.
-            const auto bound =
-                logical.bind({tuned.angles.gamma}, {tuned.angles.beta});
-            const auto& sv = sim::run_circuit(bound, scratch.statevector);
+            // limits), in this worker's reusable scratch buffer. The fused
+            // path replays the cache-compiled diagonal weight tables at
+            // this task's angles — one pass per cost layer — instead of
+            // applying |E|+|V| gates; the naive path remains as the
+            // --no-fusion escape hatch.
+            if (plan.fuse_simulation) {
+                const auto program =
+                    cache_.get_or_fuse(sub.model, plan.build);
+                program->run({tuned.angles.gamma}, {tuned.angles.beta},
+                             scratch.statevector);
+            } else {
+                const auto bound =
+                    qaoa::build_qaoa_circuit(sub.model, plan.build)
+                        .bind({tuned.angles.gamma}, {tuned.angles.beta});
+                sim::run_circuit(bound, scratch.statevector);
+            }
+            const auto& sv = scratch.statevector;
 
             // Private stream: determined by (seed, sub-problem index), so
             // any thread count samples identically.

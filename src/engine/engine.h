@@ -52,6 +52,10 @@ class ExecutionEngine
          *  Section 3.7.1) instead of their own transpiler run. */
         int template_edits = 0;
         bool template_cache_hit = false;
+        /** Sampled tasks simulated through the fused QAOA fast path.
+         *  Only solve() simulates; run()/evaluate() are analytic and
+         *  always report false. */
+        bool fused_simulation = false;
         std::vector<int> executed_subproblems; ///< solved indices
         std::vector<int> pruned_subproblems;   ///< mirror (never-run) indices
         double wall_ms = 0.0;

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "frozenqubits/hotspot.h"
+#include "sim/statevector.h"
 
 namespace fq::engine {
 
@@ -34,6 +35,16 @@ make_plan(const ising::IsingModel& model, const device::Device& dev,
 
     plan.build.num_layers = 1;
     plan.build.keep_zero_linear_rz = true;
+
+    // Mark the plan fusable: every sub-problem of one freeze shares the
+    // template's quadratic structure, so if one fits the fused-simulation
+    // table width they all do. The fused program cache is keyed on
+    // coefficient values, so each executed sibling compiles its own weight
+    // tables once and reuses them across engine invocations.
+    plan.fuse_simulation =
+        config.fuse_simulation &&
+        (plan.subproblems.empty() ||
+         plan.subproblems.front().model.num_spins() <= sim::kMaxSimQubits);
 
     // Pre-resolve the shared template serially so parallel tasks never race
     // to compile: every sibling is edit-compatible with the first planned

@@ -88,6 +88,21 @@ topology_fingerprint(const ising::IsingModel& model, std::uint64_t salt)
 }
 
 std::uint64_t
+model_value_fingerprint(const ising::IsingModel& model, std::uint64_t salt)
+{
+    std::uint64_t h = mix(hash_seed("fq-model-values"), salt);
+    h = mix(h, static_cast<std::uint64_t>(model.num_spins()));
+    for (double hi : model.linear_terms())
+        h = mix_double(h, hi);
+    for (const auto& term : model.quadratic_terms()) {
+        h = mix(h, static_cast<std::uint64_t>(term.i));
+        h = mix(h, static_cast<std::uint64_t>(term.j));
+        h = mix_double(h, term.coefficient);
+    }
+    return h;
+}
+
+std::uint64_t
 template_key(const ising::IsingModel& model, const device::Device& dev,
              const transpiler::CompileOptions& compile,
              const qaoa::BuildOptions& build, std::uint64_t salt)
@@ -165,6 +180,84 @@ TemplateCache::get_or_compile(const ising::IsingModel& model,
     return entry;
 }
 
+namespace {
+
+/** Cache key for a fused-simulation program. */
+std::uint64_t
+sim_key(const ising::IsingModel& model, const qaoa::BuildOptions& build,
+        std::uint64_t salt)
+{
+    std::uint64_t h = model_value_fingerprint(model, salt);
+    h = combine_seeds(h, static_cast<std::uint64_t>(build.num_layers));
+    h = combine_seeds(h, (build.include_measurements ? 2u : 0u) |
+                             (build.keep_zero_linear_rz ? 1u : 0u));
+    return h;
+}
+
+/** Byte budget for cached fused programs. Entries hold 2^n-sized tables
+ *  (a 20-qubit LUT program is ~2 MiB, a 26-qubit one ~128 MiB), so the
+ *  bound is on estimated bytes, not entry count: many small sub-problems
+ *  fit (an m=8 freeze's 128 siblings at n<=20 stay resident), while a
+ *  handful of huge ones trip the wholesale reset early. */
+constexpr std::size_t kMaxSimBytes = std::size_t(256) << 20;
+
+} // namespace
+
+std::shared_ptr<const sim::FusedProgram>
+TemplateCache::get_or_fuse(const ising::IsingModel& model,
+                           const qaoa::BuildOptions& build, bool* was_hit)
+{
+    const std::uint64_t key = sim_key(model, build, 0);
+    const std::uint64_t verify = sim_key(model, build, kVerifySalt);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.sim_lookups;
+        auto it = sim_entries_.find(key);
+        if (it != sim_entries_.end() && it->second.verify_key == verify) {
+            ++stats_.sim_hits;
+            if (was_hit)
+                *was_hit = true;
+            return it->second.value;
+        }
+    }
+
+    // Build OUTSIDE the lock: unlike the shared compiled template (one key
+    // per plan, pre-resolved serially by the planner), every sibling
+    // sub-problem carries distinct coefficient values and thus a distinct
+    // key — compiling the O(2^n) tables under the mutex would serialize
+    // the whole worker pool. A rare duplicate build of the same key loses
+    // the race below and is dropped; first insert wins so all callers
+    // share one program.
+    const auto logical = qaoa::build_qaoa_circuit(model, build);
+    auto program = std::make_shared<const sim::FusedProgram>(
+        logical, /*build_luts=*/true);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.sim_fusions;
+    auto it = sim_entries_.find(key);
+    if (it != sim_entries_.end()) {
+        if (it->second.verify_key == verify) {
+            // Lost the race; share the winner's program.
+            if (was_hit)
+                *was_hit = true;
+            return it->second.value;
+        }
+        // Verify-key mismatch (fingerprint collision): the stale entry is
+        // about to be overwritten — release its bytes from the budget.
+        sim_bytes_ -= it->second.value->table_bytes();
+    }
+    sim_bytes_ += program->table_bytes();
+    if (sim_bytes_ > kMaxSimBytes) {
+        sim_entries_.clear();
+        sim_bytes_ = program->table_bytes();
+    }
+    sim_entries_[key] = SimEntry{verify, program};
+    if (was_hit)
+        *was_hit = false;
+    return program;
+}
+
 TemplateCache::Stats
 TemplateCache::stats() const
 {
@@ -184,6 +277,8 @@ TemplateCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    sim_entries_.clear();
+    sim_bytes_ = 0;
 }
 
 } // namespace fq::engine

@@ -31,6 +31,7 @@
 #include "ising/ising_model.h"
 #include "qaoa/qaoa_builder.h"
 #include "sim/noise_model.h"
+#include "sim/qaoa_kernel.h"
 #include "transpiler/pipeline.h"
 
 namespace fq::engine {
@@ -40,6 +41,15 @@ namespace fq::engine {
  *  fingerprints). */
 std::uint64_t topology_fingerprint(const ising::IsingModel& model,
                                    std::uint64_t salt = 0);
+
+/**
+ * Stable fingerprint of a model's full coefficient content — structure AND
+ * values. The transpiled template only depends on structure (coefficients
+ * just move RZ angles), but the simulator's fused weight tables bake the
+ * coefficients in, so their cache key must distinguish values.
+ */
+std::uint64_t model_value_fingerprint(const ising::IsingModel& model,
+                                      std::uint64_t salt = 0);
 
 /** Stable fingerprint of a device: name, coupling map, calibration. */
 std::uint64_t device_fingerprint(const device::Device& dev,
@@ -85,6 +95,10 @@ class TemplateCache
         std::uint64_t lookups = 0;
         std::uint64_t hits = 0;
         std::uint64_t compiles = 0;
+        /** Fused-simulation program counters (get_or_fuse). */
+        std::uint64_t sim_lookups = 0;
+        std::uint64_t sim_hits = 0;
+        std::uint64_t sim_fusions = 0;
     };
 
     /**
@@ -100,6 +114,19 @@ class TemplateCache
                    const transpiler::CompileOptions& compile,
                    const qaoa::BuildOptions& build, bool* was_hit = nullptr);
 
+    /**
+     * Return the compiled fused-simulation program (diagonal weight
+     * tables, mixer walls) for @p model's QAOA circuit under @p build,
+     * fusing and compiling tables on the first request. Keyed on
+     * coefficient VALUES (unlike the transpiled template) because the
+     * weight tables bake them in; all optimizer iterations and every
+     * repeated solve over the same sub-problem reuse one entry. Hits are
+     * double-fingerprint verified like compiled templates.
+     */
+    std::shared_ptr<const sim::FusedProgram>
+    get_or_fuse(const ising::IsingModel& model,
+                const qaoa::BuildOptions& build, bool* was_hit = nullptr);
+
     Stats stats() const;
     std::size_t size() const;
     void clear();
@@ -110,9 +137,17 @@ class TemplateCache
         std::uint64_t verify_key = 0;
         std::shared_ptr<const CompiledTemplate> value;
     };
+    struct SimEntry
+    {
+        std::uint64_t verify_key = 0;
+        std::shared_ptr<const sim::FusedProgram> value;
+    };
 
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, Entry> entries_;
+    std::unordered_map<std::uint64_t, SimEntry> sim_entries_;
+    /** Estimated bytes held by sim_entries_ (table storage). */
+    std::size_t sim_bytes_ = 0;
     Stats stats_;
 };
 

@@ -34,6 +34,13 @@ struct DriverConfig
     HotspotPolicy policy = HotspotPolicy::MaxDegree;
     bool symmetry_pruning = true;            ///< Section 3.7.2
     bool use_template_editing = true;        ///< Section 3.7.1
+    /**
+     * Simulate sub-circuits through the fused QAOA fast path (diagonal
+     * weight tables + cached energy tables) instead of gate-by-gate.
+     * Amplitude-exact to ~1e-12; disable (fqtool --no-fusion) only for
+     * A/B debugging against the naive path.
+     */
+    bool fuse_simulation = true;
     transpiler::CompileOptions compile{};
     int p1_grid_resolution = 32;             ///< angle-search coarse grid
     std::uint64_t seed = 7;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "qaoa/multilayer.h"
 
 namespace fq::optimizer {
 
@@ -25,6 +26,27 @@ scan_landscape(const std::function<double(double, double)>& f, int nx,
         }
     }
     return land;
+}
+
+Landscape
+scan_qaoa_landscape(const ising::IsingModel& model, int num_layers, int nx,
+                    int ny, double x_max, double y_max)
+{
+    FQ_REQUIRE(model.num_spins() <= 20,
+               "statevector landscape limited to 20 spins");
+    const int p = num_layers;
+    qaoa::QaoaEvaluator evaluator(model, p);
+    std::vector<double> gammas(static_cast<std::size_t>(p));
+    std::vector<double> betas(static_cast<std::size_t>(p));
+    return scan_landscape(
+        [&](double g, double b) {
+            for (int l = 0; l < p; ++l) {
+                gammas[static_cast<std::size_t>(l)] = g * (l + 1) / p;
+                betas[static_cast<std::size_t>(l)] = b * (p - l) / p;
+            }
+            return evaluator.energy(gammas, betas);
+        },
+        nx, ny, x_max, y_max);
 }
 
 LandscapeStats

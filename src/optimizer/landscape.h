@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "ising/ising_model.h"
+
 namespace fq::optimizer {
 
 /** Dense grid of objective values; row-major [ix * ny + iy]. */
@@ -29,6 +31,20 @@ struct Landscape
 /** Evaluate f over an nx-by-ny grid spanning [0,xmax) x [0,ymax). */
 Landscape scan_landscape(const std::function<double(double, double)>& f,
                          int nx, int ny, double x_max, double y_max);
+
+/**
+ * Scan the ideal p-layer QAOA energy over a (gamma, beta) grid through the
+ * cached-expectation entry point (qaoa::QaoaEvaluator): the circuit is
+ * fused and its weight/energy tables are compiled ONCE, then every grid
+ * cell is a fused re-simulation plus a dot product — nx*ny cells reuse one
+ * table build instead of paying a gate-by-gate run each. For p >= 2 the
+ * grid point (g, b) is expanded by the standard warm-start ramp
+ * (gamma_l = g (l+1)/p, beta_l = b (p-l)/p), so the scan stays 2-D.
+ * Statevector-bound: model width <= 20.
+ */
+Landscape scan_qaoa_landscape(const ising::IsingModel& model,
+                              int num_layers, int nx, int ny, double x_max,
+                              double y_max);
 
 /** Summary statistics used to compare landscape sharpness. */
 struct LandscapeStats

@@ -8,6 +8,19 @@
 
 namespace fq::qaoa {
 
+namespace {
+
+circuit::Circuit
+parametric_circuit(const ising::IsingModel& model, int num_layers)
+{
+    BuildOptions opts;
+    opts.num_layers = num_layers;
+    opts.include_measurements = false;
+    return build_qaoa_circuit(model, opts);
+}
+
+} // namespace
+
 StateExpectations
 state_expectations(const ising::IsingModel& model,
                    const sim::Statevector& state)
@@ -40,6 +53,38 @@ state_expectations(const ising::IsingModel& model,
     return out;
 }
 
+QaoaEvaluator::QaoaEvaluator(const ising::IsingModel& model, int num_layers)
+    : num_layers_(num_layers),
+      program_(parametric_circuit(model, num_layers), /*build_luts=*/true),
+      energy_table_(model)
+{
+    FQ_REQUIRE(num_layers >= 1, "need at least one layer");
+}
+
+double
+QaoaEvaluator::energy(const std::vector<double>& gammas,
+                      const std::vector<double>& betas)
+{
+    FQ_REQUIRE(gammas.size() == static_cast<std::size_t>(num_layers_) &&
+                   betas.size() == static_cast<std::size_t>(num_layers_),
+               "need one (gamma, beta) pair per layer");
+    program_.run(gammas, betas, scratch_);
+    ++evaluations_;
+    return energy_table_.expectation(scratch_);
+}
+
+double
+QaoaEvaluator::energy_flat(const std::vector<double>& point)
+{
+    FQ_REQUIRE(point.size() == 2 * static_cast<std::size_t>(num_layers_),
+               "flat point must hold 2p angles");
+    const std::vector<double> gammas(point.begin(),
+                                     point.begin() + num_layers_);
+    const std::vector<double> betas(point.begin() + num_layers_,
+                                    point.end());
+    return energy(gammas, betas);
+}
+
 StateExpectations
 evaluate_multilayer(const ising::IsingModel& model,
                     const std::vector<double>& gammas,
@@ -49,11 +94,13 @@ evaluate_multilayer(const ising::IsingModel& model,
                "need one (gamma, beta) pair per layer");
     FQ_REQUIRE(model.num_spins() <= 20,
                "statevector evaluation limited to 20 spins");
-    BuildOptions opts;
-    opts.num_layers = static_cast<int>(gammas.size());
-    opts.include_measurements = false;
-    const auto circuit = build_qaoa_circuit(model, opts);
-    const auto state = sim::run_circuit(circuit.bind(gammas, betas));
+    // One-shot evaluation: fuse without the level LUT (its build cost only
+    // pays off across repeated runs of the same structure).
+    const sim::FusedProgram program(
+        parametric_circuit(model, static_cast<int>(gammas.size())),
+        /*build_luts=*/false);
+    sim::Statevector state;
+    program.run(gammas, betas, state);
     return state_expectations(model, state);
 }
 
@@ -62,6 +109,8 @@ optimize_multilayer(const ising::IsingModel& model, int num_layers,
                     int max_evaluations)
 {
     FQ_REQUIRE(num_layers >= 1, "need at least one layer");
+    FQ_REQUIRE(model.num_spins() <= 20,
+               "statevector evaluation limited to 20 spins");
 
     // Warm start: p=1 optimum, layers ramped linearly (gamma up, beta
     // down) — the standard interpolation heuristic.
@@ -76,16 +125,17 @@ optimize_multilayer(const ising::IsingModel& model, int num_layers,
                         static_cast<double>(num_layers));
     }
 
+    // The whole optimizer loop shares ONE fused program and ONE energy
+    // table: per iteration only the diagonal scales and mixer angles
+    // change, so the tables compiled at construction are reused verbatim.
+    QaoaEvaluator evaluator(model, num_layers);
+
     optimizer::NelderMeadOptions opts;
     opts.max_evaluations = max_evaluations;
     opts.initial_step = 0.15;
     const auto tuned = optimizer::nelder_mead(
         [&](const std::vector<double>& x) {
-            const std::vector<double> gammas(x.begin(),
-                                             x.begin() + num_layers);
-            const std::vector<double> betas(x.begin() + num_layers,
-                                            x.end());
-            return evaluate_multilayer(model, gammas, betas).energy;
+            return evaluator.energy_flat(x);
         },
         start, opts);
 
@@ -100,4 +150,3 @@ optimize_multilayer(const ising::IsingModel& model, int num_layers,
 }
 
 } // namespace fq::qaoa
-

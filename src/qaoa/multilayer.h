@@ -7,6 +7,12 @@
  * EV but multiply the CNOT count per layer, and under hardware noise the
  * paper's Section 2.2 expectation — more layers exacerbate errors — shows
  * up as a p=1-vs-p=2 fidelity crossover.
+ *
+ * The optimizer loop runs on QaoaEvaluator — the cached-expectation entry
+ * point: the parametric circuit is fused once into per-state weight tables
+ * (sim/qaoa_kernel.h), the energy table is built once, and every
+ * evaluation is then one fused re-simulation plus a dot product instead of
+ * a gate-by-gate run plus a full per-state model re-evaluation.
  */
 #ifndef FQ_QAOA_MULTILAYER_H
 #define FQ_QAOA_MULTILAYER_H
@@ -14,6 +20,7 @@
 #include <vector>
 
 #include "ising/ising_model.h"
+#include "sim/qaoa_kernel.h"
 #include "sim/statevector.h"
 
 namespace fq::qaoa {
@@ -29,6 +36,45 @@ struct StateExpectations
 /** Compute per-term expectations of @p state under @p model. */
 StateExpectations state_expectations(const ising::IsingModel& model,
                                      const sim::Statevector& state);
+
+/**
+ * Cached fast evaluator for the QAOA optimizer loop. Construction fuses
+ * the p-layer circuit (compiling its diagonal weight tables) and builds
+ * the model's energy table; energy() is then the per-iteration cost the
+ * classical optimizer actually pays. One evaluator owns one scratch
+ * statevector — share across iterations, not across threads.
+ */
+class QaoaEvaluator
+{
+  public:
+    QaoaEvaluator(const ising::IsingModel& model, int num_layers);
+
+    int num_layers() const { return num_layers_; }
+    int num_qubits() const { return program_.num_qubits(); }
+
+    /** Ideal <C> at the given angles (offset included). */
+    double energy(const std::vector<double>& gammas,
+                  const std::vector<double>& betas);
+
+    /** Ideal <C> from the flat [gammas..., betas...] optimizer layout. */
+    double energy_flat(const std::vector<double>& point);
+
+    /** The state left by the most recent energy() call. */
+    const sim::Statevector& state() const { return scratch_; }
+
+    /** Evaluations served since construction. */
+    int evaluations() const { return evaluations_; }
+
+    const sim::FusedProgram& program() const { return program_; }
+    const sim::EnergyTable& energy_table() const { return energy_table_; }
+
+  private:
+    int num_layers_;
+    sim::FusedProgram program_;
+    sim::EnergyTable energy_table_;
+    sim::Statevector scratch_;
+    int evaluations_ = 0;
+};
 
 /** Result of multi-layer angle optimization. */
 struct MultilayerResult

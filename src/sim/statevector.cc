@@ -5,14 +5,9 @@
 
 #include "common/bitops.h"
 #include "common/error.h"
+#include "sim/kernels.h"
 
 namespace fq::sim {
-
-namespace {
-
-constexpr int kMaxSimQubits = 26;
-
-} // namespace
 
 Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits)
 {
@@ -30,6 +25,18 @@ Statevector::reset(int num_qubits)
     num_qubits_ = num_qubits;
     amps_.assign(std::uint64_t(1) << num_qubits, {0.0, 0.0});
     amps_[0] = {1.0, 0.0};
+    cdf_valid_ = false;
+}
+
+void
+Statevector::reset_uniform(int num_qubits)
+{
+    FQ_REQUIRE(num_qubits >= 1 && num_qubits <= kMaxSimQubits,
+               "statevector limited to 1..26 qubits");
+    num_qubits_ = num_qubits;
+    const double amp = std::pow(0.5, 0.5 * num_qubits);
+    amps_.assign(std::uint64_t(1) << num_qubits, {amp, 0.0});
+    cdf_valid_ = false;
 }
 
 Statevector::Amplitude
@@ -55,150 +62,93 @@ Statevector::probabilities() const
 }
 
 void
+Statevector::check_qubit(int q) const
+{
+    FQ_REQUIRE(q >= 0 && q < num_qubits_, "qubit index out of range");
+}
+
+void
 Statevector::apply_h(int q)
 {
-    const std::uint64_t bit = std::uint64_t(1) << q;
-    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
-    for (std::uint64_t s = 0; s < dimension(); ++s) {
-        if (s & bit)
-            continue;
-        const Amplitude a0 = amps_[s];
-        const Amplitude a1 = amps_[s | bit];
-        amps_[s] = inv_sqrt2 * (a0 + a1);
-        amps_[s | bit] = inv_sqrt2 * (a0 - a1);
-    }
+    check_qubit(q);
+    kernels::apply_h(data(), dimension(), q);
 }
 
 void
 Statevector::apply_x(int q)
 {
-    const std::uint64_t bit = std::uint64_t(1) << q;
-    for (std::uint64_t s = 0; s < dimension(); ++s)
-        if (!(s & bit))
-            std::swap(amps_[s], amps_[s | bit]);
+    check_qubit(q);
+    kernels::apply_x(data(), dimension(), q);
 }
 
 void
 Statevector::apply_sx(int q)
 {
-    // sqrt(X) = 0.5 * [[1+i, 1-i], [1-i, 1+i]].
-    const std::uint64_t bit = std::uint64_t(1) << q;
-    const Amplitude p{0.5, 0.5}, m{0.5, -0.5};
-    for (std::uint64_t s = 0; s < dimension(); ++s) {
-        if (s & bit)
-            continue;
-        const Amplitude a0 = amps_[s];
-        const Amplitude a1 = amps_[s | bit];
-        amps_[s] = p * a0 + m * a1;
-        amps_[s | bit] = m * a0 + p * a1;
-    }
+    check_qubit(q);
+    kernels::apply_sx(data(), dimension(), q);
 }
 
 void
 Statevector::apply_rz(int q, double theta)
 {
-    const std::uint64_t bit = std::uint64_t(1) << q;
-    const Amplitude phase0 = std::polar(1.0, -theta / 2.0);
-    const Amplitude phase1 = std::polar(1.0, theta / 2.0);
-    for (std::uint64_t s = 0; s < dimension(); ++s)
-        amps_[s] *= (s & bit) ? phase1 : phase0;
+    check_qubit(q);
+    kernels::apply_rz(data(), dimension(), q, theta);
 }
 
 void
 Statevector::apply_rx(int q, double theta)
 {
-    const std::uint64_t bit = std::uint64_t(1) << q;
-    const double c = std::cos(theta / 2.0);
-    const Amplitude is{0.0, -std::sin(theta / 2.0)};
-    for (std::uint64_t s = 0; s < dimension(); ++s) {
-        if (s & bit)
-            continue;
-        const Amplitude a0 = amps_[s];
-        const Amplitude a1 = amps_[s | bit];
-        amps_[s] = c * a0 + is * a1;
-        amps_[s | bit] = is * a0 + c * a1;
-    }
+    check_qubit(q);
+    kernels::apply_rx(data(), dimension(), q, theta);
 }
 
 void
 Statevector::apply_ry(int q, double theta)
 {
-    const std::uint64_t bit = std::uint64_t(1) << q;
-    const double c = std::cos(theta / 2.0);
-    const double sn = std::sin(theta / 2.0);
-    for (std::uint64_t s = 0; s < dimension(); ++s) {
-        if (s & bit)
-            continue;
-        const Amplitude a0 = amps_[s];
-        const Amplitude a1 = amps_[s | bit];
-        amps_[s] = c * a0 - sn * a1;
-        amps_[s | bit] = sn * a0 + c * a1;
-    }
+    check_qubit(q);
+    kernels::apply_ry(data(), dimension(), q, theta);
 }
 
 void
 Statevector::apply_cx(int control, int target)
 {
-    const std::uint64_t cbit = std::uint64_t(1) << control;
-    const std::uint64_t tbit = std::uint64_t(1) << target;
-    for (std::uint64_t s = 0; s < dimension(); ++s)
-        if ((s & cbit) && !(s & tbit))
-            std::swap(amps_[s], amps_[s | tbit]);
+    check_qubit(control);
+    check_qubit(target);
+    kernels::apply_cx(data(), dimension(), control, target);
 }
 
 void
 Statevector::apply_swap(int a, int b)
 {
-    const std::uint64_t abit = std::uint64_t(1) << a;
-    const std::uint64_t bbit = std::uint64_t(1) << b;
-    for (std::uint64_t s = 0; s < dimension(); ++s)
-        if ((s & abit) && !(s & bbit))
-            std::swap(amps_[s ^ abit ^ bbit], amps_[s]);
+    check_qubit(a);
+    check_qubit(b);
+    kernels::apply_swap(data(), dimension(), a, b);
 }
 
 void
 Statevector::apply_rzz(int a, int b, double theta)
 {
-    const std::uint64_t abit = std::uint64_t(1) << a;
-    const std::uint64_t bbit = std::uint64_t(1) << b;
-    const Amplitude same = std::polar(1.0, -theta / 2.0);
-    const Amplitude diff = std::polar(1.0, theta / 2.0);
-    for (std::uint64_t s = 0; s < dimension(); ++s) {
-        const bool pa = s & abit, pb = s & bbit;
-        amps_[s] *= (pa == pb) ? same : diff;
-    }
+    check_qubit(a);
+    check_qubit(b);
+    kernels::apply_rzz(data(), dimension(), a, b, theta);
 }
 
 void
 Statevector::apply_pauli(int q, int pauli)
 {
+    check_qubit(q);
     switch (pauli) {
       case 0:
         return;
       case 1:
-        apply_x(q);
+        kernels::apply_x(data(), dimension(), q);
         return;
-      case 2: {
-        // Y = i X Z: phase by Z, flip by X, global i (irrelevant here but
-        // kept exact for overlap tests).
-        const std::uint64_t bit = std::uint64_t(1) << q;
-        for (std::uint64_t s = 0; s < dimension(); ++s) {
-            if (!(s & bit)) {
-                const Amplitude a0 = amps_[s];
-                const Amplitude a1 = amps_[s | bit];
-                amps_[s] = Amplitude{0.0, -1.0} * a1;
-                amps_[s | bit] = Amplitude{0.0, 1.0} * a0;
-            }
-        }
+      case 2:
+        kernels::apply_y(data(), dimension(), q);
         return;
-      }
-      case 3: {
-        const std::uint64_t bit = std::uint64_t(1) << q;
-        for (std::uint64_t s = 0; s < dimension(); ++s)
-            if (s & bit)
-                amps_[s] = -amps_[s];
+      case 3:
+        kernels::apply_z(data(), dimension(), q);
         return;
-      }
       default:
         FQ_REQUIRE(false, "pauli index must be 0..3");
     }
@@ -252,19 +202,29 @@ std::vector<std::uint64_t>
 Statevector::sample(int shots, Rng& rng) const
 {
     FQ_REQUIRE(shots >= 0, "negative shot count");
-    // Inverse-CDF sampling over the cumulative distribution.
-    std::vector<double> cdf(amps_.size());
-    double acc = 0.0;
-    for (std::size_t s = 0; s < amps_.size(); ++s) {
-        acc += std::norm(amps_[s]);
-        cdf[s] = acc;
+    // Inverse-CDF sampling; the CDF is built once per state mutation and
+    // reused by every subsequent sample() call.
+    if (!cdf_valid_) {
+        cdf_.resize(amps_.size());
+        double acc = 0.0;
+        for (std::size_t s = 0; s < amps_.size(); ++s) {
+            acc += std::norm(amps_[s]);
+            cdf_[s] = acc;
+        }
+        cdf_valid_ = true;
     }
+    const double total = cdf_.back();
+    const std::uint64_t last = static_cast<std::uint64_t>(cdf_.size()) - 1;
     std::vector<std::uint64_t> out;
     out.reserve(shots);
     for (int k = 0; k < shots; ++k) {
-        const double u = rng.uniform() * acc;
-        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-        out.push_back(static_cast<std::uint64_t>(it - cdf.begin()));
+        const double u = rng.uniform() * total;
+        const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        // Clamp: a draw of exactly u == total (or FP round-up past the
+        // final cumulative value) must map to the last state, never one
+        // past the end of the distribution.
+        out.push_back(std::min(
+            static_cast<std::uint64_t>(it - cdf_.begin()), last));
     }
     return out;
 }

@@ -7,6 +7,10 @@
  * semantics-preservation are property-tested. Amplitudes are little-endian:
  * bit q of the basis-state index is qubit q, |0> = +1 in the z basis.
  * Practical up to ~22 qubits (2^22 complex doubles = 64 MiB).
+ *
+ * Gate application runs on the branch-free strided kernels in kernels.h;
+ * the QAOA-aware fused fast path (diagonal-layer weight tables, cached
+ * energy tables) lives in qaoa_kernel.h and writes through data().
  */
 #ifndef FQ_SIM_STATEVECTOR_H
 #define FQ_SIM_STATEVECTOR_H
@@ -20,6 +24,13 @@
 #include "ising/ising_model.h"
 
 namespace fq::sim {
+
+/**
+ * Hard width cap shared by the statevector, the fused-program tables, and
+ * the planner's fusable check — one constant so the planner can never mark
+ * a sub-problem fusable that the table builders would reject.
+ */
+constexpr int kMaxSimQubits = 26;
 
 /** Dense 2^N-amplitude quantum state. */
 class Statevector
@@ -44,12 +55,31 @@ class Statevector
      */
     void reset(int num_qubits);
 
+    /**
+     * Reinitialize to the uniform superposition H^{tensor n}|0...0> in one
+     * pass — the state after a QAOA Hadamard wall, which the fused program
+     * starts from without applying n gates.
+     */
+    void reset_uniform(int num_qubits);
+
     int num_qubits() const { return num_qubits_; }
     std::uint64_t dimension() const { return std::uint64_t(1) << num_qubits_; }
 
     Amplitude amplitude(std::uint64_t state) const;
     double probability(std::uint64_t state) const;
     std::vector<double> probabilities() const;
+
+    /**
+     * Raw amplitude storage (dimension() entries). The mutable overload
+     * invalidates the cached sampling CDF, so external writers (the fused
+     * QAOA program) compose correctly with sample().
+     */
+    Amplitude* data()
+    {
+        cdf_valid_ = false;
+        return amps_.data();
+    }
+    const Amplitude* data() const { return amps_.data(); }
 
     /// @name Gate application (constant angles)
     /// @{
@@ -76,7 +106,15 @@ class Statevector
     /** <C> = sum_s |amp_s|^2 C(s) for a diagonal Ising Hamiltonian. */
     double expectation_ising(const ising::IsingModel& model) const;
 
-    /** Draw @p shots basis states from the Born distribution. */
+    /**
+     * Draw @p shots basis states from the Born distribution. The cumulative
+     * distribution is computed on the first call and reused across repeated
+     * sample() calls on an unchanged state (any mutation invalidates it).
+     *
+     * Concurrency: const but caching — concurrent sample() calls on ONE
+     * instance need external synchronization. The engine gives each worker
+     * its own scratch state, so nothing in-tree shares one.
+     */
     std::vector<std::uint64_t> sample(int shots, Rng& rng) const;
 
     /** L2 norm (should stay 1 within rounding). */
@@ -89,8 +127,15 @@ class Statevector
     double overlap(const Statevector& other) const;
 
   private:
+    /** The strided kernels index out of bounds on a bad qubit; guard every
+     *  public gate entry (the old branchy loops silently no-op'd). */
+    void check_qubit(int q) const;
+
     int num_qubits_;
     std::vector<Amplitude> amps_;
+    /** Sampling CDF cache; rebuilt lazily after any mutation. */
+    mutable std::vector<double> cdf_;
+    mutable bool cdf_valid_ = false;
 };
 
 /**

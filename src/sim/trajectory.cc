@@ -4,6 +4,7 @@
 
 #include "circuit/metrics.h"
 #include "common/error.h"
+#include "sim/qaoa_kernel.h"
 #include "sim/statevector.h"
 
 namespace fq::sim {
@@ -44,8 +45,14 @@ simulate_trajectories(const circuit::Circuit& physical,
     result.counts = Counts(n);
     double ev_sum = 0.0;
 
+    // E[s] over the physical register, computed once and dotted with each
+    // trajectory's probabilities — instead of re-evaluating the model for
+    // every state of every trajectory.
+    const EnergyTable energy(physical_model);
+
+    Statevector sv;
     for (int traj = 0; traj < config.num_trajectories; ++traj) {
-        Statevector sv(n);
+        sv.reset(n);
         for (const auto& g : physical.gates()) {
             using circuit::GateType;
             if (g.type == GateType::MEASURE || g.type == GateType::BARRIER)
@@ -95,7 +102,7 @@ simulate_trajectories(const circuit::Circuit& physical,
             }
         }
 
-        ev_sum += sv.expectation_ising(physical_model);
+        ev_sum += energy.expectation(sv);
 
         auto samples = sv.sample(config.shots_per_trajectory, rng);
         for (std::uint64_t s : samples) {

@@ -1,0 +1,533 @@
+/**
+ * @file
+ * Property tests for the fused QAOA fast path: the diagonal-fusion circuit
+ * pass, the strided gate kernels, the per-state weight/energy tables, and
+ * the engine integration. The oracle is a self-contained naive simulator
+ * (the pre-fusion per-state branchy loops) kept HERE, independent of the
+ * library kernels, so a shared bug cannot cancel out.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/fusion.h"
+#include "common/bitops.h"
+#include "device/catalog.h"
+#include "engine/engine.h"
+#include "graph/generators.h"
+#include "ising/ising_model.h"
+#include "qaoa/multilayer.h"
+#include "qaoa/qaoa_builder.h"
+#include "sim/qaoa_kernel.h"
+#include "sim/statevector.h"
+
+namespace {
+
+using namespace fq;
+using fq::engine::ExecutionEngine;
+using Amp = std::complex<double>;
+
+// ---------------------------------------------------------------- oracle --
+
+/** Naive branchy gate application (the pre-fusion reference loops). */
+class NaiveState
+{
+  public:
+    explicit NaiveState(int n) : n_(n), amps_(std::uint64_t(1) << n)
+    {
+        amps_[0] = {1.0, 0.0};
+    }
+
+    void
+    uniform()
+    {
+        const double a = std::pow(0.5, 0.5 * n_);
+        for (auto& amp : amps_)
+            amp = {a, 0.0};
+    }
+
+    void
+    apply(const circuit::Gate& g)
+    {
+        using circuit::GateType;
+        const double theta = g.angle.coefficient;
+        const std::uint64_t bit = std::uint64_t(1) << g.q0;
+        const std::uint64_t dim = amps_.size();
+        switch (g.type) {
+          case GateType::H: {
+            const double r = 1.0 / std::sqrt(2.0);
+            for (std::uint64_t s = 0; s < dim; ++s) {
+                if (s & bit)
+                    continue;
+                const Amp a0 = amps_[s], a1 = amps_[s | bit];
+                amps_[s] = r * (a0 + a1);
+                amps_[s | bit] = r * (a0 - a1);
+            }
+            break;
+          }
+          case GateType::X:
+            for (std::uint64_t s = 0; s < dim; ++s)
+                if (!(s & bit))
+                    std::swap(amps_[s], amps_[s | bit]);
+            break;
+          case GateType::SX: {
+            const Amp p{0.5, 0.5}, m{0.5, -0.5};
+            for (std::uint64_t s = 0; s < dim; ++s) {
+                if (s & bit)
+                    continue;
+                const Amp a0 = amps_[s], a1 = amps_[s | bit];
+                amps_[s] = p * a0 + m * a1;
+                amps_[s | bit] = m * a0 + p * a1;
+            }
+            break;
+          }
+          case GateType::RZ: {
+            const Amp p0 = std::polar(1.0, -theta / 2.0);
+            const Amp p1 = std::polar(1.0, theta / 2.0);
+            for (std::uint64_t s = 0; s < dim; ++s)
+                amps_[s] *= (s & bit) ? p1 : p0;
+            break;
+          }
+          case GateType::RX: {
+            const double c = std::cos(theta / 2.0);
+            const Amp is{0.0, -std::sin(theta / 2.0)};
+            for (std::uint64_t s = 0; s < dim; ++s) {
+                if (s & bit)
+                    continue;
+                const Amp a0 = amps_[s], a1 = amps_[s | bit];
+                amps_[s] = c * a0 + is * a1;
+                amps_[s | bit] = is * a0 + c * a1;
+            }
+            break;
+          }
+          case GateType::RY: {
+            const double c = std::cos(theta / 2.0);
+            const double sn = std::sin(theta / 2.0);
+            for (std::uint64_t s = 0; s < dim; ++s) {
+                if (s & bit)
+                    continue;
+                const Amp a0 = amps_[s], a1 = amps_[s | bit];
+                amps_[s] = c * a0 - sn * a1;
+                amps_[s | bit] = sn * a0 + c * a1;
+            }
+            break;
+          }
+          case GateType::CX: {
+            const std::uint64_t cb = std::uint64_t(1) << g.q0;
+            const std::uint64_t tb = std::uint64_t(1) << g.q1;
+            for (std::uint64_t s = 0; s < dim; ++s)
+                if ((s & cb) && !(s & tb))
+                    std::swap(amps_[s], amps_[s | tb]);
+            break;
+          }
+          case GateType::SWAP: {
+            const std::uint64_t ab = std::uint64_t(1) << g.q0;
+            const std::uint64_t bb = std::uint64_t(1) << g.q1;
+            for (std::uint64_t s = 0; s < dim; ++s)
+                if ((s & ab) && !(s & bb))
+                    std::swap(amps_[s ^ ab ^ bb], amps_[s]);
+            break;
+          }
+          case GateType::MEASURE:
+          case GateType::BARRIER:
+            break;
+        }
+    }
+
+    void
+    run(const circuit::Circuit& c)
+    {
+        for (const auto& g : c.gates())
+            apply(g);
+    }
+
+    const std::vector<Amp>& amps() const { return amps_; }
+
+  private:
+    int n_;
+    std::vector<Amp> amps_;
+};
+
+double
+max_amp_diff(const std::vector<Amp>& a, const sim::Statevector& b)
+{
+    EXPECT_EQ(a.size(), b.dimension());
+    double worst = 0.0;
+    for (std::uint64_t s = 0; s < a.size(); ++s)
+        worst = std::max(worst, std::abs(a[s] - b.amplitude(s)));
+    return worst;
+}
+
+/** Random Ising model: BA skeleton, random real h and J. */
+ising::IsingModel
+random_model(int n, std::uint64_t seed, bool with_linear)
+{
+    Rng rng(seed);
+    auto g = graph::barabasi_albert(n, 2, rng);
+    auto model = ising::IsingModel::from_graph(g);
+    for (const auto& term : model.quadratic_terms())
+        model.add_quadratic(term.i, term.j,
+                            rng.uniform(-1.0, 1.0) - term.coefficient);
+    if (with_linear)
+        for (int i = 0; i < n; ++i)
+            model.set_linear(i, rng.uniform(-1.0, 1.0));
+    model.set_offset(rng.uniform(-1.0, 1.0));
+    return model;
+}
+
+// --------------------------------------------------------------- kernels --
+
+TEST(StridedKernels, MatchNaiveLoopsOnRandomCircuits)
+{
+    // Every library gate, random order and angles, vs the branchy oracle.
+    for (std::uint64_t trial = 0; trial < 6; ++trial) {
+        Rng rng(100 + trial);
+        const int n = 3 + static_cast<int>(rng.uniform_int(4ull)); // 3..6
+        circuit::Circuit c(n);
+        for (int q = 0; q < n; ++q)
+            c.h(q);
+        for (int k = 0; k < 60; ++k) {
+            const int q = static_cast<int>(
+                rng.uniform_int(static_cast<std::uint64_t>(n)));
+            const int r = (q + 1 + static_cast<int>(rng.uniform_int(
+                                       static_cast<std::uint64_t>(n - 1)))) %
+                          n;
+            switch (rng.uniform_int(8ull)) {
+              case 0: c.h(q); break;
+              case 1: c.x(q); break;
+              case 2: c.sx(q); break;
+              case 3: c.rz(q, rng.uniform(-3.0, 3.0)); break;
+              case 4: c.rx(q, rng.uniform(-3.0, 3.0)); break;
+              case 5: c.ry(q, circuit::Parameter::constant(rng.uniform(-3.0, 3.0))); break;
+              case 6: c.cx(q, r); break;
+              default: c.swap(q, r); break;
+            }
+        }
+        NaiveState oracle(n);
+        oracle.run(c);
+        const auto sv = sim::run_circuit(c);
+        EXPECT_LE(max_amp_diff(oracle.amps(), sv), 1e-12)
+            << "trial " << trial;
+    }
+}
+
+TEST(StridedKernels, PauliKernelsMatchMatrices)
+{
+    // Y and Z kernels against explicit matrix action on a random state.
+    Rng rng(7);
+    circuit::Circuit prep(3);
+    for (int q = 0; q < 3; ++q) {
+        prep.h(q);
+        prep.rz(q, rng.uniform(-2.0, 2.0));
+        prep.ry(q, circuit::Parameter::constant(rng.uniform(-2.0, 2.0)));
+    }
+    for (int pauli = 1; pauli <= 3; ++pauli) {
+        auto sv = sim::run_circuit(prep);
+        std::vector<Amp> expect(sv.dimension());
+        const std::uint64_t bit = 2; // qubit 1
+        for (std::uint64_t s = 0; s < sv.dimension(); ++s) {
+            const Amp a = sv.amplitude(s);
+            switch (pauli) {
+              case 1: expect[s ^ bit] = a; break;
+              case 2:
+                expect[s ^ bit] =
+                    ((s & bit) ? Amp{0.0, -1.0} : Amp{0.0, 1.0}) * a;
+                break;
+              default: expect[s] = (s & bit) ? -a : a; break;
+            }
+        }
+        sv.apply_pauli(1, pauli);
+        double worst = 0.0;
+        for (std::uint64_t s = 0; s < sv.dimension(); ++s)
+            worst = std::max(worst, std::abs(expect[s] - sv.amplitude(s)));
+        EXPECT_LE(worst, 1e-12) << "pauli " << pauli;
+    }
+}
+
+// ---------------------------------------------------------- fusion pass  --
+
+TEST(FusionPass, QaoaCircuitCollapsesToLayers)
+{
+    const auto model = random_model(8, 42, /*with_linear=*/true);
+    qaoa::BuildOptions opts;
+    opts.num_layers = 2;
+    const auto c = qaoa::build_qaoa_circuit(model, opts);
+    const auto fused = circuit::fuse_diagonals(c);
+
+    // Per layer one Diagonal (linear RZs + all ZZ sandwiches share
+    // gamma_l) and one Mixer (RX wall shares beta_l); the opening H wall
+    // and the trailing barrier+measures pass through as gates.
+    EXPECT_EQ(fused.num_diagonal_ops(), 2);
+    EXPECT_EQ(fused.num_mixer_ops(), 2);
+    const int n = model.num_spins();
+    const int terms = model.num_quadratic_terms();
+    // Fused per layer: n linear RZ + 3*terms sandwich gates + n RX.
+    EXPECT_EQ(fused.gates_fused(), 2 * (n + 3 * terms + n));
+    EXPECT_EQ(fused.source_gates, static_cast<int>(c.size()));
+
+    // Diagonal term masks: one per spin (linear) + one per edge.
+    for (const auto& op : fused.ops) {
+        if (op.kind != circuit::FusedOp::Kind::Diagonal)
+            continue;
+        EXPECT_EQ(static_cast<int>(op.terms.size()), n + terms);
+    }
+}
+
+TEST(FusionPass, BrokenSandwichIsNotFused)
+{
+    // CX-RZ-CX only fuses when the RZ sits on the CX target and the CXs
+    // match exactly.
+    circuit::Circuit c(3);
+    c.cx(0, 1);
+    c.rz(0, 0.5); // on the control, not the target
+    c.cx(0, 1);
+    c.cx(0, 1);
+    c.rz(1, 0.5);
+    c.cx(1, 0); // reversed second CX
+    const auto fused = circuit::fuse_diagonals(c);
+    // Only the plain RZs become (single-qubit) diagonal ops.
+    for (const auto& op : fused.ops)
+        if (op.kind == circuit::FusedOp::Kind::Diagonal)
+            for (const auto& term : op.terms)
+                EXPECT_EQ(1, popcount64(term.mask));
+
+    // And semantics are preserved regardless.
+    NaiveState oracle(3);
+    oracle.run(c);
+    sim::Statevector out;
+    sim::FusedProgram(fused).run({}, {}, out);
+    EXPECT_LE(max_amp_diff(oracle.amps(), out), 1e-12);
+}
+
+TEST(FusionPass, MixedParameterRunsSplit)
+{
+    // gamma_0 and gamma_1 RZs may not share one scale; constants join
+    // constants only.
+    circuit::Circuit c(2);
+    c.rz(0, circuit::Parameter::gamma(0, 1.0));
+    c.rz(1, circuit::Parameter::gamma(1, 1.0));
+    c.rz(0, 0.25);
+    c.rz(1, 0.75);
+    const auto fused = circuit::fuse_diagonals(c);
+    EXPECT_EQ(fused.num_diagonal_ops(), 3); // gamma0 | gamma1 | constants
+}
+
+// ------------------------------------------------------------- programs  --
+
+TEST(FusedProgram, AmplitudeExactOnRandomQaoaCircuits)
+{
+    for (std::uint64_t trial = 0; trial < 8; ++trial) {
+        Rng rng(500 + trial);
+        const int n = 4 + static_cast<int>(rng.uniform_int(6ull)); // 4..9
+        const int p = 1 + static_cast<int>(rng.uniform_int(3ull)); // 1..3
+        const auto model = random_model(n, 900 + trial, trial % 2 == 0);
+
+        qaoa::BuildOptions opts;
+        opts.num_layers = p;
+        opts.keep_zero_linear_rz = trial % 3 == 0;
+        const auto c = qaoa::build_qaoa_circuit(model, opts);
+
+        std::vector<double> gammas, betas;
+        for (int l = 0; l < p; ++l) {
+            gammas.push_back(rng.uniform(-2.0, 2.0));
+            betas.push_back(rng.uniform(-2.0, 2.0));
+        }
+
+        NaiveState oracle(n);
+        oracle.run(c.bind(gammas, betas));
+
+        // Both LUT-compressed and raw-table programs must be exact.
+        for (bool luts : {true, false}) {
+            const sim::FusedProgram program(c, luts);
+            EXPECT_TRUE(program.starts_uniform());
+            sim::Statevector out;
+            program.run(gammas, betas, out);
+            EXPECT_LE(max_amp_diff(oracle.amps(), out), 1e-12)
+                << "trial " << trial << " luts " << luts;
+        }
+    }
+}
+
+TEST(FusedProgram, LayersShareOneWeightTable)
+{
+    const auto model = random_model(8, 77, /*with_linear=*/true);
+    qaoa::BuildOptions opts;
+    opts.num_layers = 3;
+    const sim::FusedProgram program(qaoa::build_qaoa_circuit(model, opts));
+    EXPECT_EQ(program.num_diagonal_ops(), 3);
+    // All three cost layers carry identical coefficients, so they compile
+    // to ONE shared table.
+    EXPECT_EQ(program.num_tables(), 1u);
+}
+
+TEST(DiagonalTable, UnitWeightsCompressToLevels)
+{
+    // +-1 edge weights: the weight table takes at most |E|+1 distinct
+    // values, so the LUT kicks in; LUT and raw table must agree exactly.
+    Rng rng(11);
+    auto g = graph::barabasi_albert(10, 2, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    const auto model = ising::IsingModel::from_graph(g);
+
+    std::vector<circuit::ParityTerm> terms;
+    for (const auto& term : model.quadratic_terms())
+        terms.push_back({(std::uint64_t(1) << term.i) |
+                             (std::uint64_t(1) << term.j),
+                         term.coefficient});
+
+    const sim::DiagonalTable lut(terms, 10, /*build_lut=*/true);
+    const sim::DiagonalTable raw(terms, 10, /*build_lut=*/false);
+    EXPECT_TRUE(lut.compressed());
+    EXPECT_FALSE(raw.compressed());
+    EXPECT_LE(lut.num_levels(),
+              static_cast<std::size_t>(model.num_quadratic_terms() + 1));
+    for (std::uint64_t s = 0; s < lut.dimension(); ++s)
+        ASSERT_DOUBLE_EQ(lut.weight(s), raw.weight(s));
+
+    sim::Statevector a(10), b(10);
+    for (int q = 0; q < 10; ++q) {
+        a.apply_h(q);
+        b.apply_h(q);
+    }
+    lut.apply(a.data(), 0.37);
+    raw.apply(b.data(), 0.37);
+    EXPECT_NEAR(a.overlap(b), 1.0, 1e-12);
+}
+
+TEST(EnergyTable, MatchesModelEvaluateState)
+{
+    const auto model = random_model(9, 13, /*with_linear=*/true);
+    const sim::EnergyTable table(model);
+    for (std::uint64_t s = 0; s < (1ull << 9); ++s)
+        ASSERT_NEAR(table.values()[s], model.evaluate_state(s), 1e-10);
+}
+
+TEST(EnergyTable, ExpectationMatchesStatevector)
+{
+    const auto model = random_model(8, 29, /*with_linear=*/true);
+    qaoa::BuildOptions opts;
+    opts.include_measurements = false;
+    const auto c = qaoa::build_qaoa_circuit(model, opts).bind({0.4}, {0.3});
+    const auto sv = sim::run_circuit(c);
+    const sim::EnergyTable table(model);
+    EXPECT_NEAR(table.expectation(sv), sv.expectation_ising(model), 1e-9);
+}
+
+// ---------------------------------------------------- evaluator + engine --
+
+TEST(QaoaEvaluator, MatchesOneShotEvaluation)
+{
+    const auto model = random_model(8, 61, /*with_linear=*/false);
+    qaoa::QaoaEvaluator evaluator(model, 2);
+    for (std::uint64_t k = 0; k < 4; ++k) {
+        Rng rng(700 + k);
+        const std::vector<double> gammas{rng.uniform(-1.5, 1.5),
+                                         rng.uniform(-1.5, 1.5)};
+        const std::vector<double> betas{rng.uniform(-1.5, 1.5),
+                                        rng.uniform(-1.5, 1.5)};
+        const double fast = evaluator.energy(gammas, betas);
+        const double slow =
+            qaoa::evaluate_multilayer(model, gammas, betas).energy;
+        EXPECT_NEAR(fast, slow, 1e-9);
+    }
+    EXPECT_EQ(evaluator.evaluations(), 4);
+}
+
+TEST(ExecutionEngine, FusedSolveBitIdenticalAcrossThreads)
+{
+    // The determinism guarantee must hold with the fast path on: the
+    // fused program is compiled once in the shared cache and replayed per
+    // task, so any thread count samples identical histograms.
+    Rng rng_model(17);
+    auto g = graph::barabasi_albert(11, 1, rng_model);
+    graph::assign_random_pm1_weights(g, rng_model);
+    const auto model = ising::IsingModel::from_graph(g);
+
+    device::Device dev;
+    dev.topology = device::make_grid(3, 4);
+    dev.name = "grid-3x4-fusion";
+    dev.calibration =
+        device::Calibration::uniform(dev.topology, 1e-3, 5e-3, 500.0);
+
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 2;
+    ASSERT_TRUE(config.fuse_simulation); // fast path is the default
+
+    ExecutionEngine serial(1);
+    ExecutionEngine parallel(4);
+    Rng rng_a(91), rng_b(91);
+    const auto a = serial.solve(model, dev, config, 1024, rng_a);
+    const auto b = parallel.solve(model, dev, config, 1024, rng_b);
+
+    EXPECT_TRUE(serial.last_diagnostics().fused_simulation);
+    EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+    EXPECT_EQ(a.best_assignment, b.best_assignment);
+    ASSERT_EQ(a.distributions.size(), b.distributions.size());
+    for (std::size_t s = 0; s < a.distributions.size(); ++s)
+        EXPECT_EQ(a.distributions[s].histogram(),
+                  b.distributions[s].histogram());
+}
+
+TEST(ExecutionEngine, FusionOffMatchesFusionOnSolution)
+{
+    // --no-fusion A/B: paths differ only by ~1e-12 amplitude rounding, so
+    // the decoded solution must coincide on a well-separated instance.
+    Rng rng_model(23);
+    auto g = graph::barabasi_albert(10, 1, rng_model);
+    graph::assign_random_pm1_weights(g, rng_model);
+    const auto model = ising::IsingModel::from_graph(g);
+
+    device::Device dev;
+    dev.topology = device::make_grid(3, 4);
+    dev.name = "grid-3x4-ab";
+    dev.calibration =
+        device::Calibration::uniform(dev.topology, 1e-3, 5e-3, 500.0);
+
+    frozenqubits::DriverConfig fused_config;
+    fused_config.num_freeze = 2;
+    auto naive_config = fused_config;
+    naive_config.fuse_simulation = false;
+
+    ExecutionEngine eng_fused(2);
+    ExecutionEngine eng_naive(2);
+    Rng rng_a(5), rng_b(5);
+    const auto a = eng_fused.solve(model, dev, fused_config, 4096, rng_a);
+    const auto b = eng_naive.solve(model, dev, naive_config, 4096, rng_b);
+
+    EXPECT_TRUE(eng_fused.last_diagnostics().fused_simulation);
+    EXPECT_FALSE(eng_naive.last_diagnostics().fused_simulation);
+    EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+    EXPECT_EQ(a.best_assignment, b.best_assignment);
+
+    // Fusion-on populated the sim-program cache; fusion-off did not.
+    EXPECT_GT(eng_fused.template_cache().stats().sim_fusions, 0u);
+    EXPECT_EQ(eng_naive.template_cache().stats().sim_lookups, 0u);
+}
+
+TEST(ExecutionEngine, SimProgramsServedFromCacheOnRepeatedSolves)
+{
+    Rng rng_model(31);
+    auto g = graph::barabasi_albert(10, 1, rng_model);
+    graph::assign_random_pm1_weights(g, rng_model);
+    const auto model = ising::IsingModel::from_graph(g);
+    const auto dev = device::make_device("ibm-montreal");
+
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 2;
+
+    ExecutionEngine eng(2);
+    Rng rng_a(3), rng_b(3);
+    eng.solve(model, dev, config, 512, rng_a);
+    const auto first = eng.template_cache().stats();
+    EXPECT_GT(first.sim_fusions, 0u);
+
+    eng.solve(model, dev, config, 512, rng_b);
+    const auto second = eng.template_cache().stats();
+    EXPECT_EQ(second.sim_fusions, first.sim_fusions); // no recompiles
+    EXPECT_GT(second.sim_hits, first.sim_hits);
+}
+
+} // namespace

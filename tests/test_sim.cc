@@ -145,6 +145,53 @@ TEST(Statevector, SamplingFollowsBornRule)
     EXPECT_NEAR(ones / 10000.0, 0.5, 0.03);
 }
 
+TEST(Statevector, SamplingNeverEscapesTheDistribution)
+{
+    // Trailing zero-probability states: every draw must land on the lone
+    // populated state, never on (or past) the zero tail — the lower_bound
+    // clamp contract.
+    Statevector sv(3);
+    sv.apply_x(1); // deterministic |010> = state 2; states 3..7 have p=0
+    Rng rng(41);
+    for (std::uint64_t s : sv.sample(20000, rng))
+        ASSERT_EQ(s, 2u);
+}
+
+TEST(Statevector, CachedCdfInvalidatedByMutation)
+{
+    // sample() caches the CDF; any state mutation must rebuild it.
+    Statevector sv(1);
+    Rng rng(43);
+    for (std::uint64_t s : sv.sample(50, rng))
+        ASSERT_EQ(s, 0u); // |0>
+    sv.apply_x(0);
+    for (std::uint64_t s : sv.sample(50, rng))
+        ASSERT_EQ(s, 1u); // |1> — stale CDF would still yield 0
+    sv.reset(1);
+    for (std::uint64_t s : sv.sample(50, rng))
+        ASSERT_EQ(s, 0u);
+    // External writers through data() invalidate too.
+    sv.data()[0] = {0.0, 0.0};
+    sv.data()[1] = {1.0, 0.0};
+    for (std::uint64_t s : sv.sample(50, rng))
+        ASSERT_EQ(s, 1u);
+}
+
+TEST(Statevector, RepeatedSamplingReusesCdfDeterministically)
+{
+    // Two equally-seeded generators on the same state draw identical
+    // sequences whether the CDF was cold or warm.
+    Statevector a(4), b(4);
+    for (int q = 0; q < 4; ++q) {
+        a.apply_h(q);
+        b.apply_h(q);
+    }
+    Rng rng_warmup(1);
+    b.sample(100, rng_warmup); // warm b's cache
+    Rng rng_a(2), rng_b(2);
+    EXPECT_EQ(a.sample(500, rng_a), b.sample(500, rng_b));
+}
+
 TEST(Counts, ExpectationAndBest)
 {
     ising::IsingModel m(2);

@@ -49,6 +49,13 @@ using namespace fq;
 /** Parsed --key value options. */
 using Options = std::map<std::string, std::string>;
 
+/** True for valueless switches (--flag rather than --key value). */
+bool
+is_flag(const std::string& key)
+{
+    return key == "no-fusion";
+}
+
 Options
 parse_options(int argc, char** argv, int first)
 {
@@ -57,6 +64,10 @@ parse_options(int argc, char** argv, int first)
         std::string key = argv[a];
         FQ_REQUIRE(key.rfind("--", 0) == 0, "expected --option, got " + key);
         key = key.substr(2);
+        if (is_flag(key)) {
+            opts[key] = "1";
+            continue;
+        }
         FQ_REQUIRE(a + 1 < argc, "missing value for --" + key);
         opts[key] = argv[++a];
     }
@@ -187,7 +198,8 @@ print_wall_clock(const engine::ExecutionEngine& eng)
               << " | " << d.tasks_executed << "/" << d.num_subproblems
               << " sub-circuits executed (" << d.mirrors_inferred
               << " mirrored, " << d.template_edits << " template edits"
-              << (d.template_cache_hit ? ", template cached" : "") << ")\n";
+              << (d.template_cache_hit ? ", template cached" : "")
+              << (d.fused_simulation ? ", fused sim" : "") << ")\n";
 }
 
 int
@@ -200,6 +212,7 @@ cmd_run(const Options& opts)
     config.num_freeze = resolve_freeze_count(opts, model);
     config.seed = static_cast<std::uint64_t>(int_option(opts, "seed", 7));
     config.threads = int_option(opts, "threads", 0);
+    // No --no-fusion here: run evaluates analytically, nothing simulates.
 
     engine::ExecutionEngine eng(config.threads);
     const auto r = eng.run(model, dev, config);
@@ -236,6 +249,7 @@ cmd_solve(const Options& opts)
     frozenqubits::DriverConfig config;
     config.num_freeze = resolve_freeze_count(opts, model);
     config.threads = int_option(opts, "threads", 0);
+    config.fuse_simulation = opts.find("no-fusion") == opts.end();
     Rng rng(static_cast<std::uint64_t>(int_option(opts, "seed", 7)));
 
     engine::ExecutionEngine eng(config.threads);
@@ -277,7 +291,7 @@ usage()
         "  run      [--file F] --device NAME [--freeze M|auto] [--seed S]\n"
         "           [--threads T]\n"
         "  solve    [--file F] --device NAME [--freeze M|auto] [--shots K]\n"
-        "           [--threads T]\n"
+        "           [--threads T] [--no-fusion]\n"
         "  devices\n";
     return 2;
 }
