@@ -181,6 +181,117 @@ ExecutionEngine::run(const ising::IsingModel& model,
     return report;
 }
 
+sim::Counts
+ExecutionEngine::simulate_leaf(const SolveTree& tree, int leaf_id,
+                               const device::Device& dev,
+                               const frozenqubits::DriverConfig& config,
+                               int shots, BatchExecutor::Scratch& scratch)
+{
+    const auto& leaf = tree.leaves[static_cast<std::size_t>(leaf_id)];
+    const auto& sub = tree.nodes[static_cast<std::size_t>(leaf.node)].sub;
+    FQ_REQUIRE(sub.model.num_spins() <= sim::kMaxSimQubits,
+               "leaf too wide for the statevector — raise max_depth, "
+               "num_freeze or enable partition_width");
+
+    // The leaf's own build options: the exact ones its template and fused
+    // program were compiled under.
+    const qaoa::BuildOptions& build = leaf.build;
+    const auto tuned =
+        qaoa::optimize_p1(sub.model, config.p1_grid_resolution);
+
+    // Survival and readout-flip probabilities come precomputed from the
+    // freeze level's shared template when its structure matches (siblings
+    // differ only in RZ angles, which touch neither). Otherwise compile
+    // this leaf directly and analyze its own circuit.
+    double state_survival = 0.0;
+    std::vector<double> readout_flip;
+    if (leaf.tpl && leaf.tpl_compatible) {
+        state_survival = leaf.tpl->attenuation.global_state_survival();
+        readout_flip = leaf.tpl->readout_flip;
+    } else {
+        const auto logical = qaoa::build_qaoa_circuit(sub.model, build);
+        const auto compiled =
+            transpiler::compile(logical, dev, config.compile);
+        const auto attenuation =
+            sim::compute_attenuation(compiled.physical, dev.calibration);
+        state_survival = attenuation.global_state_survival();
+        readout_flip = readout_flip_for(compiled, dev.calibration,
+                                        sub.model.num_spins());
+    }
+
+    // Ideal state on the LOGICAL register, in this worker's reusable
+    // scratch buffer. The fused path replays the cache-compiled diagonal
+    // weight tables at this leaf's angles — one pass per cost layer —
+    // instead of applying |E|+|V| gates; the naive path remains as the
+    // --no-fusion escape hatch.
+    if (leaf.fuse) {
+        const auto program = cache_.get_or_fuse(sub.model, build);
+        program->run({tuned.angles.gamma}, {tuned.angles.beta},
+                     scratch.statevector);
+    } else {
+        const auto bound = qaoa::build_qaoa_circuit(sub.model, build)
+                               .bind({tuned.angles.gamma},
+                                     {tuned.angles.beta});
+        sim::run_circuit(bound, scratch.statevector);
+    }
+
+    // Private stream: determined at plan time by the leaf's root path, so
+    // any thread count samples identically.
+    Rng leaf_rng(leaf.rng_seed);
+    return sim::sample_noisy_counts(scratch.statevector, state_survival,
+                                    readout_flip, shots, leaf_rng);
+}
+
+void
+ExecutionEngine::start_diagnostics(const SolveTree& tree,
+                                   const LeafSchedule& schedule)
+{
+    diagnostics_ = Diagnostics{};
+    diagnostics_.num_subproblems = tree.num_leaf_nodes();
+    diagnostics_.tasks_executed =
+        static_cast<int>(schedule.executed.size());
+    // Cache-served only when EVERY freeze level's template resolution was
+    // a hit (a partition root has no plan of its own; deeper freeze nodes
+    // each resolve their own level's template).
+    bool any_template = false, all_hits = true;
+    for (const auto& node : tree.nodes) {
+        if (node.kind != NodeKind::Freeze || !node.plan.compiled_template)
+            continue;
+        any_template = true;
+        all_hits = all_hits && node.plan.template_cache_hit;
+    }
+    diagnostics_.template_cache_hit = any_template && all_hits;
+    diagnostics_.threads = executor_.num_threads();
+    for (int leaf_id : schedule.executed) {
+        const auto& leaf =
+            tree.leaves[static_cast<std::size_t>(leaf_id)];
+        diagnostics_.executed_subproblems.push_back(
+            tree.flat() ? leaf.local_solve : leaf_id);
+        diagnostics_.fused_simulation =
+            diagnostics_.fused_simulation || leaf.fuse;
+        // Only an EXECUTED leaf's mirrors are actually inferred — a
+        // budget-skipped leaf infers nothing.
+        for (int mirror_node : leaf.mirror_nodes)
+            diagnostics_.pruned_subproblems.push_back(
+                tree.flat() ? tree.nodes[static_cast<std::size_t>(
+                                             mirror_node)]
+                                  .local_solve
+                            : mirror_node);
+    }
+    diagnostics_.mirrors_inferred =
+        static_cast<int>(diagnostics_.pruned_subproblems.size());
+    for (const auto& node : tree.nodes)
+        diagnostics_.tree_depth =
+            std::max(diagnostics_.tree_depth, node.depth);
+    diagnostics_.tree_nodes = static_cast<int>(tree.nodes.size());
+    diagnostics_.leaves_total = tree.num_executable_leaves();
+    diagnostics_.leaves_beyond_budget =
+        static_cast<int>(schedule.beyond_budget.size());
+    diagnostics_.leaves_pruned =
+        static_cast<int>(schedule.pruned.size());
+    diagnostics_.scheduler_scored = schedule.scored;
+}
+
 frozenqubits::SampledSolve
 ExecutionEngine::solve(const ising::IsingModel& model,
                        const device::Device& dev,
@@ -189,78 +300,32 @@ ExecutionEngine::solve(const ising::IsingModel& model,
 {
     FQ_REQUIRE(shots >= 1, "need at least one shot");
     const auto start = Clock::now();
-    const auto plan = make_plan(model, dev, config, cache_, rng);
-    start_diagnostics(plan);
-    // The sampled path re-simulates each logical circuit; the template only
-    // provides placement + attenuation, so no edits happen here.
-    diagnostics_.template_edits = 0;
-    diagnostics_.threads =
-        std::min(executor_.num_threads(), plan.num_executed());
 
-    const auto counts = executor_.map<sim::Counts>(
-        plan.num_executed(),
-        [&](int index, BatchExecutor::Scratch& scratch) {
-            const auto& task =
-                plan.tasks[static_cast<std::size_t>(index)];
-            const auto& sub =
-                plan.subproblems[static_cast<std::size_t>(task.solve)];
-            const auto tuned =
-                qaoa::optimize_p1(sub.model, config.p1_grid_resolution);
+    // Plan: build the hierarchical tree (recursive freeze / bisection /
+    // leaf nodes, per-node shared templates), then rank and budget-cut its
+    // leaves. Both stages are serial and fix every order-dependent decision
+    // before a single circuit runs.
+    const auto tree = build_solve_tree(model, dev, config, cache_, rng);
+    const auto schedule = make_schedule(model, tree, config,
+                                        /*force_scoring=*/false,
+                                        &executor_);
+    start_diagnostics(tree, schedule);
 
-            // Survival and readout-flip probabilities come precomputed
-            // from the shared template when available: siblings differ
-            // only in RZ angles, which touch neither. Otherwise (template
-            // editing disabled — deliberately unshared) compile this
-            // sub-problem directly and analyze its own circuit. The
-            // logical circuit is built only by the branches that read it
-            // (the fused path gets its executable from the cache).
-            double state_survival = 0.0;
-            std::vector<double> readout_flip;
-            if (plan.compiled_template &&
-                frozenqubits::templates_compatible(
-                    template_owner(plan).model, sub.model)) {
-                state_survival = plan.compiled_template->attenuation
-                                     .global_state_survival();
-                readout_flip = plan.compiled_template->readout_flip;
-            } else {
-                const auto logical =
-                    qaoa::build_qaoa_circuit(sub.model, plan.build);
-                const auto compiled =
-                    transpiler::compile(logical, dev, config.compile);
-                const auto attenuation = sim::compute_attenuation(
-                    compiled.physical, dev.calibration);
-                state_survival = attenuation.global_state_survival();
-                readout_flip = readout_flip_for(compiled, dev.calibration,
-                                                sub.model.num_spins());
-            }
+    // Execute best-first on the worker pool; the streaming reducer folds
+    // each leaf's distribution into the incumbent decode as it lands.
+    StreamingReducer reducer(model, tree, schedule);
+    const int count = static_cast<int>(schedule.executed.size());
+    diagnostics_.threads = std::min(executor_.num_threads(), count);
+    executor_.map<int>(count, [&](int index,
+                                  BatchExecutor::Scratch& scratch) {
+        const int leaf_id =
+            schedule.executed[static_cast<std::size_t>(index)];
+        reducer.fold(leaf_id, simulate_leaf(tree, leaf_id, dev, config,
+                                            shots, scratch));
+        return 0;
+    });
 
-            // Ideal state on the LOGICAL register (statevector width
-            // limits), in this worker's reusable scratch buffer. The fused
-            // path replays the cache-compiled diagonal weight tables at
-            // this task's angles — one pass per cost layer — instead of
-            // applying |E|+|V| gates; the naive path remains as the
-            // --no-fusion escape hatch.
-            if (plan.fuse_simulation) {
-                const auto program =
-                    cache_.get_or_fuse(sub.model, plan.build);
-                program->run({tuned.angles.gamma}, {tuned.angles.beta},
-                             scratch.statevector);
-            } else {
-                const auto bound =
-                    qaoa::build_qaoa_circuit(sub.model, plan.build)
-                        .bind({tuned.angles.gamma}, {tuned.angles.beta});
-                sim::run_circuit(bound, scratch.statevector);
-            }
-            const auto& sv = scratch.statevector;
-
-            // Private stream: determined by (seed, sub-problem index), so
-            // any thread count samples identically.
-            Rng task_rng(task.rng_seed);
-            return sim::sample_noisy_counts(sv, state_survival,
-                                            readout_flip, shots, task_rng);
-        });
-
-    auto solved = reduce_sampling(model, plan, counts);
+    auto solved = reducer.finish();
     diagnostics_.wall_ms = ms_since(start);
     return solved;
 }

@@ -34,6 +34,8 @@
 #include "engine/batch_executor.h"
 #include "engine/plan.h"
 #include "engine/reducer.h"
+#include "engine/scheduler.h"
+#include "engine/solve_tree.h"
 #include "engine/template_cache.h"
 #include "frozenqubits/driver.h"
 
@@ -60,6 +62,14 @@ class ExecutionEngine
         std::vector<int> pruned_subproblems;   ///< mirror (never-run) indices
         double wall_ms = 0.0;
         int threads = 1;
+
+        // --------------------------------------- SolveTree solves only --
+        int tree_depth = 0;           ///< deepest node level (flat = 1)
+        int tree_nodes = 0;           ///< total tree nodes
+        int leaves_total = 0;         ///< executable leaves planned
+        int leaves_beyond_budget = 0; ///< ranked leaves cut by max_circuits
+        int leaves_pruned = 0;        ///< dropped by bound domination
+        bool scheduler_scored = false;///< SA-ranked (vs plan order)
     };
 
     /** @p num_threads: 0 = auto (hardware concurrency). */
@@ -78,7 +88,14 @@ class ExecutionEngine
                                         const frozenqubits::DriverConfig&
                                             config);
 
-    /** Sampled end-to-end solve (solve_with_sampling semantics). */
+    /**
+     * Sampled end-to-end solve (solve_with_sampling semantics), executed
+     * over the hierarchical SolveTree: recursive freezing
+     * (config.max_depth), hybrid bisection (config.partition_width),
+     * best-first budgeted leaf scheduling (config.max_circuits) and
+     * streaming reduction. A default config (flat, unlimited) reproduces
+     * the flat engine bit for bit.
+     */
     frozenqubits::SampledSolve solve(const ising::IsingModel& model,
                                      const device::Device& dev,
                                      const frozenqubits::DriverConfig&
@@ -101,7 +118,14 @@ class ExecutionEngine
         const device::Device& dev,
         const frozenqubits::DriverConfig& config);
 
+    sim::Counts simulate_leaf(const SolveTree& tree, int leaf_id,
+                              const device::Device& dev,
+                              const frozenqubits::DriverConfig& config,
+                              int shots, BatchExecutor::Scratch& scratch);
+
     void start_diagnostics(const ExecutionPlan& plan);
+    void start_diagnostics(const SolveTree& tree,
+                           const LeafSchedule& schedule);
 
     TemplateCache cache_;
     BatchExecutor executor_;

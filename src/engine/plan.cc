@@ -6,6 +6,15 @@
 
 namespace fq::engine {
 
+qaoa::BuildOptions
+default_build_options()
+{
+    qaoa::BuildOptions build;
+    build.num_layers = 1;
+    build.keep_zero_linear_rz = true;
+    return build;
+}
+
 ExecutionPlan
 make_plan(const ising::IsingModel& model, const device::Device& dev,
           const frozenqubits::DriverConfig& config, TemplateCache& cache,
@@ -17,7 +26,8 @@ make_plan(const ising::IsingModel& model, const device::Device& dev,
     ExecutionPlan plan;
     plan.hotspots = frozenqubits::select_hotspots(model, config.num_freeze,
                                                   config.policy, rng);
-    const std::uint64_t stream_seed = rng();
+    plan.stream_seed = rng();
+    const std::uint64_t stream_seed = plan.stream_seed;
     plan.subproblems = frozenqubits::freeze_all(model, plan.hotspots);
     const auto entries = frozenqubits::plan_executions(
         model, config.num_freeze, config.symmetry_pruning);
@@ -33,8 +43,7 @@ make_plan(const ising::IsingModel& model, const device::Device& dev,
         plan.tasks.push_back(std::move(task));
     }
 
-    plan.build.num_layers = 1;
-    plan.build.keep_zero_linear_rz = true;
+    plan.build = default_build_options();
 
     // Mark the plan fusable: every sub-problem of one freeze shares the
     // template's quadratic structure, so if one fits the fused-simulation

@@ -43,6 +43,14 @@ struct ExecutionPlan
     std::vector<SubProblemTask> tasks;
 
     /**
+     * Base seed every task stream was derived from
+     * (subproblem_stream_seed(stream_seed, solve)). The SolveTree derives
+     * child-node streams from the same base so recursive plans stay
+     * order-independent.
+     */
+    std::uint64_t stream_seed = 0;
+
+    /**
      * Shared compiled template with its precomputed noise quantities (null
      * when template editing is disabled). Compiled from — or cache-served
      * for — the structure shared by every sibling: siblings differ only in
@@ -71,6 +79,14 @@ struct ExecutionPlan
     }
     int num_executed() const { return static_cast<int>(tasks.size()); }
 };
+
+/**
+ * The ONE definition of the build options every engine-compiled circuit
+ * uses (plan templates, fused programs, leaf simulation). Sites must share
+ * it: a template compiled under different options than the simulation
+ * would silently describe a different circuit.
+ */
+qaoa::BuildOptions default_build_options();
 
 /**
  * Build the plan. @p rng drives hotspot selection (only consulted by the

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/error.h"
 #include "frozenqubits/decoder.h"
+#include "ising/sa_solver.h"
 #include "sim/noise_model.h"
 
 namespace fq::engine {
@@ -69,6 +71,206 @@ reduce_sampling(const ising::IsingModel& model, const ExecutionPlan& plan,
     out.best_cost = decoded.cost;
     out.from_subproblem = decoded.subproblem_index;
     out.distributions = std::move(distributions);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// StreamingReducer
+
+StreamingReducer::StreamingReducer(const ising::IsingModel& original,
+                                   const SolveTree& tree,
+                                   const LeafSchedule& schedule)
+    : original_(original), tree_(tree), schedule_(schedule),
+      outcomes_(tree.leaves.size())
+{
+    if (schedule_.has_presolve) {
+        base_ = schedule_.presolve_assignment;
+        incumbent_.valid = true;
+        incumbent_.cost = schedule_.presolve_cost;
+        incumbent_.assignment = schedule_.presolve_assignment;
+        incumbent_.leaf = -1;
+    } else {
+        base_.assign(static_cast<std::size_t>(original.num_spins()), 1);
+    }
+}
+
+StreamingReducer::LeafOutcome
+StreamingReducer::decode(int leaf_id, sim::Counts counts) const
+{
+    const auto& leaf = tree_.leaves[static_cast<std::size_t>(leaf_id)];
+    const auto& sub =
+        tree_.nodes[static_cast<std::size_t>(leaf.node)].sub;
+
+    LeafOutcome out;
+    out.done = true;
+
+    // Argmin over the histogram by SUB-MODEL cost: for freeze lineages the
+    // offset bookkeeping makes this exactly the original-model cost of the
+    // lifted outcome, at O(sub terms) per state instead of O(N + |J|).
+    bool have_state = false;
+    std::uint64_t best_state = 0;
+    double best_sub_cost = std::numeric_limits<double>::infinity();
+    for (const auto& [state, _] : counts.histogram()) {
+        const double cost = sub.model.evaluate_state(state);
+        if (!have_state || cost < best_sub_cost) {
+            have_state = true;
+            best_state = state;
+            best_sub_cost = cost;
+        }
+    }
+    out.counts = std::move(counts);
+    if (!have_state)
+        return out;
+
+    out.best_assignment =
+        lift_leaf_state(tree_, leaf, best_state, base_);
+    if (leaf.needs_repair)
+        ising::greedy_descent(original_, out.best_assignment);
+    out.best_cost = original_.evaluate(out.best_assignment);
+
+    // Mirror candidates: the bit-flipped best outcome lifted through each
+    // mirror node's frozen values (Section 3.7.2 at decode level). For
+    // pure-freeze lineages on a symmetric model this ties the canonical
+    // cost; for partition fragments the flip composes with the unflipped
+    // rest of the base and can genuinely improve the repair.
+    if (!leaf.mirror_nodes.empty()) {
+        const std::uint64_t width_mask =
+            (sub.model.num_spins() >= 64)
+                ? ~std::uint64_t{0}
+                : ((std::uint64_t{1} << sub.model.num_spins()) - 1);
+        const std::uint64_t flipped = (~best_state) & width_mask;
+        for (int mirror_node : leaf.mirror_nodes) {
+            SolveLeaf mirror_view = leaf;
+            mirror_view.node = mirror_node;
+            auto candidate =
+                lift_leaf_state(tree_, mirror_view, flipped, base_);
+            if (leaf.needs_repair)
+                ising::greedy_descent(original_, candidate);
+            const double cost = original_.evaluate(candidate);
+            if (cost < out.best_cost) {
+                out.best_cost = cost;
+                out.best_assignment = std::move(candidate);
+            }
+        }
+    }
+    return out;
+}
+
+void
+StreamingReducer::fold(int leaf_id, sim::Counts counts)
+{
+    auto outcome = decode(leaf_id, std::move(counts));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (outcome.done && incumbent_.accepts(outcome.best_cost, leaf_id)) {
+        incumbent_.valid = true;
+        incumbent_.cost = outcome.best_cost;
+        incumbent_.assignment = outcome.best_assignment;
+        incumbent_.leaf = leaf_id;
+    }
+    outcomes_[static_cast<std::size_t>(leaf_id)] = std::move(outcome);
+}
+
+StreamingReducer::Incumbent
+StreamingReducer::incumbent() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return incumbent_;
+}
+
+frozenqubits::SampledSolve
+StreamingReducer::finish_flat() const
+{
+    // Legacy reduction, delegated to the flat reducer: per-task counts in
+    // plan order (budget-skipped tasks contribute an empty histogram that
+    // decode_best skips) — bit-identical to the flat engine for a full
+    // (unbudgeted) schedule.
+    const auto& root = tree_.nodes.front();
+    const int sub_width =
+        original_.num_spins() -
+        static_cast<int>(root.plan.hotspots.size());
+    std::vector<sim::Counts> per_task(root.plan.tasks.size(),
+                                      sim::Counts(sub_width));
+    for (std::size_t k = 0; k < root.plan.tasks.size(); ++k)
+        if (outcomes_[k].done) // leaf order == task order
+            per_task[k] = outcomes_[k].counts;
+    return reduce_sampling(original_, root.plan, per_task);
+}
+
+frozenqubits::SampledSolve
+StreamingReducer::finish()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    frozenqubits::SampledSolve out;
+    if (tree_.flat()) {
+        out = finish_flat();
+    } else {
+        // Quantum-only best: scan in leaf order — deterministic regardless
+        // of arrival order.
+        int best_leaf = -1;
+        for (std::size_t id = 0; id < outcomes_.size(); ++id) {
+            const auto& outcome = outcomes_[id];
+            if (!outcome.done ||
+                outcome.best_cost ==
+                    std::numeric_limits<double>::infinity())
+                continue;
+            if (best_leaf < 0 ||
+                outcome.best_cost <
+                    outcomes_[static_cast<std::size_t>(best_leaf)]
+                        .best_cost)
+                best_leaf = static_cast<int>(id);
+        }
+        FQ_REQUIRE(best_leaf >= 0,
+                   "no decodable outcome (no leaf executed)");
+        const auto& best = outcomes_[static_cast<std::size_t>(best_leaf)];
+        out.best_assignment = best.best_assignment;
+        out.best_cost = best.best_cost;
+        out.from_subproblem = best_leaf;
+        for (int leaf_id : schedule_.executed) {
+            const auto& outcome =
+                outcomes_[static_cast<std::size_t>(leaf_id)];
+            if (outcome.done)
+                out.distributions.push_back(outcome.counts);
+        }
+    }
+    out.best_quantum_cost = out.best_cost;
+    out.best_quantum_leaf = out.from_subproblem;
+    // The reported best is the overall incumbent — what the anytime trace
+    // converges to. A presolve that strictly beats every quantum decode
+    // wins (from_subproblem -1); ties keep the quantum answer, matching
+    // Incumbent::accepts.
+    if (schedule_.has_presolve &&
+        schedule_.presolve_cost < out.best_cost) {
+        out.best_cost = schedule_.presolve_cost;
+        out.best_assignment = schedule_.presolve_assignment;
+        out.from_subproblem = -1;
+    }
+
+    out.leaves_total = tree_.num_executable_leaves();
+    // Rank-order anytime trajectory, replayed deterministically.
+    Incumbent running;
+    if (schedule_.has_presolve) {
+        running.valid = true;
+        running.cost = schedule_.presolve_cost;
+        running.leaf = -1;
+        out.anytime.push_back({0, running.cost, -1});
+    }
+    int circuits = 0;
+    for (int leaf_id : schedule_.executed) {
+        const auto& outcome =
+            outcomes_[static_cast<std::size_t>(leaf_id)];
+        if (!outcome.done)
+            continue;
+        ++circuits;
+        if (running.accepts(outcome.best_cost, leaf_id)) {
+            running.valid = true;
+            running.cost = outcome.best_cost;
+            running.leaf = leaf_id;
+        }
+        out.anytime.push_back({circuits, running.cost, running.leaf});
+    }
+    out.leaves_executed = circuits;
     return out;
 }
 

@@ -1,16 +1,23 @@
 /**
  * @file
  * Reducer: fold per-task results back into the driver's public report
- * types. Reduction is serial and runs in plan order, so it is independent
- * of the execution schedule — the third leg (after planning and indexed
- * result slots) of the engine's determinism guarantee.
+ * types. The flat helpers reduce serially in plan order; the
+ * StreamingReducer folds tree-leaf results into an incumbent best decode
+ * AS THEY LAND, so a budgeted solve can report anytime quality. Both are
+ * schedule-independent: the streaming incumbent is a minimum with a
+ * deterministic (cost, leaf-id) tie-break, so arrival order — and thus
+ * thread count — can never change the outcome.
  */
 #ifndef FQ_ENGINE_REDUCER_H
 #define FQ_ENGINE_REDUCER_H
 
+#include <limits>
+#include <mutex>
 #include <vector>
 
 #include "engine/plan.h"
+#include "engine/scheduler.h"
+#include "engine/solve_tree.h"
 #include "frozenqubits/driver.h"
 #include "sim/counts.h"
 
@@ -32,6 +39,85 @@ frozenqubits::Report reduce_report(
 frozenqubits::SampledSolve reduce_sampling(
     const ising::IsingModel& model, const ExecutionPlan& plan,
     const std::vector<sim::Counts>& per_task);
+
+/**
+ * Streaming tree reduction. The scheduler calls fold() from worker threads
+ * as each leaf's sampled distribution lands; finish() assembles the final
+ * SampledSolve plus the rank-order anytime trace once every scheduled leaf
+ * completed.
+ *
+ * Decoding per leaf: freeze-lineage outcomes cost exactly their sub-model
+ * energy (the offset bookkeeping of Table 2), so the leaf's best candidate
+ * is the histogram's min-cost state lifted to the original space.
+ * Partition-lineage outcomes only cover the fragment's spins; the decode
+ * fills the rest from the classical presolve assignment and greedy-repairs
+ * on the original model (the D&C stitch, Section 1).
+ *
+ * Flat trees finish through the legacy 2^m-distribution path (decode_best
+ * over mirror-completed distributions), so a default-config solve is
+ * bit-identical to the flat engine.
+ */
+class StreamingReducer
+{
+  public:
+    StreamingReducer(const ising::IsingModel& original,
+                     const SolveTree& tree, const LeafSchedule& schedule);
+
+    /** Fold one executed leaf's distribution (thread-safe). */
+    void fold(int leaf_id, sim::Counts counts);
+
+    /** Snapshot of the current best decode (thread-safe; anytime). */
+    struct Incumbent
+    {
+        bool valid = false;
+        double cost = std::numeric_limits<double>::infinity();
+        ising::SpinVector assignment;
+        int leaf = -1; ///< -1 = classical presolve
+
+        /**
+         * The ONE deterministic merge rule (live fold and anytime replay
+         * must share it): strictly better cost wins; at equal cost a
+         * quantum decode beats the presolve and the lowest leaf id beats
+         * later leaves. Arrival order can never change the result.
+         */
+        bool accepts(double candidate_cost, int candidate_leaf) const
+        {
+            if (candidate_cost ==
+                std::numeric_limits<double>::infinity())
+                return false;
+            if (!valid)
+                return true;
+            return candidate_cost < cost ||
+                   (candidate_cost == cost &&
+                    (leaf == -1 || candidate_leaf < leaf));
+        }
+    };
+    Incumbent incumbent() const;
+
+    /** Final result; call once after every scheduled leaf folded. */
+    frozenqubits::SampledSolve finish();
+
+  private:
+    struct LeafOutcome
+    {
+        bool done = false;
+        sim::Counts counts;
+        double best_cost = std::numeric_limits<double>::infinity();
+        ising::SpinVector best_assignment;
+    };
+
+    LeafOutcome decode(int leaf_id, sim::Counts counts) const;
+    frozenqubits::SampledSolve finish_flat() const;
+
+    const ising::IsingModel& original_;
+    const SolveTree& tree_;
+    const LeafSchedule& schedule_;
+    ising::SpinVector base_;
+
+    mutable std::mutex mutex_;
+    std::vector<LeafOutcome> outcomes_; ///< by leaf id
+    Incumbent incumbent_;
+};
 
 } // namespace fq::engine
 

@@ -1,0 +1,164 @@
+#include "engine/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "ising/sa_solver.h"
+
+namespace fq::engine {
+
+namespace {
+
+/** Presolve effort knobs: cheap by construction — the whole point of the
+ *  classical score is to cost orders of magnitude less than one circuit. */
+constexpr int kLeafRestarts = 2;
+constexpr int kLeafSweeps = 160;
+constexpr int kGlobalRestarts = 4;
+constexpr int kGlobalSweeps = 400;
+
+double
+optimistic_bound(const ising::IsingModel& model)
+{
+    double magnitude = 0.0;
+    for (double h : model.linear_terms())
+        magnitude += std::abs(h);
+    for (const auto& term : model.quadratic_terms())
+        magnitude += std::abs(term.coefficient);
+    return model.offset() - magnitude;
+}
+
+} // namespace
+
+LeafSchedule
+make_schedule(const ising::IsingModel& original, const SolveTree& tree,
+              const frozenqubits::DriverConfig& config, bool force_scoring,
+              BatchExecutor* executor)
+{
+    FQ_REQUIRE(!tree.leaves.empty(), "solve tree has no executable leaves");
+
+    LeafSchedule schedule;
+    schedule.max_circuits = config.max_circuits;
+
+    bool needs_repair = false;
+    for (const auto& leaf : tree.leaves)
+        needs_repair = needs_repair || leaf.needs_repair;
+
+    schedule.scored = force_scoring || config.max_circuits > 0 ||
+                      config.prune_dominated;
+    // Non-flat trees always get the global presolve: it anchors the
+    // anytime trace and (for partition lineages) the decode repair base.
+    // Flat unbudgeted solves skip it so the legacy path stays untouched.
+    const bool needs_presolve =
+        schedule.scored || needs_repair || !tree.flat();
+
+    if (needs_presolve) {
+        // Global incumbent: one stronger SA run on the original model.
+        // Seeds derive from the root's plan-time stream, so the schedule is
+        // a pure function of (model, config) — never of execution order.
+        ising::SaConfig sa;
+        sa.num_restarts = kGlobalRestarts;
+        sa.sweeps_per_restart = kGlobalSweeps;
+        Rng rng(combine_seeds(tree.nodes.front().stream_seed,
+                              hash_seed("fq-tree-presolve")));
+        const auto solved = ising::solve_annealing(original, sa, rng);
+        schedule.has_presolve = true;
+        schedule.presolve_cost = solved.best_cost;
+        schedule.presolve_assignment = solved.best_assignment;
+    }
+
+    std::vector<int> candidates;
+    candidates.reserve(tree.leaves.size());
+    for (const auto& leaf : tree.leaves)
+        candidates.push_back(leaf.leaf_id);
+
+    if (schedule.scored) {
+        // Each leaf's score is a pure function of (leaf model, leaf seed)
+        // with its own result slot, so scoring parallelizes on the engine's
+        // executor without touching the determinism guarantee; large deep
+        // trees would otherwise pay a long serial SA prologue.
+        const auto score_leaf = [&](int leaf_id) {
+            const auto& leaf =
+                tree.leaves[static_cast<std::size_t>(leaf_id)];
+            const auto& model =
+                tree.nodes[static_cast<std::size_t>(leaf.node)].sub.model;
+            ising::SaConfig sa;
+            sa.num_restarts = kLeafRestarts;
+            sa.sweeps_per_restart = kLeafSweeps;
+            Rng rng(combine_seeds(leaf.rng_seed,
+                                  hash_seed("fq-leaf-presolve")));
+            LeafScore entry;
+            entry.score = ising::solve_annealing(model, sa, rng).best_cost;
+            entry.bound = leaf.needs_repair
+                              ? -std::numeric_limits<double>::infinity()
+                              : optimistic_bound(model);
+            return entry;
+        };
+        if (executor) {
+            schedule.scores = executor->map<LeafScore>(
+                static_cast<int>(tree.leaves.size()),
+                [&](int leaf_id, BatchExecutor::Scratch&) {
+                    return score_leaf(leaf_id);
+                });
+        } else {
+            schedule.scores.resize(tree.leaves.size());
+            for (const auto& leaf : tree.leaves)
+                schedule.scores[static_cast<std::size_t>(leaf.leaf_id)] =
+                    score_leaf(leaf.leaf_id);
+        }
+
+        if (config.prune_dominated) {
+            // A leaf whose optimistic bound already exceeds the classical
+            // incumbent cannot produce a better decode: drop it before the
+            // budget so the circuits go to live candidates.
+            std::vector<int> kept;
+            for (int id : candidates) {
+                if (schedule.scores[static_cast<std::size_t>(id)].bound >
+                    schedule.presolve_cost)
+                    schedule.pruned.push_back(id);
+                else
+                    kept.push_back(id);
+            }
+            candidates = std::move(kept);
+        }
+
+        std::stable_sort(
+            candidates.begin(), candidates.end(), [&](int a, int b) {
+                const double sa =
+                    schedule.scores[static_cast<std::size_t>(a)].score;
+                const double sb =
+                    schedule.scores[static_cast<std::size_t>(b)].score;
+                if (sa != sb)
+                    return sa < sb;
+                return a < b; // deterministic tie-break: plan index
+            });
+    }
+
+    if (candidates.empty()) {
+        // Domination pruning removed everything (SA already optimal): keep
+        // the best-scored leaf so the solve still produces a sampled
+        // distribution and a decodable answer.
+        FQ_REQUIRE(!schedule.pruned.empty(), "no leaves to schedule");
+        auto best = std::min_element(
+            schedule.pruned.begin(), schedule.pruned.end(),
+            [&](int a, int b) {
+                return schedule.scores[static_cast<std::size_t>(a)].score <
+                       schedule.scores[static_cast<std::size_t>(b)].score;
+            });
+        candidates.push_back(*best);
+        schedule.pruned.erase(best);
+    }
+
+    for (int id : candidates) {
+        if (config.max_circuits > 0 &&
+            static_cast<long long>(schedule.executed.size()) >=
+                config.max_circuits)
+            schedule.beyond_budget.push_back(id);
+        else
+            schedule.executed.push_back(id);
+    }
+    return schedule;
+}
+
+} // namespace fq::engine

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Leaf scheduler: turns a SolveTree's executable leaves into a ranked,
+ * budget-cut execution schedule.
+ *
+ * Ranking is purely classical and fixed at plan time: each leaf gets a
+ * cheap simulated-annealing presolve bound on its own sub-model (whose
+ * offset already carries the frozen-value contribution of its root path),
+ * leaves are sorted best-bound-first with ties broken by leaf id, and the
+ * schedule is cut at FreezeBudget-style `max_circuits`. Because every
+ * decision happens before any circuit runs, partial execution inherits the
+ * engine's determinism guarantee: `threads=N` executes exactly the same
+ * leaves as serial, bit for bit.
+ *
+ * Optionally (`prune_dominated`) leaves whose optimistic cost bound cannot
+ * beat the global presolve incumbent are dropped before the budget is
+ * applied — the tree prunes siblings that are already dominated.
+ */
+#ifndef FQ_ENGINE_SCHEDULER_H
+#define FQ_ENGINE_SCHEDULER_H
+
+#include <vector>
+
+#include "engine/batch_executor.h"
+#include "engine/solve_tree.h"
+
+namespace fq::engine {
+
+/** Classical plan-time rating of one leaf. */
+struct LeafScore
+{
+    /** SA presolve best cost on the leaf model (includes the frozen-value
+     *  offset) — the scheduling priority, lower first. */
+    double score = 0.0;
+    /** Optimistic lower bound on any cost in the leaf's sub-space:
+     *  offset - sum|h| - sum|J|. Meaningless (and unused) for
+     *  partition-lineage leaves, whose decode is repaired. */
+    double bound = 0.0;
+};
+
+struct LeafSchedule
+{
+    /** Leaf ids to execute, best-first (rank order). Never empty. */
+    std::vector<int> executed;
+    /** Ranked leaf ids beyond the circuit budget (skipped). */
+    std::vector<int> beyond_budget;
+    /** Leaf ids dropped by bound-domination pruning (prune_dominated). */
+    std::vector<int> pruned;
+
+    /** Per-leaf scores (by leaf id); empty when scoring was skipped. */
+    std::vector<LeafScore> scores;
+    bool scored = false;
+
+    /** Global classical presolve on the original model (computed whenever
+     *  scoring runs or any leaf needs decode repair). */
+    bool has_presolve = false;
+    double presolve_cost = 0.0;
+    ising::SpinVector presolve_assignment;
+
+    long long max_circuits = 0; ///< 0 = unlimited
+};
+
+/**
+ * Build the schedule for @p tree under @p config. Scoring (per-leaf SA
+ * presolve) runs when a budget or domination pruning is active, or when
+ * @p force_scoring is set (fqtool plan); otherwise the schedule is simply
+ * plan order — the flat engine's legacy behaviour. Deterministic: every
+ * seed derives from the leaves' plan-time RNG streams, and ranking /
+ * cutting are serial. Per-leaf scoring is a pure function of the leaf, so
+ * it may run on @p executor when one is supplied (indexed result slots;
+ * the determinism guarantee holds for any thread count) — null scores
+ * serially.
+ */
+LeafSchedule make_schedule(const ising::IsingModel& original,
+                           const SolveTree& tree,
+                           const frozenqubits::DriverConfig& config,
+                           bool force_scoring = false,
+                           BatchExecutor* executor = nullptr);
+
+} // namespace fq::engine
+
+#endif // FQ_ENGINE_SCHEDULER_H

@@ -29,6 +29,19 @@ constexpr std::uint64_t kVerifySalt = 0x5bf0f5163ad2ab1dull;
 /** Entry cap; each entry holds a full compiled circuit + noise arrays. */
 constexpr std::size_t kMaxEntries = 256;
 
+/** Rough per-entry footprint: the two circuit copies (logical-structure
+ *  metrics are scalars), the layout and noise vectors. Estimation only —
+ *  feeds the --stats byte report, not an eviction decision. */
+std::size_t
+template_entry_bytes(const CompiledTemplate& tpl)
+{
+    std::size_t bytes = sizeof(CompiledTemplate);
+    bytes += tpl.compiled.physical.size() * sizeof(circuit::Gate);
+    bytes += tpl.compiled.final_layout.size() * sizeof(int);
+    bytes += tpl.readout_flip.size() * sizeof(double);
+    return bytes;
+}
+
 } // namespace
 
 std::vector<double>
@@ -172,9 +185,18 @@ TemplateCache::get_or_compile(const ising::IsingModel& model,
     // Crude bound on a cache that would otherwise grow for the process
     // lifetime of a shared engine: wholesale reset at the cap (entries are
     // cheap to rebuild relative to tracking LRU order).
-    if (entries_.size() >= kMaxEntries)
+    if (entries_.size() >= kMaxEntries) {
+        stats_.evictions += entries_.size();
         entries_.clear();
-    entries_[key] = Entry{verify, entry};
+        template_bytes_ = 0;
+    }
+    // Overwriting a verify-mismatched stale entry releases its bytes.
+    auto stale = entries_.find(key);
+    if (stale != entries_.end())
+        template_bytes_ -= stale->second.bytes;
+    const std::size_t entry_bytes = template_entry_bytes(*entry);
+    template_bytes_ += entry_bytes;
+    entries_[key] = Entry{verify, entry_bytes, entry};
     if (was_hit)
         *was_hit = false;
     return entry;
@@ -249,6 +271,7 @@ TemplateCache::get_or_fuse(const ising::IsingModel& model,
     }
     sim_bytes_ += program->table_bytes();
     if (sim_bytes_ > kMaxSimBytes) {
+        stats_.sim_evictions += sim_entries_.size();
         sim_entries_.clear();
         sim_bytes_ = program->table_bytes();
     }
@@ -272,12 +295,20 @@ TemplateCache::size() const
     return entries_.size();
 }
 
+std::size_t
+TemplateCache::bytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return template_bytes_ + sim_bytes_;
+}
+
 void
 TemplateCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
     sim_entries_.clear();
+    template_bytes_ = 0;
     sim_bytes_ = 0;
 }
 

@@ -95,10 +95,19 @@ class TemplateCache
         std::uint64_t lookups = 0;
         std::uint64_t hits = 0;
         std::uint64_t compiles = 0;
+        /** Compiled-template entries dropped by the capacity reset (an
+         *  explicit clear() does not count — it is a caller decision, not
+         *  cache pressure). */
+        std::uint64_t evictions = 0;
         /** Fused-simulation program counters (get_or_fuse). */
         std::uint64_t sim_lookups = 0;
         std::uint64_t sim_hits = 0;
         std::uint64_t sim_fusions = 0;
+        /** Fused programs dropped by the byte-budget reset. */
+        std::uint64_t sim_evictions = 0;
+
+        std::uint64_t misses() const { return lookups - hits; }
+        std::uint64_t sim_misses() const { return sim_lookups - sim_hits; }
     };
 
     /**
@@ -129,12 +138,20 @@ class TemplateCache
 
     Stats stats() const;
     std::size_t size() const;
+    /**
+     * Estimated bytes currently held: fused-program table storage (exact
+     * per FusedProgram::table_bytes) plus a per-template estimate of the
+     * compiled circuit and its noise arrays. Cheap enough to poll from a
+     * --stats report after every solve.
+     */
+    std::size_t bytes() const;
     void clear();
 
   private:
     struct Entry
     {
         std::uint64_t verify_key = 0;
+        std::size_t bytes = 0;
         std::shared_ptr<const CompiledTemplate> value;
     };
     struct SimEntry
@@ -146,6 +163,8 @@ class TemplateCache
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, Entry> entries_;
     std::unordered_map<std::uint64_t, SimEntry> sim_entries_;
+    /** Estimated bytes held by entries_ (compiled circuits + noise). */
+    std::size_t template_bytes_ = 0;
     /** Estimated bytes held by sim_entries_ (table storage). */
     std::size_t sim_bytes_ = 0;
     Stats stats_;

@@ -1,11 +1,49 @@
 #include "frozenqubits/budget.h"
 
 #include <algorithm>
+#include <climits>
 
 #include "common/error.h"
-#include "runtime/cost_model.h"
 
 namespace fq::frozenqubits {
+
+namespace {
+
+/** 2^exp as long long, saturating at LLONG_MAX. */
+long long
+saturating_shift(int exp)
+{
+    if (exp >= 62)
+        return LLONG_MAX;
+    return 1ll << exp;
+}
+
+} // namespace
+
+long long
+saturating_quantum_cost(int num_frozen, bool symmetry_pruned)
+{
+    FQ_REQUIRE(num_frozen >= 0, "m must be non-negative");
+    if (num_frozen == 0)
+        return 1;
+    return saturating_shift(symmetry_pruned ? num_frozen - 1 : num_frozen);
+}
+
+long long
+tree_leaf_circuits(int num_frozen, int depth, bool symmetry_pruned)
+{
+    FQ_REQUIRE(num_frozen >= 0 && depth >= 1,
+               "need m >= 0 and depth >= 1");
+    if (num_frozen == 0)
+        return 1;
+    if (depth == 1)
+        return saturating_quantum_cost(num_frozen, symmetry_pruned);
+    // Saturate the exponent product itself: m * depth can overflow int
+    // for adversarial inputs long before the shift would.
+    if (num_frozen > 62 / depth)
+        return LLONG_MAX;
+    return saturating_shift(num_frozen * depth);
+}
 
 FreezeRecommendation
 recommend_num_freeze(const ising::IsingModel& model,
@@ -16,6 +54,9 @@ recommend_num_freeze(const ising::IsingModel& model,
                "hard cap out of range");
 
     FreezeRecommendation rec;
+    // Clamp the candidate range to hard_cap FIRST: the budget comparison
+    // below must never see an m the cap forbids, and every circuit count
+    // computed inside the loop stays within the saturating helper's range.
     const int max_m =
         std::min(budget.hard_cap, std::max(0, model.num_spins() - 2));
 
@@ -42,15 +83,47 @@ recommend_num_freeze(const ising::IsingModel& model,
                 : 0.0;
         remaining -= step.edges_dropped;
         step.edges_remaining = remaining;
-        step.circuits = runtime::quantum_cost(m, budget.symmetry_pruning);
+        step.circuits =
+            saturating_quantum_cost(m, budget.symmetry_pruning);
 
-        // Stop criteria: over budget or diminishing returns.
+        // Stop criteria: over budget or diminishing returns. The circuit
+        // count saturates instead of overflowing, so a max_circuits of
+        // LLONG_MAX admits every m the hard cap allows.
         if (step.circuits > budget.max_circuits)
             break;
         if (step.marginal_fraction < budget.min_marginal_edge_fraction)
             break;
         rec.steps.push_back(step);
         rec.num_freeze = m;
+    }
+    return rec;
+}
+
+TreeRecommendation
+recommend_tree_freeze(const ising::IsingModel& model,
+                      const FreezeBudget& budget, int max_depth)
+{
+    FQ_REQUIRE(max_depth >= 1, "tree depth must be at least 1");
+
+    TreeRecommendation rec;
+    rec.base = recommend_num_freeze(model, budget);
+    rec.num_freeze = rec.base.num_freeze;
+    if (rec.num_freeze == 0)
+        return rec;
+
+    // Deepen while the whole tree's leaf count still fits the budget. The
+    // per-level m is fixed by the flat recommendation; depth multiplies
+    // the exponent, so this loop runs at most max_depth times and every
+    // comparison is against a saturating count.
+    rec.leaf_circuits =
+        tree_leaf_circuits(rec.num_freeze, 1, budget.symmetry_pruning);
+    for (int d = 2; d <= max_depth; ++d) {
+        const long long circuits =
+            tree_leaf_circuits(rec.num_freeze, d, budget.symmetry_pruning);
+        if (circuits > budget.max_circuits)
+            break;
+        rec.depth = d;
+        rec.leaf_circuits = circuits;
     }
     return rec;
 }

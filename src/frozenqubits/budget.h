@@ -56,9 +56,49 @@ struct FreezeRecommendation
 /**
  * Recommend how many hotspots to freeze for @p model under @p budget.
  * Returns m = 0 when even one freeze fails the criteria (e.g. no edges).
+ * The candidate m is clamped to hard_cap BEFORE any budget comparison and
+ * all circuit counts are saturating, so a budget of LLONG_MAX can never
+ * overflow the doubling.
  */
 FreezeRecommendation recommend_num_freeze(const ising::IsingModel& model,
                                           const FreezeBudget& budget = {});
+
+/**
+ * Saturating 2^m circuit count (2^{m-1} with symmetry pruning): returns
+ * LLONG_MAX instead of overflowing once the exponent leaves the signed
+ * 64-bit range. The overflow-safe core of every budget comparison here.
+ */
+long long saturating_quantum_cost(int num_frozen, bool symmetry_pruned);
+
+/**
+ * Leaf-circuit count of a depth-d recursive freeze with m hotspots per
+ * level, saturating. Mirror pruning only applies to a flat (d = 1) tree —
+ * deeper levels freeze asymmetric children (matching the engine's
+ * SolveTree expansion), so d > 1 costs 2^{m*d}.
+ */
+long long tree_leaf_circuits(int num_frozen, int depth,
+                             bool symmetry_pruned);
+
+/** Whole-tree recommendation: freeze count per level plus a depth. */
+struct TreeRecommendation
+{
+    int num_freeze = 0;
+    int depth = 1;
+    /** Saturating leaf-circuit count of the recommended (m, depth). */
+    long long leaf_circuits = 1;
+    /** The flat per-level recommendation the depth search started from. */
+    FreezeRecommendation base;
+};
+
+/**
+ * Recommend (num_freeze, depth <= @p max_depth) for a recursive SolveTree
+ * solve under @p budget: picks m via recommend_num_freeze, then the
+ * deepest depth whose total leaf count still fits max_circuits. All
+ * arithmetic saturates, so huge budgets and depths are safe.
+ */
+TreeRecommendation recommend_tree_freeze(const ising::IsingModel& model,
+                                         const FreezeBudget& budget,
+                                         int max_depth);
 
 } // namespace fq::frozenqubits
 

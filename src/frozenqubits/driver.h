@@ -50,6 +50,38 @@ struct DriverConfig
      * (the engine's determinism guarantee).
      */
     int threads = 0;
+
+    // ------------------------------------------------- SolveTree controls --
+    /**
+     * Recursive-freezing depth of the solve tree: 1 = the paper's flat
+     * pipeline (freeze once, execute the 2^{m-1} siblings), d > 1 re-freezes
+     * each sub-problem up to d levels deep ("Adaptive Qubit Freezing"
+     * composition). Mirror pruning only applies at the terminal level;
+     * recursion trades it for deeper CX savings.
+     */
+    int max_depth = 1;
+    /**
+     * Quantum budget: execute at most this many leaf circuits, best-first
+     * by the scheduler's classical score (Skipper-style partial execution).
+     * 0 = unlimited (every planned leaf runs). Deterministic: the ranked
+     * cut is fixed at plan time, so any thread count executes exactly the
+     * same leaves.
+     */
+    long long max_circuits = 0;
+    /**
+     * Hybrid D&C + freeze: when > 0, tree nodes wider than this many spins
+     * are bisected (cut couplings dropped, fragments repaired classically
+     * at decode) instead of frozen. Needs max_depth >= 2 for the fragments
+     * to then be frozen or solved. 0 disables partitioning.
+     */
+    int partition_width = 0;
+    /**
+     * Plan-time sibling pruning: skip leaves whose optimistic cost bound
+     * (frozen-offset minus total coefficient magnitude) cannot beat the
+     * classical SA presolve incumbent. Off by default — it may skip every
+     * quantum circuit on instances SA already solves optimally.
+     */
+    bool prune_dominated = false;
 };
 
 /** Structure + fidelity record for one executed circuit. */
@@ -107,12 +139,53 @@ Report run_pipeline(const ising::IsingModel& model,
  * global-depolarizing + readout noise channel, infers mirror distributions
  * by bit flipping, decodes the best solution.
  */
+/** One point of the anytime-quality trajectory of a budgeted solve. */
+struct AnytimePoint
+{
+    /** Leaf circuits folded so far (0 = classical presolve only). */
+    int circuits = 0;
+    /** Incumbent best decoded cost after folding them. */
+    double incumbent_cost = 0.0;
+    /** Leaf that produced the incumbent (-1 = classical presolve). */
+    int leaf = -1;
+};
+
 struct SampledSolve
 {
+    /**
+     * The overall incumbent — the answer the anytime trace converges to.
+     * Whenever a classical presolve was computed (budgeted, recursive or
+     * partitioned solves) it participates: if it beats every quantum
+     * decode, best_* report it and from_subproblem is -1. Flat unbudgeted
+     * solves have no presolve, so this is exactly the legacy decode.
+     */
     ising::SpinVector best_assignment;
     double best_cost = 0.0;
+    /**
+     * Flat solves: index into the 2^m sub-problems. Tree solves
+     * (max_depth > 1 or partition_width > 0): the leaf id. -1 when the
+     * classical presolve is the incumbent.
+     */
     int from_subproblem = -1;
-    std::vector<sim::Counts> distributions; ///< per sub-problem (2^m)
+
+    /** Best QUANTUM decode regardless of the presolve (equals best_cost
+     *  when a leaf wins; the mode-comparison metric in the bench suite). */
+    double best_quantum_cost = 0.0;
+    /** Producer of best_quantum_cost (sub-problem / leaf id as above). */
+    int best_quantum_leaf = -1;
+    /**
+     * Flat solves: one distribution per sub-problem (2^m, mirrors
+     * inferred, budget-skipped entries empty). Tree solves: one per
+     * executed leaf, in schedule (rank) order.
+     */
+    std::vector<sim::Counts> distributions;
+
+    // --------------------------------------- budgeted-execution telemetry --
+    int leaves_total = 0;    ///< executable leaves planned (mirrors excluded)
+    int leaves_executed = 0; ///< leaves actually run (== budget when capped)
+    /** Incumbent cost after each executed circuit, in schedule order;
+     *  starts with the classical presolve point when one was computed. */
+    std::vector<AnytimePoint> anytime;
 };
 
 SampledSolve solve_with_sampling(const ising::IsingModel& model,

@@ -11,20 +11,13 @@
 
 namespace fq::partition {
 
-namespace {
-
-/** One half's model plus the original indices of its spins. */
-struct Half
+Fragment
+extract_fragment(const ising::IsingModel& model,
+                 const std::vector<int>& side, int which)
 {
-    ising::IsingModel model;
-    std::vector<int> original_of;
-};
-
-Half
-extract_half(const ising::IsingModel& model, const std::vector<int>& side,
-             int which)
-{
-    Half half;
+    FQ_REQUIRE(static_cast<int>(side.size()) == model.num_spins(),
+               "side assignment size mismatch");
+    Fragment half;
     std::vector<int> remap(model.num_spins(), -1);
     for (int v = 0; v < model.num_spins(); ++v) {
         if (side[v] == which) {
@@ -44,8 +37,6 @@ extract_half(const ising::IsingModel& model, const std::vector<int>& side,
     return half;
 }
 
-} // namespace
-
 DncResult
 run_dnc_qaoa(const ising::IsingModel& model, const device::Device& dev,
              Rng& rng)
@@ -64,8 +55,8 @@ run_dnc_qaoa(const ising::IsingModel& model, const device::Device& dev,
     result.ev_noisy = model.offset();
 
     for (int which : {0, 1}) {
-        const Half half =
-            extract_half(model, result.bisection.side, which);
+        const Fragment half =
+            extract_fragment(model, result.bisection.side, which);
         if (half.model.num_spins() == 0)
             continue;
 

@@ -19,6 +19,25 @@
 
 namespace fq::partition {
 
+/** One side of a bisection as a standalone model plus index bookkeeping. */
+struct Fragment
+{
+    /** Hamiltonian over the fragment's spins (dense indices, offset 0). */
+    ising::IsingModel model;
+    /** original_of[i] = index in the parent model of fragment spin i. */
+    std::vector<int> original_of;
+};
+
+/**
+ * Extract side @p which (0 or 1) of @p side as an independent sub-model:
+ * linear terms are copied, quadratic terms with both endpoints inside the
+ * fragment are kept, and cut couplings are dropped (the energy loss the
+ * paper charges against edge-cutting D&C). Shared by the standalone
+ * baseline below and the hybrid partition nodes of the engine's SolveTree.
+ */
+Fragment extract_fragment(const ising::IsingModel& model,
+                          const std::vector<int>& side, int which);
+
 /** Outcome of the divide-and-conquer baseline. */
 struct DncResult
 {

@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <climits>
+
 #include "common/error.h"
 #include "frozenqubits/budget.h"
 #include "graph/generators.h"
@@ -109,6 +111,67 @@ TEST(FreezeBudget, TraceIsConsistent)
         EXPECT_GE(step.marginal_fraction, 0.0);
         EXPECT_LE(step.marginal_fraction, 1.0);
     }
+}
+
+TEST(FreezeBudget, MaxCircuitsLLongMaxNeverOverflows)
+{
+    // Regression: with an effectively unlimited budget the doubling must
+    // saturate, never wrap — the recommendation is clamped by hard_cap
+    // (applied BEFORE the budget comparison) and diminishing returns, and
+    // every reported circuit count stays positive.
+    Rng rng(6);
+    const auto model = ising::IsingModel::from_graph(
+        graph::barabasi_albert(40, 1, rng));
+    FreezeBudget budget;
+    budget.max_circuits = LLONG_MAX;
+    budget.min_marginal_edge_fraction = 0.0;
+    budget.hard_cap = 12;
+    const auto rec = recommend_num_freeze(model, budget);
+    EXPECT_EQ(rec.num_freeze, 12); // hard_cap clamps, not the budget
+    for (const auto& step : rec.steps) {
+        EXPECT_GT(step.circuits, 0);
+        EXPECT_LE(step.circuits, 1ll << 11);
+    }
+}
+
+TEST(FreezeBudget, SaturatingCostsClampAtLLongMax)
+{
+    EXPECT_EQ(saturating_quantum_cost(0, true), 1);
+    EXPECT_EQ(saturating_quantum_cost(3, true), 4);
+    EXPECT_EQ(saturating_quantum_cost(3, false), 8);
+    EXPECT_EQ(saturating_quantum_cost(62, false), LLONG_MAX);
+    EXPECT_EQ(saturating_quantum_cost(63, true), LLONG_MAX);
+
+    EXPECT_EQ(tree_leaf_circuits(2, 1, true), 2);   // flat keeps pruning
+    EXPECT_EQ(tree_leaf_circuits(2, 2, true), 16);  // 2^{m*d}, no pruning
+    EXPECT_EQ(tree_leaf_circuits(3, 2, false), 64);
+    EXPECT_EQ(tree_leaf_circuits(10, 10, true), LLONG_MAX);
+    EXPECT_EQ(tree_leaf_circuits(20, 1000000, true), LLONG_MAX);
+}
+
+TEST(FreezeBudget, TreeRecommendationRespectsBudgetAndDepth)
+{
+    Rng rng(7);
+    const auto model = ising::IsingModel::from_graph(
+        graph::barabasi_albert(30, 1, rng));
+    FreezeBudget budget;
+    budget.max_circuits = 256;
+    budget.min_marginal_edge_fraction = 0.0;
+    budget.hard_cap = 2;
+    // m = 2 per level: depth 1 costs 2, depth 2 costs 16, depth 3 costs 64,
+    // depth 4 costs 256 — all within budget; depth 5 (1024) is not.
+    const auto rec = recommend_tree_freeze(model, budget, 8);
+    EXPECT_EQ(rec.num_freeze, 2);
+    EXPECT_EQ(rec.depth, 4);
+    EXPECT_EQ(rec.leaf_circuits, 256);
+    EXPECT_LE(rec.leaf_circuits, budget.max_circuits);
+
+    // An unlimited budget saturates instead of overflowing.
+    budget.max_circuits = LLONG_MAX;
+    const auto deep = recommend_tree_freeze(model, budget, 1000);
+    EXPECT_EQ(deep.num_freeze, 2);
+    EXPECT_EQ(deep.depth, 1000);
+    EXPECT_GT(deep.leaf_circuits, 0);
 }
 
 TEST(FreezeBudget, ValidatesInputs)

@@ -278,6 +278,126 @@ TEST(ExecutionEngine, CacheDistinguishesDevicesStructurally)
     (void)ra;
 }
 
+void
+expect_solves_identical(const frozenqubits::SampledSolve& a,
+                        const frozenqubits::SampledSolve& b)
+{
+    EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+    EXPECT_EQ(a.best_assignment, b.best_assignment);
+    EXPECT_EQ(a.from_subproblem, b.from_subproblem);
+    EXPECT_DOUBLE_EQ(a.best_quantum_cost, b.best_quantum_cost);
+    EXPECT_EQ(a.best_quantum_leaf, b.best_quantum_leaf);
+    EXPECT_EQ(a.leaves_total, b.leaves_total);
+    EXPECT_EQ(a.leaves_executed, b.leaves_executed);
+    ASSERT_EQ(a.distributions.size(), b.distributions.size());
+    for (std::size_t s = 0; s < a.distributions.size(); ++s)
+        EXPECT_EQ(a.distributions[s].histogram(),
+                  b.distributions[s].histogram());
+    ASSERT_EQ(a.anytime.size(), b.anytime.size());
+    for (std::size_t p = 0; p < a.anytime.size(); ++p) {
+        EXPECT_EQ(a.anytime[p].circuits, b.anytime[p].circuits);
+        EXPECT_DOUBLE_EQ(a.anytime[p].incumbent_cost,
+                         b.anytime[p].incumbent_cost);
+        EXPECT_EQ(a.anytime[p].leaf, b.anytime[p].leaf);
+    }
+}
+
+TEST(ExecutionEngine, PartialExecutionRunsExactlyTheBudget)
+{
+    // The budgeted-execution contract: max_circuits = B < 2^{m-1} executes
+    // exactly B leaf circuits, best-first, and any thread count is
+    // bit-identical to serial (Report/SampledSolve acceptance).
+    const auto model = ba_model(12, 1, 5);
+    const auto dev = device::make_device("ibm-montreal");
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 3;   // 4 canonical leaves
+    config.max_circuits = 2; // B < 2^{m-1}
+
+    ExecutionEngine serial(1);
+    ExecutionEngine parallel(4);
+    Rng rng_a(33), rng_b(33);
+    const auto a = serial.solve(model, dev, config, 2048, rng_a);
+    const auto b = parallel.solve(model, dev, config, 2048, rng_b);
+
+    EXPECT_EQ(a.leaves_total, 4);
+    EXPECT_EQ(a.leaves_executed, 2);
+    EXPECT_EQ(serial.last_diagnostics().tasks_executed, 2);
+    EXPECT_EQ(serial.last_diagnostics().leaves_beyond_budget, 2);
+    EXPECT_TRUE(serial.last_diagnostics().scheduler_scored);
+    // Exactly B distributions are non-empty (plus their flipped mirrors).
+    int non_empty = 0;
+    for (const auto& d : a.distributions)
+        non_empty += d.total_shots() > 0 ? 1 : 0;
+    EXPECT_EQ(non_empty, 4); // 2 executed + 2 mirror-inferred
+    // Anytime trace: presolve point + one per executed circuit, with a
+    // monotonically non-increasing incumbent.
+    ASSERT_EQ(a.anytime.size(), 3u);
+    EXPECT_EQ(a.anytime.front().circuits, 0);
+    for (std::size_t p = 1; p < a.anytime.size(); ++p) {
+        EXPECT_EQ(a.anytime[p].circuits, static_cast<int>(p));
+        EXPECT_LE(a.anytime[p].incumbent_cost,
+                  a.anytime[p - 1].incumbent_cost);
+    }
+    expect_solves_identical(a, b);
+}
+
+TEST(ExecutionEngine, RecursiveDepth2BitIdenticalAcrossThreads)
+{
+    // Depth-2 recursion: the root's 2^m children are re-frozen (mirror
+    // pruning moves to the terminal level), and the determinism guarantee
+    // must hold through the deeper tree — with and without a budget.
+    const auto model = ba_model(12, 1, 9);
+    const auto dev = device::make_device("ibm-montreal");
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 2;
+    config.max_depth = 2;
+
+    ExecutionEngine serial(1);
+    ExecutionEngine parallel(4);
+    Rng rng_a(17), rng_b(17);
+    const auto a = serial.solve(model, dev, config, 1024, rng_a);
+    const auto b = parallel.solve(model, dev, config, 1024, rng_b);
+    EXPECT_EQ(serial.last_diagnostics().tree_depth, 2);
+    EXPECT_GT(serial.last_diagnostics().leaves_total, 4);
+    expect_solves_identical(a, b);
+
+    config.max_circuits = 5; // partial execution through the deep tree
+    Rng rng_c(17), rng_d(17);
+    const auto c = serial.solve(model, dev, config, 1024, rng_c);
+    const auto d = parallel.solve(model, dev, config, 1024, rng_d);
+    EXPECT_EQ(c.leaves_executed, 5);
+    expect_solves_identical(c, d);
+    // The budgeted run solves a subset of the full run's leaves; its best
+    // decode can therefore never beat the full run's.
+    EXPECT_GE(c.best_cost, a.best_cost);
+}
+
+TEST(ExecutionEngine, HybridPartitionSolveIsValidAndDeterministic)
+{
+    // Partition nodes drop cut couplings during the quantum phase; the
+    // decode must still produce a full valid assignment whose reported
+    // cost matches re-evaluation under the original Hamiltonian.
+    const auto model = ba_model(16, 1, 21);
+    const auto dev = device::make_device("ibm-montreal");
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 2;
+    config.max_depth = 2;
+    config.partition_width = 12; // root (16 spins) gets bisected
+
+    ExecutionEngine serial(1);
+    ExecutionEngine parallel(4);
+    Rng rng_a(3), rng_b(3);
+    const auto a = serial.solve(model, dev, config, 1024, rng_a);
+    const auto b = parallel.solve(model, dev, config, 1024, rng_b);
+
+    ASSERT_EQ(a.best_assignment.size(),
+              static_cast<std::size_t>(model.num_spins()));
+    for (auto z : a.best_assignment)
+        EXPECT_TRUE(z == 1 || z == -1);
+    EXPECT_DOUBLE_EQ(a.best_cost, model.evaluate(a.best_assignment));
+    expect_solves_identical(a, b);
+}
+
 TEST(ExecutionEngine, FacadeMatchesEngine)
 {
     // run_pipeline is a facade over the engine; both paths must agree.

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * SolveTree tests: structural contracts of the hierarchical plan (node
+ * kinds, lift composition across levels, mirror bookkeeping), scheduler
+ * determinism (ranking, budget cut, domination pruning) and the
+ * offset-consistency invariant that makes leaf-model costs exact
+ * original-model costs for freeze lineages.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "device/catalog.h"
+#include "engine/scheduler.h"
+#include "engine/solve_tree.h"
+#include "engine/template_cache.h"
+#include "graph/generators.h"
+#include "ising/ising_model.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::engine;
+
+ising::IsingModel
+ba_model(int n, int d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto g = graph::barabasi_albert(n, d, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    return ising::IsingModel::from_graph(g);
+}
+
+SolveTree
+build(const ising::IsingModel& model,
+      const frozenqubits::DriverConfig& config)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    TemplateCache cache;
+    Rng rng(config.seed);
+    return build_solve_tree(model, dev, config, cache, rng);
+}
+
+TEST(SolveTree, FlatTreeMatchesLegacyPlanShape)
+{
+    const auto model = ba_model(12, 1, 5);
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 3;
+
+    const auto tree = build(model, config);
+    EXPECT_TRUE(tree.flat());
+    EXPECT_EQ(tree.nodes.front().kind, NodeKind::Freeze);
+    EXPECT_EQ(tree.num_leaf_nodes(), 8);         // 2^m
+    EXPECT_EQ(tree.num_executable_leaves(), 4);  // 2^{m-1} pruned
+    // Every executable leaf mirrors exactly one sibling and carries the
+    // shared template of the (single) freeze level.
+    for (const auto& leaf : tree.leaves) {
+        EXPECT_EQ(leaf.mirror_nodes.size(), 1u);
+        EXPECT_FALSE(leaf.needs_repair);
+        EXPECT_TRUE(leaf.tpl != nullptr);
+        EXPECT_TRUE(leaf.tpl_compatible);
+    }
+}
+
+TEST(SolveTree, DepthTwoComposesLiftsAndDistinctStreams)
+{
+    const auto model = ba_model(12, 1, 9);
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 2;
+    config.max_depth = 2;
+
+    const auto tree = build(model, config);
+    EXPECT_FALSE(tree.flat());
+    // Root freezes 2 (pruning disabled when recursing: 4 children), each
+    // child freezes 2 more.
+    EXPECT_EQ(tree.nodes.front().children.size(), 4u);
+
+    std::set<std::uint64_t> seeds;
+    for (const auto& leaf : tree.leaves) {
+        const auto& node = tree.nodes[static_cast<std::size_t>(leaf.node)];
+        EXPECT_EQ(node.depth, 2);
+        // Full coverage: surviving spins + accumulated frozen values
+        // partition the original index space.
+        std::set<int> covered(node.sub.original_of.begin(),
+                              node.sub.original_of.end());
+        for (const auto& fs : node.sub.frozen)
+            covered.insert(fs.original_index);
+        EXPECT_EQ(covered.size(),
+                  static_cast<std::size_t>(model.num_spins()));
+        EXPECT_EQ(node.sub.frozen.size(), 4u); // 2 per level
+        seeds.insert(leaf.rng_seed);
+    }
+    // Private streams never collide across the tree.
+    EXPECT_EQ(seeds.size(), tree.leaves.size());
+}
+
+TEST(SolveTree, FreezeLineageLeafCostsAreOriginalCosts)
+{
+    // The Table 2 offset bookkeeping must survive composition: a leaf
+    // outcome's sub-model energy equals the original-model cost of its
+    // lifted assignment, at every depth.
+    const auto model = ba_model(10, 1, 13);
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 2;
+    config.max_depth = 2;
+
+    const auto tree = build(model, config);
+    const ising::SpinVector base(
+        static_cast<std::size_t>(model.num_spins()), 1);
+    for (const auto& leaf : tree.leaves) {
+        const auto& sub =
+            tree.nodes[static_cast<std::size_t>(leaf.node)].sub;
+        const std::uint64_t states =
+            std::uint64_t{1} << sub.model.num_spins();
+        for (std::uint64_t state = 0; state < states; state += 3) {
+            const auto lifted =
+                lift_leaf_state(tree, leaf, state, base);
+            EXPECT_NEAR(sub.model.evaluate_state(state),
+                        model.evaluate(lifted), 1e-9);
+        }
+    }
+}
+
+TEST(SolveTree, PartitionNodeFragmentsCoverTheSpins)
+{
+    const auto model = ba_model(16, 1, 21);
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 2;
+    config.max_depth = 2;
+    config.partition_width = 12;
+
+    const auto tree = build(model, config);
+    const auto& root = tree.nodes.front();
+    ASSERT_EQ(root.kind, NodeKind::Partition);
+    EXPECT_GT(root.cut_edges, 0);
+    ASSERT_EQ(root.children.size(), 2u);
+
+    std::set<int> covered;
+    for (int ci : root.children) {
+        const auto& child = tree.nodes[static_cast<std::size_t>(ci)];
+        EXPECT_TRUE(child.partition_lineage);
+        for (int v : child.sub.original_of)
+            EXPECT_TRUE(covered.insert(v).second) << "overlapping spin";
+    }
+    EXPECT_EQ(covered.size(), static_cast<std::size_t>(model.num_spins()));
+    for (const auto& leaf : tree.leaves)
+        EXPECT_TRUE(leaf.needs_repair);
+}
+
+TEST(LeafScheduler, BudgetCutIsExactAndDeterministic)
+{
+    const auto model = ba_model(12, 1, 5);
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 3;
+    config.max_circuits = 2;
+
+    const auto tree = build(model, config);
+    const auto a = make_schedule(model, tree, config);
+    const auto b = make_schedule(model, tree, config);
+
+    ASSERT_EQ(a.executed.size(), 2u);
+    EXPECT_EQ(a.beyond_budget.size(), 2u);
+    EXPECT_TRUE(a.scored);
+    EXPECT_TRUE(a.has_presolve);
+    EXPECT_EQ(a.executed, b.executed);
+    EXPECT_EQ(a.beyond_budget, b.beyond_budget);
+
+    // Rank order: scores are non-decreasing down the schedule, and the cut
+    // leaves score no better than the executed ones.
+    const auto score = [&](int id) {
+        return a.scores[static_cast<std::size_t>(id)].score;
+    };
+    EXPECT_LE(score(a.executed[0]), score(a.executed[1]));
+    for (int skipped : a.beyond_budget)
+        EXPECT_LE(score(a.executed.back()), score(skipped));
+}
+
+TEST(LeafScheduler, UnbudgetedFlatScheduleIsPlanOrder)
+{
+    const auto model = ba_model(12, 1, 5);
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 3;
+
+    const auto tree = build(model, config);
+    const auto schedule = make_schedule(model, tree, config);
+    EXPECT_FALSE(schedule.scored);
+    ASSERT_EQ(schedule.executed.size(), 4u);
+    for (std::size_t k = 0; k < schedule.executed.size(); ++k)
+        EXPECT_EQ(schedule.executed[k], static_cast<int>(k));
+}
+
+TEST(LeafScheduler, DominationPruningKeepsAtLeastOneLeaf)
+{
+    // ±1-weight BA trees are SA-trivial, so with pruning on most (often
+    // all) leaves are dominated by the presolve incumbent — the schedule
+    // must still execute at least one circuit.
+    const auto model = ba_model(12, 1, 7);
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 3;
+    config.prune_dominated = true;
+
+    const auto tree = build(model, config);
+    const auto schedule = make_schedule(model, tree, config);
+    EXPECT_GE(schedule.executed.size(), 1u);
+    EXPECT_EQ(schedule.executed.size() + schedule.beyond_budget.size() +
+                  schedule.pruned.size(),
+              tree.leaves.size());
+    // Every pruned leaf is provably dominated: bound above the incumbent.
+    for (int id : schedule.pruned)
+        EXPECT_GT(schedule.scores[static_cast<std::size_t>(id)].bound,
+                  schedule.presolve_cost);
+}
+
+} // namespace

@@ -9,20 +9,31 @@
  *       Read a model (file or stdin) and print graph/hotspot statistics.
  *   run [--file F] --device <name> [--freeze M] [--seed S] [--threads T]
  *       Read a model, run baseline-vs-FrozenQubits, print the report.
+ *   plan [--file F] --device <name> [--freeze M] [--max-depth D]
+ *        [--max-circuits B] [--partition W]
+ *       Build the SolveTree, rank its leaves with the classical scheduler
+ *       and print the tree plus the budget trace (cut line included) —
+ *       without executing any circuit.
  *   solve [--file F] --device <name> [--freeze M] [--shots K] [--seed S]
- *         [--threads T]
- *       Sampled end-to-end solve (N - M <= 22 for the statevector).
+ *         [--threads T] [--max-depth D] [--max-circuits B]
+ *         [--partition W] [--stats]
+ *       Sampled end-to-end solve over the SolveTree: recursive freezing
+ *       (--max-depth), budgeted best-first partial execution
+ *       (--max-circuits), hybrid bisection (--partition). --stats prints
+ *       template-cache counters.
  *   devices
  *       List the device catalog.
  *
- * run and solve execute on the ExecutionEngine: the 2^{m-1} sub-problem
- * circuits are batched over a thread pool (--threads, default all cores;
- * results are identical for any thread count) and each invocation ends
- * with a wall-clock summary line.
+ * run and solve execute on the ExecutionEngine: sub-problem circuits are
+ * batched over a thread pool (--threads, default all cores; results are
+ * identical for any thread count) and each invocation ends with a
+ * wall-clock summary line.
  *
  * Examples:
  *   fqtool generate --class ba1 --n 16 > problem.ising
  *   fqtool run --file problem.ising --device ibm-montreal --freeze 2
+ *   fqtool plan --file problem.ising --freeze 3 --max-circuits 2
+ *   fqtool solve --file problem.ising --freeze 2 --max-depth 2 --stats
  */
 #include <fstream>
 #include <iostream>
@@ -53,7 +64,8 @@ using Options = std::map<std::string, std::string>;
 bool
 is_flag(const std::string& key)
 {
-    return key == "no-fusion";
+    return key == "no-fusion" || key == "stats" ||
+           key == "prune-dominated";
 }
 
 Options
@@ -91,6 +103,24 @@ int_option(const Options& opts, const std::string& key, int fallback)
     try {
         std::size_t consumed = 0;
         const int value = std::stoi(it->second, &consumed);
+        if (consumed == it->second.size())
+            return value;
+    } catch (const std::logic_error&) {
+    }
+    throw Error("--" + key + " expects an integer, got " + it->second);
+}
+
+/** 64-bit variant for options that take circuit budgets (saturating
+ *  budget arithmetic upstream supports values up to LLONG_MAX). */
+long long
+long_option(const Options& opts, const std::string& key, long long fallback)
+{
+    const auto it = opts.find(key);
+    if (it == opts.end())
+        return fallback;
+    try {
+        std::size_t consumed = 0;
+        const long long value = std::stoll(it->second, &consumed);
         if (consumed == it->second.size())
             return value;
     } catch (const std::logic_error&) {
@@ -171,21 +201,34 @@ cmd_analyze(const Options& opts)
     return 0;
 }
 
-/** --freeze N or --freeze auto (Section 3.4 recommendation). */
-int
-resolve_freeze_count(const Options& opts, const ising::IsingModel& model)
+/**
+ * --freeze N or --freeze auto (Section 3.4 recommendation). With auto and
+ * --max-depth > 1 the whole-tree recommendation picks the deepest depth
+ * whose leaf count fits the budget (config.max_depth is updated to it).
+ * Call after apply_tree_options so the depth cap is in effect.
+ */
+void
+resolve_freeze(const Options& opts, const ising::IsingModel& model,
+               frozenqubits::DriverConfig& config)
 {
-    if (option(opts, "freeze", "1") != "auto")
-        return int_option(opts, "freeze", 1);
+    if (option(opts, "freeze", "1") != "auto") {
+        config.num_freeze = int_option(opts, "freeze", 1);
+        return;
+    }
     frozenqubits::FreezeBudget budget;
-    budget.max_circuits = int_option(opts, "budget", 4);
-    const auto rec = frozenqubits::recommend_num_freeze(model, budget);
+    budget.max_circuits = long_option(opts, "budget", 4);
+    const auto rec = frozenqubits::recommend_tree_freeze(
+        model, budget, std::max(1, config.max_depth));
     std::cout << "auto freeze: m=" << rec.num_freeze;
-    for (const auto& step : rec.steps)
+    if (config.max_depth > 1)
+        std::cout << ", depth=" << rec.depth << " ("
+                  << rec.leaf_circuits << " leaf circuits)";
+    for (const auto& step : rec.base.steps)
         std::cout << "  [z" << step.spin << " drops "
                   << step.edges_dropped << " edges]";
     std::cout << "\n";
-    return std::max(1, rec.num_freeze);
+    config.num_freeze = std::max(1, rec.num_freeze);
+    config.max_depth = rec.depth;
 }
 
 /** Engine wall-clock summary: printed after every run/solve. */
@@ -200,6 +243,145 @@ print_wall_clock(const engine::ExecutionEngine& eng)
               << " mirrored, " << d.template_edits << " template edits"
               << (d.template_cache_hit ? ", template cached" : "")
               << (d.fused_simulation ? ", fused sim" : "") << ")\n";
+    if (d.leaves_beyond_budget > 0 || d.leaves_pruned > 0 ||
+        d.tree_depth > 1) {
+        std::cout << "solve tree: depth " << d.tree_depth << ", "
+                  << d.tree_nodes << " nodes, " << d.leaves_total
+                  << " leaves (" << d.tasks_executed << " executed, "
+                  << d.leaves_beyond_budget << " beyond budget, "
+                  << d.leaves_pruned << " dominated)"
+                  << (d.scheduler_scored ? ", SA-ranked" : "") << "\n";
+    }
+}
+
+/** SolveTree controls shared by plan and solve. */
+void
+apply_tree_options(const Options& opts, frozenqubits::DriverConfig& config)
+{
+    config.max_depth = int_option(opts, "max-depth", 1);
+    config.max_circuits = long_option(opts, "max-circuits", 0);
+    config.partition_width = int_option(opts, "partition", 0);
+    config.prune_dominated = opts.find("prune-dominated") != opts.end();
+}
+
+/** Recursive tree printer: one line per node, indented by depth. */
+void
+print_tree_node(const engine::SolveTree& tree, int ni, int indent)
+{
+    const auto& node = tree.nodes[static_cast<std::size_t>(ni)];
+    std::cout << std::string(static_cast<std::size_t>(indent) * 2, ' ')
+              << "node " << node.index << " ["
+              << engine::node_kind_name(node.kind) << "] "
+              << node.sub.model.num_spins() << " spins";
+    if (node.kind == engine::NodeKind::Freeze) {
+        std::cout << ", freezes {";
+        for (std::size_t h = 0; h < node.plan.hotspots.size(); ++h)
+            std::cout << (h ? "," : "") << "z"
+                      << node.sub.original_of[static_cast<std::size_t>(
+                             node.plan.hotspots[h])];
+        std::cout << "} -> " << node.children.size() << " children";
+    } else if (node.kind == engine::NodeKind::Partition) {
+        std::cout << ", cut " << node.cut_edges << " edges (|J| "
+                  << Table::num(node.cut_weight, 2) << ") -> "
+                  << node.children.size() << " fragments";
+    } else if (node.mirror_of >= 0) {
+        std::cout << ", mirror of leaf " << node.mirror_of;
+    } else {
+        std::cout << ", leaf " << node.leaf_id;
+    }
+    std::cout << "\n";
+    for (int child : node.children)
+        print_tree_node(tree, child, indent + 1);
+}
+
+int
+cmd_plan(const Options& opts)
+{
+    const auto model = load_model(opts);
+    const auto dev = device::make_device(
+        option(opts, "device", "ibm-montreal"));
+    frozenqubits::DriverConfig config;
+    config.seed = static_cast<std::uint64_t>(int_option(opts, "seed", 7));
+    apply_tree_options(opts, config);
+    resolve_freeze(opts, model, config);
+
+    engine::TemplateCache cache;
+    Rng rng(config.seed);
+    const auto tree =
+        engine::build_solve_tree(model, dev, config, cache, rng);
+    const auto schedule =
+        engine::make_schedule(model, tree, config, /*force_scoring=*/true);
+
+    std::cout << "solve tree (depth " << config.max_depth << ", "
+              << tree.nodes.size() << " nodes, "
+              << tree.num_executable_leaves() << " executable leaves, "
+              << tree.num_leaf_nodes() - tree.num_executable_leaves()
+              << " mirrors):\n";
+    print_tree_node(tree, 0, 0);
+
+    std::cout << "\nclassical presolve: cost "
+              << Table::num(schedule.presolve_cost, 3) << "\n";
+    Table t("leaf schedule (best-first; SA score ranks, ties by leaf id)");
+    t.set_header({"rank", "leaf", "node", "spins", "frozen", "SA score",
+                  "bound", "status"});
+    int rank = 0;
+    const auto add_leaf_row = [&](int leaf_id, const std::string& status) {
+        const auto& leaf =
+            tree.leaves[static_cast<std::size_t>(leaf_id)];
+        const auto& node =
+            tree.nodes[static_cast<std::size_t>(leaf.node)];
+        const auto& score =
+            schedule.scores[static_cast<std::size_t>(leaf_id)];
+        t.add_row({Table::num(++rank), Table::num(leaf_id),
+                   Table::num(leaf.node),
+                   Table::num(node.sub.model.num_spins()),
+                   Table::num(static_cast<int>(node.sub.frozen.size())),
+                   Table::num(score.score, 3),
+                   leaf.needs_repair ? "n/a" : Table::num(score.bound, 3),
+                   status});
+    };
+    for (int leaf_id : schedule.executed)
+        add_leaf_row(leaf_id, "execute");
+    if (!schedule.beyond_budget.empty()) {
+        t.add_row({"----", "----", "----", "----", "----", "----", "----",
+                   "budget cut (max-circuits=" +
+                       Table::num(config.max_circuits) + ")"});
+        for (int leaf_id : schedule.beyond_budget)
+            add_leaf_row(leaf_id, "skip: beyond budget");
+    }
+    for (int leaf_id : schedule.pruned)
+        add_leaf_row(leaf_id, "skip: dominated");
+    t.print(std::cout);
+
+    std::cout << "budget trace: " << schedule.executed.size()
+              << " of " << tree.num_executable_leaves()
+              << " leaves scheduled";
+    if (config.max_circuits > 0)
+        std::cout << " (max-circuits " << config.max_circuits << ")";
+    std::cout << "\n";
+    return 0;
+}
+
+/** Template-cache counter report (--stats). */
+void
+print_cache_stats(const engine::ExecutionEngine& eng)
+{
+    const auto s = eng.template_cache().stats();
+    Table t("template cache");
+    t.set_header({"counter", "value"});
+    t.add_row({"template lookups", Table::num(s.lookups)});
+    t.add_row({"template hits", Table::num(s.hits)});
+    t.add_row({"template misses", Table::num(s.misses())});
+    t.add_row({"template compiles", Table::num(s.compiles)});
+    t.add_row({"template evictions", Table::num(s.evictions)});
+    t.add_row({"fused-sim lookups", Table::num(s.sim_lookups)});
+    t.add_row({"fused-sim hits", Table::num(s.sim_hits)});
+    t.add_row({"fused-sim misses", Table::num(s.sim_misses())});
+    t.add_row({"fused-sim compiles", Table::num(s.sim_fusions)});
+    t.add_row({"fused-sim evictions", Table::num(s.sim_evictions)});
+    t.add_row({"resident entries", Table::num(eng.template_cache().size())});
+    t.add_row({"resident bytes", Table::num(eng.template_cache().bytes())});
+    t.print(std::cout);
 }
 
 int
@@ -209,7 +391,7 @@ cmd_run(const Options& opts)
     const auto dev = device::make_device(
         option(opts, "device", "ibm-montreal"));
     frozenqubits::DriverConfig config;
-    config.num_freeze = resolve_freeze_count(opts, model);
+    resolve_freeze(opts, model, config);
     config.seed = static_cast<std::uint64_t>(int_option(opts, "seed", 7));
     config.threads = int_option(opts, "threads", 0);
     // No --no-fusion here: run evaluates analytically, nothing simulates.
@@ -247,20 +429,38 @@ cmd_solve(const Options& opts)
     const auto dev = device::make_device(
         option(opts, "device", "ibm-montreal"));
     frozenqubits::DriverConfig config;
-    config.num_freeze = resolve_freeze_count(opts, model);
     config.threads = int_option(opts, "threads", 0);
     config.fuse_simulation = opts.find("no-fusion") == opts.end();
-    Rng rng(static_cast<std::uint64_t>(int_option(opts, "seed", 7)));
+    config.seed = static_cast<std::uint64_t>(int_option(opts, "seed", 7));
+    apply_tree_options(opts, config);
+    resolve_freeze(opts, model, config);
+    Rng rng(config.seed);
 
     engine::ExecutionEngine eng(config.threads);
     const auto solved = eng.solve(model, dev, config,
                                   int_option(opts, "shots", 8192), rng);
-    std::cout << "best cost: " << solved.best_cost << " (sub-problem "
-              << solved.from_subproblem << ")\nassignment: ";
+    std::cout << "best cost: " << solved.best_cost << " ("
+              << (solved.from_subproblem < 0
+                      ? std::string("classical presolve")
+                      : "sub-problem " + Table::num(solved.from_subproblem))
+              << ")\n";
+    if (solved.from_subproblem < 0)
+        std::cout << "quantum decode: " << solved.best_quantum_cost
+                  << " (sub-problem " << solved.best_quantum_leaf << ")\n";
+    std::cout << "assignment: ";
     for (auto z : solved.best_assignment)
         std::cout << (z > 0 ? '+' : '-');
     std::cout << "\n";
+    if (!solved.anytime.empty()) {
+        std::cout << "anytime quality (circuits -> incumbent cost):";
+        for (const auto& point : solved.anytime)
+            std::cout << "  " << point.circuits << " -> "
+                      << Table::num(point.incumbent_cost, 3);
+        std::cout << "\n";
+    }
     print_wall_clock(eng);
+    if (opts.find("stats") != opts.end())
+        print_cache_stats(eng);
     return 0;
 }
 
@@ -290,8 +490,13 @@ usage()
         "  analyze  [--file F]\n"
         "  run      [--file F] --device NAME [--freeze M|auto] [--seed S]\n"
         "           [--threads T]\n"
+        "  plan     [--file F] --device NAME [--freeze M|auto]\n"
+        "           [--max-depth D] [--max-circuits B] [--partition W]\n"
+        "           [--prune-dominated]\n"
         "  solve    [--file F] --device NAME [--freeze M|auto] [--shots K]\n"
-        "           [--threads T] [--no-fusion]\n"
+        "           [--threads T] [--max-depth D] [--max-circuits B]\n"
+        "           [--partition W] [--prune-dominated] [--no-fusion]\n"
+        "           [--stats]\n"
         "  devices\n";
     return 2;
 }
@@ -312,6 +517,8 @@ main(int argc, char** argv)
             return cmd_analyze(opts);
         if (command == "run")
             return cmd_run(opts);
+        if (command == "plan")
+            return cmd_plan(opts);
         if (command == "solve")
             return cmd_solve(opts);
         if (command == "devices")
