@@ -35,6 +35,18 @@ with_spin(std::uint64_t state, int i, int spin)
     return spin < 0 ? (state | mask) : (state & ~mask);
 }
 
+/**
+ * Mask of the low @p n bits, for n in [0, 64]. The naive
+ * `(1 << n) - 1` idiom is undefined at n == 64 (the register-width
+ * boundary every 64-spin mirror flip hits); this helper is the one
+ * definition all width-mask sites share.
+ */
+inline std::uint64_t
+low_bits_mask(int n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
 /** Gray-code of n: consecutive n differ in exactly one bit of the result. */
 inline std::uint64_t
 gray_code(std::uint64_t n)

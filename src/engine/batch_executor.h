@@ -13,6 +13,7 @@
 #ifndef FQ_ENGINE_BATCH_EXECUTOR_H
 #define FQ_ENGINE_BATCH_EXECUTOR_H
 
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -68,6 +69,39 @@ class BatchExecutor
                 fn(index, scratch_[static_cast<std::size_t>(worker)]);
         });
         return results;
+    }
+
+    /**
+     * One type-erased unit of a submission queue: invoked with the
+     * executing worker's Scratch. Heterogeneous by design — a queue may mix
+     * leaves from unrelated solve requests (the SolveService wave).
+     */
+    using QueuedTask = std::function<void(Scratch&)>;
+
+    /**
+     * Drain a pre-assembled submission queue: run every item on the pool
+     * (same inline fast paths as map()). Items own their result delivery —
+     * typically a fold into a per-request StreamingReducer, which is
+     * fold-order independent, so the cross-request interleaving a shared
+     * queue creates can never change any request's output. Exceptions
+     * propagate like map() (lowest failing index wins); callers
+     * multiplexing independent tenants must catch inside the item so one
+     * tenant's failure cannot poison the wave.
+     */
+    void run_queue(const std::vector<QueuedTask>& queue)
+    {
+        const int count = static_cast<int>(queue.size());
+        if (count <= 1 || num_threads_ == 1) {
+            for (int i = 0; i < count; ++i)
+                queue[static_cast<std::size_t>(i)](scratch_[0]);
+            return;
+        }
+        if (!pool_)
+            pool_ = std::make_unique<ThreadPool>(num_threads_);
+        pool_->for_each_index(count, [&](int index, int worker) {
+            queue[static_cast<std::size_t>(index)](
+                scratch_[static_cast<std::size_t>(worker)]);
+        });
     }
 
   private:

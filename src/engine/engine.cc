@@ -182,10 +182,10 @@ ExecutionEngine::run(const ising::IsingModel& model,
 }
 
 sim::Counts
-ExecutionEngine::simulate_leaf(const SolveTree& tree, int leaf_id,
-                               const device::Device& dev,
-                               const frozenqubits::DriverConfig& config,
-                               int shots, BatchExecutor::Scratch& scratch)
+simulate_scheduled_leaf(TemplateCache& cache, const SolveTree& tree,
+                        int leaf_id, const device::Device& dev,
+                        const frozenqubits::DriverConfig& config, int shots,
+                        BatchExecutor::Scratch& scratch, bool* fused_hit)
 {
     const auto& leaf = tree.leaves[static_cast<std::size_t>(leaf_id)];
     const auto& sub = tree.nodes[static_cast<std::size_t>(leaf.node)].sub;
@@ -225,7 +225,7 @@ ExecutionEngine::simulate_leaf(const SolveTree& tree, int leaf_id,
     // instead of applying |E|+|V| gates; the naive path remains as the
     // --no-fusion escape hatch.
     if (leaf.fuse) {
-        const auto program = cache_.get_or_fuse(sub.model, build);
+        const auto program = cache.get_or_fuse(sub.model, build, fused_hit);
         program->run({tuned.angles.gamma}, {tuned.angles.beta},
                      scratch.statevector);
     } else {
@@ -320,8 +320,9 @@ ExecutionEngine::solve(const ising::IsingModel& model,
                                   BatchExecutor::Scratch& scratch) {
         const int leaf_id =
             schedule.executed[static_cast<std::size_t>(index)];
-        reducer.fold(leaf_id, simulate_leaf(tree, leaf_id, dev, config,
-                                            shots, scratch));
+        reducer.fold(leaf_id,
+                     simulate_scheduled_leaf(cache_, tree, leaf_id, dev,
+                                             config, shots, scratch));
         return 0;
     });
 

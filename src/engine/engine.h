@@ -41,6 +41,30 @@
 
 namespace fq::engine {
 
+class SolveService;
+
+/**
+ * Simulate one scheduled leaf of @p tree: tune its angles, resolve noise
+ * quantities from the freeze level's shared template (or compile the leaf
+ * directly when the structure diverged), run the fused or gate-by-gate
+ * statevector into @p scratch and sample noisy counts on the leaf's private
+ * plan-derived RNG stream.
+ *
+ * The ONE leaf-execution definition, shared by ExecutionEngine::solve and
+ * the SolveService's cross-request waves: a pure function of
+ * (cache contents, tree, leaf, dev, config, shots), so WHERE a leaf runs —
+ * which worker, which wave, alongside whose leaves — can never change its
+ * counts. @p fused_hit, when non-null, reports whether the fused program
+ * was served from @p cache (per-tenant cache-share accounting).
+ */
+sim::Counts simulate_scheduled_leaf(TemplateCache& cache,
+                                    const SolveTree& tree, int leaf_id,
+                                    const device::Device& dev,
+                                    const frozenqubits::DriverConfig& config,
+                                    int shots,
+                                    BatchExecutor::Scratch& scratch,
+                                    bool* fused_hit = nullptr);
+
 class ExecutionEngine
 {
   public:
@@ -113,15 +137,14 @@ class ExecutionEngine
     void clear_template_cache() { cache_.clear(); }
 
   private:
+    /** The SolveService multiplexes requests over this engine's executor
+     *  and cache; it is the one sanctioned external driver. */
+    friend class SolveService;
+
     frozenqubits::CircuitStats run_task(
         const ExecutionPlan& plan, const SubProblemTask& task,
         const device::Device& dev,
         const frozenqubits::DriverConfig& config);
-
-    sim::Counts simulate_leaf(const SolveTree& tree, int leaf_id,
-                              const device::Device& dev,
-                              const frozenqubits::DriverConfig& config,
-                              int shots, BatchExecutor::Scratch& scratch);
 
     void start_diagnostics(const ExecutionPlan& plan);
     void start_diagnostics(const SolveTree& tree,

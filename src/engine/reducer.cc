@@ -1,9 +1,11 @@
 #include "engine/reducer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
+#include "common/bitops.h"
 #include "common/error.h"
 #include "frozenqubits/decoder.h"
 #include "ising/sa_solver.h"
@@ -38,6 +40,13 @@ reduce_report(const ExecutionPlan& plan,
         // no separate accounting.
     }
     report.executed = std::move(per_task);
+
+    // An empty task list (or all-skipped execution) would leave both EVs at
+    // +infinity and silently report a bogus approximation-ratio gap — fail
+    // loudly instead of producing an unsolved report that looks solved.
+    FQ_REQUIRE(std::isfinite(best_ideal) && std::isfinite(best_noisy),
+               "no executed sub-problem produced a finite EV — the report "
+               "has nothing to reduce");
 
     report.ev_ideal_fq = best_ideal;
     report.ev_noisy_fq = best_noisy;
@@ -134,11 +143,8 @@ StreamingReducer::decode(int leaf_id, sim::Counts counts) const
     // cost; for partition fragments the flip composes with the unflipped
     // rest of the base and can genuinely improve the repair.
     if (!leaf.mirror_nodes.empty()) {
-        const std::uint64_t width_mask =
-            (sub.model.num_spins() >= 64)
-                ? ~std::uint64_t{0}
-                : ((std::uint64_t{1} << sub.model.num_spins()) - 1);
-        const std::uint64_t flipped = (~best_state) & width_mask;
+        const std::uint64_t flipped =
+            (~best_state) & low_bits_mask(sub.model.num_spins());
         for (int mirror_node : leaf.mirror_nodes) {
             SolveLeaf mirror_view = leaf;
             mirror_view.node = mirror_node;
@@ -191,9 +197,28 @@ StreamingReducer::finish_flat() const
         static_cast<int>(root.plan.hotspots.size());
     std::vector<sim::Counts> per_task(root.plan.tasks.size(),
                                       sim::Counts(sub_width));
-    for (std::size_t k = 0; k < root.plan.tasks.size(); ++k)
-        if (outcomes_[k].done) // leaf order == task order
-            per_task[k] = outcomes_[k].counts;
+    // Map each leaf to its plan task through the node-local sub-problem
+    // index, never by position: today the tree builder emits flat leaves in
+    // task order, but a planner change that reorders them must trip the
+    // requirements below instead of silently permuting distributions.
+    std::vector<int> task_of_solve(root.plan.subproblems.size(), -1);
+    for (std::size_t j = 0; j < root.plan.tasks.size(); ++j)
+        task_of_solve[static_cast<std::size_t>(root.plan.tasks[j].solve)] =
+            static_cast<int>(j);
+    for (std::size_t k = 0; k < tree_.leaves.size(); ++k) {
+        if (!outcomes_[k].done)
+            continue;
+        const auto& leaf = tree_.leaves[k];
+        FQ_REQUIRE(leaf.local_solve >= 0 &&
+                       leaf.local_solve <
+                           static_cast<int>(task_of_solve.size()),
+                   "flat leaf lacks a node-local sub-problem index");
+        const int task =
+            task_of_solve[static_cast<std::size_t>(leaf.local_solve)];
+        FQ_REQUIRE(task >= 0,
+                   "flat leaf's sub-problem has no matching plan task");
+        per_task[static_cast<std::size_t>(task)] = outcomes_[k].counts;
+    }
     return reduce_sampling(original_, root.plan, per_task);
 }
 

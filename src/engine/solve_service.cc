@@ -1,0 +1,372 @@
+#include "engine/solve_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+
+namespace fq::engine {
+
+namespace {
+
+/** Retained completed-request diagnostics: enough for any caller that
+ *  polls diagnostics() after drain(), bounded so a process-lifetime
+ *  service never grows without limit (oldest entries are dropped FIFO). */
+constexpr std::size_t kMaxCompletedDiagnostics = 4096;
+
+double
+ms_since(std::chrono::steady_clock::time_point start,
+         std::chrono::steady_clock::time_point end)
+{
+    return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+} // namespace
+
+SolveService::SolveService(ExecutionEngine& engine)
+    : SolveService(engine, Config{})
+{
+}
+
+SolveService::SolveService(ExecutionEngine& engine, Config config)
+    : engine_(engine),
+      // Auto default: two pool widths, floored at 8 — waves never WAIT to
+      // fill (assembly takes only what is pending), so a deeper cap costs
+      // no latency; it only cuts per-wave handoff overhead on narrow
+      // engines.
+      wave_size_(config.wave_size > 0
+                     ? config.wave_size
+                     : std::max(8, 2 * engine.num_threads()))
+{
+    assembler_ = std::thread([this] { assembler_loop(); });
+}
+
+SolveService::~SolveService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    assembler_.join();
+}
+
+SolveService::Ticket
+SolveService::submit(const ising::IsingModel& model,
+                     const device::Device& dev,
+                     const frozenqubits::DriverConfig& config, int shots,
+                     std::uint64_t seed, CompletionCallback on_complete)
+{
+    FQ_REQUIRE(shots >= 1, "need at least one shot");
+
+    auto request = std::make_unique<Request>();
+    request->model = model; // stable copies: the reducer and the wave items
+    request->dev = dev;     // reference the request's own storage
+    request->config = config;
+    request->shots = shots;
+    request->on_complete = std::move(on_complete);
+
+    // Plan on the CALLING thread — the exact sequence of a solo
+    // ExecutionEngine::solve, so the schedule (and therefore every leaf's
+    // plan-derived RNG stream) is bit-identical to a standalone run.
+    // Concurrent submitters contend only on the shared template cache,
+    // which compiles outside its lock. Scoring runs serially here
+    // (executor = nullptr): per-leaf scores are a pure function of the
+    // leaf, so the scores — and the schedule — match the engine's
+    // executor-parallel scoring exactly.
+    Rng rng(seed);
+    request->tree = build_solve_tree(request->model, request->dev,
+                                     request->config, engine_.cache_, rng);
+    request->schedule = make_schedule(request->model, request->tree,
+                                      request->config,
+                                      /*force_scoring=*/false, nullptr);
+    request->reducer.emplace(request->model, request->tree,
+                             request->schedule);
+    request->submitted = Clock::now();
+
+    Ticket ticket;
+    ticket.future_ = request->promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        FQ_REQUIRE(!stopping_, "submit on a stopping SolveService");
+        request->id = next_id_++;
+        ticket.id_ = request->id;
+        ++stats_.requests_submitted;
+        active_.push_back(std::move(request));
+    }
+    work_available_.notify_all();
+    return ticket;
+}
+
+std::vector<SolveService::WaveItem>
+SolveService::assemble_wave_locked()
+{
+    std::vector<WaveItem> wave;
+    if (active_.empty())
+        return wave;
+    wave.reserve(static_cast<std::size_t>(wave_size_));
+
+    // Fair round-robin in submission order with a rotating start, one leaf
+    // per tenant per pass: under contention every tenant advances at the
+    // same rate, and the rotation keeps the leftover slots of a non-full
+    // pass from always favouring the oldest tenant.
+    const std::size_t n = active_.size();
+    std::vector<int> taken(n, 0);
+    const std::size_t start = rotate_++ % n;
+    bool progress = true;
+    while (static_cast<int>(wave.size()) < wave_size_ && progress) {
+        progress = false;
+        for (std::size_t k = 0;
+             k < n && static_cast<int>(wave.size()) < wave_size_; ++k) {
+            const std::size_t slot = (start + k) % n;
+            Request& request = *active_[slot];
+            if (request.failed.load(std::memory_order_acquire))
+                continue;
+            if (request.next_leaf >= request.schedule.executed.size())
+                continue;
+            // Per-request wave-share SELF-cap (DriverConfig plumbing): a
+            // bulk tenant bounds how many of its OWN leaves ride one wave,
+            // leaving the rest of the slots to co-tenants.
+            if (request.config.wave_share > 0 &&
+                taken[slot] >= request.config.wave_share)
+                continue;
+            wave.push_back(
+                {&request, request.schedule.executed[request.next_leaf]});
+            ++request.next_leaf;
+            ++taken[slot];
+            progress = true;
+        }
+    }
+
+    // Per-tenant wave bookkeeping (assembler-thread state).
+    for (std::size_t slot = 0; slot < n; ++slot) {
+        if (taken[slot] == 0)
+            continue;
+        Request& request = *active_[slot];
+        ++request.waves;
+        request.occupancy_sum += static_cast<double>(taken[slot]) /
+                                 static_cast<double>(wave.size());
+    }
+    return wave;
+}
+
+int
+SolveService::execute_wave(const std::vector<WaveItem>& wave)
+{
+    std::atomic<int> executed{0};
+    std::vector<BatchExecutor::QueuedTask> queue;
+    queue.reserve(wave.size());
+    for (const auto& item : wave) {
+        queue.push_back([this, item,
+                         &executed](BatchExecutor::Scratch& scratch) {
+            Request& r = *item.request;
+            // A failed tenant's remaining leaves are dead weight — skip
+            // them so the wave's slots go to live work. (Results are
+            // unaffected: the request completes exceptionally either way.)
+            if (r.failed.load(std::memory_order_acquire))
+                return;
+            executed.fetch_add(1, std::memory_order_relaxed);
+            try {
+                if (!r.started.exchange(true,
+                                        std::memory_order_acq_rel)) {
+                    std::lock_guard<std::mutex> g(r.error_mutex);
+                    r.first_exec = Clock::now();
+                }
+                bool fused_hit = false;
+                auto counts = simulate_scheduled_leaf(
+                    engine_.cache_, r.tree, item.leaf_id, r.dev, r.config,
+                    r.shots, scratch, &fused_hit);
+                const auto& leaf =
+                    r.tree.leaves[static_cast<std::size_t>(item.leaf_id)];
+                if (leaf.fuse) {
+                    r.fused_lookups.fetch_add(1,
+                                              std::memory_order_relaxed);
+                    if (fused_hit)
+                        r.fused_hits.fetch_add(1,
+                                               std::memory_order_relaxed);
+                }
+                r.reducer->fold(item.leaf_id, std::move(counts));
+                r.leaves_folded.fetch_add(1, std::memory_order_acq_rel);
+            } catch (...) {
+                // First failure wins; poisons only this request.
+                std::lock_guard<std::mutex> g(r.error_mutex);
+                if (!r.failed.load(std::memory_order_relaxed)) {
+                    r.error = std::current_exception();
+                    r.failed.store(true, std::memory_order_release);
+                }
+            }
+        });
+    }
+    engine_.executor_.run_queue(queue);
+    return executed.load(std::memory_order_acquire);
+}
+
+SolveService::Outcome
+SolveService::reduce_request(Request& request)
+{
+    Outcome out;
+    out.diag.request_id = request.id;
+    out.diag.leaves_scheduled =
+        static_cast<int>(request.schedule.executed.size());
+    out.diag.leaves_executed = request.leaves_folded.load();
+    out.diag.waves = request.waves;
+    out.diag.fused_lookups = request.fused_lookups.load();
+    out.diag.fused_hits = request.fused_hits.load();
+    out.diag.cache_hit_share =
+        out.diag.fused_lookups == 0
+            ? 0.0
+            : static_cast<double>(out.diag.fused_hits) /
+                  static_cast<double>(out.diag.fused_lookups);
+    out.diag.wave_occupancy =
+        request.waves == 0
+            ? 0.0
+            : request.occupancy_sum / static_cast<double>(request.waves);
+    const auto now = Clock::now();
+    if (request.started.load(std::memory_order_acquire))
+        out.diag.queue_latency_ms =
+            ms_since(request.submitted, request.first_exec);
+    out.diag.wall_ms = ms_since(request.submitted, now);
+
+    if (request.failed.load(std::memory_order_acquire)) {
+        out.error = request.error;
+        return out;
+    }
+    try {
+        out.solved = request.reducer->finish();
+    } catch (...) {
+        // A reduction failure poisons only this request — an escaped
+        // exception on the assembler thread would std::terminate the whole
+        // service and every co-tenant.
+        request.failed.store(true, std::memory_order_release);
+        out.error = std::current_exception();
+    }
+    return out;
+}
+
+void
+SolveService::deliver(Request& request, Outcome& outcome)
+{
+    if (outcome.error) {
+        request.promise.set_exception(outcome.error);
+        return;
+    }
+    if (request.on_complete) {
+        try {
+            request.on_complete(request.id, outcome.solved);
+        } catch (...) {
+            // Callbacks must not throw (header contract); a violation is
+            // contained so the result below is still delivered and the
+            // assembler survives.
+        }
+    }
+    request.promise.set_value(std::move(outcome.solved));
+}
+
+void
+SolveService::assembler_loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_available_.wait(
+            lock, [&] { return stopping_ || !active_.empty(); });
+        if (active_.empty()) {
+            if (stopping_)
+                return; // drained: every submitted request completed
+            continue;
+        }
+
+        const auto wave = assemble_wave_locked();
+        lock.unlock();
+        int executed = 0;
+        if (!wave.empty())
+            executed = execute_wave(wave);
+        lock.lock();
+        if (!wave.empty()) {
+            ++stats_.waves_executed;
+            stats_.wave_slots += static_cast<std::uint64_t>(executed);
+        }
+
+        // After the wave barrier every dispatched leaf has folded (or its
+        // request failed), so completion is a pure cursor check.
+        std::vector<std::unique_ptr<Request>> finished;
+        for (auto it = active_.begin(); it != active_.end();) {
+            Request& r = **it;
+            const bool done =
+                r.failed.load(std::memory_order_acquire) ||
+                r.leaves_folded.load(std::memory_order_acquire) ==
+                    static_cast<int>(r.schedule.executed.size());
+            if (done) {
+                finished.push_back(std::move(*it));
+                it = active_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        finishing_ += finished.size();
+        lock.unlock();
+
+        // Reduce without the lock (CPU-heavy for flat trees), then publish
+        // diagnostics + counters BEFORE delivering promises/callbacks, so
+        // a completion callback can read its own diagnostics() and
+        // stats(). Callbacks run without the lock; drain() from a callback
+        // is the one documented deadlock.
+        std::vector<Outcome> outcomes;
+        outcomes.reserve(finished.size());
+        for (auto& request : finished)
+            outcomes.push_back(reduce_request(*request));
+
+        lock.lock();
+        for (std::size_t k = 0; k < finished.size(); ++k) {
+            completed_[finished[k]->id] = outcomes[k].diag;
+            completed_order_.push_back(finished[k]->id);
+            while (completed_order_.size() > kMaxCompletedDiagnostics) {
+                completed_.erase(completed_order_.front());
+                completed_order_.pop_front();
+            }
+            if (outcomes[k].error)
+                ++stats_.requests_failed;
+            else
+                ++stats_.requests_completed;
+        }
+        lock.unlock();
+
+        for (std::size_t k = 0; k < finished.size(); ++k)
+            deliver(*finished[k], outcomes[k]);
+
+        lock.lock();
+        finishing_ -= finished.size();
+        request_done_.notify_all();
+    }
+}
+
+void
+SolveService::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    request_done_.wait(
+        lock, [&] { return active_.empty() && finishing_ == 0; });
+}
+
+SolveService::TenantDiagnostics
+SolveService::diagnostics(std::uint64_t request_id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = completed_.find(request_id);
+    FQ_REQUIRE(it != completed_.end(),
+               "diagnostics are only available for completed requests");
+    return it->second;
+}
+
+SolveService::Stats
+SolveService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats out = stats_;
+    const double denom = static_cast<double>(out.waves_executed) *
+                         static_cast<double>(engine_.num_threads());
+    out.mean_pool_fill =
+        denom == 0.0 ? 0.0 : static_cast<double>(out.wave_slots) / denom;
+    return out;
+}
+
+} // namespace fq::engine

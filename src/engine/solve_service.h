@@ -1,0 +1,279 @@
+/**
+ * @file
+ * SolveService: cross-solve request batching over one ExecutionEngine.
+ *
+ * FrozenQubits' 2^m sub-problem fan-out only amortizes at service scale
+ * when ONE engine's thread pool and template/fused-program caches are
+ * shared across many concurrent solve requests, not just within one
+ * instance (the Skipper observation: throughput comes from batching
+ * independent sub-circuits across problems). The service accepts
+ * concurrent submit() calls, plans each request on the submitter's thread
+ * (tree + schedule + streaming reducer — cache-served planning runs
+ * concurrently across tenants), and an assembler thread coalesces the
+ * per-request leaf schedules into shared executor WAVES:
+ *
+ *   wave assembly — fair round-robin across active tenants in submission
+ *       order (rotating start), one leaf per tenant per pass, honoring
+ *       each request's plan-time max_circuits budget (only scheduled
+ *       leaves ever enqueue) and its optional DriverConfig::wave_share
+ *       per-wave cap, until the wave is full;
+ *   wave execution — one BatchExecutor::run_queue drain over the mixed
+ *       queue; each leaf simulates through the same
+ *       simulate_scheduled_leaf path as a solo solve and folds into ITS
+ *       OWN request's StreamingReducer;
+ *   completion — requests whose scheduled leaves have all folded finish
+ *       their reduction and fulfil their future / completion callback.
+ *
+ * Determinism contract: per-request results are bit-identical to a solo
+ * ExecutionEngine::solve at any thread count, regardless of how tenants
+ * interleave. Every order-dependent decision is fixed at plan time (leaf
+ * RNG streams, schedule, budget cut), the reducer's fold is order
+ * independent by design, and leaf execution is a pure function of the
+ * plan — so wave composition can only change WHEN a leaf runs, never what
+ * it produces.
+ *
+ * Threading: submit() may be called from any thread. The engine's executor
+ * is driven only by the service's assembler thread (the engine contract of
+ * one driver at a time); do not call engine.solve()/run() directly while a
+ * service holds the engine.
+ */
+#ifndef FQ_ENGINE_SOLVE_SERVICE_H
+#define FQ_ENGINE_SOLVE_SERVICE_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/reducer.h"
+
+namespace fq::engine {
+
+class SolveService
+{
+  public:
+    /** Service-wide tuning (per-request knobs live in DriverConfig). */
+    struct Config
+    {
+        /**
+         * Leaf slots per shared wave. Larger waves amortize the fork-join
+         * barrier better; smaller waves complete short requests sooner.
+         * 0 = auto: 2x the engine's worker threads.
+         */
+        int wave_size = 0;
+    };
+
+    /** Per-request observability, available once the request completed. */
+    struct TenantDiagnostics
+    {
+        std::uint64_t request_id = 0;
+        int leaves_scheduled = 0; ///< plan-time budget-cut schedule size
+        int leaves_executed = 0;  ///< folded leaves (== scheduled on success)
+        int waves = 0;            ///< waves this request contributed to
+        /** Fused-program cache traffic attributed to this tenant. */
+        std::uint64_t fused_lookups = 0;
+        std::uint64_t fused_hits = 0;
+        /** fused_hits / fused_lookups (0 when the request never fused). */
+        double cache_hit_share = 0.0;
+        /**
+         * Mean share of the wave slots this tenant held across the waves it
+         * rode (1.0 = had every wave to itself; 1/K under K equal tenants)
+         * — the fairness / batching-benefit metric.
+         */
+        double wave_occupancy = 0.0;
+        /** submit() return -> first leaf simulation start. */
+        double queue_latency_ms = 0.0;
+        /** submit() return -> completion (reduction included). */
+        double wall_ms = 0.0;
+    };
+
+    /** Service-wide counters (snapshot; monotone while the service lives). */
+    struct Stats
+    {
+        std::uint64_t requests_submitted = 0;
+        std::uint64_t requests_completed = 0;
+        std::uint64_t requests_failed = 0;
+        std::uint64_t waves_executed = 0;
+        /** Leaves actually simulated across all waves (skipped slots of
+         *  failed tenants do not count). */
+        std::uint64_t wave_slots = 0;
+        /** wave_slots / (waves_executed * engine threads): how full the
+         *  worker pool ran (dead slots of failed tenants excluded).
+         *  > 1 means waves were deeper than the pool. */
+        double mean_pool_fill = 0.0;
+    };
+
+    /** Handle to one submitted request. */
+    class Ticket
+    {
+      public:
+        Ticket() = default;
+
+        std::uint64_t id() const { return id_; }
+
+        /** Block for the result; rethrows the request's failure, if any.
+         *  May be called at most once per ticket copy chain (the result is
+         *  moved out). */
+        frozenqubits::SampledSolve get() { return future_.get(); }
+
+        /** Block until the request completed (result still retrievable). */
+        void wait() const { future_.wait(); }
+
+      private:
+        friend class SolveService;
+        std::uint64_t id_ = 0;
+        std::future<frozenqubits::SampledSolve> future_;
+    };
+
+    /** Called on the assembler thread when a request completes cleanly.
+     *  By the time it runs, the request's diagnostics() and the service
+     *  stats() are published, so the callback may read them — but it MUST
+     *  NOT call drain() (the assembler is blocked inside the callback:
+     *  guaranteed deadlock) and must not throw (a throw is contained — the
+     *  future still delivers the result — but the exception is dropped). */
+    using CompletionCallback =
+        std::function<void(std::uint64_t request_id,
+                           const frozenqubits::SampledSolve&)>;
+
+    explicit SolveService(ExecutionEngine& engine);
+    SolveService(ExecutionEngine& engine, Config config);
+
+    /** Drains every pending request, then stops the assembler. */
+    ~SolveService();
+
+    SolveService(const SolveService&) = delete;
+    SolveService& operator=(const SolveService&) = delete;
+
+    /**
+     * Submit one solve request. Planning (tree construction, scheduling,
+     * template-cache resolution) runs on the CALLING thread before this
+     * returns — concurrent submitters plan concurrently against the shared
+     * cache. @p seed plays the role of the Rng argument of a solo
+     * ExecutionEngine::solve: a request's result is bit-identical to
+     * `Rng rng(seed); engine.solve(model, dev, config, shots, rng)`.
+     * Throws on planning failure (nothing is enqueued).
+     */
+    Ticket submit(const ising::IsingModel& model, const device::Device& dev,
+                  const frozenqubits::DriverConfig& config, int shots,
+                  std::uint64_t seed,
+                  CompletionCallback on_complete = nullptr);
+
+    /** Block until every request submitted so far has completed. */
+    void drain();
+
+    /** Diagnostics of a COMPLETED request. Throws for unknown or pending
+     *  ids — including completed requests older than the FIFO retention
+     *  cap (the most recent ~4k completions are kept). */
+    TenantDiagnostics diagnostics(std::uint64_t request_id) const;
+
+    Stats stats() const;
+
+    /** Resolved leaf slots per wave (the Config::wave_size auto default). */
+    int wave_size() const { return wave_size_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One in-flight request; heap-pinned so the reducer's references into
+     *  the owning struct stay valid for the request's lifetime. */
+    struct Request
+    {
+        std::uint64_t id = 0;
+        ising::IsingModel model;
+        device::Device dev;
+        frozenqubits::DriverConfig config;
+        int shots = 0;
+
+        SolveTree tree;
+        LeafSchedule schedule;
+        /** Constructed after tree/schedule are in their final location. */
+        std::optional<StreamingReducer> reducer;
+
+        /** Cursor into schedule.executed: leaves before it are dispatched. */
+        std::size_t next_leaf = 0;
+
+        std::promise<frozenqubits::SampledSolve> promise;
+        CompletionCallback on_complete;
+
+        /** First failure among this request's leaves (poisons only this
+         *  request; the wave and other tenants are unaffected). */
+        std::atomic<bool> failed{false};
+        std::exception_ptr error; ///< guarded by error_mutex
+        std::mutex error_mutex;
+
+        // ------------------------------------------------- diagnostics --
+        Clock::time_point submitted;
+        std::atomic<bool> started{false};
+        Clock::time_point first_exec; ///< guarded by error_mutex
+        std::atomic<std::uint64_t> fused_lookups{0};
+        std::atomic<std::uint64_t> fused_hits{0};
+        std::atomic<int> leaves_folded{0};
+        int waves = 0;               ///< assembler-thread only
+        double occupancy_sum = 0.0;  ///< assembler-thread only
+    };
+
+    /** One wave slot: a leaf bound to its request. */
+    struct WaveItem
+    {
+        Request* request = nullptr;
+        int leaf_id = 0;
+    };
+
+    /** A completed request's reduced result, staged between reduction and
+     *  promise/callback delivery so diagnostics publish first. */
+    struct Outcome
+    {
+        TenantDiagnostics diag;
+        frozenqubits::SampledSolve solved;
+        std::exception_ptr error; ///< non-null = the request failed
+    };
+
+    void assembler_loop();
+    std::vector<WaveItem> assemble_wave_locked();
+    /** Returns how many wave slots actually simulated (a failed tenant's
+     *  remaining slots are skipped dead weight). */
+    int execute_wave(const std::vector<WaveItem>& wave);
+    /** Final reduction + diagnostics; never throws (failures land in
+     *  Outcome::error). Runs on the assembler thread without the lock. */
+    Outcome reduce_request(Request& request);
+    /** Fulfil the promise / completion callback. Runs without the lock,
+     *  AFTER the outcome's diagnostics were published. */
+    void deliver(Request& request, Outcome& outcome);
+
+    ExecutionEngine& engine_;
+    int wave_size_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable request_done_;
+    bool stopping_ = false;
+    std::uint64_t next_id_ = 1;
+    std::size_t rotate_ = 0; ///< rotating round-robin start index
+
+    /** Active requests in submission order (stable heap storage). */
+    std::deque<std::unique_ptr<Request>> active_;
+    /** Requests pulled out of active_ whose promises are being fulfilled
+     *  (drain() must not return while any exist). */
+    std::size_t finishing_ = 0;
+    /** Diagnostics of recently completed requests, FIFO-capped so a
+     *  process-lifetime service cannot grow without bound. */
+    std::unordered_map<std::uint64_t, TenantDiagnostics> completed_;
+    std::deque<std::uint64_t> completed_order_;
+    Stats stats_;
+
+    std::thread assembler_;
+};
+
+} // namespace fq::engine
+
+#endif // FQ_ENGINE_SOLVE_SERVICE_H

@@ -162,16 +162,25 @@ TemplateCache::get_or_compile(const ising::IsingModel& model,
     const std::uint64_t verify =
         template_key(model, dev, compile, build, kVerifySalt);
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.lookups;
-    auto it = entries_.find(key);
-    if (it != entries_.end() && it->second.verify_key == verify) {
-        ++stats_.hits;
-        if (was_hit)
-            *was_hit = true;
-        return it->second.value;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.lookups;
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second.verify_key == verify) {
+            ++stats_.hits;
+            if (was_hit)
+                *was_hit = true;
+            return it->second.value;
+        }
     }
 
+    // Build OUTSIDE the lock — the same pattern get_or_fuse uses. Under a
+    // shared multi-tenant engine, concurrent submitters plan (and thus
+    // compile templates) in parallel; running a full millisecond-scale
+    // transpile under the cache mutex would serialize every planner on the
+    // slowest miss. A rare duplicate build of the same key loses the race
+    // below and is dropped; first insert wins so all callers share one
+    // entry.
     const auto logical = qaoa::build_qaoa_circuit(model, build);
     auto entry = std::make_shared<CompiledTemplate>();
     entry->compiled = transpiler::compile(logical, dev, compile);
@@ -181,7 +190,25 @@ TemplateCache::get_or_compile(const ising::IsingModel& model,
         entry->compiled.physical, dev.calibration);
     entry->readout_flip = readout_flip_for(entry->compiled, dev.calibration,
                                            model.num_spins());
+
+    std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.compiles;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        if (it->second.verify_key == verify) {
+            // Lost the race; share the winner's template — but report a
+            // miss: this caller paid a full compile, and hit-share
+            // diagnostics must not overstate hits under the very
+            // contention they exist to measure.
+            if (was_hit)
+                *was_hit = false;
+            return it->second.value;
+        }
+        // Verify-key mismatch (fingerprint collision): the stale entry is
+        // about to be overwritten — release its bytes from the budget.
+        template_bytes_ -= it->second.bytes;
+        entries_.erase(it);
+    }
     // Crude bound on a cache that would otherwise grow for the process
     // lifetime of a shared engine: wholesale reset at the cap (entries are
     // cheap to rebuild relative to tracking LRU order).
@@ -190,10 +217,6 @@ TemplateCache::get_or_compile(const ising::IsingModel& model,
         entries_.clear();
         template_bytes_ = 0;
     }
-    // Overwriting a verify-mismatched stale entry releases its bytes.
-    auto stale = entries_.find(key);
-    if (stale != entries_.end())
-        template_bytes_ -= stale->second.bytes;
     const std::size_t entry_bytes = template_entry_bytes(*entry);
     template_bytes_ += entry_bytes;
     entries_[key] = Entry{verify, entry_bytes, entry};
@@ -260,9 +283,11 @@ TemplateCache::get_or_fuse(const ising::IsingModel& model,
     auto it = sim_entries_.find(key);
     if (it != sim_entries_.end()) {
         if (it->second.verify_key == verify) {
-            // Lost the race; share the winner's program.
+            // Lost the race; share the winner's program — but report a
+            // miss: this caller paid the full table build (see
+            // get_or_compile).
             if (was_hit)
-                *was_hit = true;
+                *was_hit = false;
             return it->second.value;
         }
         // Verify-key mismatch (fingerprint collision): the stale entry is

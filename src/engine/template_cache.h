@@ -15,8 +15,10 @@
  * calibration — so hand-built devices that alias on a name can never be
  * served each other's compiles.
  *
- * Thread-safe; a lookup that misses compiles inside the lock so concurrent
- * tasks requesting the same key get one compile and identical pointers.
+ * Thread-safe; lookups that miss compile OUTSIDE the lock (concurrent
+ * misses on distinct keys never serialize — the multi-tenant planning
+ * path), with a first-insert-wins race resolution so concurrent requests
+ * for the same key still end up sharing one entry.
  */
 #ifndef FQ_ENGINE_TEMPLATE_CACHE_H
 #define FQ_ENGINE_TEMPLATE_CACHE_H

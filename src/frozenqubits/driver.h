@@ -82,6 +82,19 @@ struct DriverConfig
      * quantum circuit on instances SA already solves optimally.
      */
     bool prune_dominated = false;
+
+    // ------------------------------------------------ SolveService controls --
+    /**
+     * Self-cap on how many of THIS request's leaves may ride in one shared
+     * executor wave when the solve goes through a multi-tenant
+     * engine::SolveService: the wave assembler stops drawing from this
+     * request once the cap is hit, leaving the remaining slots of every
+     * wave to co-tenants. How a bulk submitter keeps itself polite — it
+     * cannot restrict anyone else's share. 0 = no per-wave cap (fair
+     * round-robin only). Never affects results — only which wave a leaf
+     * rides in.
+     */
+    int wave_share = 0;
 };
 
 /** Structure + fidelity record for one executed circuit. */

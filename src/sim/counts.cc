@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/bitops.h"
 #include "common/error.h"
 
 namespace fq::sim {
@@ -66,7 +67,7 @@ Counts
 Counts::flip_all_bits() const
 {
     Counts out(num_qubits_);
-    const std::uint64_t mask = (std::uint64_t(1) << num_qubits_) - 1;
+    const std::uint64_t mask = low_bits_mask(num_qubits_);
     for (const auto& [state, count] : histogram_)
         out.add((~state) & mask, count);
     return out;

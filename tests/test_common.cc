@@ -210,6 +210,19 @@ TEST(Bitops, GrayCodeAdjacencyProperty)
     }
 }
 
+TEST(Bitops, LowBitsMaskCoversTheRegisterWidthBoundary)
+{
+    EXPECT_EQ(low_bits_mask(0), 0u);
+    EXPECT_EQ(low_bits_mask(1), 0b1u);
+    EXPECT_EQ(low_bits_mask(5), 0b11111u);
+    EXPECT_EQ(low_bits_mask(63), ~std::uint64_t{0} >> 1);
+    // The boundary the naive (1 << n) - 1 idiom gets wrong: shifting a
+    // 64-bit value by 64 is undefined, while a 64-spin mirror flip needs
+    // the all-ones mask.
+    EXPECT_EQ(low_bits_mask(64), ~std::uint64_t{0});
+    EXPECT_EQ(low_bits_mask(100), ~std::uint64_t{0});
+}
+
 TEST(Error, RequireThrowsWithContext)
 {
     try {

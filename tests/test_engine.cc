@@ -11,6 +11,7 @@
 #include <set>
 #include <vector>
 
+#include "common/error.h"
 #include "device/catalog.h"
 #include "engine/engine.h"
 #include "engine/thread_pool.h"
@@ -396,6 +397,18 @@ TEST(ExecutionEngine, HybridPartitionSolveIsValidAndDeterministic)
         EXPECT_TRUE(z == 1 || z == -1);
     EXPECT_DOUBLE_EQ(a.best_cost, model.evaluate(a.best_assignment));
     expect_solves_identical(a, b);
+}
+
+TEST(Reducer, ReportWithNoExecutedTasksFailsLoudly)
+{
+    // Regression: an all-skipped (or empty) execution used to flow +inf
+    // EVs into the report and silently produce a bogus approximation-ratio
+    // gap; it must throw instead of looking like a solved instance.
+    ExecutionPlan plan; // no tasks
+    frozenqubits::CircuitStats baseline;
+    baseline.ev_ideal = -1.0;
+    baseline.ev_noisy = -0.5;
+    EXPECT_THROW(reduce_report(plan, baseline, {}), fq::Error);
 }
 
 TEST(ExecutionEngine, FacadeMatchesEngine)

@@ -177,6 +177,36 @@ TEST(Statevector, CachedCdfInvalidatedByMutation)
         ASSERT_EQ(s, 1u);
 }
 
+TEST(Statevector, ExternalWritesInvalidateAWarmCdfCache)
+{
+    // The fused QAOA program writes amplitudes straight through data()
+    // after reset_uniform(); a WARM sampling CDF from a previous leaf must
+    // never leak into the next one. This is the exact
+    // reuse-scratch-across-leaves pattern of the engine's workers.
+    Statevector sv;
+    sv.reset_uniform(3);
+    Rng rng(7);
+    (void)sv.sample(200, rng); // warm the CDF on the uniform state
+
+    // Next "leaf": concentrate all weight on state 5 via external writes.
+    auto* amps = sv.data();
+    for (std::uint64_t s = 0; s < sv.dimension(); ++s)
+        amps[s] = {0.0, 0.0};
+    amps[5] = {1.0, 0.0};
+    for (std::uint64_t s : sv.sample(200, rng))
+        ASSERT_EQ(s, 5u); // a stale CDF would still draw uniformly
+
+    // reset_uniform() itself must also invalidate.
+    sv.reset_uniform(2);
+    int seen[4] = {0, 0, 0, 0};
+    for (std::uint64_t s : sv.sample(2000, rng)) {
+        ASSERT_LT(s, 4u);
+        ++seen[s];
+    }
+    for (int count : seen)
+        EXPECT_GT(count, 0); // uniform again, not stuck on state 5
+}
+
 TEST(Statevector, RepeatedSamplingReusesCdfDeterministically)
 {
     // Two equally-seeded generators on the same state draw identical
@@ -224,6 +254,32 @@ TEST(Counts, FlipAllBitsMapsMirrorExpectations)
     EXPECT_NEAR(c.flip_all_bits().expectation(mirror), c.expectation(m),
                 1e-12);
     EXPECT_EQ(c.flip_all_bits().total_shots(), c.total_shots());
+}
+
+TEST(Counts, FlipAllBitsAtTheRegisterWidthBoundary)
+{
+    // 63 qubits is the widest register Counts supports; the flip mask must
+    // cover every bit without the (1 << width) overflow the narrow widths
+    // never exercise.
+    Counts c(63);
+    const std::uint64_t all = (~std::uint64_t{0}) >> 1; // 2^63 - 1
+    const std::uint64_t high = std::uint64_t{1} << 62;
+    c.add(0, 3);
+    c.add(high, 2);
+    c.add(all, 1);
+
+    const auto flipped = c.flip_all_bits();
+    EXPECT_EQ(flipped.total_shots(), 6u);
+    EXPECT_EQ(flipped.histogram().at(all), 3u);
+    EXPECT_EQ(flipped.histogram().at(all ^ high), 2u);
+    EXPECT_EQ(flipped.histogram().at(0), 1u);
+    // Involution: flipping twice restores the distribution.
+    EXPECT_EQ(flipped.flip_all_bits().histogram(), c.histogram());
+
+    // Beyond the boundary the constructor refuses (a 64-qubit histogram
+    // could not distinguish "state" from "no state" in 64 bits of key).
+    EXPECT_THROW(Counts(64), fq::Error);
+    EXPECT_THROW(Counts(0), fq::Error);
 }
 
 TEST(Counts, MergeAndTvd)

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * SolveService tests: the multi-tenant acceptance contract — a request's
+ * result is bit-identical whether it runs alone on a private engine or
+ * interleaved with K-1 concurrent tenants in shared executor waves, at any
+ * thread count — plus failure isolation (one tenant's error never poisons a
+ * wave), wave-share fairness caps, completion callbacks and per-tenant
+ * diagnostics.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "device/catalog.h"
+#include "engine/engine.h"
+#include "engine/solve_service.h"
+#include "graph/generators.h"
+#include "ising/ising_model.h"
+
+namespace {
+
+using namespace fq;
+using namespace fq::engine;
+
+ising::IsingModel
+ba_model(int n, int d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto g = graph::barabasi_albert(n, d, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    return ising::IsingModel::from_graph(g);
+}
+
+void
+expect_solves_identical(const frozenqubits::SampledSolve& a,
+                        const frozenqubits::SampledSolve& b)
+{
+    EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+    EXPECT_EQ(a.best_assignment, b.best_assignment);
+    EXPECT_EQ(a.from_subproblem, b.from_subproblem);
+    EXPECT_DOUBLE_EQ(a.best_quantum_cost, b.best_quantum_cost);
+    EXPECT_EQ(a.best_quantum_leaf, b.best_quantum_leaf);
+    EXPECT_EQ(a.leaves_total, b.leaves_total);
+    EXPECT_EQ(a.leaves_executed, b.leaves_executed);
+    ASSERT_EQ(a.distributions.size(), b.distributions.size());
+    for (std::size_t s = 0; s < a.distributions.size(); ++s)
+        EXPECT_EQ(a.distributions[s].histogram(),
+                  b.distributions[s].histogram());
+    ASSERT_EQ(a.anytime.size(), b.anytime.size());
+    for (std::size_t p = 0; p < a.anytime.size(); ++p) {
+        EXPECT_EQ(a.anytime[p].circuits, b.anytime[p].circuits);
+        EXPECT_DOUBLE_EQ(a.anytime[p].incumbent_cost,
+                         b.anytime[p].incumbent_cost);
+        EXPECT_EQ(a.anytime[p].leaf, b.anytime[p].leaf);
+    }
+}
+
+/** One tenant's workload: every SolveTree mode the engine supports. */
+struct Workload
+{
+    ising::IsingModel model;
+    frozenqubits::DriverConfig config;
+    int shots = 0;
+    std::uint64_t seed = 0;
+};
+
+std::vector<Workload>
+mixed_workloads()
+{
+    std::vector<Workload> w;
+    { // flat, unbudgeted (legacy reduction path)
+        Workload a;
+        a.model = ba_model(12, 1, 5);
+        a.config.num_freeze = 3;
+        a.shots = 1024;
+        a.seed = 33;
+        w.push_back(std::move(a));
+    }
+    { // flat, budget-cut schedule
+        Workload b;
+        b.model = ba_model(12, 1, 7);
+        b.config.num_freeze = 3;
+        b.config.max_circuits = 2;
+        b.shots = 1024;
+        b.seed = 44;
+        w.push_back(std::move(b));
+    }
+    { // recursive depth-2
+        Workload c;
+        c.model = ba_model(12, 1, 9);
+        c.config.num_freeze = 2;
+        c.config.max_depth = 2;
+        c.shots = 512;
+        c.seed = 17;
+        w.push_back(std::move(c));
+    }
+    { // hybrid partition + repair decode
+        Workload d;
+        d.model = ba_model(16, 1, 21);
+        d.config.num_freeze = 2;
+        d.config.max_depth = 2;
+        d.config.partition_width = 12;
+        d.shots = 512;
+        d.seed = 3;
+        w.push_back(std::move(d));
+    }
+    return w;
+}
+
+/** Solo reference: a fresh serial engine per workload (cold caches). */
+std::vector<frozenqubits::SampledSolve>
+solo_references(const std::vector<Workload>& workloads,
+                const device::Device& dev)
+{
+    std::vector<frozenqubits::SampledSolve> refs;
+    for (const auto& w : workloads) {
+        ExecutionEngine solo(1);
+        Rng rng(w.seed);
+        refs.push_back(solo.solve(w.model, dev, w.config, w.shots, rng));
+    }
+    return refs;
+}
+
+TEST(SolveService, SingleRequestBitIdenticalToEngineSolve)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    for (const auto& w : mixed_workloads()) {
+        ExecutionEngine solo(1);
+        Rng rng(w.seed);
+        const auto expected =
+            solo.solve(w.model, dev, w.config, w.shots, rng);
+
+        ExecutionEngine eng(4);
+        SolveService service(eng);
+        auto ticket =
+            service.submit(w.model, dev, w.config, w.shots, w.seed);
+        expect_solves_identical(ticket.get(), expected);
+    }
+}
+
+TEST(SolveService, InterleavedTenantsBitIdenticalToSoloAtAnyThreadCount)
+{
+    // THE acceptance contract: K=4 tenants with mixed tree modes submit
+    // concurrently (from 4 submitter threads, so planning also overlaps)
+    // and each result matches its solo serial reference bit for bit — for
+    // a serial, a small and an oversubscribed engine.
+    const auto dev = device::make_device("ibm-montreal");
+    const auto workloads = mixed_workloads();
+    const auto refs = solo_references(workloads, dev);
+
+    for (int threads : {1, 2, 4}) {
+        ExecutionEngine eng(threads);
+        SolveService::Config config;
+        config.wave_size = 3; // force cross-request waves + carryover
+        SolveService service(eng, config);
+
+        std::vector<SolveService::Ticket> tickets(workloads.size());
+        std::vector<std::thread> submitters;
+        for (std::size_t k = 0; k < workloads.size(); ++k)
+            submitters.emplace_back([&, k] {
+                const auto& w = workloads[k];
+                tickets[k] =
+                    service.submit(w.model, dev, w.config, w.shots, w.seed);
+            });
+        for (auto& t : submitters)
+            t.join();
+
+        for (std::size_t k = 0; k < workloads.size(); ++k)
+            expect_solves_identical(tickets[k].get(), refs[k]);
+
+        // get() returns on promise fulfilment; drain() is the barrier for
+        // the service-side bookkeeping (counters, diagnostics).
+        service.drain();
+        const auto stats = service.stats();
+        EXPECT_EQ(stats.requests_submitted, workloads.size());
+        EXPECT_EQ(stats.requests_completed, workloads.size());
+        EXPECT_EQ(stats.requests_failed, 0u);
+        EXPECT_GT(stats.waves_executed, 0u);
+    }
+}
+
+TEST(SolveService, RepeatedSubmissionIsReproducible)
+{
+    // The service itself is deterministic request-by-request: submitting
+    // the same workload twice (warm cache the second time) returns
+    // identical results.
+    const auto dev = device::make_device("ibm-montreal");
+    const auto w = mixed_workloads()[2];
+
+    ExecutionEngine eng(2);
+    SolveService service(eng);
+    auto first = service.submit(w.model, dev, w.config, w.shots, w.seed);
+    const auto a = first.get();
+    auto second = service.submit(w.model, dev, w.config, w.shots, w.seed);
+    expect_solves_identical(second.get(), a);
+}
+
+TEST(SolveService, WarmCacheServesSecondTenantsFusedPrograms)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    const auto w = mixed_workloads()[0];
+
+    ExecutionEngine eng(2);
+    SolveService service(eng);
+    auto first = service.submit(w.model, dev, w.config, w.shots, w.seed);
+    first.wait();
+    auto second = service.submit(w.model, dev, w.config, w.shots, w.seed);
+    second.wait();
+    service.drain();
+
+    const auto cold = service.diagnostics(first.id());
+    const auto warm = service.diagnostics(second.id());
+    EXPECT_EQ(cold.leaves_executed, cold.leaves_scheduled);
+    EXPECT_GT(cold.fused_lookups, 0u);
+    // Every one of the second tenant's fused programs was compiled by the
+    // first — the cross-tenant cache amortization the service exists for.
+    EXPECT_DOUBLE_EQ(warm.cache_hit_share, 1.0);
+    EXPECT_GT(warm.wave_occupancy, 0.0);
+    EXPECT_LE(warm.wave_occupancy, 1.0);
+    EXPECT_GE(warm.queue_latency_ms, 0.0);
+    EXPECT_GE(warm.wall_ms, warm.queue_latency_ms);
+}
+
+TEST(SolveService, FailedTenantDoesNotPoisonTheWave)
+{
+    // A request whose leaves are too wide for the statevector fails at
+    // execution time; co-tenants sharing its waves must still complete
+    // with bit-identical results.
+    const auto dev = device::make_device("ibm-montreal");
+    const auto good = mixed_workloads()[0];
+    ExecutionEngine solo(1);
+    Rng rng(good.seed);
+    const auto expected =
+        solo.solve(good.model, dev, good.config, good.shots, rng);
+
+    device::Device wide_dev;
+    wide_dev.topology = device::make_grid(4, 7); // 28 qubits
+    wide_dev.name = "grid-4x7-test";
+    wide_dev.calibration =
+        device::Calibration::uniform(wide_dev.topology, 1e-3, 5e-3, 500.0);
+    Workload bad;
+    bad.model = ba_model(28, 1, 51); // 27-spin leaves > kMaxSimQubits
+    bad.config.num_freeze = 1;
+    bad.shots = 64;
+    bad.seed = 9;
+
+    ExecutionEngine eng(4);
+    SolveService service(eng);
+    auto good_ticket = service.submit(good.model, dev, good.config,
+                                      good.shots, good.seed);
+    auto bad_ticket = service.submit(bad.model, wide_dev, bad.config,
+                                     bad.shots, bad.seed);
+
+    expect_solves_identical(good_ticket.get(), expected);
+    EXPECT_THROW(bad_ticket.get(), fq::Error);
+
+    service.drain();
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.requests_completed, 1u);
+    EXPECT_EQ(stats.requests_failed, 1u);
+    // Failure diagnostics still report what ran.
+    const auto diag = service.diagnostics(bad_ticket.id());
+    EXPECT_LT(diag.leaves_executed, diag.leaves_scheduled);
+}
+
+TEST(SolveService, WaveShareCapBoundsPerWaveOccupancy)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    auto w = mixed_workloads()[0]; // 4 scheduled leaves
+    w.config.wave_share = 1;       // one leaf per wave for this tenant
+
+    ExecutionEngine eng(4);
+    SolveService service(eng);
+    auto ticket = service.submit(w.model, dev, w.config, w.shots, w.seed);
+    ticket.wait();
+    service.drain();
+
+    const auto diag = service.diagnostics(ticket.id());
+    EXPECT_EQ(diag.leaves_executed, diag.leaves_scheduled);
+    // The cap forces one wave per leaf even with the pool idle.
+    EXPECT_EQ(diag.waves, diag.leaves_scheduled);
+}
+
+TEST(SolveService, CompletionCallbackFiresWithTheResult)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    const auto w = mixed_workloads()[1];
+
+    ExecutionEngine eng(2);
+    SolveService service(eng);
+    std::atomic<int> calls{0};
+    double callback_cost = 0.0;
+    std::uint64_t callback_id = 0;
+    int callback_leaves = -1;
+    auto ticket = service.submit(
+        w.model, dev, w.config, w.shots, w.seed,
+        [&](std::uint64_t id, const frozenqubits::SampledSolve& solved) {
+            callback_id = id;
+            callback_cost = solved.best_cost;
+            // Diagnostics publish before delivery, so a callback may read
+            // its OWN request's (must not call drain(), though).
+            callback_leaves = service.diagnostics(id).leaves_executed;
+            calls.fetch_add(1);
+        });
+    const auto solved = ticket.get();
+    service.drain();
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(callback_id, ticket.id());
+    EXPECT_DOUBLE_EQ(callback_cost, solved.best_cost);
+    EXPECT_EQ(callback_leaves, solved.leaves_executed);
+
+    // A throwing callback violates the contract but must be contained:
+    // the result is still delivered and the service stays alive.
+    auto rogue = service.submit(
+        w.model, dev, w.config, w.shots, w.seed,
+        [](std::uint64_t, const frozenqubits::SampledSolve&) {
+            throw std::runtime_error("rogue callback");
+        });
+    EXPECT_DOUBLE_EQ(rogue.get().best_cost, solved.best_cost);
+    auto after = service.submit(w.model, dev, w.config, w.shots, w.seed);
+    EXPECT_DOUBLE_EQ(after.get().best_cost, solved.best_cost);
+}
+
+TEST(SolveService, DiagnosticsForUnknownRequestThrow)
+{
+    ExecutionEngine eng(1);
+    SolveService service(eng);
+    EXPECT_THROW(service.diagnostics(12345), fq::Error);
+}
+
+} // namespace

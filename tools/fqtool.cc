@@ -21,6 +21,17 @@
  *       (--max-depth), budgeted best-first partial execution
  *       (--max-circuits), hybrid bisection (--partition). --stats prints
  *       template-cache counters.
+ *   serve-batch --trace FILE [--device NAME] [--threads T] [--wave-size W]
+ *               [--shots K] [--serial] [--stats]
+ *       Replay a multi-request trace through a SolveService sharing ONE
+ *       engine: requests are submitted concurrently and their leaves ride
+ *       shared executor waves (per-request results bit-identical to solo
+ *       solves). One request per trace line:
+ *         <model-file> [freeze=M] [shots=K] [seed=S] [device=NAME]
+ *                      [max-depth=D] [max-circuits=B] [partition=W]
+ *                      [wave-share=C]
+ *       '#' starts a comment. --serial replays the same trace one solve
+ *       at a time on the same engine (the A/B throughput baseline).
  *   devices
  *       List the device catalog.
  *
@@ -35,16 +46,19 @@
  *   fqtool plan --file problem.ising --freeze 3 --max-circuits 2
  *   fqtool solve --file problem.ising --freeze 2 --max-depth 2 --stats
  */
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "common/table.h"
 #include "device/catalog.h"
 #include "engine/engine.h"
+#include "engine/solve_service.h"
 #include "frozenqubits/budget.h"
 #include "frozenqubits/driver.h"
 #include "frozenqubits/hotspot.h"
@@ -65,7 +79,7 @@ bool
 is_flag(const std::string& key)
 {
     return key == "no-fusion" || key == "stats" ||
-           key == "prune-dominated";
+           key == "prune-dominated" || key == "serial";
 }
 
 Options
@@ -464,6 +478,206 @@ cmd_solve(const Options& opts)
     return 0;
 }
 
+/** One parsed trace line of a serve-batch replay. */
+struct TraceRequest
+{
+    std::string model_file;
+    std::string device;
+    frozenqubits::DriverConfig config;
+    int shots = 4096;
+    std::uint64_t seed = 7;
+    ising::IsingModel model;
+};
+
+std::vector<TraceRequest>
+load_trace(const std::string& path, const Options& opts)
+{
+    std::ifstream in(path);
+    FQ_REQUIRE(in.good(), "cannot open trace " + path);
+    const auto default_device = option(opts, "device", "ibm-montreal");
+    const int default_shots = int_option(opts, "shots", 4096);
+
+    std::vector<TraceRequest> requests;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream tokens(line);
+        TraceRequest req;
+        if (!(tokens >> req.model_file))
+            continue; // blank / comment-only line
+        req.device = default_device;
+        req.shots = default_shots;
+
+        const std::string where =
+            " (trace line " + Table::num(lineno) + ")";
+        std::string tok;
+        while (tokens >> tok) {
+            const auto eq = tok.find('=');
+            FQ_REQUIRE(eq != std::string::npos && eq > 0,
+                       "expected key=value, got '" + tok + "'" + where);
+            const auto key = tok.substr(0, eq);
+            const auto value = tok.substr(eq + 1);
+            if (key == "device") { // the one non-numeric value
+                req.device = value;
+                continue;
+            }
+            long long parsed = 0;
+            try {
+                std::size_t consumed = 0;
+                parsed = std::stoll(value, &consumed);
+                FQ_REQUIRE(consumed == value.size(),
+                           key + " expects an integer, got '" + value +
+                               "'" + where);
+            } catch (const std::logic_error&) {
+                FQ_REQUIRE(false, key + " expects an integer, got '" +
+                                      value + "'" + where);
+            }
+            if (key == "freeze")
+                req.config.num_freeze = static_cast<int>(parsed);
+            else if (key == "shots")
+                req.shots = static_cast<int>(parsed);
+            else if (key == "seed")
+                req.seed = static_cast<std::uint64_t>(parsed);
+            else if (key == "max-depth")
+                req.config.max_depth = static_cast<int>(parsed);
+            else if (key == "max-circuits")
+                req.config.max_circuits = parsed;
+            else if (key == "partition")
+                req.config.partition_width = static_cast<int>(parsed);
+            else if (key == "wave-share")
+                req.config.wave_share = static_cast<int>(parsed);
+            else
+                FQ_REQUIRE(false, "unknown trace key '" + key + "'" + where);
+        }
+        req.config.seed = req.seed;
+
+        std::ifstream model_in(req.model_file);
+        FQ_REQUIRE(model_in.good(),
+                   "cannot open model " + req.model_file + where);
+        req.model = ising::read_model(model_in);
+        requests.push_back(std::move(req));
+    }
+    FQ_REQUIRE(!requests.empty(), "trace has no requests: " + path);
+    return requests;
+}
+
+int
+cmd_serve_batch(const Options& opts)
+{
+    const auto trace_path = option(opts, "trace", "");
+    FQ_REQUIRE(!trace_path.empty(), "serve-batch needs --trace FILE");
+    auto requests = load_trace(trace_path, opts);
+
+    engine::ExecutionEngine eng(int_option(opts, "threads", 0));
+    const bool serial = opts.find("serial") != opts.end();
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+
+    Table t(std::string(serial ? "serial replay" : "batched replay") + " (" +
+            Table::num(requests.size()) + " requests, " +
+            Table::num(eng.num_threads()) + " threads)");
+    if (serial) {
+        t.set_header({"req", "model", "leaves", "best cost", "from"});
+        for (std::size_t k = 0; k < requests.size(); ++k) {
+            auto& req = requests[k];
+            Rng rng(req.seed);
+            const auto dev = device::make_device(req.device);
+            const auto solved =
+                eng.solve(req.model, dev, req.config, req.shots, rng);
+            t.add_row({Table::num(k + 1), req.model_file,
+                       Table::num(solved.leaves_executed),
+                       Table::num(solved.best_cost, 3),
+                       solved.from_subproblem < 0
+                           ? std::string("presolve")
+                           : "leaf " + Table::num(solved.from_subproblem)});
+        }
+        t.print(std::cout);
+    } else {
+        engine::SolveService::Config service_config;
+        service_config.wave_size = int_option(opts, "wave-size", 0);
+        engine::SolveService service(eng, service_config);
+
+        std::vector<engine::SolveService::Ticket> tickets;
+        tickets.reserve(requests.size());
+        for (auto& req : requests)
+            tickets.push_back(service.submit(req.model,
+                                             device::make_device(req.device),
+                                             req.config, req.shots,
+                                             req.seed));
+        service.drain();
+
+        t.set_header({"req", "model", "leaves", "best cost", "from",
+                      "waves", "occupancy", "fused hit%", "queue ms",
+                      "wall ms"});
+        for (std::size_t k = 0; k < tickets.size(); ++k) {
+            auto& ticket = tickets[k];
+            // Diagnostics are FIFO-retained (~4k most recent); on a huge
+            // trace the oldest rows fall back to dashes rather than
+            // aborting the whole report.
+            engine::SolveService::TenantDiagnostics diag;
+            bool have_diag = true;
+            try {
+                diag = service.diagnostics(ticket.id());
+            } catch (const fq::Error&) {
+                have_diag = false;
+            }
+            std::string best = "FAILED", from = "-";
+            try {
+                const auto solved = ticket.get();
+                best = Table::num(solved.best_cost, 3);
+                from = solved.from_subproblem < 0
+                           ? std::string("presolve")
+                           : "leaf " + Table::num(solved.from_subproblem);
+            } catch (const fq::Error& e) {
+                from = e.what();
+            }
+            if (have_diag)
+                t.add_row({Table::num(k + 1), requests[k].model_file,
+                           Table::num(diag.leaves_executed) + "/" +
+                               Table::num(diag.leaves_scheduled),
+                           best, from, Table::num(diag.waves),
+                           Table::num(diag.wave_occupancy, 2),
+                           Table::num(100.0 * diag.cache_hit_share, 1),
+                           Table::num(diag.queue_latency_ms, 1),
+                           Table::num(diag.wall_ms, 1)});
+            else
+                t.add_row({Table::num(k + 1), requests[k].model_file, "-",
+                           best, from, "-", "-", "-", "-", "-"});
+        }
+        t.print(std::cout);
+
+        const auto stats = service.stats();
+        std::cout << "service: " << stats.requests_completed << " completed, "
+                  << stats.requests_failed << " failed | "
+                  << stats.waves_executed << " waves, "
+                  << Table::num(stats.waves_executed == 0
+                                    ? 0.0
+                                    : static_cast<double>(stats.wave_slots) /
+                                          static_cast<double>(
+                                              stats.waves_executed),
+                                1)
+                  << " leaves/wave, pool fill "
+                  << Table::num(stats.mean_pool_fill, 2) << "\n";
+    }
+
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    std::cout << "replayed " << requests.size() << " requests in "
+              << Table::num(wall_ms, 1) << " ms ("
+              << Table::num(1000.0 * static_cast<double>(requests.size()) /
+                                wall_ms,
+                            2)
+              << " solves/s)\n";
+    if (opts.find("stats") != opts.end())
+        print_cache_stats(eng);
+    return 0;
+}
+
 int
 cmd_devices()
 {
@@ -497,6 +711,8 @@ usage()
         "           [--threads T] [--max-depth D] [--max-circuits B]\n"
         "           [--partition W] [--prune-dominated] [--no-fusion]\n"
         "           [--stats]\n"
+        "  serve-batch --trace FILE [--device NAME] [--threads T]\n"
+        "           [--wave-size W] [--shots K] [--serial] [--stats]\n"
         "  devices\n";
     return 2;
 }
@@ -521,6 +737,8 @@ main(int argc, char** argv)
             return cmd_plan(opts);
         if (command == "solve")
             return cmd_solve(opts);
+        if (command == "serve-batch")
+            return cmd_serve_batch(opts);
         if (command == "devices")
             return cmd_devices();
         return usage();
