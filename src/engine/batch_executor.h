@@ -74,19 +74,22 @@ class BatchExecutor
     /**
      * One type-erased unit of a submission queue: invoked with the
      * executing worker's Scratch. Heterogeneous by design — a queue may mix
-     * leaves from unrelated solve requests (the SolveService wave).
+     * leaves from unrelated solve requests (a wave_loop.h wave).
      */
     using QueuedTask = std::function<void(Scratch&)>;
 
     /**
      * Drain a pre-assembled submission queue: run every item on the pool
-     * (same inline fast paths as map()). Items own their result delivery —
-     * typically a fold into a per-request StreamingReducer, which is
-     * fold-order independent, so the cross-request interleaving a shared
-     * queue creates can never change any request's output. Exceptions
-     * propagate like map() (lowest failing index wins); callers
-     * multiplexing independent tenants must catch inside the item so one
-     * tenant's failure cannot poison the wave.
+     * (same inline fast paths as map()). The return is the wave BARRIER
+     * the epoch loop's post-barrier scan (adaptive re-ranking, completion
+     * checks) relies on: every item has run to completion. Items own
+     * their result delivery — typically a fold into a per-request
+     * StreamingReducer, which is fold-order independent, so the
+     * cross-request interleaving a shared queue creates can never change
+     * any request's output. Exceptions propagate like map() (lowest
+     * failing index wins); callers multiplexing independent tenants must
+     * catch inside the item (WaveHooks::failed) so one tenant's failure
+     * cannot poison the wave.
      */
     void run_queue(const std::vector<QueuedTask>& queue)
     {

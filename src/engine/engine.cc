@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/error.h"
+#include "engine/wave_loop.h"
 #include "frozenqubits/template_editor.h"
 #include "qaoa/qaoa_builder.h"
 #include "sim/noise_model.h"
@@ -304,27 +305,62 @@ ExecutionEngine::solve(const ising::IsingModel& model,
     // Plan: build the hierarchical tree (recursive freeze / bisection /
     // leaf nodes, per-node shared templates), then rank and budget-cut its
     // leaves. Both stages are serial and fix every order-dependent decision
-    // before a single circuit runs.
+    // before a single circuit runs; adaptive re-ranking may later rewrite
+    // the schedule's un-dispatched tail, but only as a pure function of
+    // this request's fold count.
     const auto tree = build_solve_tree(model, dev, config, cache_, rng);
-    const auto schedule = make_schedule(model, tree, config,
-                                        /*force_scoring=*/false,
-                                        &executor_);
-    start_diagnostics(tree, schedule);
+    auto schedule = make_schedule(model, tree, config,
+                                  /*force_scoring=*/false, &executor_);
 
-    // Execute best-first on the worker pool; the streaming reducer folds
-    // each leaf's distribution into the incumbent decode as it lands.
+    // Snapshot the plan-time order before re-ranking can rewrite the
+    // tail: the plan side of the diagnostics' plan-vs-adaptive trace.
+    std::vector<int> plan_order;
+    if (config.rerank_interval > 0)
+        for (int leaf_id : schedule.executed)
+            plan_order.push_back(
+                tree.flat()
+                    ? tree.leaves[static_cast<std::size_t>(leaf_id)]
+                          .local_solve
+                    : leaf_id);
+
+    // Plan-time diagnostics publish BEFORE execution, so a solve that
+    // throws mid-wave still leaves ITS OWN plan state in
+    // last_diagnostics(), not a stale predecessor's.
+    start_diagnostics(tree, schedule);
+    diagnostics_.threads =
+        std::min(executor_.num_threads(),
+                 static_cast<int>(schedule.executed.size()));
+
+    // Execute through wave-synchronous epochs; the streaming reducer folds
+    // each leaf's distribution into the incumbent decode as it lands. With
+    // re-ranking off this is one wave spanning the whole schedule — the
+    // legacy flat batch, bit for bit.
     StreamingReducer reducer(model, tree, schedule);
-    const int count = static_cast<int>(schedule.executed.size());
-    diagnostics_.threads = std::min(executor_.num_threads(), count);
-    executor_.map<int>(count, [&](int index,
-                                  BatchExecutor::Scratch& scratch) {
-        const int leaf_id =
-            schedule.executed[static_cast<std::size_t>(index)];
-        reducer.fold(leaf_id,
-                     simulate_scheduled_leaf(cache_, tree, leaf_id, dev,
-                                             config, shots, scratch));
-        return 0;
-    });
+    WaveRequest request;
+    request.model = &model;
+    request.tree = &tree;
+    request.schedule = &schedule;
+    request.reducer = &reducer;
+    request.dev = &dev;
+    request.config = &config;
+    request.shots = shots;
+    run_wave_loop(cache_, executor_, request);
+
+    // Refresh against the FINAL schedule when a re-rank pruned, promoted
+    // or demoted leaves after planning; otherwise the plan-time
+    // diagnostics above are already exact.
+    if (schedule.reranks > 0) {
+        start_diagnostics(tree, schedule);
+        diagnostics_.threads =
+            std::min(executor_.num_threads(),
+                     static_cast<int>(schedule.executed.size()));
+    }
+    diagnostics_.epochs = request.epochs;
+    diagnostics_.reranks = schedule.reranks;
+    diagnostics_.rerank_pruned = schedule.rerank_pruned;
+    diagnostics_.rerank_promoted = schedule.rerank_promoted;
+    diagnostics_.rerank_demoted = schedule.rerank_demoted;
+    diagnostics_.planned_subproblems = std::move(plan_order);
 
     auto solved = reducer.finish();
     diagnostics_.wall_ms = ms_since(start);

@@ -20,6 +20,12 @@
  * streams derived from (seed, sub-problem index), and reduction runs in
  * plan order — so any thread count produces bit-identical results.
  *
+ * solve() executes through the wave-synchronous epoch loop
+ * (wave_loop.h), shared with the multi-tenant SolveService; adaptive
+ * budget re-ranking (DriverConfig::rerank_interval) rewrites the
+ * schedule's un-dispatched tail between epochs as a pure function of the
+ * fold count, preserving the guarantee above.
+ *
  * The legacy driver API (run_pipeline / evaluate_instance /
  * solve_with_sampling) is a thin facade over this class; hold an engine
  * directly to reuse its thread pool and template cache across calls
@@ -94,6 +100,18 @@ class ExecutionEngine
         int leaves_beyond_budget = 0; ///< ranked leaves cut by max_circuits
         int leaves_pruned = 0;        ///< dropped by bound domination
         bool scheduler_scored = false;///< SA-ranked (vs plan order)
+
+        // --------------------------------- wave-synchronous epochs only --
+        int epochs = 0;               ///< waves the solve rode (1 = flat batch)
+        int reranks = 0;              ///< adaptive re-ranks applied
+        int rerank_pruned = 0;        ///< stale dominated leaves dropped mid-run
+        int rerank_promoted = 0;      ///< beyond-budget leaves re-admitted
+        int rerank_demoted = 0;       ///< scheduled leaves cut by a re-rank
+        /** Plan-time scheduled order (same index space as
+         *  executed_subproblems), captured before any re-rank rewrote the
+         *  tail — the plan side of a plan-vs-adaptive trace. Only filled
+         *  when re-ranking is active. */
+        std::vector<int> planned_subproblems;
     };
 
     /** @p num_threads: 0 = auto (hardware concurrency). */

@@ -184,6 +184,46 @@ StreamingReducer::incumbent() const
     return incumbent_;
 }
 
+EpochIncumbent
+StreamingReducer::epoch_snapshot(std::size_t folded) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    FQ_REQUIRE(folded <= schedule_.executed.size(),
+               "epoch snapshot beyond the schedule");
+
+    // Replay the live merge rule over the schedule prefix only: folds are
+    // order-independent and keyed by leaf id, so this is identical whether
+    // the prefix folded serially, across threads, or interleaved with
+    // later leaves the snapshot must not see.
+    Incumbent running;
+    if (schedule_.has_presolve) {
+        running.valid = true;
+        running.cost = schedule_.presolve_cost;
+        running.assignment = schedule_.presolve_assignment;
+        running.leaf = -1;
+    }
+    for (std::size_t k = 0; k < folded; ++k) {
+        const int leaf_id = schedule_.executed[k];
+        const auto& outcome =
+            outcomes_[static_cast<std::size_t>(leaf_id)];
+        FQ_REQUIRE(outcome.done,
+                   "epoch snapshot over a leaf that has not folded");
+        if (running.accepts(outcome.best_cost, leaf_id)) {
+            running.valid = true;
+            running.cost = outcome.best_cost;
+            running.assignment = outcome.best_assignment;
+            running.leaf = leaf_id;
+        }
+    }
+
+    EpochIncumbent snap;
+    snap.valid = running.valid;
+    snap.cost = running.cost;
+    snap.assignment = running.assignment;
+    snap.leaf = running.leaf;
+    return snap;
+}
+
 frozenqubits::SampledSolve
 StreamingReducer::finish_flat() const
 {

@@ -94,6 +94,17 @@ class StreamingReducer
     };
     Incumbent incumbent() const;
 
+    /**
+     * Deterministic epoch snapshot for adaptive re-ranking: the incumbent
+     * over exactly the FIRST @p folded leaves of the schedule (rank order),
+     * replayed with the live merge rule from the presolve baseline. Later
+     * leaves that may also have folded are ignored, so the snapshot is a
+     * pure function of the request's fold count — never of wave
+     * composition or tenant interleaving. All @p folded leaves must have
+     * folded (the wave barrier guarantees it); FQ_REQUIREd otherwise.
+     */
+    EpochIncumbent epoch_snapshot(std::size_t folded) const;
+
     /** Final result; call once after every scheduled leaf folded. */
     frozenqubits::SampledSolve finish();
 

@@ -29,7 +29,38 @@ optimistic_bound(const ising::IsingModel& model)
     return model.offset() - magnitude;
 }
 
+/** Expected recoverable share of a cut coupling's magnitude: the decode's
+ *  greedy repair fixes the sign of roughly half the cut terms, so a hybrid
+ *  arm is charged the other half as ranking pessimism. */
+constexpr double kCutPenaltyShare = 0.5;
+
+/**
+ * A leaf can produce a decode that strictly beats @p incumbent_cost only
+ * when its optimistic bound lies at or below it (equal-cost decodes can
+ * still win the incumbent tie-break against the presolve). Repair-lineage
+ * leaves carry a -inf bound and are never considered dominated.
+ */
+bool
+dominated(const LeafScore& score, double incumbent_cost)
+{
+    return score.bound > incumbent_cost;
+}
+
 } // namespace
+
+double
+partition_cut_penalty(const SolveTree& tree, int leaf_id)
+{
+    const auto& leaf = tree.leaves[static_cast<std::size_t>(leaf_id)];
+    double cut_weight = 0.0;
+    for (int ni = leaf.node; ni >= 0;
+         ni = tree.nodes[static_cast<std::size_t>(ni)].parent) {
+        const auto& node = tree.nodes[static_cast<std::size_t>(ni)];
+        if (node.kind == NodeKind::Partition)
+            cut_weight += node.cut_weight;
+    }
+    return kCutPenaltyShare * cut_weight;
+}
 
 LeafSchedule
 make_schedule(const ising::IsingModel& original, const SolveTree& tree,
@@ -45,8 +76,10 @@ make_schedule(const ising::IsingModel& original, const SolveTree& tree,
     for (const auto& leaf : tree.leaves)
         needs_repair = needs_repair || leaf.needs_repair;
 
+    // Adaptive re-ranking needs scores (and the presolve incumbent they
+    // anchor) even when no budget is set, so rerank_interval forces them.
     schedule.scored = force_scoring || config.max_circuits > 0 ||
-                      config.prune_dominated;
+                      config.prune_dominated || config.rerank_interval > 0;
     // Non-flat trees always get the global presolve: it anchors the
     // anytime trace and (for partition lineages) the decode repair base.
     // Flat unbudgeted solves skip it so the legacy path stays untouched.
@@ -89,7 +122,11 @@ make_schedule(const ising::IsingModel& original, const SolveTree& tree,
             Rng rng(combine_seeds(leaf.rng_seed,
                                   hash_seed("fq-leaf-presolve")));
             LeafScore entry;
-            entry.score = ising::solve_annealing(model, sa, rng).best_cost;
+            // Partition-aware scoring: a fragment's SA presolve never sees
+            // the couplings its ancestors cut, so its raw score flatters
+            // hybrid arms; charge the recorded cut weight back.
+            entry.score = ising::solve_annealing(model, sa, rng).best_cost +
+                          partition_cut_penalty(tree, leaf_id);
             entry.bound = leaf.needs_repair
                               ? -std::numeric_limits<double>::infinity()
                               : optimistic_bound(model);
@@ -158,7 +195,137 @@ make_schedule(const ising::IsingModel& original, const SolveTree& tree,
         else
             schedule.executed.push_back(id);
     }
+
+    if (schedule.scored) {
+        // Freeze the plan-time ranking as the re-rank tie-breaker: ranked
+        // candidates first (executed then beyond-budget — already in score
+        // order), plan-time-pruned leaves after.
+        schedule.plan_rank.assign(tree.leaves.size(), -1);
+        int rank = 0;
+        for (int id : schedule.executed)
+            schedule.plan_rank[static_cast<std::size_t>(id)] = rank++;
+        for (int id : schedule.beyond_budget)
+            schedule.plan_rank[static_cast<std::size_t>(id)] = rank++;
+        for (int id : schedule.pruned)
+            schedule.plan_rank[static_cast<std::size_t>(id)] = rank++;
+    }
     return schedule;
+}
+
+RerankOutcome
+rerank_schedule(LeafSchedule& schedule, const ising::IsingModel& original,
+                const SolveTree& tree, std::size_t folded,
+                const EpochIncumbent& incumbent)
+{
+    RerankOutcome out;
+    FQ_REQUIRE(schedule.scored && !schedule.scores.empty(),
+               "adaptive re-ranking needs a scored schedule");
+    FQ_REQUIRE(folded >= 1 && folded <= schedule.executed.size(),
+               "re-rank fold count outside the schedule");
+    if (!incumbent.valid)
+        return out;
+
+    // Candidates: the not-yet-dispatched tail plus every leaf the plan-time
+    // budget cut — pruning below may free slots they can reclaim.
+    std::vector<int> tail(schedule.executed.begin() +
+                              static_cast<std::ptrdiff_t>(folded),
+                          schedule.executed.end());
+    std::vector<int> candidates = tail;
+    candidates.insert(candidates.end(), schedule.beyond_budget.begin(),
+                      schedule.beyond_budget.end());
+    if (candidates.empty())
+        return out;
+
+    // Stale domination pruning: the incumbent has tightened since plan
+    // time; tail leaves whose optimistic bound can no longer beat it would
+    // burn circuits for nothing. Dominated beyond-budget leaves are
+    // retired too (never re-considered), but only TAIL prunes count as
+    // circuits saved — beyond-budget leaves were not going to run anyway.
+    std::vector<int> live;
+    live.reserve(candidates.size());
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+        const int id = candidates[k];
+        if (dominated(schedule.scores[static_cast<std::size_t>(id)],
+                      incumbent.cost)) {
+            schedule.pruned.push_back(id);
+            if (k < tail.size())
+                ++out.pruned;
+        } else {
+            live.push_back(id);
+        }
+    }
+
+    // Adaptive score: lift the incumbent through each candidate's frozen
+    // arm (its surviving spins take the incumbent's values, its root path
+    // overwrites the frozen ones) and evaluate on the ORIGINAL model — the
+    // concrete cost this leaf's cell achieves by mimicking the folded
+    // evidence. A leaf whose arm agrees with the incumbent projects to the
+    // incumbent cost itself and ranks first; min() keeps the plan-time SA
+    // score as the exploration floor for arms the incumbent says little
+    // about.
+    std::vector<double> adaptive(tree.leaves.size(), 0.0);
+    for (int id : live) {
+        const auto& leaf = tree.leaves[static_cast<std::size_t>(id)];
+        const auto& sub =
+            tree.nodes[static_cast<std::size_t>(leaf.node)].sub;
+        double score =
+            schedule.scores[static_cast<std::size_t>(id)].score;
+        if (sub.model.num_spins() < 64) {
+            ising::SpinVector restricted(
+                static_cast<std::size_t>(sub.model.num_spins()));
+            for (std::size_t i = 0; i < restricted.size(); ++i)
+                restricted[i] =
+                    incumbent.assignment[static_cast<std::size_t>(
+                        sub.original_of[i])];
+            const auto projected = lift_leaf_state(
+                tree, leaf, ising::spins_to_state(restricted),
+                incumbent.assignment);
+            score = std::min(score, original.evaluate(projected));
+        }
+        adaptive[static_cast<std::size_t>(id)] = score;
+    }
+    std::stable_sort(live.begin(), live.end(), [&](int a, int b) {
+        const double sa = adaptive[static_cast<std::size_t>(a)];
+        const double sb = adaptive[static_cast<std::size_t>(b)];
+        if (sa != sb)
+            return sa < sb;
+        // Plan-time-derived tie-break (already encodes score-then-leaf-id).
+        return schedule.plan_rank[static_cast<std::size_t>(a)] <
+               schedule.plan_rank[static_cast<std::size_t>(b)];
+    });
+
+    // Re-cut the remaining budget over the survivors. Pruned leaves refund
+    // their slots, so previously beyond-budget leaves may be promoted.
+    std::vector<int> was_beyond = std::move(schedule.beyond_budget);
+    schedule.executed.resize(folded);
+    schedule.beyond_budget.clear();
+    const long long remaining =
+        schedule.max_circuits > 0
+            ? schedule.max_circuits - static_cast<long long>(folded)
+            : static_cast<long long>(live.size());
+    for (int id : live) {
+        if (static_cast<long long>(schedule.executed.size() - folded) <
+            remaining)
+            schedule.executed.push_back(id);
+        else
+            schedule.beyond_budget.push_back(id);
+    }
+
+    const auto contains = [](const std::vector<int>& ids, int id) {
+        return std::find(ids.begin(), ids.end(), id) != ids.end();
+    };
+    for (std::size_t k = folded; k < schedule.executed.size(); ++k)
+        if (contains(was_beyond, schedule.executed[k]))
+            ++out.promoted;
+    for (int id : schedule.beyond_budget)
+        if (contains(tail, id))
+            ++out.demoted;
+    out.applied = true;
+    ++schedule.reranks;
+    schedule.rerank_pruned += out.pruned;
+    schedule.rerank_promoted += out.promoted;
+    schedule.rerank_demoted += out.demoted;
+    return out;
 }
 
 } // namespace fq::engine

@@ -30,7 +30,9 @@ namespace fq::engine {
 struct LeafScore
 {
     /** SA presolve best cost on the leaf model (includes the frozen-value
-     *  offset) — the scheduling priority, lower first. */
+     *  offset), lifted by the cut-weight penalty of any Partition ancestor
+     *  so hybrid arms rank honestly against freeze arms — the scheduling
+     *  priority, lower first. */
     double score = 0.0;
     /** Optimistic lower bound on any cost in the leaf's sub-space:
      *  offset - sum|h| - sum|J|. Meaningless (and unused) for
@@ -40,16 +42,31 @@ struct LeafScore
 
 struct LeafSchedule
 {
-    /** Leaf ids to execute, best-first (rank order). Never empty. */
+    /** Leaf ids to execute, best-first (rank order). Never empty. The
+     *  prefix already folded by the wave loop is immutable; re-ranking may
+     *  rewrite only the not-yet-dispatched tail. */
     std::vector<int> executed;
-    /** Ranked leaf ids beyond the circuit budget (skipped). */
+    /** Ranked leaf ids beyond the circuit budget (skipped). Re-ranking may
+     *  promote entries back into `executed` when pruning frees budget. */
     std::vector<int> beyond_budget;
-    /** Leaf ids dropped by bound-domination pruning (prune_dominated). */
+    /** Leaf ids dropped by bound domination — at plan time
+     *  (prune_dominated) or by an epoch re-rank against the incumbent. */
     std::vector<int> pruned;
 
     /** Per-leaf scores (by leaf id); empty when scoring was skipped. */
     std::vector<LeafScore> scores;
     bool scored = false;
+    /** Plan-time rank position by leaf id (-1 when unscored): the frozen
+     *  tie-breaker every later re-rank falls back to, so adaptive order is
+     *  a pure function of (plan, fold results) and never of float-compare
+     *  luck between equal adaptive scores. */
+    std::vector<int> plan_rank;
+
+    // ------------------------------------------- re-ranking telemetry --
+    int reranks = 0;          ///< epoch re-ranks applied
+    int rerank_pruned = 0;    ///< stale dominated leaves dropped mid-run
+    int rerank_promoted = 0;  ///< beyond-budget leaves pulled into executed
+    int rerank_demoted = 0;   ///< scheduled leaves pushed beyond the budget
 
     /** Global classical presolve on the original model (computed whenever
      *  scoring runs or any leaf needs decode repair). */
@@ -76,6 +93,59 @@ LeafSchedule make_schedule(const ising::IsingModel& original,
                            const frozenqubits::DriverConfig& config,
                            bool force_scoring = false,
                            BatchExecutor* executor = nullptr);
+
+/**
+ * Cut-weight penalty added to a leaf's SA score: half the total |J| dropped
+ * by Partition ancestors on its root path. A fragment's SA presolve cannot
+ * see the cut couplings, so its score is optimistic by up to the full cut
+ * magnitude; charging the expected half (signs are repaired classically at
+ * decode) ranks hybrid arms honestly against freeze arms, whose offsets
+ * already carry every coupling. Zero for pure-freeze lineages.
+ */
+double partition_cut_penalty(const SolveTree& tree, int leaf_id);
+
+/**
+ * Deterministic incumbent snapshot handed to a re-rank: the best decode
+ * over exactly the first `folded` scheduled leaves (plus the classical
+ * presolve). Produced by StreamingReducer::epoch_snapshot.
+ */
+struct EpochIncumbent
+{
+    bool valid = false;
+    double cost = 0.0;
+    ising::SpinVector assignment;
+    int leaf = -1; ///< -1 = classical presolve
+};
+
+/** What one epoch re-rank did to the schedule. */
+struct RerankOutcome
+{
+    int pruned = 0;   ///< tail leaves newly dominated by the incumbent
+    int promoted = 0; ///< beyond-budget leaves re-admitted to executed
+    int demoted = 0;  ///< previously scheduled leaves cut from executed
+    bool applied = false;
+};
+
+/**
+ * Adaptive budget re-ranking (the Scheduler's epoch API): re-score the
+ * not-yet-dispatched tail of @p schedule — entries of `executed` past
+ * @p folded plus everything in `beyond_budget` — against @p incumbent,
+ * prune leaves whose optimistic bound can no longer beat it, re-sort the
+ * survivors and re-cut the remaining `max_circuits - folded` budget.
+ *
+ * The adaptive score is the plan-time SA score lifted by the incumbent's
+ * frozen-arm energies: min(plan score, original-model cost of the incumbent
+ * assignment projected through the leaf's frozen arm). Ties break by
+ * plan-time rank, so the result is a pure function of
+ * (plan, scores, incumbent) — never of wave composition, tenant
+ * interleaving or thread count. Requires a scored schedule and
+ * 1 <= folded <= executed.size(); entries before `folded` are never
+ * touched.
+ */
+RerankOutcome rerank_schedule(LeafSchedule& schedule,
+                              const ising::IsingModel& original,
+                              const SolveTree& tree, std::size_t folded,
+                              const EpochIncumbent& incumbent);
 
 } // namespace fq::engine
 

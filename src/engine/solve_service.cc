@@ -1,6 +1,7 @@
 #include "engine/solve_service.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/error.h"
@@ -28,6 +29,19 @@ SolveService::SolveService(ExecutionEngine& engine)
 {
 }
 
+void
+SolveService::admit_or_throw_locked() const
+{
+    // "In flight" covers requests still being reduced/delivered
+    // (finishing_) as well as queued/executing ones — the Config promise.
+    const std::size_t in_flight = active_.size() + finishing_;
+    if (in_flight >= static_cast<std::size_t>(max_queue_depth_))
+        throw AdmissionError("SolveService queue full (" +
+                             std::to_string(in_flight) + " of " +
+                             std::to_string(max_queue_depth_) +
+                             " in flight)");
+}
+
 SolveService::SolveService(ExecutionEngine& engine, Config config)
     : engine_(engine),
       // Auto default: two pool widths, floored at 8 — waves never WAIT to
@@ -36,7 +50,8 @@ SolveService::SolveService(ExecutionEngine& engine, Config config)
       // engines.
       wave_size_(config.wave_size > 0
                      ? config.wave_size
-                     : std::max(8, 2 * engine.num_threads()))
+                     : std::max(8, 2 * engine.num_threads())),
+      max_queue_depth_(config.max_queue_depth)
 {
     assembler_ = std::thread([this] { assembler_loop(); });
 }
@@ -58,6 +73,13 @@ SolveService::submit(const ising::IsingModel& model,
                      std::uint64_t seed, CompletionCallback on_complete)
 {
     FQ_REQUIRE(shots >= 1, "need at least one shot");
+
+    // Admission pre-check before the expensive planning below; the
+    // authoritative (race-free) check repeats at enqueue time.
+    if (max_queue_depth_ > 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        admit_or_throw_locked();
+    }
 
     auto request = std::make_unique<Request>();
     request->model = model; // stable copies: the reducer and the wave items
@@ -82,6 +104,17 @@ SolveService::submit(const ising::IsingModel& model,
                                       /*force_scoring=*/false, nullptr);
     request->reducer.emplace(request->model, request->tree,
                              request->schedule);
+    // Wire the wave-loop view into the request's own (heap-pinned)
+    // storage; the assembler drives the shared epoch primitives on it.
+    request->wave.model = &request->model;
+    request->wave.tree = &request->tree;
+    request->wave.schedule = &request->schedule;
+    request->wave.reducer = &*request->reducer;
+    request->wave.dev = &request->dev;
+    request->wave.config = &request->config;
+    request->wave.shots = shots;
+    request->wave.context = request.get();
+    arm_rerank(request->wave);
     request->submitted = Clock::now();
 
     Ticket ticket;
@@ -89,6 +122,8 @@ SolveService::submit(const ising::IsingModel& model,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         FQ_REQUIRE(!stopping_, "submit on a stopping SolveService");
+        if (max_queue_depth_ > 0)
+            admit_or_throw_locked();
         request->id = next_id_++;
         ticket.id_ = request->id;
         ++stats_.requests_submitted;
@@ -98,107 +133,78 @@ SolveService::submit(const ising::IsingModel& model,
     return ticket;
 }
 
-std::vector<SolveService::WaveItem>
+std::vector<WaveSlot>
 SolveService::assemble_wave_locked()
 {
-    std::vector<WaveItem> wave;
+    std::vector<WaveSlot> wave;
     if (active_.empty())
         return wave;
-    wave.reserve(static_cast<std::size_t>(wave_size_));
 
-    // Fair round-robin in submission order with a rotating start, one leaf
-    // per tenant per pass: under contention every tenant advances at the
-    // same rate, and the rotation keeps the leftover slots of a non-full
-    // pass from always favouring the oldest tenant.
-    const std::size_t n = active_.size();
-    std::vector<int> taken(n, 0);
-    const std::size_t start = rotate_++ % n;
-    bool progress = true;
-    while (static_cast<int>(wave.size()) < wave_size_ && progress) {
-        progress = false;
-        for (std::size_t k = 0;
-             k < n && static_cast<int>(wave.size()) < wave_size_; ++k) {
-            const std::size_t slot = (start + k) % n;
-            Request& request = *active_[slot];
-            if (request.failed.load(std::memory_order_acquire))
-                continue;
-            if (request.next_leaf >= request.schedule.executed.size())
-                continue;
-            // Per-request wave-share SELF-cap (DriverConfig plumbing): a
-            // bulk tenant bounds how many of its OWN leaves ride one wave,
-            // leaving the rest of the slots to co-tenants.
-            if (request.config.wave_share > 0 &&
-                taken[slot] >= request.config.wave_share)
-                continue;
-            wave.push_back(
-                {&request, request.schedule.executed[request.next_leaf]});
-            ++request.next_leaf;
-            ++taken[slot];
-            progress = true;
-        }
-    }
+    // Live tenants only: a failed request's remaining leaves are dead
+    // weight the wave should not even assemble.
+    std::vector<WaveRequest*> tenants;
+    tenants.reserve(active_.size());
+    for (auto& request : active_)
+        if (!request->failed.load(std::memory_order_acquire))
+            tenants.push_back(&request->wave);
+    if (tenants.empty())
+        return wave;
+
+    // The shared wave-loop packing: fair round-robin with rotating start,
+    // cost-weighted slots, wave_share self-caps and re-rank boundary caps.
+    std::vector<int> taken;
+    wave = engine::assemble_wave(tenants, wave_size_, rotate_++, &taken);
 
     // Per-tenant wave bookkeeping (assembler-thread state).
-    for (std::size_t slot = 0; slot < n; ++slot) {
-        if (taken[slot] == 0)
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        if (taken[t] == 0)
             continue;
-        Request& request = *active_[slot];
+        Request& request = *static_cast<Request*>(tenants[t]->context);
         ++request.waves;
-        request.occupancy_sum += static_cast<double>(taken[slot]) /
+        request.occupancy_sum += static_cast<double>(taken[t]) /
                                  static_cast<double>(wave.size());
     }
     return wave;
 }
 
 int
-SolveService::execute_wave(const std::vector<WaveItem>& wave)
+SolveService::run_wave(const std::vector<WaveSlot>& wave)
 {
-    std::atomic<int> executed{0};
-    std::vector<BatchExecutor::QueuedTask> queue;
-    queue.reserve(wave.size());
-    for (const auto& item : wave) {
-        queue.push_back([this, item,
-                         &executed](BatchExecutor::Scratch& scratch) {
-            Request& r = *item.request;
-            // A failed tenant's remaining leaves are dead weight — skip
-            // them so the wave's slots go to live work. (Results are
-            // unaffected: the request completes exceptionally either way.)
-            if (r.failed.load(std::memory_order_acquire))
-                return;
-            executed.fetch_add(1, std::memory_order_relaxed);
-            try {
-                if (!r.started.exchange(true,
-                                        std::memory_order_acq_rel)) {
-                    std::lock_guard<std::mutex> g(r.error_mutex);
-                    r.first_exec = Clock::now();
-                }
-                bool fused_hit = false;
-                auto counts = simulate_scheduled_leaf(
-                    engine_.cache_, r.tree, item.leaf_id, r.dev, r.config,
-                    r.shots, scratch, &fused_hit);
-                const auto& leaf =
-                    r.tree.leaves[static_cast<std::size_t>(item.leaf_id)];
-                if (leaf.fuse) {
-                    r.fused_lookups.fetch_add(1,
-                                              std::memory_order_relaxed);
-                    if (fused_hit)
-                        r.fused_hits.fetch_add(1,
-                                               std::memory_order_relaxed);
-                }
-                r.reducer->fold(item.leaf_id, std::move(counts));
-                r.leaves_folded.fetch_add(1, std::memory_order_acq_rel);
-            } catch (...) {
-                // First failure wins; poisons only this request.
-                std::lock_guard<std::mutex> g(r.error_mutex);
-                if (!r.failed.load(std::memory_order_relaxed)) {
-                    r.error = std::current_exception();
-                    r.failed.store(true, std::memory_order_release);
-                }
-            }
-        });
-    }
-    engine_.executor_.run_queue(queue);
-    return executed.load(std::memory_order_acquire);
+    // The shared wave execution with the service's per-tenant hooks:
+    // failure isolation (first failure wins, poisons only that request)
+    // and diagnostics (first-execution timestamp, fused-cache traffic,
+    // fold counting).
+    WaveHooks hooks;
+    hooks.admit = [](const WaveSlot& slot) {
+        Request& r = *static_cast<Request*>(slot.request->context);
+        if (r.failed.load(std::memory_order_acquire))
+            return false;
+        if (!r.started.exchange(true, std::memory_order_acq_rel)) {
+            std::lock_guard<std::mutex> g(r.error_mutex);
+            r.first_exec = Clock::now();
+        }
+        return true;
+    };
+    hooks.folded = [](const WaveSlot& slot, bool fused_hit) {
+        Request& r = *static_cast<Request*>(slot.request->context);
+        const auto& leaf =
+            r.tree.leaves[static_cast<std::size_t>(slot.leaf_id)];
+        if (leaf.fuse) {
+            r.fused_lookups.fetch_add(1, std::memory_order_relaxed);
+            if (fused_hit)
+                r.fused_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        r.leaves_folded.fetch_add(1, std::memory_order_acq_rel);
+    };
+    hooks.failed = [](const WaveSlot& slot, std::exception_ptr error) {
+        Request& r = *static_cast<Request*>(slot.request->context);
+        std::lock_guard<std::mutex> g(r.error_mutex);
+        if (!r.failed.load(std::memory_order_relaxed)) {
+            r.error = std::move(error);
+            r.failed.store(true, std::memory_order_release);
+        }
+    };
+    return execute_wave(engine_.cache_, engine_.executor_, wave, hooks);
 }
 
 SolveService::Outcome
@@ -221,6 +227,10 @@ SolveService::reduce_request(Request& request)
         request.waves == 0
             ? 0.0
             : request.occupancy_sum / static_cast<double>(request.waves);
+    out.diag.reranks = request.schedule.reranks;
+    out.diag.rerank_pruned = request.schedule.rerank_pruned;
+    out.diag.rerank_promoted = request.schedule.rerank_promoted;
+    out.diag.rerank_demoted = request.schedule.rerank_demoted;
     const auto now = Clock::now();
     if (request.started.load(std::memory_order_acquire))
         out.diag.queue_latency_ms =
@@ -279,15 +289,35 @@ SolveService::assembler_loop()
         lock.unlock();
         int executed = 0;
         if (!wave.empty())
-            executed = execute_wave(wave);
+            executed = run_wave(wave);
         lock.lock();
         if (!wave.empty()) {
             ++stats_.waves_executed;
             stats_.wave_slots += static_cast<std::uint64_t>(executed);
         }
 
-        // After the wave barrier every dispatched leaf has folded (or its
-        // request failed), so completion is a pure cursor check.
+        // Post-barrier scan, part 1 — adaptive re-ranking: after the wave
+        // barrier every dispatched leaf has folded, so a live request
+        // sitting exactly on its next rerank_interval boundary re-ranks
+        // its un-dispatched tail against its own epoch snapshot. The
+        // re-score is CPU-heavy (per-leaf original-model evaluations), so
+        // it runs WITHOUT the service lock: it touches only per-request
+        // state the assembler alone mutates, requests are heap-pinned in
+        // active_ until this same iteration's completion scan, and no
+        // leaves are in flight. A failed request never re-ranks (its
+        // outcomes may be incomplete and it is being torn down).
+        std::vector<Request*> live;
+        live.reserve(active_.size());
+        for (auto& request : active_)
+            if (!request->failed.load(std::memory_order_acquire))
+                live.push_back(request.get());
+        lock.unlock();
+        for (Request* request : live)
+            post_barrier_rerank(request->wave);
+        lock.lock();
+
+        // Post-barrier scan, part 2 — completion is a pure cursor check
+        // against the (possibly just re-cut) schedule.
         std::vector<std::unique_ptr<Request>> finished;
         for (auto it = active_.begin(); it != active_.end();) {
             Request& r = **it;

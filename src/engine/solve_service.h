@@ -12,25 +12,35 @@
  * concurrently across tenants), and an assembler thread coalesces the
  * per-request leaf schedules into shared executor WAVES:
  *
- *   wave assembly — fair round-robin across active tenants in submission
- *       order (rotating start), one leaf per tenant per pass, honoring
- *       each request's plan-time max_circuits budget (only scheduled
- *       leaves ever enqueue) and its optional DriverConfig::wave_share
- *       per-wave cap, until the wave is full;
+ *   wave assembly — the shared wave-loop packing (wave_loop.h): fair
+ *       round-robin across active tenants in submission order (rotating
+ *       start), one leaf per tenant per pass, cost-weighted slots (a leaf
+ *       charges 2^width units so one wide tenant cannot stall a wave's
+ *       tail), honoring each request's budget-cut schedule, its optional
+ *       DriverConfig::wave_share per-wave cap and its re-rank boundary;
  *   wave execution — one BatchExecutor::run_queue drain over the mixed
  *       queue; each leaf simulates through the same
  *       simulate_scheduled_leaf path as a solo solve and folds into ITS
  *       OWN request's StreamingReducer;
- *   completion — requests whose scheduled leaves have all folded finish
- *       their reduction and fulfil their future / completion callback.
+ *   post-barrier scan — requests whose fold count reached their next
+ *       rerank_interval boundary re-rank their un-dispatched leaves
+ *       against their own reducer's epoch snapshot; requests whose
+ *       scheduled leaves have all folded finish their reduction and
+ *       fulfil their future / completion callback.
  *
  * Determinism contract: per-request results are bit-identical to a solo
  * ExecutionEngine::solve at any thread count, regardless of how tenants
  * interleave. Every order-dependent decision is fixed at plan time (leaf
  * RNG streams, schedule, budget cut), the reducer's fold is order
- * independent by design, and leaf execution is a pure function of the
- * plan — so wave composition can only change WHEN a leaf runs, never what
- * it produces.
+ * independent by design, leaf execution is a pure function of the plan,
+ * and an adaptive re-rank is a pure function of the request's OWN fold
+ * count (epoch snapshot over exactly the first k scheduled leaves, never
+ * the service-global wave index) — so wave composition can only change
+ * WHEN a leaf runs, never what it produces.
+ *
+ * Admission control: Config::max_queue_depth bounds the in-flight request
+ * count; submit() past it throws AdmissionError instead of queuing
+ * unboundedly.
  *
  * Threading: submit() may be called from any thread. The engine's executor
  * is driven only by the service's assembler thread (the engine contract of
@@ -54,10 +64,23 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.h"
 #include "engine/engine.h"
 #include "engine/reducer.h"
+#include "engine/wave_loop.h"
 
 namespace fq::engine {
+
+/**
+ * Thrown by SolveService::submit when admission control rejects a request
+ * (queue depth at Config::max_queue_depth). Typed so callers can tell
+ * backpressure apart from planning failures and retry/shed accordingly.
+ */
+class AdmissionError : public fq::Error
+{
+  public:
+    explicit AdmissionError(const std::string& what) : fq::Error(what) {}
+};
 
 class SolveService
 {
@@ -66,18 +89,29 @@ class SolveService
     struct Config
     {
         /**
-         * Leaf slots per shared wave. Larger waves amortize the fork-join
-         * barrier better; smaller waves complete short requests sooner.
+         * Leaf slots per shared wave, priced in units of the cheapest
+         * pending leaf (a leaf charges 2^width units — wave_loop.h), so a
+         * wide tenant consumes proportionally more of a wave instead of
+         * stalling its tail. Larger waves amortize the fork-join barrier
+         * better; smaller waves complete short requests sooner.
          * 0 = auto: 2x the engine's worker threads.
          */
         int wave_size = 0;
+        /**
+         * Admission control: maximum requests in flight (queued or
+         * executing). submit() beyond it throws AdmissionError instead of
+         * queuing unboundedly. 0 = unlimited (legacy behaviour).
+         */
+        int max_queue_depth = 0;
     };
 
     /** Per-request observability, available once the request completed. */
     struct TenantDiagnostics
     {
         std::uint64_t request_id = 0;
-        int leaves_scheduled = 0; ///< plan-time budget-cut schedule size
+        /** Final schedule size: the plan-time budget cut, minus leaves an
+         *  adaptive re-rank pruned or demoted mid-run. */
+        int leaves_scheduled = 0;
         int leaves_executed = 0;  ///< folded leaves (== scheduled on success)
         int waves = 0;            ///< waves this request contributed to
         /** Fused-program cache traffic attributed to this tenant. */
@@ -95,6 +129,11 @@ class SolveService
         double queue_latency_ms = 0.0;
         /** submit() return -> completion (reduction included). */
         double wall_ms = 0.0;
+        /** Adaptive re-ranking activity (0 when rerank_interval is off). */
+        int reranks = 0;
+        int rerank_pruned = 0;   ///< stale dominated leaves never executed
+        int rerank_promoted = 0; ///< beyond-budget leaves re-admitted
+        int rerank_demoted = 0;  ///< scheduled leaves cut by a re-rank
     };
 
     /** Service-wide counters (snapshot; monotone while the service lives). */
@@ -160,8 +199,11 @@ class SolveService
      * returns — concurrent submitters plan concurrently against the shared
      * cache. @p seed plays the role of the Rng argument of a solo
      * ExecutionEngine::solve: a request's result is bit-identical to
-     * `Rng rng(seed); engine.solve(model, dev, config, shots, rng)`.
-     * Throws on planning failure (nothing is enqueued).
+     * `Rng rng(seed); engine.solve(model, dev, config, shots, rng)` —
+     * including adaptive re-ranking (config.rerank_interval), whose epoch
+     * boundaries depend only on this request's own fold count.
+     * Throws on planning failure (nothing is enqueued) and AdmissionError
+     * when Config::max_queue_depth requests are already in flight.
      */
     Ticket submit(const ising::IsingModel& model, const device::Device& dev,
                   const frozenqubits::DriverConfig& config, int shots,
@@ -199,8 +241,10 @@ class SolveService
         /** Constructed after tree/schedule are in their final location. */
         std::optional<StreamingReducer> reducer;
 
-        /** Cursor into schedule.executed: leaves before it are dispatched. */
-        std::size_t next_leaf = 0;
+        /** Wave-loop view of this request (dispatch cursor, re-rank
+         *  boundaries, epoch count); pointers wired into the fields above
+         *  once they reached their final heap location. */
+        WaveRequest wave;
 
         std::promise<frozenqubits::SampledSolve> promise;
         CompletionCallback on_complete;
@@ -222,13 +266,6 @@ class SolveService
         double occupancy_sum = 0.0;  ///< assembler-thread only
     };
 
-    /** One wave slot: a leaf bound to its request. */
-    struct WaveItem
-    {
-        Request* request = nullptr;
-        int leaf_id = 0;
-    };
-
     /** A completed request's reduced result, staged between reduction and
      *  promise/callback delivery so diagnostics publish first. */
     struct Outcome
@@ -238,11 +275,17 @@ class SolveService
         std::exception_ptr error; ///< non-null = the request failed
     };
 
+    /** Throw AdmissionError when the in-flight count (active + finishing)
+     *  is at max_queue_depth_. Call with mutex_ held, depth policy on. */
+    void admit_or_throw_locked() const;
     void assembler_loop();
-    std::vector<WaveItem> assemble_wave_locked();
+    /** Drive the shared wave-loop assembly over the live tenants (fair
+     *  round-robin + wave_share + cost weighting + re-rank boundary caps)
+     *  and keep the per-tenant wave bookkeeping. */
+    std::vector<WaveSlot> assemble_wave_locked();
     /** Returns how many wave slots actually simulated (a failed tenant's
      *  remaining slots are skipped dead weight). */
-    int execute_wave(const std::vector<WaveItem>& wave);
+    int run_wave(const std::vector<WaveSlot>& wave);
     /** Final reduction + diagnostics; never throws (failures land in
      *  Outcome::error). Runs on the assembler thread without the lock. */
     Outcome reduce_request(Request& request);
@@ -252,6 +295,7 @@ class SolveService
 
     ExecutionEngine& engine_;
     int wave_size_;
+    int max_queue_depth_; ///< 0 = unlimited
 
     mutable std::mutex mutex_;
     std::condition_variable work_available_;

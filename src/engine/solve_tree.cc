@@ -352,6 +352,14 @@ SolveTree::num_leaf_nodes() const
     return count;
 }
 
+int
+SolveTree::leaf_width(int leaf_id) const
+{
+    const auto& leaf = leaves[static_cast<std::size_t>(leaf_id)];
+    return nodes[static_cast<std::size_t>(leaf.node)]
+        .sub.model.num_spins();
+}
+
 SolveTree
 build_solve_tree(const ising::IsingModel& model, const device::Device& dev,
                  const frozenqubits::DriverConfig& config,

@@ -130,6 +130,11 @@ struct SolveTree
     {
         return static_cast<int>(leaves.size());
     }
+
+    /** Register width of one executable leaf (its node's surviving spins)
+     *  — the exponent of its 2^width statevector cost, which the wave
+     *  loop's cost-weighted packing charges per slot. */
+    int leaf_width(int leaf_id) const;
 };
 
 /**

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Wave-synchronous execution epochs: the ONE schedule→dispatch→fold→barrier
+ * cycle, shared by the solo ExecutionEngine::solve and the multi-tenant
+ * SolveService (which used to duplicate it as a flat batch and an assembler
+ * loop respectively).
+ *
+ * An epoch is one wave: dispatch a slice of each participating request's
+ * ranked leaf schedule onto the executor, run it to the fork-join barrier,
+ * fold every result into its request's StreamingReducer — then run the
+ * post-barrier scan, where adaptive budget re-ranking lives. After each
+ * wave, a request whose fold count reached its next re-rank boundary
+ * (multiples of DriverConfig::rerank_interval) re-scores its
+ * not-yet-dispatched leaves against the reducer's epoch snapshot, prunes
+ * stale dominated leaves and re-cuts the remaining budget
+ * (scheduler.h: rerank_schedule).
+ *
+ * Determinism contract: a re-rank at boundary b sees the incumbent over
+ * exactly the first b scheduled leaves (StreamingReducer::epoch_snapshot),
+ * and dispatch NEVER overshoots a pending boundary (dispatch_limit), so the
+ * rewritten tail always starts at b. Re-rank inputs are therefore a pure
+ * function of the request's own fold count — never of wave composition,
+ * co-tenant interleaving or thread count — and a request's results are
+ * bit-identical between a solo solve and any service schedule. With
+ * rerank_interval = 0 the solo loop degenerates to one wave spanning the
+ * whole schedule: exactly the pre-epoch engine, bit for bit.
+ *
+ * Wave packing is cost-weighted: a leaf charges 2^width units (its
+ * statevector simulation cost), and a wave closes at wave_size slots OR
+ * wave_size × (cheapest pending leaf) cost units, whichever first — so
+ * one wide tenant consumes proportionally more of the wave instead of
+ * stalling its tail with equal-slot accounting. Packing shapes only WHEN
+ * a leaf runs, never what it produces.
+ */
+#ifndef FQ_ENGINE_WAVE_LOOP_H
+#define FQ_ENGINE_WAVE_LOOP_H
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "engine/batch_executor.h"
+#include "engine/reducer.h"
+#include "engine/scheduler.h"
+#include "engine/solve_tree.h"
+
+namespace fq::engine {
+
+class TemplateCache;
+
+/**
+ * One request's execution state inside the wave loop. Plain pointers into
+ * storage the driver owns (and keeps pinned for the request's lifetime):
+ * the loop advances `dispatched` and may rewrite the schedule's
+ * un-dispatched tail via re-ranking; everything else is read-only here.
+ */
+struct WaveRequest
+{
+    const ising::IsingModel* model = nullptr;
+    const SolveTree* tree = nullptr;
+    LeafSchedule* schedule = nullptr;
+    StreamingReducer* reducer = nullptr;
+    const device::Device* dev = nullptr;
+    const frozenqubits::DriverConfig* config = nullptr;
+    int shots = 0;
+    /** Driver-owned back-pointer (e.g. the SolveService's Request). */
+    void* context = nullptr;
+
+    /** Cursor into schedule->executed: leaves before it are dispatched. */
+    std::size_t dispatched = 0;
+    /** Next re-rank boundary (schedule index); 0 = re-ranking off. Armed
+     *  by arm_rerank(), advanced by post_barrier_rerank(). */
+    std::size_t next_rerank = 0;
+    /** Waves this request rode (telemetry). */
+    int epochs = 0;
+
+    bool done() const { return dispatched >= schedule->executed.size(); }
+
+    /**
+     * Highest exclusive schedule index dispatch may reach before the next
+     * pending re-rank must run — the invariant that keeps the re-ranked
+     * tail independent of wave composition.
+     */
+    std::size_t dispatch_limit() const
+    {
+        const std::size_t total = schedule->executed.size();
+        return next_rerank == 0 ? total : std::min(total, next_rerank);
+    }
+};
+
+/** Arm the request's first re-rank boundary from its config. */
+inline void
+arm_rerank(WaveRequest& request)
+{
+    const long long interval = request.config->rerank_interval;
+    request.next_rerank =
+        interval > 0 ? static_cast<std::size_t>(interval) : 0;
+}
+
+/**
+ * Slot cost of one leaf for cost-weighted wave packing: 2^width units
+ * (statevector simulation cost), capped to keep the arithmetic safe.
+ */
+long long leaf_slot_cost(const SolveTree& tree, int leaf_id);
+
+/** One wave slot: a leaf bound to its request. */
+struct WaveSlot
+{
+    WaveRequest* request = nullptr;
+    int leaf_id = 0;
+};
+
+/**
+ * Assemble one wave across @p tenants: fair round-robin in the given order
+ * starting at @p rotate (one leaf per tenant per pass), honoring each
+ * request's DriverConfig::wave_share self-cap and its re-rank
+ * dispatch_limit. The wave is bounded by @p wave_size slots AND by the
+ * cost budget (@p wave_size × cheapest pending leaf); the first leaf is
+ * always admitted, so an over-budget wide leaf rides alone rather than
+ * wedging the queue. Advances each admitted request's `dispatched` cursor
+ * and bumps its epoch count. Equal-width tenants reproduce the legacy
+ * equal-slot packing exactly; the rotating start keeps budget-closed
+ * waves from starving any tenant across waves.
+ *
+ * @p taken, when non-null, receives the per-tenant slot counts (indexed
+ * like @p tenants) — the occupancy bookkeeping drivers would otherwise
+ * have to reconstruct from the wave.
+ */
+std::vector<WaveSlot> assemble_wave(const std::vector<WaveRequest*>& tenants,
+                                    int wave_size, std::size_t rotate,
+                                    std::vector<int>* taken = nullptr);
+
+/**
+ * Driver customization points for execute_wave. All optional; the solo
+ * engine runs with none (exceptions propagate), the SolveService uses them
+ * for per-tenant failure isolation and diagnostics.
+ */
+struct WaveHooks
+{
+    /** Pre-simulation gate; return false to skip the slot (dead weight of
+     *  an already-failed tenant). Runs on the worker thread. */
+    std::function<bool(const WaveSlot&)> admit;
+    /** After the slot's counts folded into its request's reducer. */
+    std::function<void(const WaveSlot&, bool fused_hit)> folded;
+    /** A slot threw; when unset the exception propagates out of the wave
+     *  (run_queue semantics: lowest failing index wins). */
+    std::function<void(const WaveSlot&, std::exception_ptr)> failed;
+};
+
+/**
+ * Execute one assembled wave to its barrier: simulate every slot through
+ * simulate_scheduled_leaf on @p executor and fold into the owning request's
+ * reducer. Returns how many slots actually simulated (admit-skipped slots
+ * do not count). On return every admitted slot has folded — the barrier
+ * the post-barrier scan relies on.
+ */
+int execute_wave(TemplateCache& cache, BatchExecutor& executor,
+                 const std::vector<WaveSlot>& wave,
+                 const WaveHooks& hooks = {});
+
+/**
+ * Post-barrier scan step for one request: when its fold count sits on the
+ * pending re-rank boundary, snapshot the incumbent and re-rank the tail.
+ * Call after a wave barrier (never while leaves are in flight) and only
+ * for requests whose dispatched leaves all folded. Returns what the
+ * re-rank did (applied == false when none was due).
+ */
+RerankOutcome post_barrier_rerank(WaveRequest& request);
+
+/**
+ * Solo driver: run @p request to completion through wave-synchronous
+ * epochs. Each epoch dispatches everything up to the request's
+ * dispatch_limit in one wave — with re-ranking off that is the entire
+ * schedule in a single wave, bit-identical to the pre-epoch flat batch.
+ * Exceptions propagate (no hooks). The SolveService drives the same
+ * assemble/execute/post-barrier primitives from its assembler thread
+ * instead, multiplexing many requests per wave.
+ */
+void run_wave_loop(TemplateCache& cache, BatchExecutor& executor,
+                   WaveRequest& request);
+
+} // namespace fq::engine
+
+#endif // FQ_ENGINE_WAVE_LOOP_H

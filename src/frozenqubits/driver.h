@@ -82,6 +82,20 @@ struct DriverConfig
      * quantum circuit on instances SA already solves optimally.
      */
     bool prune_dominated = false;
+    /**
+     * Adaptive budget re-ranking: every `rerank_interval` folded leaves the
+     * wave loop re-scores the request's not-yet-dispatched leaves against
+     * the reducer's incumbent (epoch snapshot over exactly that many folds),
+     * prunes stale dominated leaves and re-cuts the remaining circuit
+     * budget. 0 = off: the plan-time ranking is final and execution is
+     * bit-identical to the pre-epoch engine at any thread count.
+     *
+     * Determinism contract: a re-rank is a pure function of THIS request's
+     * fold count — never of wave composition, tenant interleaving or thread
+     * count — so results are identical between a solo ExecutionEngine::solve
+     * and a multi-tenant SolveService at any parallelism.
+     */
+    long long rerank_interval = 0;
 
     // ------------------------------------------------ SolveService controls --
     /**

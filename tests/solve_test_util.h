@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the engine/service/wave-loop suites. The bit-identity
+ * comparator lives here ONCE so that when SampledSolve grows a field,
+ * every determinism suite starts enforcing it in the same commit —
+ * duplicated copies silently kept passing while proving less.
+ */
+#ifndef FQ_TESTS_SOLVE_TEST_UTIL_H
+#define FQ_TESTS_SOLVE_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include "frozenqubits/driver.h"
+#include "graph/generators.h"
+#include "ising/ising_model.h"
+
+namespace fq::test {
+
+/** Random ±1-weighted Barabási–Albert MaxCut instance. */
+inline ising::IsingModel
+ba_model(int n, int d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto g = graph::barabasi_albert(n, d, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    return ising::IsingModel::from_graph(g);
+}
+
+/** Field-by-field bit-identity of two sampled solves — the determinism
+ *  acceptance comparator (histograms and anytime trace included). */
+inline void
+expect_solves_identical(const frozenqubits::SampledSolve& a,
+                        const frozenqubits::SampledSolve& b)
+{
+    EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+    EXPECT_EQ(a.best_assignment, b.best_assignment);
+    EXPECT_EQ(a.from_subproblem, b.from_subproblem);
+    EXPECT_DOUBLE_EQ(a.best_quantum_cost, b.best_quantum_cost);
+    EXPECT_EQ(a.best_quantum_leaf, b.best_quantum_leaf);
+    EXPECT_EQ(a.leaves_total, b.leaves_total);
+    EXPECT_EQ(a.leaves_executed, b.leaves_executed);
+    ASSERT_EQ(a.distributions.size(), b.distributions.size());
+    for (std::size_t s = 0; s < a.distributions.size(); ++s)
+        EXPECT_EQ(a.distributions[s].histogram(),
+                  b.distributions[s].histogram());
+    ASSERT_EQ(a.anytime.size(), b.anytime.size());
+    for (std::size_t p = 0; p < a.anytime.size(); ++p) {
+        EXPECT_EQ(a.anytime[p].circuits, b.anytime[p].circuits);
+        EXPECT_DOUBLE_EQ(a.anytime[p].incumbent_cost,
+                         b.anytime[p].incumbent_cost);
+        EXPECT_EQ(a.anytime[p].leaf, b.anytime[p].leaf);
+    }
+}
+
+} // namespace fq::test
+
+#endif // FQ_TESTS_SOLVE_TEST_UTIL_H

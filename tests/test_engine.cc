@@ -17,20 +17,14 @@
 #include "engine/thread_pool.h"
 #include "graph/generators.h"
 #include "ising/ising_model.h"
+#include "solve_test_util.h"
 
 namespace {
 
 using namespace fq;
 using namespace fq::engine;
-
-ising::IsingModel
-ba_model(int n, int d, std::uint64_t seed)
-{
-    Rng rng(seed);
-    auto g = graph::barabasi_albert(n, d, rng);
-    graph::assign_random_pm1_weights(g, rng);
-    return ising::IsingModel::from_graph(g);
-}
+using fq::test::ba_model;
+using fq::test::expect_solves_identical;
 
 void
 expect_stats_equal(const frozenqubits::CircuitStats& a,
@@ -277,30 +271,6 @@ TEST(ExecutionEngine, CacheDistinguishesDevicesStructurally)
     ExecutionEngine fresh(1);
     expect_stats_equal(rb, fresh.evaluate(model, b, config));
     (void)ra;
-}
-
-void
-expect_solves_identical(const frozenqubits::SampledSolve& a,
-                        const frozenqubits::SampledSolve& b)
-{
-    EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
-    EXPECT_EQ(a.best_assignment, b.best_assignment);
-    EXPECT_EQ(a.from_subproblem, b.from_subproblem);
-    EXPECT_DOUBLE_EQ(a.best_quantum_cost, b.best_quantum_cost);
-    EXPECT_EQ(a.best_quantum_leaf, b.best_quantum_leaf);
-    EXPECT_EQ(a.leaves_total, b.leaves_total);
-    EXPECT_EQ(a.leaves_executed, b.leaves_executed);
-    ASSERT_EQ(a.distributions.size(), b.distributions.size());
-    for (std::size_t s = 0; s < a.distributions.size(); ++s)
-        EXPECT_EQ(a.distributions[s].histogram(),
-                  b.distributions[s].histogram());
-    ASSERT_EQ(a.anytime.size(), b.anytime.size());
-    for (std::size_t p = 0; p < a.anytime.size(); ++p) {
-        EXPECT_EQ(a.anytime[p].circuits, b.anytime[p].circuits);
-        EXPECT_DOUBLE_EQ(a.anytime[p].incumbent_cost,
-                         b.anytime[p].incumbent_cost);
-        EXPECT_EQ(a.anytime[p].leaf, b.anytime[p].leaf);
-    }
 }
 
 TEST(ExecutionEngine, PartialExecutionRunsExactlyTheBudget)

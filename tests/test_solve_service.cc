@@ -19,44 +19,14 @@
 #include "engine/solve_service.h"
 #include "graph/generators.h"
 #include "ising/ising_model.h"
+#include "solve_test_util.h"
 
 namespace {
 
 using namespace fq;
 using namespace fq::engine;
-
-ising::IsingModel
-ba_model(int n, int d, std::uint64_t seed)
-{
-    Rng rng(seed);
-    auto g = graph::barabasi_albert(n, d, rng);
-    graph::assign_random_pm1_weights(g, rng);
-    return ising::IsingModel::from_graph(g);
-}
-
-void
-expect_solves_identical(const frozenqubits::SampledSolve& a,
-                        const frozenqubits::SampledSolve& b)
-{
-    EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
-    EXPECT_EQ(a.best_assignment, b.best_assignment);
-    EXPECT_EQ(a.from_subproblem, b.from_subproblem);
-    EXPECT_DOUBLE_EQ(a.best_quantum_cost, b.best_quantum_cost);
-    EXPECT_EQ(a.best_quantum_leaf, b.best_quantum_leaf);
-    EXPECT_EQ(a.leaves_total, b.leaves_total);
-    EXPECT_EQ(a.leaves_executed, b.leaves_executed);
-    ASSERT_EQ(a.distributions.size(), b.distributions.size());
-    for (std::size_t s = 0; s < a.distributions.size(); ++s)
-        EXPECT_EQ(a.distributions[s].histogram(),
-                  b.distributions[s].histogram());
-    ASSERT_EQ(a.anytime.size(), b.anytime.size());
-    for (std::size_t p = 0; p < a.anytime.size(); ++p) {
-        EXPECT_EQ(a.anytime[p].circuits, b.anytime[p].circuits);
-        EXPECT_DOUBLE_EQ(a.anytime[p].incumbent_cost,
-                         b.anytime[p].incumbent_cost);
-        EXPECT_EQ(a.anytime[p].leaf, b.anytime[p].leaf);
-    }
-}
+using fq::test::ba_model;
+using fq::test::expect_solves_identical;
 
 /** One tenant's workload: every SolveTree mode the engine supports. */
 struct Workload
@@ -329,6 +299,113 @@ TEST(SolveService, DiagnosticsForUnknownRequestThrow)
     ExecutionEngine eng(1);
     SolveService service(eng);
     EXPECT_THROW(service.diagnostics(12345), fq::Error);
+}
+
+TEST(SolveService, RerankParityWithSoloUnderAdversarialInterleaving)
+{
+    // Adaptive re-ranking must survive multi-tenancy: a request with
+    // rerank on, interleaved with co-tenants in tiny shared waves (the
+    // adversarial composition — its epoch boundaries land mid-wave), is
+    // bit-identical to the same request on a solo serial engine. The
+    // epoch snapshot and the dispatch_limit cap are exactly what makes
+    // this hold.
+    const auto dev = device::make_device("ibm-montreal");
+    auto workloads = mixed_workloads();
+    workloads[1].config.rerank_interval = 1; // flat budgeted tenant
+    workloads[2].config.rerank_interval = 2; // recursive depth-2 tenant
+    workloads[3].config.rerank_interval = 1; // hybrid partition tenant
+    const auto refs = solo_references(workloads, dev);
+
+    for (int threads : {1, 4}) {
+        ExecutionEngine eng(threads);
+        SolveService::Config config;
+        config.wave_size = 2; // force boundary-straddling co-tenancy
+        SolveService service(eng, config);
+
+        std::vector<SolveService::Ticket> tickets(workloads.size());
+        std::vector<std::thread> submitters;
+        for (std::size_t k = 0; k < workloads.size(); ++k)
+            submitters.emplace_back([&, k] {
+                const auto& w = workloads[k];
+                tickets[k] =
+                    service.submit(w.model, dev, w.config, w.shots, w.seed);
+            });
+        for (auto& t : submitters)
+            t.join();
+
+        for (std::size_t k = 0; k < workloads.size(); ++k)
+            expect_solves_identical(tickets[k].get(), refs[k]);
+        service.drain();
+
+        // Re-rank telemetry must match the solo engine's too: boundaries
+        // depend on the request's own fold count, not the service's waves.
+        for (std::size_t k = 1; k < workloads.size(); ++k) {
+            const auto& w = workloads[k];
+            ExecutionEngine solo(1);
+            Rng rng(w.seed);
+            (void)solo.solve(w.model, dev, w.config, w.shots, rng);
+            const auto diag = service.diagnostics(tickets[k].id());
+            EXPECT_EQ(diag.reranks, solo.last_diagnostics().reranks);
+            EXPECT_EQ(diag.rerank_pruned,
+                      solo.last_diagnostics().rerank_pruned);
+            EXPECT_EQ(diag.rerank_promoted,
+                      solo.last_diagnostics().rerank_promoted);
+        }
+    }
+}
+
+TEST(SolveService, AdmissionControlRejectsBeyondQueueDepth)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    // A deep workload: 8 scheduled 16-qubit leaves keep the service busy
+    // far longer than the submit() that must bounce off the full queue.
+    Workload heavy;
+    heavy.model = ba_model(20, 3, 41);
+    heavy.config.num_freeze = 4;
+    heavy.shots = 8192;
+    heavy.seed = 13;
+
+    ExecutionEngine eng(2);
+    SolveService::Config config;
+    config.max_queue_depth = 1;
+    SolveService service(eng, config);
+
+    auto admitted = service.submit(heavy.model, dev, heavy.config,
+                                   heavy.shots, heavy.seed);
+    EXPECT_THROW(service.submit(heavy.model, dev, heavy.config, heavy.shots,
+                                heavy.seed),
+                 AdmissionError);
+    // The typed error is still an fq::Error for legacy catch sites.
+    try {
+        service.submit(heavy.model, dev, heavy.config, heavy.shots,
+                       heavy.seed);
+        FAIL() << "second overflow submit was admitted";
+    } catch (const fq::Error&) {
+    }
+
+    // The admitted request is unharmed, and capacity frees on completion.
+    EXPECT_GT(admitted.get().leaves_executed, 0);
+    service.drain();
+    auto after = service.submit(heavy.model, dev, heavy.config, heavy.shots,
+                                heavy.seed);
+    EXPECT_GT(after.get().leaves_executed, 0);
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.requests_submitted, 2u);
+    EXPECT_EQ(stats.requests_completed, 2u);
+}
+
+TEST(SolveService, UnlimitedQueueDepthByDefault)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    const auto w = mixed_workloads()[0];
+    ExecutionEngine eng(2);
+    SolveService service(eng); // max_queue_depth = 0: never rejects
+    std::vector<SolveService::Ticket> tickets;
+    for (int k = 0; k < 8; ++k)
+        tickets.push_back(
+            service.submit(w.model, dev, w.config, w.shots, w.seed));
+    for (auto& ticket : tickets)
+        EXPECT_GT(ticket.get().leaves_executed, 0);
 }
 
 } // namespace

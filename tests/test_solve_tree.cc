@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "device/catalog.h"
@@ -17,20 +19,13 @@
 #include "engine/template_cache.h"
 #include "graph/generators.h"
 #include "ising/ising_model.h"
+#include "solve_test_util.h"
 
 namespace {
 
 using namespace fq;
 using namespace fq::engine;
-
-ising::IsingModel
-ba_model(int n, int d, std::uint64_t seed)
-{
-    Rng rng(seed);
-    auto g = graph::barabasi_albert(n, d, rng);
-    graph::assign_random_pm1_weights(g, rng);
-    return ising::IsingModel::from_graph(g);
-}
+using fq::test::ba_model;
 
 SolveTree
 build(const ising::IsingModel& model,
@@ -188,6 +183,69 @@ TEST(LeafScheduler, UnbudgetedFlatScheduleIsPlanOrder)
     ASSERT_EQ(schedule.executed.size(), 4u);
     for (std::size_t k = 0; k < schedule.executed.size(); ++k)
         EXPECT_EQ(schedule.executed[k], static_cast<int>(k));
+}
+
+TEST(LeafScheduler, PartitionAwareScoringChargesCutWeight)
+{
+    // Hybrid (bisected) arms drop cut couplings their SA presolve cannot
+    // see; the scheduler charges half the recorded cut weight back so they
+    // rank honestly against freeze arms. Freeze lineages pay nothing.
+    const auto model = ba_model(16, 1, 21);
+    frozenqubits::DriverConfig hybrid;
+    hybrid.num_freeze = 2;
+    hybrid.max_depth = 2;
+    hybrid.partition_width = 12;
+
+    const auto tree = build(model, hybrid);
+    const auto& root = tree.nodes.front();
+    ASSERT_EQ(root.kind, NodeKind::Partition);
+    ASSERT_GT(root.cut_weight, 0.0);
+    for (const auto& leaf : tree.leaves) {
+        EXPECT_DOUBLE_EQ(partition_cut_penalty(tree, leaf.leaf_id),
+                         0.5 * root.cut_weight);
+    }
+
+    frozenqubits::DriverConfig flat;
+    flat.num_freeze = 3;
+    const auto freeze_tree = build(ba_model(12, 1, 5), flat);
+    for (const auto& leaf : freeze_tree.leaves)
+        EXPECT_DOUBLE_EQ(partition_cut_penalty(freeze_tree, leaf.leaf_id),
+                         0.0);
+
+    // The penalty flows into the schedule's scores: re-scoring the leaf
+    // model alone (same seed recipe) can only come in at or below the
+    // recorded score, short exactly when a cut was charged.
+    hybrid.max_circuits = 2; // activate scoring
+    const auto schedule = make_schedule(model, tree, hybrid);
+    ASSERT_TRUE(schedule.scored);
+    for (const auto& leaf : tree.leaves) {
+        const auto& score =
+            schedule.scores[static_cast<std::size_t>(leaf.leaf_id)];
+        EXPECT_TRUE(std::isfinite(score.score));
+        EXPECT_TRUE(leaf.needs_repair); // whole tree is partition lineage
+        EXPECT_EQ(score.bound,
+                  -std::numeric_limits<double>::infinity());
+    }
+}
+
+TEST(LeafScheduler, RerankIntervalForcesScoringAndPlanRanks)
+{
+    const auto model = ba_model(12, 1, 5);
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 3;
+    config.rerank_interval = 2; // no budget, no pruning — still scored
+
+    const auto tree = build(model, config);
+    const auto schedule = make_schedule(model, tree, config);
+    EXPECT_TRUE(schedule.scored);
+    EXPECT_TRUE(schedule.has_presolve);
+    // Plan ranks are a permutation of [0, leaves): the frozen tie-breaker
+    // adaptive re-ranks fall back to.
+    ASSERT_EQ(schedule.plan_rank.size(), tree.leaves.size());
+    std::set<int> ranks(schedule.plan_rank.begin(),
+                        schedule.plan_rank.end());
+    EXPECT_EQ(ranks.size(), tree.leaves.size());
+    EXPECT_EQ(*ranks.begin(), 0);
 }
 
 TEST(LeafScheduler, DominationPruningKeepsAtLeastOneLeaf)

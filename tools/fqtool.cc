@@ -16,20 +16,21 @@
  *       without executing any circuit.
  *   solve [--file F] --device <name> [--freeze M] [--shots K] [--seed S]
  *         [--threads T] [--max-depth D] [--max-circuits B]
- *         [--partition W] [--stats]
+ *         [--partition W] [--rerank N|off] [--stats]
  *       Sampled end-to-end solve over the SolveTree: recursive freezing
  *       (--max-depth), budgeted best-first partial execution
- *       (--max-circuits), hybrid bisection (--partition). --stats prints
- *       template-cache counters.
+ *       (--max-circuits), hybrid bisection (--partition), adaptive budget
+ *       re-ranking every N folded leaves (--rerank, plus a plan-vs-
+ *       adaptive schedule trace). --stats prints template-cache counters.
  *   serve-batch --trace FILE [--device NAME] [--threads T] [--wave-size W]
- *               [--shots K] [--serial] [--stats]
+ *               [--queue-depth D] [--shots K] [--serial] [--stats]
  *       Replay a multi-request trace through a SolveService sharing ONE
  *       engine: requests are submitted concurrently and their leaves ride
  *       shared executor waves (per-request results bit-identical to solo
- *       solves). One request per trace line:
+ *       solves; --queue-depth bounds admission). One request per line:
  *         <model-file> [freeze=M] [shots=K] [seed=S] [device=NAME]
  *                      [max-depth=D] [max-circuits=B] [partition=W]
- *                      [wave-share=C]
+ *                      [wave-share=C] [rerank=N]
  *       '#' starts a comment. --serial replays the same trace one solve
  *       at a time on the same engine (the A/B throughput baseline).
  *   devices
@@ -266,6 +267,14 @@ print_wall_clock(const engine::ExecutionEngine& eng)
                   << d.leaves_pruned << " dominated)"
                   << (d.scheduler_scored ? ", SA-ranked" : "") << "\n";
     }
+    if (d.reranks > 0) {
+        std::cout << "adaptive re-rank: " << d.reranks << " re-rank"
+                  << (d.reranks == 1 ? "" : "s") << " over " << d.epochs
+                  << " epoch" << (d.epochs == 1 ? "" : "s") << " ("
+                  << d.rerank_promoted << " promoted, "
+                  << d.rerank_demoted << " demoted, " << d.rerank_pruned
+                  << " pruned stale)\n";
+    }
 }
 
 /** SolveTree controls shared by plan and solve. */
@@ -276,6 +285,13 @@ apply_tree_options(const Options& opts, frozenqubits::DriverConfig& config)
     config.max_circuits = long_option(opts, "max-circuits", 0);
     config.partition_width = int_option(opts, "partition", 0);
     config.prune_dominated = opts.find("prune-dominated") != opts.end();
+    // --rerank off (default) keeps the plan-time ranking final;
+    // --rerank N re-ranks the un-dispatched tail every N folded leaves.
+    const auto rerank = option(opts, "rerank", "off");
+    config.rerank_interval =
+        rerank == "off" ? 0 : long_option(opts, "rerank", 0);
+    FQ_REQUIRE(rerank == "off" || config.rerank_interval >= 1,
+               "--rerank expects a positive interval or 'off'");
 }
 
 /** Recursive tree printer: one line per node, indented by depth. */
@@ -453,6 +469,17 @@ cmd_solve(const Options& opts)
     engine::ExecutionEngine eng(config.threads);
     const auto solved = eng.solve(model, dev, config,
                                   int_option(opts, "shots", 8192), rng);
+    // Plan-vs-adaptive trace: the engine snapshots the plan-time order
+    // before any re-rank rewrites the tail.
+    if (!eng.last_diagnostics().planned_subproblems.empty()) {
+        std::cout << "schedule trace (plan -> adaptive):\n  plan:    ";
+        for (int id : eng.last_diagnostics().planned_subproblems)
+            std::cout << " " << id;
+        std::cout << "\n  adaptive:";
+        for (int id : eng.last_diagnostics().executed_subproblems)
+            std::cout << " " << id;
+        std::cout << "\n";
+    }
     std::cout << "best cost: " << solved.best_cost << " ("
               << (solved.from_subproblem < 0
                       ? std::string("classical presolve")
@@ -550,7 +577,12 @@ load_trace(const std::string& path, const Options& opts)
                 req.config.partition_width = static_cast<int>(parsed);
             else if (key == "wave-share")
                 req.config.wave_share = static_cast<int>(parsed);
-            else
+            else if (key == "rerank") {
+                FQ_REQUIRE(parsed >= 0, "rerank expects a non-negative "
+                                        "interval (0 = off)" +
+                                            where);
+                req.config.rerank_interval = parsed;
+            } else
                 FQ_REQUIRE(false, "unknown trace key '" + key + "'" + where);
         }
         req.config.seed = req.seed;
@@ -599,22 +631,39 @@ cmd_serve_batch(const Options& opts)
     } else {
         engine::SolveService::Config service_config;
         service_config.wave_size = int_option(opts, "wave-size", 0);
+        service_config.max_queue_depth = int_option(opts, "queue-depth", 0);
         engine::SolveService service(eng, service_config);
 
         std::vector<engine::SolveService::Ticket> tickets;
         tickets.reserve(requests.size());
-        for (auto& req : requests)
-            tickets.push_back(service.submit(req.model,
-                                             device::make_device(req.device),
-                                             req.config, req.shots,
-                                             req.seed));
+        int rejected = 0;
+        for (auto& req : requests) {
+            try {
+                tickets.push_back(
+                    service.submit(req.model,
+                                   device::make_device(req.device),
+                                   req.config, req.shots, req.seed));
+            } catch (const engine::AdmissionError& e) {
+                // Admission control (--queue-depth) shed this request;
+                // report it instead of aborting the replay.
+                ++rejected;
+                tickets.emplace_back();
+                std::cout << "rejected: " << req.model_file << " — "
+                          << e.what() << "\n";
+            }
+        }
         service.drain();
 
         t.set_header({"req", "model", "leaves", "best cost", "from",
-                      "waves", "occupancy", "fused hit%", "queue ms",
-                      "wall ms"});
+                      "waves", "occupancy", "reranks", "fused hit%",
+                      "queue ms", "wall ms"});
         for (std::size_t k = 0; k < tickets.size(); ++k) {
             auto& ticket = tickets[k];
+            if (ticket.id() == 0) { // shed by admission control
+                t.add_row({Table::num(k + 1), requests[k].model_file, "-",
+                           "-", "rejected", "-", "-", "-", "-", "-", "-"});
+                continue;
+            }
             // Diagnostics are FIFO-retained (~4k most recent); on a huge
             // trace the oldest rows fall back to dashes rather than
             // aborting the whole report.
@@ -641,18 +690,20 @@ cmd_serve_batch(const Options& opts)
                                Table::num(diag.leaves_scheduled),
                            best, from, Table::num(diag.waves),
                            Table::num(diag.wave_occupancy, 2),
+                           Table::num(diag.reranks),
                            Table::num(100.0 * diag.cache_hit_share, 1),
                            Table::num(diag.queue_latency_ms, 1),
                            Table::num(diag.wall_ms, 1)});
             else
                 t.add_row({Table::num(k + 1), requests[k].model_file, "-",
-                           best, from, "-", "-", "-", "-", "-"});
+                           best, from, "-", "-", "-", "-", "-", "-"});
         }
         t.print(std::cout);
 
         const auto stats = service.stats();
         std::cout << "service: " << stats.requests_completed << " completed, "
-                  << stats.requests_failed << " failed | "
+                  << stats.requests_failed << " failed, " << rejected
+                  << " rejected | "
                   << stats.waves_executed << " waves, "
                   << Table::num(stats.waves_executed == 0
                                     ? 0.0
@@ -709,10 +760,11 @@ usage()
         "           [--prune-dominated]\n"
         "  solve    [--file F] --device NAME [--freeze M|auto] [--shots K]\n"
         "           [--threads T] [--max-depth D] [--max-circuits B]\n"
-        "           [--partition W] [--prune-dominated] [--no-fusion]\n"
-        "           [--stats]\n"
+        "           [--partition W] [--prune-dominated] [--rerank N|off]\n"
+        "           [--no-fusion] [--stats]\n"
         "  serve-batch --trace FILE [--device NAME] [--threads T]\n"
-        "           [--wave-size W] [--shots K] [--serial] [--stats]\n"
+        "           [--wave-size W] [--queue-depth D] [--shots K]\n"
+        "           [--serial] [--stats]\n"
         "  devices\n";
     return 2;
 }
