@@ -23,8 +23,10 @@
 #include "optimizer/landscape.h"
 #include "qaoa/multilayer.h"
 #include "qaoa/qaoa_builder.h"
+#include "sim/backend.h"
 #include "sim/kernels.h"
 #include "sim/qaoa_kernel.h"
+#include "sim/simd.h"
 #include "sim/statevector.h"
 
 namespace {
@@ -200,6 +202,72 @@ max_amplitude_deviation(const ising::IsingModel& model)
     return worst;
 }
 
+// ----------------------------------------------- backend head-to-head  ----
+
+struct BackendComparison
+{
+    double scalar_ms_per_run = 0.0;
+    double simd_ms_per_run = 0.0;
+    double speedup = 0.0;
+    double max_deviation = 0.0; ///< |amp_simd - amp_scalar|, worst state
+    bool counts_identical = false;
+};
+
+/** Scalar vs vectorized backend on the SAME compiled p=2 n=20 BA leaf
+ *  program: per-run wall time, amplitude deviation, and a fixed-seed
+ *  sampling check (the determinism contract is bit-identical counts). */
+BackendComparison
+compare_backends(const ising::IsingModel& model, int runs)
+{
+    qaoa::BuildOptions opts;
+    opts.num_layers = kLayers;
+    opts.include_measurements = false;
+    const sim::FusedProgram program(qaoa::build_qaoa_circuit(model, opts));
+    const auto points = angle_trajectory(runs, kLayers, 13);
+    const auto& registry = sim::BackendRegistry::instance();
+
+    BackendComparison cmp;
+    sim::Statevector state;
+    for (const sim::BackendKind kind :
+         {sim::BackendKind::ScalarFused, sim::BackendKind::VectorizedFused}) {
+        const auto& backend = registry.get(kind);
+        // Warm once so page faults stay out of the timed region.
+        program.run({points[0].begin(), points[0].begin() + kLayers},
+                    {points[0].begin() + kLayers, points[0].end()}, state,
+                    backend);
+        const auto start = Clock::now();
+        for (const auto& point : points)
+            program.run({point.begin(), point.begin() + kLayers},
+                        {point.begin() + kLayers, point.end()}, state,
+                        backend);
+        const double ms = ms_since(start) / runs;
+        (kind == sim::BackendKind::ScalarFused ? cmp.scalar_ms_per_run
+                                               : cmp.simd_ms_per_run) = ms;
+    }
+    cmp.speedup = cmp.scalar_ms_per_run / cmp.simd_ms_per_run;
+
+    // Exactness: same angles through both backends, worst-state deviation
+    // plus bit-identical fixed-seed counts.
+    sim::Statevector scalar_state, simd_state;
+    cmp.counts_identical = true;
+    for (const auto& point : angle_trajectory(3, kLayers, 17)) {
+        const std::vector<double> gammas(point.begin(),
+                                         point.begin() + kLayers);
+        const std::vector<double> betas(point.begin() + kLayers,
+                                        point.end());
+        program.run(gammas, betas, scalar_state, registry.scalar());
+        program.run(gammas, betas, simd_state, registry.vectorized());
+        for (std::uint64_t s = 0; s < scalar_state.dimension(); ++s)
+            cmp.max_deviation = std::max(
+                cmp.max_deviation, std::abs(scalar_state.amplitude(s) -
+                                            simd_state.amplitude(s)));
+        Rng a(29), b(29);
+        if (scalar_state.sample(4096, a) != simd_state.sample(4096, b))
+            cmp.counts_identical = false;
+    }
+    return cmp;
+}
+
 // -------------------------------------------------- single-kernel micros --
 
 struct KernelTiming
@@ -241,6 +309,8 @@ print_figure()
     const auto fused = time_fused_loop(model, 60);
     const double speedup = naive.ms_per_eval / fused.ms_per_eval;
     const double deviation = max_amplitude_deviation(model);
+    const auto backends = compare_backends(model, 40);
+    const auto features = sim::simd::detect_cpu_features();
 
     // Cached vs naive expectation on one prepared state.
     qaoa::QaoaEvaluator evaluator(model, kLayers);
@@ -287,6 +357,17 @@ print_figure()
                Table::num(speedup, 1) + "x"});
     bench::emit(t);
 
+    Table b("backend head-to-head, p=2 n=20 BA leaf (per program run)");
+    b.set_header({"backend", "ms/run", "speedup"});
+    b.add_row({sim::backend_kind_name(sim::BackendKind::ScalarFused),
+               Table::num(backends.scalar_ms_per_run, 2), "1.0x"});
+    b.add_row({std::string(
+                   sim::backend_kind_name(sim::BackendKind::VectorizedFused)) +
+                   " (" + sim::BackendRegistry::vector_isa() + ")",
+               Table::num(backends.simd_ms_per_run, 2),
+               Table::num(backends.speedup, 2) + "x"});
+    bench::emit(b);
+
     Table k("kernel micros, n=20 (per application)");
     k.set_header({"kernel", "naive ms", "strided ms", "speedup"});
     k.add_row({"RX", Table::num(rx.naive_ms, 2),
@@ -302,6 +383,10 @@ print_figure()
 
     std::cout << "max |amp_fused - amp_naive| over optimizer points: "
               << deviation << (deviation <= 1e-12 ? "  (exact)" : "  (DRIFT!)")
+              << "\nmax |amp_simd - amp_scalar|: " << backends.max_deviation
+              << (backends.max_deviation <= 1e-12 ? "  (exact)" : "  (DRIFT!)")
+              << "\nfixed-seed counts scalar vs simd: "
+              << (backends.counts_identical ? "bit-identical" : "DIVERGED")
               << "\nEV agreement: naive " << ev_naive << " vs cached "
               << ev_cached << "\n";
 
@@ -324,6 +409,25 @@ print_figure()
          << "    \"expectation\": {\"naive_ms\": " << naive_ev_ms
          << ", \"cached_ms\": " << cached_ev_ms << "}\n"
          << "  },\n"
+         << "  \"backends\": {\n"
+         << "    \"scalar\": {\"name\": \""
+         << sim::backend_kind_name(sim::BackendKind::ScalarFused)
+         << "\", \"ms_per_run\": " << backends.scalar_ms_per_run << "},\n"
+         << "    \"simd\": {\"name\": \""
+         << sim::backend_kind_name(sim::BackendKind::VectorizedFused)
+         << "\", \"isa\": \"" << sim::BackendRegistry::vector_isa()
+         << "\", \"ms_per_run\": " << backends.simd_ms_per_run << "},\n"
+         << "    \"speedup\": " << backends.speedup << ",\n"
+         << "    \"max_amplitude_deviation\": " << backends.max_deviation
+         << ",\n"
+         << "    \"counts_bit_identical\": "
+         << (backends.counts_identical ? "true" : "false") << "\n"
+         << "  },\n"
+         << "  \"cpu_features\": {\"avx\": " << (features.avx ? "true" : "false")
+         << ", \"fma\": " << (features.fma ? "true" : "false")
+         << ", \"avx2\": " << (features.avx2 ? "true" : "false")
+         << ", \"avx512f\": " << (features.avx512f ? "true" : "false")
+         << "},\n"
          << "  \"max_amplitude_deviation\": " << deviation << ",\n"
          << "  \"amplitudes_exact_1e12\": "
          << (deviation <= 1e-12 ? "true" : "false") << "\n"
@@ -335,6 +439,14 @@ print_figure()
     if (deviation > 1e-12) {
         std::cerr << "FATAL: fused amplitudes drifted " << deviation
                   << " from the naive path (contract: 1e-12)\n";
+        std::exit(1);
+    }
+    if (backends.max_deviation > 1e-12 || !backends.counts_identical) {
+        std::cerr << "FATAL: vectorized backend broke the exactness "
+                     "contract (deviation "
+                  << backends.max_deviation << ", counts "
+                  << (backends.counts_identical ? "identical" : "diverged")
+                  << ")\n";
         std::exit(1);
     }
 }
@@ -378,6 +490,35 @@ BM_NaiveOptimizerEval(benchmark::State& state)
     }
 }
 BENCHMARK(BM_NaiveOptimizerEval)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void
+BM_BackendProgramRun(benchmark::State& state)
+{
+    const auto model =
+        bench::ba_model(static_cast<int>(state.range(0)), 1, 3);
+    qaoa::BuildOptions opts;
+    opts.num_layers = kLayers;
+    opts.include_measurements = false;
+    const sim::FusedProgram program(qaoa::build_qaoa_circuit(model, opts));
+    const auto& backend = sim::BackendRegistry::instance().get(
+        state.range(1) != 0 ? sim::BackendKind::VectorizedFused
+                            : sim::BackendKind::ScalarFused);
+    const auto points = angle_trajectory(16, kLayers, 7);
+    sim::Statevector sv;
+    std::size_t k = 0;
+    for (auto _ : state) {
+        const auto& point = points[k % points.size()];
+        program.run({point.begin(), point.begin() + kLayers},
+                    {point.begin() + kLayers, point.end()}, sv, backend);
+        benchmark::DoNotOptimize(sv.data());
+        ++k;
+    }
+    state.SetLabel(backend.name());
+}
+BENCHMARK(BM_BackendProgramRun)
+    ->Args({20, 0})
+    ->Args({20, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_FusedLandscapeScan(benchmark::State& state)

@@ -227,8 +227,12 @@ simulate_scheduled_leaf(TemplateCache& cache, const SolveTree& tree,
     // --no-fusion escape hatch.
     if (leaf.fuse) {
         const auto program = cache.get_or_fuse(sub.model, build, fused_hit);
+        // The kernel backend was chosen at plan time (leaf.backend, a pure
+        // function of config and width) — execution only looks it up, so
+        // scheduling order can never change a leaf's kernels.
         program->run({tuned.angles.gamma}, {tuned.angles.beta},
-                     scratch.statevector);
+                     scratch.statevector,
+                     sim::BackendRegistry::instance().get(leaf.backend));
     } else {
         const auto bound = qaoa::build_qaoa_circuit(sub.model, build)
                                .bind({tuned.angles.gamma},
@@ -270,6 +274,12 @@ ExecutionEngine::start_diagnostics(const SolveTree& tree,
             tree.flat() ? leaf.local_solve : leaf_id);
         diagnostics_.fused_simulation =
             diagnostics_.fused_simulation || leaf.fuse;
+        if (leaf.fuse) {
+            if (leaf.backend == sim::BackendKind::VectorizedFused)
+                ++diagnostics_.leaves_simd_backend;
+            else
+                ++diagnostics_.leaves_scalar_backend;
+        }
         // Only an EXECUTED leaf's mirrors are actually inferred — a
         // budget-skipped leaf infers nothing.
         for (int mirror_node : leaf.mirror_nodes)

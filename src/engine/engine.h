@@ -100,6 +100,11 @@ class ExecutionEngine
         int leaves_beyond_budget = 0; ///< ranked leaves cut by max_circuits
         int leaves_pruned = 0;        ///< dropped by bound domination
         bool scheduler_scored = false;///< SA-ranked (vs plan order)
+        /** Scheduled-leaf kernel backends (plan-time choice; see
+         *  SolveLeaf::backend). Non-fused leaves run gate-by-gate and
+         *  count under neither. */
+        int leaves_scalar_backend = 0;
+        int leaves_simd_backend = 0;
 
         // --------------------------------- wave-synchronous epochs only --
         int epochs = 0;               ///< waves the solve rode (1 = flat batch)

@@ -193,6 +193,15 @@ SolveService::run_wave(const std::vector<WaveSlot>& wave)
             r.fused_lookups.fetch_add(1, std::memory_order_relaxed);
             if (fused_hit)
                 r.fused_hits.fetch_add(1, std::memory_order_relaxed);
+            // Attribute the traffic to the leaf's plan-time backend tag.
+            const bool simd =
+                leaf.backend == sim::BackendKind::VectorizedFused;
+            auto& lookups =
+                simd ? r.fused_lookups_simd : r.fused_lookups_scalar;
+            auto& hits = simd ? r.fused_hits_simd : r.fused_hits_scalar;
+            lookups.fetch_add(1, std::memory_order_relaxed);
+            if (fused_hit)
+                hits.fetch_add(1, std::memory_order_relaxed);
         }
         r.leaves_folded.fetch_add(1, std::memory_order_acq_rel);
     };
@@ -218,6 +227,10 @@ SolveService::reduce_request(Request& request)
     out.diag.waves = request.waves;
     out.diag.fused_lookups = request.fused_lookups.load();
     out.diag.fused_hits = request.fused_hits.load();
+    out.diag.fused_lookups_scalar = request.fused_lookups_scalar.load();
+    out.diag.fused_hits_scalar = request.fused_hits_scalar.load();
+    out.diag.fused_lookups_simd = request.fused_lookups_simd.load();
+    out.diag.fused_hits_simd = request.fused_hits_simd.load();
     out.diag.cache_hit_share =
         out.diag.fused_lookups == 0
             ? 0.0

@@ -117,6 +117,12 @@ class SolveService
         /** Fused-program cache traffic attributed to this tenant. */
         std::uint64_t fused_lookups = 0;
         std::uint64_t fused_hits = 0;
+        /** Per-backend split of the fused-cache traffic (plan-time leaf
+         *  backend tags; scalar + simd == the totals above). */
+        std::uint64_t fused_lookups_scalar = 0;
+        std::uint64_t fused_hits_scalar = 0;
+        std::uint64_t fused_lookups_simd = 0;
+        std::uint64_t fused_hits_simd = 0;
         /** fused_hits / fused_lookups (0 when the request never fused). */
         double cache_hit_share = 0.0;
         /**
@@ -261,6 +267,11 @@ class SolveService
         Clock::time_point first_exec; ///< guarded by error_mutex
         std::atomic<std::uint64_t> fused_lookups{0};
         std::atomic<std::uint64_t> fused_hits{0};
+        /** Per-backend split (see TenantDiagnostics). */
+        std::atomic<std::uint64_t> fused_lookups_scalar{0};
+        std::atomic<std::uint64_t> fused_hits_scalar{0};
+        std::atomic<std::uint64_t> fused_lookups_simd{0};
+        std::atomic<std::uint64_t> fused_hits_simd{0};
         std::atomic<int> leaves_folded{0};
         int waves = 0;               ///< assembler-thread only
         double occupancy_sum = 0.0;  ///< assembler-thread only

@@ -138,6 +138,8 @@ class TreeBuilder
         leaf.needs_repair = node.partition_lineage;
         leaf.fuse = config_.fuse_simulation &&
                     node.sub.model.num_spins() <= sim::kMaxSimQubits;
+        leaf.backend = sim::select_backend(config_.backend,
+                                           node.sub.model.num_spins());
         leaf.build = build;
         leaf.tpl = std::move(tpl);
         leaf.tpl_compatible = compatible;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "engine/plan.h"
+#include "sim/backend.h"
 
 namespace fq::engine {
 
@@ -100,6 +101,11 @@ struct SolveLeaf
     bool needs_repair = false;
     /** Simulate through the fused QAOA fast path (width permitting). */
     bool fuse = false;
+    /** Kernel backend this leaf executes on — fixed at plan time as a
+     *  pure function of (config.backend, leaf width), so thread count and
+     *  wave packing can never change a leaf's kernels (the determinism
+     *  contract extends to backend choice). */
+    sim::BackendKind backend = sim::BackendKind::ScalarFused;
     /** Circuit build options this leaf's template/fused program were
      *  compiled under — simulation MUST reuse them. */
     qaoa::BuildOptions build;

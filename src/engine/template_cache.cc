@@ -292,15 +292,19 @@ TemplateCache::get_or_fuse(const ising::IsingModel& model,
         }
         // Verify-key mismatch (fingerprint collision): the stale entry is
         // about to be overwritten — release its bytes from the budget.
-        sim_bytes_ -= it->second.value->table_bytes();
+        sim_bytes_ -= it->second.bytes;
     }
-    sim_bytes_ += program->table_bytes();
+    // Charge the FULL program footprint (tables + compiled op list), not
+    // table_bytes() alone — the old accounting undercounted every fused
+    // artifact by its op/qubit storage.
+    const std::size_t program_bytes = program->bytes();
+    sim_bytes_ += program_bytes;
     if (sim_bytes_ > kMaxSimBytes) {
         stats_.sim_evictions += sim_entries_.size();
         sim_entries_.clear();
-        sim_bytes_ = program->table_bytes();
+        sim_bytes_ = program_bytes;
     }
-    sim_entries_[key] = SimEntry{verify, program};
+    sim_entries_[key] = SimEntry{verify, program_bytes, program};
     if (was_hit)
         *was_hit = false;
     return program;

@@ -141,10 +141,11 @@ class TemplateCache
     Stats stats() const;
     std::size_t size() const;
     /**
-     * Estimated bytes currently held: fused-program table storage (exact
-     * per FusedProgram::table_bytes) plus a per-template estimate of the
-     * compiled circuit and its noise arrays. Cheap enough to poll from a
-     * --stats report after every solve.
+     * Estimated bytes currently held: full fused-program footprints
+     * (FusedProgram::bytes — weight tables AND the compiled op list) plus
+     * a per-template estimate of the compiled circuit and its noise
+     * arrays. Cheap enough to poll from a --stats report after every
+     * solve.
      */
     std::size_t bytes() const;
     void clear();
@@ -159,6 +160,9 @@ class TemplateCache
     struct SimEntry
     {
         std::uint64_t verify_key = 0;
+        /** Full program footprint (FusedProgram::bytes(), captured at
+         *  insert so the budget releases exactly what it charged). */
+        std::size_t bytes = 0;
         std::shared_ptr<const sim::FusedProgram> value;
     };
 

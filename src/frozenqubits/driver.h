@@ -22,6 +22,7 @@
 #include "frozenqubits/hotspot.h"
 #include "ising/ising_model.h"
 #include "qaoa/analytic_p1.h"
+#include "sim/backend.h"
 #include "sim/counts.h"
 #include "transpiler/pipeline.h"
 
@@ -41,6 +42,15 @@ struct DriverConfig
      * A/B debugging against the naive path.
      */
     bool fuse_simulation = true;
+    /**
+     * Kernel backend policy for fused leaf simulation (fqtool --backend):
+     * Auto picks per leaf by width (scalar below
+     * sim::kAutoVectorizeMinQubits, vectorized at and above); Scalar/Simd
+     * force one backend everywhere. Recorded per leaf at PLAN time, so
+     * any thread count and solo-vs-service execution see identical
+     * kernels — and the backends agree bitwise on sampled counts anyway.
+     */
+    sim::BackendSelection backend = sim::BackendSelection::Auto;
     transpiler::CompileOptions compile{};
     int p1_grid_resolution = 32;             ///< angle-search coarse grid
     std::uint64_t seed = 7;

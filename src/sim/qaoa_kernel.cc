@@ -8,6 +8,7 @@
 #include "common/bitops.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "sim/backend.h"
 #include "sim/kernels.h"
 
 namespace fq::sim {
@@ -308,6 +309,14 @@ void
 FusedProgram::run(const std::vector<double>& gammas,
                   const std::vector<double>& betas, Statevector& out) const
 {
+    run(gammas, betas, out, BackendRegistry::instance().scalar());
+}
+
+void
+FusedProgram::run(const std::vector<double>& gammas,
+                  const std::vector<double>& betas, Statevector& out,
+                  const Backend& backend) const
+{
     if (uniform_start_)
         out.reset_uniform(num_qubits_);
     else
@@ -320,22 +329,19 @@ FusedProgram::run(const std::vector<double>& gammas,
           case circuit::FusedOp::Kind::Diagonal: {
             const double scale =
                 resolve_scale(op.scale_kind, op.scale_layer, gammas, betas);
-            tables_[op.table].apply(amps, scale);
+            backend.apply_diagonal(tables_[op.table], amps, scale);
             break;
           }
           case circuit::FusedOp::Kind::Mixer: {
             const double theta =
                 op.mixer_coefficient *
                 resolve_scale(op.scale_kind, op.scale_layer, gammas, betas);
-            std::size_t k = 0;
-            for (; k + 1 < op.qubits.size(); k += 2)
-                kernels::apply_rx_pair(amps, dim, op.qubits[k],
-                                       op.qubits[k + 1], theta);
-            if (k < op.qubits.size())
-                kernels::apply_rx(amps, dim, op.qubits[k], theta);
+            backend.apply_mixer_wall(amps, dim, op.qubits, theta);
             break;
           }
           case circuit::FusedOp::Kind::Gate: {
+            // Residual gates stay on the shared strided kernels — they
+            // are rare (non-QAOA shapes) and identical on every backend.
             circuit::Gate g = op.gate;
             if (circuit::has_angle(g.type) && !g.angle.is_constant())
                 g.angle = circuit::Parameter::constant(
@@ -345,6 +351,18 @@ FusedProgram::run(const std::vector<double>& gammas,
           }
         }
     }
+}
+
+std::size_t
+FusedProgram::bytes() const
+{
+    std::size_t total = sizeof(FusedProgram);
+    total += ops_.capacity() * sizeof(Op);
+    for (const auto& op : ops_)
+        total += op.qubits.capacity() * sizeof(int);
+    total += tables_.capacity() * sizeof(DiagonalTable);
+    total += table_bytes();
+    return total;
 }
 
 } // namespace fq::sim

@@ -43,6 +43,8 @@
 
 namespace fq::sim {
 
+class Backend;
+
 /**
  * Per-state weight table for one fused diagonal layer:
  * phase(s) = scale * weight(s). Immutable after construction.
@@ -69,6 +71,19 @@ class DiagonalTable
     std::uint64_t dimension() const { return dimension_; }
     bool compressed() const { return !levels_.empty(); }
     std::size_t num_levels() const { return levels_.size(); }
+
+    /// @name Raw storage views (backend kernels; see sim/backend.h)
+    /// @{
+    /** Distinct weight values (empty unless compressed()). */
+    const std::vector<double>& levels() const { return levels_; }
+    /** Per-state level slot (empty unless compressed()). */
+    const std::vector<std::uint16_t>& level_index() const
+    {
+        return level_index_;
+    }
+    /** Per-state weights (empty when compressed()). */
+    const std::vector<double>& raw_weights() const { return weights_; }
+    /// @}
 
     /** Bytes held by the table storage (cache budget accounting). */
     std::size_t bytes() const
@@ -135,6 +150,16 @@ class FusedProgram
     void run(const std::vector<double>& gammas,
              const std::vector<double>& betas, Statevector& out) const;
 
+    /**
+     * Same, but the diagonal-layer and mixer-wall passes execute on
+     * @p backend's kernels (sim/backend.h). The no-backend overload above
+     * runs on the scalar reference backend, so existing callers keep
+     * their exact numerics.
+     */
+    void run(const std::vector<double>& gammas,
+             const std::vector<double>& betas, Statevector& out,
+             const Backend& backend) const;
+
     /// @name Structure diagnostics
     /// @{
     int num_diagonal_ops() const { return num_diagonal_ops_; }
@@ -151,6 +176,13 @@ class FusedProgram
         return total;
     }
     bool starts_uniform() const { return uniform_start_; }
+    /**
+     * Total bytes held by the compiled program: weight tables plus the op
+     * list and its per-op qubit vectors. The cache budget accounts this,
+     * not table_bytes() alone — ops are small next to the 2^n tables, but
+     * an undercount is still an undercount.
+     */
+    std::size_t bytes() const;
     /// @}
 
   private:

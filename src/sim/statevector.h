@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "ising/ising_model.h"
 
@@ -37,6 +38,12 @@ class Statevector
 {
   public:
     using Amplitude = std::complex<double>;
+    /** Amplitude storage is 64-byte aligned (common/aligned.h) so vector
+     *  loads/stores in the SIMD backend never straddle a cache line and
+     *  AVX-512-width accesses stay aligned. */
+    using AmplitudeVector =
+        std::vector<Amplitude, AlignedAllocator<Amplitude,
+                                                kAmplitudeAlignment>>;
 
     /**
      * Empty scratch state (0 qubits, the single amplitude 1). Give it a
@@ -132,7 +139,7 @@ class Statevector
     void check_qubit(int q) const;
 
     int num_qubits_;
-    std::vector<Amplitude> amps_;
+    AmplitudeVector amps_;
     /** Sampling CDF cache; rebuilt lazily after any mutation. */
     mutable std::vector<double> cdf_;
     mutable bool cdf_valid_ = false;

@@ -77,6 +77,15 @@ mixed_workloads()
         d.seed = 3;
         w.push_back(std::move(d));
     }
+    { // forced vectorized backend (every leaf through the SIMD kernels)
+        Workload e;
+        e.model = ba_model(14, 1, 11);
+        e.config.num_freeze = 2;
+        e.config.backend = sim::BackendSelection::Simd;
+        e.shots = 512;
+        e.seed = 59;
+        w.push_back(std::move(e));
+    }
     return w;
 }
 
@@ -192,6 +201,52 @@ TEST(SolveService, WarmCacheServesSecondTenantsFusedPrograms)
     EXPECT_LE(warm.wave_occupancy, 1.0);
     EXPECT_GE(warm.queue_latency_ms, 0.0);
     EXPECT_GE(warm.wall_ms, warm.queue_latency_ms);
+}
+
+TEST(SolveService, PerBackendCountersSplitFusedTraffic)
+{
+    const auto dev = device::make_device("ibm-montreal");
+
+    // Forced-simd tenant: every fused lookup lands in the simd bucket.
+    const auto simd_w = mixed_workloads()[4];
+    ASSERT_EQ(simd_w.config.backend, sim::BackendSelection::Simd);
+    ExecutionEngine eng(2);
+    SolveService service(eng);
+    auto simd_req =
+        service.submit(simd_w.model, dev, simd_w.config, simd_w.shots,
+                       simd_w.seed);
+    simd_req.wait();
+
+    // Forced-scalar tenant on the same service: scalar bucket only.
+    auto scalar_w = mixed_workloads()[0];
+    scalar_w.config.backend = sim::BackendSelection::Scalar;
+    auto scalar_req =
+        service.submit(scalar_w.model, dev, scalar_w.config,
+                       scalar_w.shots, scalar_w.seed);
+    scalar_req.wait();
+    service.drain();
+
+    const auto simd_diag = service.diagnostics(simd_req.id());
+    EXPECT_GT(simd_diag.fused_lookups, 0u);
+    EXPECT_EQ(simd_diag.fused_lookups_simd, simd_diag.fused_lookups);
+    EXPECT_EQ(simd_diag.fused_hits_simd, simd_diag.fused_hits);
+    EXPECT_EQ(simd_diag.fused_lookups_scalar, 0u);
+    EXPECT_EQ(simd_diag.fused_hits_scalar, 0u);
+
+    const auto scalar_diag = service.diagnostics(scalar_req.id());
+    EXPECT_GT(scalar_diag.fused_lookups, 0u);
+    EXPECT_EQ(scalar_diag.fused_lookups_scalar,
+              scalar_diag.fused_lookups);
+    EXPECT_EQ(scalar_diag.fused_hits_scalar, scalar_diag.fused_hits);
+    EXPECT_EQ(scalar_diag.fused_lookups_simd, 0u);
+    EXPECT_EQ(scalar_diag.fused_hits_simd, 0u);
+
+    // The per-backend split always sums to the totals.
+    for (const auto& d : {simd_diag, scalar_diag}) {
+        EXPECT_EQ(d.fused_lookups_scalar + d.fused_lookups_simd,
+                  d.fused_lookups);
+        EXPECT_EQ(d.fused_hits_scalar + d.fused_hits_simd, d.fused_hits);
+    }
 }
 
 TEST(SolveService, FailedTenantDoesNotPoisonTheWave)

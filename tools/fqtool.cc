@@ -258,6 +258,11 @@ print_wall_clock(const engine::ExecutionEngine& eng)
               << " mirrored, " << d.template_edits << " template edits"
               << (d.template_cache_hit ? ", template cached" : "")
               << (d.fused_simulation ? ", fused sim" : "") << ")\n";
+    if (d.leaves_scalar_backend > 0 || d.leaves_simd_backend > 0)
+        std::cout << "backends: " << d.leaves_scalar_backend
+                  << " scalar / " << d.leaves_simd_backend
+                  << " simd leaves (vector isa: "
+                  << sim::BackendRegistry::vector_isa() << ")\n";
     if (d.leaves_beyond_budget > 0 || d.leaves_pruned > 0 ||
         d.tree_depth > 1) {
         std::cout << "solve tree: depth " << d.tree_depth << ", "
@@ -292,6 +297,9 @@ apply_tree_options(const Options& opts, frozenqubits::DriverConfig& config)
         rerank == "off" ? 0 : long_option(opts, "rerank", 0);
     FQ_REQUIRE(rerank == "off" || config.rerank_interval >= 1,
                "--rerank expects a positive interval or 'off'");
+    FQ_REQUIRE(sim::parse_backend_selection(
+                   option(opts, "backend", "auto"), &config.backend),
+               "--backend expects auto, scalar or simd");
 }
 
 /** Recursive tree printer: one line per node, indented by depth. */
@@ -353,7 +361,7 @@ cmd_plan(const Options& opts)
               << Table::num(schedule.presolve_cost, 3) << "\n";
     Table t("leaf schedule (best-first; SA score ranks, ties by leaf id)");
     t.set_header({"rank", "leaf", "node", "spins", "frozen", "SA score",
-                  "bound", "status"});
+                  "bound", "backend", "status"});
     int rank = 0;
     const auto add_leaf_row = [&](int leaf_id, const std::string& status) {
         const auto& leaf =
@@ -368,6 +376,8 @@ cmd_plan(const Options& opts)
                    Table::num(static_cast<int>(node.sub.frozen.size())),
                    Table::num(score.score, 3),
                    leaf.needs_repair ? "n/a" : Table::num(score.bound, 3),
+                   leaf.fuse ? sim::backend_kind_name(leaf.backend)
+                             : "naive",
                    status});
     };
     for (int leaf_id : schedule.executed)
@@ -548,8 +558,14 @@ load_trace(const std::string& path, const Options& opts)
                        "expected key=value, got '" + tok + "'" + where);
             const auto key = tok.substr(0, eq);
             const auto value = tok.substr(eq + 1);
-            if (key == "device") { // the one non-numeric value
+            if (key == "device") { // non-numeric value
                 req.device = value;
+                continue;
+            }
+            if (key == "backend") { // non-numeric value
+                FQ_REQUIRE(sim::parse_backend_selection(
+                               value, &req.config.backend),
+                           "backend expects auto, scalar or simd" + where);
                 continue;
             }
             long long parsed = 0;
@@ -757,11 +773,11 @@ usage()
         "           [--threads T]\n"
         "  plan     [--file F] --device NAME [--freeze M|auto]\n"
         "           [--max-depth D] [--max-circuits B] [--partition W]\n"
-        "           [--prune-dominated]\n"
+        "           [--prune-dominated] [--backend auto|scalar|simd]\n"
         "  solve    [--file F] --device NAME [--freeze M|auto] [--shots K]\n"
         "           [--threads T] [--max-depth D] [--max-circuits B]\n"
         "           [--partition W] [--prune-dominated] [--rerank N|off]\n"
-        "           [--no-fusion] [--stats]\n"
+        "           [--backend auto|scalar|simd] [--no-fusion] [--stats]\n"
         "  serve-batch --trace FILE [--device NAME] [--threads T]\n"
         "           [--wave-size W] [--queue-depth D] [--shots K]\n"
         "           [--serial] [--stats]\n"
