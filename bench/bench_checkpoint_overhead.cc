@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Durable-solve overhead study: what checkpointing costs. Runs the same
+ * deep re-ranked solve three ways on the shared engine — no sink, an
+ * in-memory sink that encodes every snapshot, and a file sink that
+ * persists every snapshot through the atomic tmp+rename path — and
+ * reports wall-clock deltas, snapshot count and encoded size. Emits
+ * BENCH_checkpoint_overhead.json for the CI artifact trail, then runs
+ * google-benchmark timings of the capture+encode hot path.
+ *
+ * The solve RESULTS are bit-identical across all three modes (checkpoint
+ * barriers only add synchronization points); only the wall clock moves.
+ */
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/checkpoint.h"
+
+namespace {
+
+using namespace fq;
+
+constexpr int kSpins = 18;
+constexpr int kDegree = 2;
+constexpr int kShots = 4096;
+constexpr int kRepeats = 3; // best-of wall clock per mode
+constexpr std::uint64_t kSeed = 29;
+
+using Clock = std::chrono::steady_clock;
+
+double
+ms_since(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+frozenqubits::DriverConfig
+durable_config()
+{
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 2;
+    config.max_depth = 2;
+    config.max_circuits = 8;
+    config.rerank_interval = 2;
+    config.checkpoint_interval = 1; // snapshot at every folded leaf
+    config.seed = kSeed;
+    return config;
+}
+
+double
+solve_wall_ms(engine::ExecutionEngine& eng, const ising::IsingModel& model,
+              const device::Device& dev,
+              const engine::CheckpointSink& sink, int* snapshots = nullptr)
+{
+    const auto config = durable_config();
+    const auto start = Clock::now();
+    auto solved = eng.solve(model, dev, config, kShots, kSeed, sink);
+    benchmark::DoNotOptimize(solved.best_cost);
+    if (snapshots)
+        *snapshots = eng.last_diagnostics().checkpoints;
+    return ms_since(start);
+}
+
+void
+print_figure()
+{
+    bench::banner("checkpoint overhead",
+                  "durable solve vs the same solve with per-boundary "
+                  "snapshots (in-memory encode and file persistence)");
+    const auto dev = device::make_device("ibm-montreal");
+    const auto model = bench::ba_model(kSpins, kDegree, kSeed);
+    auto& eng = bench::shared_engine();
+    const std::string path = "bench_checkpoint_overhead.tmp.bin";
+
+    // Capture one representative snapshot (the deepest boundary) for the
+    // encode-size / microcost numbers, and warm caches + thread pool.
+    engine::SolveCheckpoint sample;
+    int snapshots_per_solve = 0;
+    (void)solve_wall_ms(eng, model, dev,
+                        [&](const engine::SolveCheckpoint& ck) {
+                            sample = ck;
+                            return true;
+                        },
+                        &snapshots_per_solve);
+    const auto sample_bytes = engine::encode_checkpoint(sample);
+
+    double baseline = 0.0, memory_sink = 0.0, file_sink = 0.0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        const double none = solve_wall_ms(eng, model, dev, {});
+        const double mem = solve_wall_ms(
+            eng, model, dev, [](const engine::SolveCheckpoint& ck) {
+                benchmark::DoNotOptimize(
+                    engine::encode_checkpoint(ck).size());
+                return true;
+            });
+        const double file = solve_wall_ms(
+            eng, model, dev, [&](const engine::SolveCheckpoint& ck) {
+                engine::write_checkpoint_file(path, ck);
+                return true;
+            });
+        if (rep == 0 || none < baseline)
+            baseline = none;
+        if (rep == 0 || mem < memory_sink)
+            memory_sink = mem;
+        if (rep == 0 || file < file_sink)
+            file_sink = file;
+    }
+    std::remove(path.c_str());
+
+    const double mem_overhead_pct =
+        100.0 * (memory_sink - baseline) / baseline;
+    const double file_overhead_pct =
+        100.0 * (file_sink - baseline) / baseline;
+
+    Table t("n=" + Table::num(kSpins) + " BA" + Table::num(kDegree) +
+            " depth-2 re-ranked solve, " + Table::num(eng.num_threads()) +
+            " threads (best of " + Table::num(kRepeats) + "), " +
+            Table::num(snapshots_per_solve) + " snapshots/solve");
+    t.set_header({"mode", "wall ms", "overhead %"});
+    t.add_row({"no checkpointing", Table::num(baseline, 2), "-"});
+    t.add_row({"encode every boundary", Table::num(memory_sink, 2),
+               Table::num(mem_overhead_pct, 1)});
+    t.add_row({"persist every boundary", Table::num(file_sink, 2),
+               Table::num(file_overhead_pct, 1)});
+    bench::emit(t);
+    std::cout << "snapshot size: " << sample_bytes.size() << " bytes\n";
+
+    std::ofstream json("BENCH_checkpoint_overhead.json");
+    json << "{\n"
+         << "  \"benchmark\": \"checkpoint_overhead\",\n"
+         << "  \"workload\": {\"graph\": \"ba" << kDegree
+         << "\", \"n\": " << kSpins << ", \"shots\": " << kShots
+         << ", \"freeze\": 2, \"max_depth\": 2, \"max_circuits\": 8, "
+         << "\"rerank_interval\": 2, \"checkpoint_interval\": 1, "
+         << "\"threads\": " << eng.num_threads()
+         << ", \"repeats\": " << kRepeats << "},\n"
+         << "  \"snapshots_per_solve\": " << snapshots_per_solve << ",\n"
+         << "  \"snapshot_bytes\": " << sample_bytes.size() << ",\n"
+         << "  \"baseline_wall_ms\": " << baseline << ",\n"
+         << "  \"memory_sink_wall_ms\": " << memory_sink << ",\n"
+         << "  \"file_sink_wall_ms\": " << file_sink << ",\n"
+         << "  \"memory_overhead_pct\": " << mem_overhead_pct << ",\n"
+         << "  \"file_overhead_pct\": " << file_overhead_pct << "\n"
+         << "}\n";
+    std::cout << "wrote BENCH_checkpoint_overhead.json\n";
+}
+
+void
+BM_CaptureEncode(benchmark::State& state)
+{
+    // The per-boundary hot path in isolation: encode a real deep-boundary
+    // snapshot (folded histograms included) to its framed byte form.
+    const auto dev = device::make_device("ibm-montreal");
+    const auto model = bench::ba_model(kSpins, kDegree, kSeed);
+    auto& eng = bench::shared_engine();
+    engine::SolveCheckpoint sample;
+    (void)solve_wall_ms(eng, model, dev,
+                        [&](const engine::SolveCheckpoint& ck) {
+                            sample = ck;
+                            return true;
+                        });
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine::encode_checkpoint(sample).size());
+}
+BENCHMARK(BM_CaptureEncode)->Unit(benchmark::kMicrosecond);
+
+void
+BM_DecodeValidate(benchmark::State& state)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    const auto model = bench::ba_model(kSpins, kDegree, kSeed);
+    auto& eng = bench::shared_engine();
+    engine::SolveCheckpoint sample;
+    (void)solve_wall_ms(eng, model, dev,
+                        [&](const engine::SolveCheckpoint& ck) {
+                            sample = ck;
+                            return true;
+                        });
+    const auto bytes = engine::encode_checkpoint(sample);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            engine::decode_checkpoint(bytes.data(), bytes.size()).cursor);
+}
+BENCHMARK(BM_DecodeValidate)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+FQ_BENCH_MAIN(print_figure)

@@ -309,6 +309,44 @@ ExecutionEngine::solve(const ising::IsingModel& model,
                        const frozenqubits::DriverConfig& config, int shots,
                        Rng& rng)
 {
+    return solve_impl(model, dev, config, shots, rng, /*seed=*/0,
+                      /*restore_from=*/nullptr, /*sink=*/{});
+}
+
+frozenqubits::SampledSolve
+ExecutionEngine::solve(const ising::IsingModel& model,
+                       const device::Device& dev,
+                       const frozenqubits::DriverConfig& config, int shots,
+                       std::uint64_t seed, const CheckpointSink& sink)
+{
+    Rng rng(seed);
+    return solve_impl(model, dev, config, shots, rng, seed,
+                      /*restore_from=*/nullptr, sink);
+}
+
+frozenqubits::SampledSolve
+ExecutionEngine::resume(const ising::IsingModel& model,
+                        const device::Device& dev,
+                        const frozenqubits::DriverConfig& config, int shots,
+                        const SolveCheckpoint& snapshot,
+                        const CheckpointSink& sink)
+{
+    // Replan from the SNAPSHOT's seed — restore_checkpoint fingerprint-
+    // checks that (model, config, device, shots) produce the plan the
+    // snapshot's cursor indexes into.
+    Rng rng(snapshot.seed);
+    return solve_impl(model, dev, config, shots, rng, snapshot.seed,
+                      &snapshot, sink);
+}
+
+frozenqubits::SampledSolve
+ExecutionEngine::solve_impl(const ising::IsingModel& model,
+                            const device::Device& dev,
+                            const frozenqubits::DriverConfig& config,
+                            int shots, Rng& rng, std::uint64_t seed,
+                            const SolveCheckpoint* restore_from,
+                            const CheckpointSink& sink)
+{
     FQ_REQUIRE(shots >= 1, "need at least one shot");
     const auto start = Clock::now();
 
@@ -321,6 +359,12 @@ ExecutionEngine::solve(const ising::IsingModel& model,
     const auto tree = build_solve_tree(model, dev, config, cache_, rng);
     auto schedule = make_schedule(model, tree, config,
                                   /*force_scoring=*/false, &executor_);
+    // A fresh solve trims the plan to its deadline here (DeadlineError
+    // when not even one leaf fits); a resume takes the snapshot's already
+    // trimmed-and-re-ranked schedule wholesale instead.
+    if (!restore_from)
+        apply_deadline_trim(schedule, tree, config.deadline_cost_units,
+                            /*folded=*/0);
 
     // Snapshot the plan-time order before re-ranking can rewrite the
     // tail: the plan side of the diagnostics' plan-vs-adaptive trace.
@@ -332,14 +376,6 @@ ExecutionEngine::solve(const ising::IsingModel& model,
                     ? tree.leaves[static_cast<std::size_t>(leaf_id)]
                           .local_solve
                     : leaf_id);
-
-    // Plan-time diagnostics publish BEFORE execution, so a solve that
-    // throws mid-wave still leaves ITS OWN plan state in
-    // last_diagnostics(), not a stale predecessor's.
-    start_diagnostics(tree, schedule);
-    diagnostics_.threads =
-        std::min(executor_.num_threads(),
-                 static_cast<int>(schedule.executed.size()));
 
     // Execute through wave-synchronous epochs; the streaming reducer folds
     // each leaf's distribution into the incumbent decode as it lands. With
@@ -354,16 +390,40 @@ ExecutionEngine::solve(const ising::IsingModel& model,
     request.dev = &dev;
     request.config = &config;
     request.shots = shots;
-    run_wave_loop(cache_, executor_, request);
+    request.seed = seed;
+    if (restore_from)
+        restore_checkpoint(*restore_from, request);
+
+    // Plan-time diagnostics publish BEFORE execution, so a solve that
+    // throws mid-wave still leaves ITS OWN plan state in
+    // last_diagnostics(), not a stale predecessor's.
+    start_diagnostics(tree, schedule);
+    diagnostics_.threads =
+        std::min(executor_.num_threads(),
+                 static_cast<int>(schedule.executed.size()));
+    if (restore_from)
+        diagnostics_.resumed_from =
+            static_cast<int>(restore_from->cursor);
+
+    int checkpoints = 0;
+    CheckpointHook hook;
+    if (sink)
+        hook = [&](WaveRequest& r) {
+            ++checkpoints;
+            return sink(capture_checkpoint(r));
+        };
+    run_wave_loop(cache_, executor_, request, hook);
 
     // Refresh against the FINAL schedule when a re-rank pruned, promoted
     // or demoted leaves after planning; otherwise the plan-time
     // diagnostics above are already exact.
-    if (schedule.reranks > 0) {
+    if (schedule.reranks > 0 || schedule.suspended) {
+        const int resumed = diagnostics_.resumed_from;
         start_diagnostics(tree, schedule);
         diagnostics_.threads =
             std::min(executor_.num_threads(),
                      static_cast<int>(schedule.executed.size()));
+        diagnostics_.resumed_from = resumed;
     }
     diagnostics_.epochs = request.epochs;
     diagnostics_.reranks = schedule.reranks;
@@ -371,6 +431,8 @@ ExecutionEngine::solve(const ising::IsingModel& model,
     diagnostics_.rerank_promoted = schedule.rerank_promoted;
     diagnostics_.rerank_demoted = schedule.rerank_demoted;
     diagnostics_.planned_subproblems = std::move(plan_order);
+    diagnostics_.checkpoints = checkpoints;
+    diagnostics_.deadline_trimmed = schedule.deadline_trimmed;
 
     auto solved = reducer.finish();
     diagnostics_.wall_ms = ms_since(start);

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "engine/batch_executor.h"
+#include "engine/checkpoint.h"
 #include "engine/plan.h"
 #include "engine/reducer.h"
 #include "engine/scheduler.h"
@@ -117,6 +118,13 @@ class ExecutionEngine
          *  tail — the plan side of a plan-vs-adaptive trace. Only filled
          *  when re-ranking is active. */
         std::vector<int> planned_subproblems;
+
+        // ------------------------------------------- durable solves only --
+        int checkpoints = 0;      ///< snapshots handed to the sink
+        /** Schedule cursor the solve resumed from; -1 = fresh solve. */
+        int resumed_from = -1;
+        /** Leaves demoted by the deadline trim (plan time + re-ranks). */
+        int deadline_trimmed = 0;
     };
 
     /** @p num_threads: 0 = auto (hardware concurrency). */
@@ -149,6 +157,46 @@ class ExecutionEngine
                                          config,
                                      int shots, Rng& rng);
 
+    /**
+     * Durable solve: identical to the Rng overload with `Rng rng(seed)`,
+     * plus checkpointing. When @p sink is set and
+     * config.checkpoint_interval > 0, the wave loop pauses every
+     * interval folded leaves and hands @p sink a SolveCheckpoint
+     * (engine/checkpoint.h); a false return suspends the solve, which
+     * then completes with its anytime incumbent flagged degraded while
+     * the last snapshot resumes the full solve elsewhere. Checkpoint
+     * barriers never change results — this overload without a sink is
+     * bit-identical to the Rng overload.
+     *
+     * Deadline admission: when config.deadline_cost_units > 0 the
+     * schedule is trimmed to the leaves that fit at plan time (typed
+     * DeadlineError when not even one does) and re-trimmed after each
+     * adaptive re-rank; a trimmed result is flagged degraded.
+     * (The Rng overload applies the same deadline semantics.)
+     */
+    frozenqubits::SampledSolve solve(const ising::IsingModel& model,
+                                     const device::Device& dev,
+                                     const frozenqubits::DriverConfig&
+                                         config,
+                                     int shots, std::uint64_t seed,
+                                     const CheckpointSink& sink = {});
+
+    /**
+     * Resume a durable solve from @p snapshot: replan from the snapshot's
+     * seed, fingerprint-check identity (CheckpointError on any mismatch —
+     * see restore_checkpoint), re-fold the recorded outcomes and continue
+     * mid-schedule. The combined checkpoint-then-resume result is
+     * bit-identical to the uninterrupted solve, at any thread count.
+     * @p sink re-arms checkpointing for the resumed run.
+     */
+    frozenqubits::SampledSolve resume(const ising::IsingModel& model,
+                                      const device::Device& dev,
+                                      const frozenqubits::DriverConfig&
+                                          config,
+                                      int shots,
+                                      const SolveCheckpoint& snapshot,
+                                      const CheckpointSink& sink = {});
+
     const TemplateCache& template_cache() const { return cache_; }
     const Diagnostics& last_diagnostics() const { return diagnostics_; }
 
@@ -168,6 +216,15 @@ class ExecutionEngine
         const ExecutionPlan& plan, const SubProblemTask& task,
         const device::Device& dev,
         const frozenqubits::DriverConfig& config);
+
+    /** Shared body of the three solve entry points: plan (or replan for a
+     *  resume), optionally restore @p restore_from, run the wave loop with
+     *  an optional checkpoint sink, reduce. */
+    frozenqubits::SampledSolve solve_impl(
+        const ising::IsingModel& model, const device::Device& dev,
+        const frozenqubits::DriverConfig& config, int shots, Rng& rng,
+        std::uint64_t seed, const SolveCheckpoint* restore_from,
+        const CheckpointSink& sink);
 
     void start_diagnostics(const ExecutionPlan& plan);
     void start_diagnostics(const SolveTree& tree,

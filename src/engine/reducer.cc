@@ -224,6 +224,24 @@ StreamingReducer::epoch_snapshot(std::size_t folded) const
     return snap;
 }
 
+std::vector<std::pair<int, sim::Counts>>
+StreamingReducer::export_folded(std::size_t folded) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    FQ_REQUIRE(folded <= schedule_.executed.size(),
+               "checkpoint export beyond the schedule");
+    std::vector<std::pair<int, sim::Counts>> out;
+    out.reserve(folded);
+    for (std::size_t k = 0; k < folded; ++k) {
+        const int leaf_id = schedule_.executed[k];
+        const auto& outcome = outcomes_[static_cast<std::size_t>(leaf_id)];
+        FQ_REQUIRE(outcome.done,
+                   "checkpoint export over a leaf that has not folded");
+        out.emplace_back(leaf_id, outcome.counts);
+    }
+    return out;
+}
+
 frozenqubits::SampledSolve
 StreamingReducer::finish_flat() const
 {
@@ -336,6 +354,11 @@ StreamingReducer::finish()
         out.anytime.push_back({circuits, running.cost, running.leaf});
     }
     out.leaves_executed = circuits;
+    // Durability flags: a deadline trim or a checkpoint-sink suspension
+    // shortened the schedule, so the answer above is the valid anytime
+    // incumbent over what DID fold — degraded, not wrong.
+    out.deadline_trimmed = schedule_.deadline_trimmed;
+    out.degraded = schedule_.deadline_trimmed > 0 || schedule_.suspended;
     return out;
 }
 

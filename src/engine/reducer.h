@@ -13,6 +13,7 @@
 
 #include <limits>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "engine/plan.h"
@@ -104,6 +105,18 @@ class StreamingReducer
      * folded (the wave barrier guarantees it); FQ_REQUIREd otherwise.
      */
     EpochIncumbent epoch_snapshot(std::size_t folded) const;
+
+    /**
+     * Raw sampled histograms of the FIRST @p folded scheduled leaves, as
+     * (leaf id, counts) pairs in rank order — the checkpoint payload of a
+     * durable solve (engine/checkpoint.h). Decoding is deterministic, so
+     * re-fold()ing these into a freshly planned reducer reproduces
+     * outcomes, incumbent and anytime trace bit for bit. All @p folded
+     * leaves must have folded (the wave barrier guarantees it);
+     * FQ_REQUIREd otherwise. Thread-safe.
+     */
+    std::vector<std::pair<int, sim::Counts>>
+    export_folded(std::size_t folded) const;
 
     /** Final result; call once after every scheduled leaf folded. */
     frozenqubits::SampledSolve finish();

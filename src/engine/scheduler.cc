@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/error.h"
+#include "engine/wave_loop.h"
 #include "ising/sa_solver.h"
 
 namespace fq::engine {
@@ -326,6 +328,54 @@ rerank_schedule(LeafSchedule& schedule, const ising::IsingModel& original,
     schedule.rerank_promoted += out.promoted;
     schedule.rerank_demoted += out.demoted;
     return out;
+}
+
+int
+apply_deadline_trim(LeafSchedule& schedule, const SolveTree& tree,
+                    long long deadline_units, std::size_t folded)
+{
+    if (deadline_units <= 0)
+        return 0;
+    FQ_REQUIRE(folded <= schedule.executed.size(),
+               "deadline trim fold count outside the schedule");
+
+    // The folded prefix is spent budget: its leaves ran (or are restored
+    // from a checkpoint as run) and their cost is gone either way.
+    long long consumed = 0;
+    for (std::size_t k = 0; k < folded; ++k)
+        consumed += leaf_slot_cost(tree, schedule.executed[k]);
+
+    // Greedy rank-order keep-if-fits over the tail: an over-budget wide
+    // leaf does not wall off cheaper leaves ranked behind it.
+    std::vector<int> kept;
+    std::vector<int> demoted;
+    long long cheapest = 0;
+    for (std::size_t k = folded; k < schedule.executed.size(); ++k) {
+        const int leaf_id = schedule.executed[k];
+        const long long cost = leaf_slot_cost(tree, leaf_id);
+        cheapest = cheapest == 0 ? cost : std::min(cheapest, cost);
+        if (consumed + cost <= deadline_units) {
+            consumed += cost;
+            kept.push_back(leaf_id);
+        } else {
+            demoted.push_back(leaf_id);
+        }
+    }
+    if (demoted.empty())
+        return 0;
+    if (folded == 0 && kept.empty())
+        throw DeadlineError(
+            "deadline of " + std::to_string(deadline_units) +
+            " cost units cannot cover any scheduled leaf (cheapest costs " +
+            std::to_string(cheapest) + ")");
+
+    schedule.executed.resize(folded);
+    schedule.executed.insert(schedule.executed.end(), kept.begin(),
+                             kept.end());
+    schedule.beyond_budget.insert(schedule.beyond_budget.end(),
+                                  demoted.begin(), demoted.end());
+    schedule.deadline_trimmed += static_cast<int>(demoted.size());
+    return static_cast<int>(demoted.size());
 }
 
 } // namespace fq::engine

@@ -21,10 +21,25 @@
 
 #include <vector>
 
+#include "common/error.h"
 #include "engine/batch_executor.h"
 #include "engine/solve_tree.h"
 
 namespace fq::engine {
+
+/**
+ * Typed deadline rejection. Thrown at plan time when
+ * DriverConfig::deadline_cost_units cannot cover even one scheduled leaf,
+ * and by SolveService::submit when the projected completion (serial
+ * backlog ahead of the request plus its own schedule, in 2^width wave-slot
+ * cost units) exceeds the request's deadline. Distinct from AdmissionError
+ * (queue depth) so callers can shed on load versus shrink the request.
+ */
+class DeadlineError : public fq::Error
+{
+  public:
+    explicit DeadlineError(const std::string& what) : fq::Error(what) {}
+};
 
 /** Classical plan-time rating of one leaf. */
 struct LeafScore
@@ -67,6 +82,16 @@ struct LeafSchedule
     int rerank_pruned = 0;    ///< stale dominated leaves dropped mid-run
     int rerank_promoted = 0;  ///< beyond-budget leaves pulled into executed
     int rerank_demoted = 0;   ///< scheduled leaves pushed beyond the budget
+
+    // ----------------------------------------------------- durability --
+    /** Demotion events by the deadline trim (apply_deadline_trim): leaves
+     *  pushed beyond_budget because the remaining deadline_cost_units
+     *  could no longer cover them. > 0 flags the result degraded. */
+    int deadline_trimmed = 0;
+    /** A checkpoint sink stopped this solve early (the un-dispatched tail
+     *  was demoted); the result is the anytime incumbent, flagged
+     *  degraded, while the captured snapshot resumes elsewhere. */
+    bool suspended = false;
 
     /** Global classical presolve on the original model (computed whenever
      *  scoring runs or any leaf needs decode repair). */
@@ -146,6 +171,31 @@ RerankOutcome rerank_schedule(LeafSchedule& schedule,
                               const ising::IsingModel& original,
                               const SolveTree& tree, std::size_t folded,
                               const EpochIncumbent& incumbent);
+
+/**
+ * Deadline trim: demote every scheduled leaf past @p folded that no longer
+ * fits in @p deadline_units of 2^width wave-slot cost (leaf_slot_cost),
+ * charging the already-folded prefix first. Walks the tail in rank order,
+ * keeping each leaf whose cost still fits the remaining budget — so
+ * cheaper late leaves may survive an expensive mid-schedule one. Demoted
+ * leaves land in beyond_budget (a later re-rank may reconsider them if the
+ * trim re-runs and they fit again) and count into
+ * LeafSchedule::deadline_trimmed.
+ *
+ * Deterministic by construction: a pure function of (schedule, tree,
+ * deadline, folded) — never of wall-clock time, wave composition or
+ * thread count — so a deadline-trimmed solve is bit-identical between a
+ * solo ExecutionEngine::solve and any SolveService interleaving. Runs at
+ * plan time (folded = 0) and again after each applied re-rank, whose
+ * promotions may overfill the budget.
+ *
+ * Throws DeadlineError when folded == 0 and not even one leaf fits — a
+ * request whose deadline cannot cover any quantum work is rejected
+ * outright instead of degenerating to a presolve-only answer.
+ * Returns the number of leaves demoted by this call.
+ */
+int apply_deadline_trim(LeafSchedule& schedule, const SolveTree& tree,
+                        long long deadline_units, std::size_t folded);
 
 } // namespace fq::engine
 

@@ -22,6 +22,18 @@ ms_since(std::chrono::steady_clock::time_point start,
     return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
+/** Wave-slot cost units still ahead of @p wave's cursor — the request's
+ *  contribution to the deadline backlog projection. */
+long long
+remaining_cost(const WaveRequest& wave)
+{
+    long long total = 0;
+    for (std::size_t k = wave.dispatched;
+         k < wave.schedule->executed.size(); ++k)
+        total += leaf_slot_cost(*wave.tree, wave.schedule->executed[k]);
+    return total;
+}
+
 } // namespace
 
 SolveService::SolveService(ExecutionEngine& engine)
@@ -66,11 +78,59 @@ SolveService::~SolveService()
     assembler_.join();
 }
 
+void
+SolveService::deadline_or_throw_locked(long long deadline,
+                                       long long own_cost)
+{
+    // Serial projection: the assembler round-robins fairly, but charging
+    // the FULL pending cost of every active tenant ahead of this request
+    // is the conservative bound the admission contract promises — a
+    // request admitted here can only finish sooner than projected.
+    long long backlog = 0;
+    for (const auto& request : active_)
+        backlog +=
+            request->pending_cost.load(std::memory_order_acquire);
+    if (backlog + own_cost > deadline) {
+        ++stats_.requests_rejected_deadline;
+        throw DeadlineError(
+            "deadline of " + std::to_string(deadline) +
+            " cost units cannot cover the backlog (" +
+            std::to_string(backlog) + " units ahead) plus this request's " +
+            "schedule (" + std::to_string(own_cost) + " units)");
+    }
+}
+
+SolveService::Ticket
+SolveService::enqueue_request(std::unique_ptr<Request> request,
+                              bool check_deadline)
+{
+    request->submitted = Clock::now();
+    Ticket ticket;
+    ticket.future_ = request->promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        FQ_REQUIRE(!stopping_, "submit on a stopping SolveService");
+        if (max_queue_depth_ > 0)
+            admit_or_throw_locked();
+        if (check_deadline && request->config.deadline_cost_units > 0)
+            deadline_or_throw_locked(
+                request->config.deadline_cost_units,
+                request->pending_cost.load(std::memory_order_relaxed));
+        request->id = next_id_++;
+        ticket.id_ = request->id;
+        ++stats_.requests_submitted;
+        active_.push_back(std::move(request));
+    }
+    work_available_.notify_all();
+    return ticket;
+}
+
 SolveService::Ticket
 SolveService::submit(const ising::IsingModel& model,
                      const device::Device& dev,
                      const frozenqubits::DriverConfig& config, int shots,
-                     std::uint64_t seed, CompletionCallback on_complete)
+                     std::uint64_t seed, CompletionCallback on_complete,
+                     CheckpointCallback on_checkpoint)
 {
     FQ_REQUIRE(shots >= 1, "need at least one shot");
 
@@ -87,6 +147,7 @@ SolveService::submit(const ising::IsingModel& model,
     request->config = config;
     request->shots = shots;
     request->on_complete = std::move(on_complete);
+    request->on_checkpoint = std::move(on_checkpoint);
 
     // Plan on the CALLING thread — the exact sequence of a solo
     // ExecutionEngine::solve, so the schedule (and therefore every leaf's
@@ -102,6 +163,18 @@ SolveService::submit(const ising::IsingModel& model,
     request->schedule = make_schedule(request->model, request->tree,
                                       request->config,
                                       /*force_scoring=*/false, nullptr);
+    // Plan-time deadline trim, exactly as a solo solve applies it; a
+    // deadline that covers no leaf at all is a typed rejection, counted
+    // like the backlog-projection rejections below.
+    try {
+        apply_deadline_trim(request->schedule, request->tree,
+                            request->config.deadline_cost_units,
+                            /*folded=*/0);
+    } catch (const DeadlineError&) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.requests_rejected_deadline;
+        throw;
+    }
     request->reducer.emplace(request->model, request->tree,
                              request->schedule);
     // Wire the wave-loop view into the request's own (heap-pinned)
@@ -114,23 +187,81 @@ SolveService::submit(const ising::IsingModel& model,
     request->wave.config = &request->config;
     request->wave.shots = shots;
     request->wave.context = request.get();
+    request->wave.seed = seed;
     arm_rerank(request->wave);
-    request->submitted = Clock::now();
+    // Checkpoint boundaries cost wave fragmentation, so they arm only
+    // when a sink will actually consume the snapshots.
+    if (request->on_checkpoint &&
+        request->config.checkpoint_interval > 0)
+        arm_checkpoint(request->wave);
+    request->pending_cost.store(remaining_cost(request->wave),
+                                std::memory_order_relaxed);
 
-    Ticket ticket;
-    ticket.future_ = request->promise.get_future();
-    {
+    return enqueue_request(std::move(request), /*check_deadline=*/true);
+}
+
+SolveService::Ticket
+SolveService::submit_resume(const ising::IsingModel& model,
+                            const device::Device& dev,
+                            const frozenqubits::DriverConfig& config,
+                            int shots, const SolveCheckpoint& snapshot,
+                            CompletionCallback on_complete,
+                            CheckpointCallback on_checkpoint)
+{
+    FQ_REQUIRE(shots >= 1, "need at least one shot");
+
+    if (max_queue_depth_ > 0) {
         std::lock_guard<std::mutex> lock(mutex_);
-        FQ_REQUIRE(!stopping_, "submit on a stopping SolveService");
-        if (max_queue_depth_ > 0)
-            admit_or_throw_locked();
-        request->id = next_id_++;
-        ticket.id_ = request->id;
-        ++stats_.requests_submitted;
-        active_.push_back(std::move(request));
+        admit_or_throw_locked();
     }
-    work_available_.notify_all();
-    return ticket;
+
+    auto request = std::make_unique<Request>();
+    request->model = model;
+    request->dev = dev;
+    request->config = config;
+    request->shots = shots;
+    request->on_complete = std::move(on_complete);
+    request->on_checkpoint = std::move(on_checkpoint);
+
+    // Replan from the SNAPSHOT's seed; restore_checkpoint fingerprint-
+    // checks that this reproduces the plan the snapshot's cursor indexes
+    // into, then re-folds the recorded outcomes and moves the cursor. No
+    // plan-time deadline trim: the snapshot's schedule already carries
+    // every trim/re-rank decision up to its boundary.
+    Rng rng(snapshot.seed);
+    request->tree = build_solve_tree(request->model, request->dev,
+                                     request->config, engine_.cache_, rng);
+    request->schedule = make_schedule(request->model, request->tree,
+                                      request->config,
+                                      /*force_scoring=*/false, nullptr);
+    request->reducer.emplace(request->model, request->tree,
+                             request->schedule);
+    request->wave.model = &request->model;
+    request->wave.tree = &request->tree;
+    request->wave.schedule = &request->schedule;
+    request->wave.reducer = &*request->reducer;
+    request->wave.dev = &request->dev;
+    request->wave.config = &request->config;
+    request->wave.shots = shots;
+    request->wave.context = request.get();
+    request->wave.seed = snapshot.seed;
+    restore_checkpoint(snapshot, request->wave);
+    // The snapshot carries the pending re-rank boundary (arm_rerank would
+    // rewind it below the cursor); the checkpoint boundary re-arms at the
+    // next interval multiple past the restored cursor.
+    if (request->on_checkpoint &&
+        request->config.checkpoint_interval > 0)
+        arm_checkpoint(request->wave);
+    request->leaves_folded.store(static_cast<int>(snapshot.cursor),
+                                 std::memory_order_release);
+    request->resumed_from = static_cast<int>(snapshot.cursor);
+    request->pending_cost.store(remaining_cost(request->wave),
+                                std::memory_order_relaxed);
+
+    // Queue-depth check only: a migrated request was already admitted
+    // against its deadline once — re-projecting the backlog here could
+    // bounce it between shards forever.
+    return enqueue_request(std::move(request), /*check_deadline=*/false);
 }
 
 std::vector<WaveSlot>
@@ -163,6 +294,10 @@ SolveService::assemble_wave_locked()
         ++request.waves;
         request.occupancy_sum += static_cast<double>(taken[t]) /
                                  static_cast<double>(wave.size());
+        // The dispatch cursor just advanced; keep the deadline backlog
+        // projection submit() reads in step with it.
+        request.pending_cost.store(remaining_cost(*tenants[t]),
+                                   std::memory_order_release);
     }
     return wave;
 }
@@ -244,6 +379,11 @@ SolveService::reduce_request(Request& request)
     out.diag.rerank_pruned = request.schedule.rerank_pruned;
     out.diag.rerank_promoted = request.schedule.rerank_promoted;
     out.diag.rerank_demoted = request.schedule.rerank_demoted;
+    out.diag.checkpoints = request.checkpoints;
+    out.diag.resumed_from = request.resumed_from;
+    out.diag.deadline_trimmed = request.schedule.deadline_trimmed;
+    out.diag.degraded = request.schedule.deadline_trimmed > 0 ||
+                        request.schedule.suspended;
     const auto now = Clock::now();
     if (request.started.load(std::memory_order_acquire))
         out.diag.queue_latency_ms =
@@ -325,8 +465,34 @@ SolveService::assembler_loop()
             if (!request->failed.load(std::memory_order_acquire))
                 live.push_back(request.get());
         lock.unlock();
-        for (Request* request : live)
+        for (Request* request : live) {
             post_barrier_rerank(request->wave);
+            // Durable requests: snapshot at an armed checkpoint boundary.
+            // The wrapper captures OUTSIDE the service lock (the snapshot
+            // copies every folded histogram) and contains callback throws
+            // — the header contract says they must not, so a violation is
+            // treated as "continue", mirroring CompletionCallback. A
+            // false return suspends the request (suspend_request inside
+            // post_barrier_checkpoint); the completion scan below then
+            // finishes it as a degraded anytime result.
+            post_barrier_checkpoint(
+                request->wave, [request](WaveRequest& wave) {
+                    if (!request->on_checkpoint)
+                        return true;
+                    const auto snapshot = capture_checkpoint(wave);
+                    ++request->checkpoints;
+                    try {
+                        return request->on_checkpoint(request->id,
+                                                      snapshot);
+                    } catch (...) {
+                        return true;
+                    }
+                });
+            // Re-ranks and suspensions rewrite the schedule tail; refresh
+            // the deadline backlog projection to match.
+            request->pending_cost.store(remaining_cost(request->wave),
+                                        std::memory_order_release);
+        }
         lock.lock();
 
         // Post-barrier scan, part 2 — completion is a pure cursor check

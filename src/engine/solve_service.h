@@ -40,7 +40,18 @@
  *
  * Admission control: Config::max_queue_depth bounds the in-flight request
  * count; submit() past it throws AdmissionError instead of queuing
- * unboundedly.
+ * unboundedly. Deadline-aware admission: a request carrying
+ * DriverConfig::deadline_cost_units is rejected with DeadlineError when
+ * the serial backlog ahead of it (every active tenant's un-dispatched
+ * leaves, in 2^width wave-slot cost units) plus its own schedule projects
+ * past the deadline — shedding at submit time instead of burning waves on
+ * an answer that will arrive too late.
+ *
+ * Durable solves: submit() with an on_checkpoint callback (and
+ * DriverConfig::checkpoint_interval > 0) snapshots the request at fold
+ * boundaries; submit_resume() re-admits a snapshot mid-schedule — in the
+ * same service or another process — with results bit-identical to an
+ * uninterrupted run (engine/checkpoint.h).
  *
  * Threading: submit() may be called from any thread. The engine's executor
  * is driven only by the service's assembler thread (the engine contract of
@@ -140,6 +151,16 @@ class SolveService
         int rerank_pruned = 0;   ///< stale dominated leaves never executed
         int rerank_promoted = 0; ///< beyond-budget leaves re-admitted
         int rerank_demoted = 0;  ///< scheduled leaves cut by a re-rank
+
+        // ------------------------------------------------- durability --
+        int checkpoints = 0;     ///< snapshots handed to on_checkpoint
+        /** Schedule cursor the request resumed from; -1 = fresh submit. */
+        int resumed_from = -1;
+        /** Leaves demoted by the deadline trim (plan time + re-ranks). */
+        int deadline_trimmed = 0;
+        /** Completed early (deadline trim or checkpoint suspension): the
+         *  result is the anytime incumbent, not the full schedule. */
+        bool degraded = false;
     };
 
     /** Service-wide counters (snapshot; monotone while the service lives). */
@@ -148,6 +169,10 @@ class SolveService
         std::uint64_t requests_submitted = 0;
         std::uint64_t requests_completed = 0;
         std::uint64_t requests_failed = 0;
+        /** Requests shed at submit because the projected completion
+         *  (backlog + own schedule) exceeded their deadline_cost_units,
+         *  or because the deadline could not cover even one leaf. */
+        std::uint64_t requests_rejected_deadline = 0;
         std::uint64_t waves_executed = 0;
         /** Leaves actually simulated across all waves (skipped slots of
          *  failed tenants do not count). */
@@ -190,6 +215,19 @@ class SolveService
         std::function<void(std::uint64_t request_id,
                            const frozenqubits::SampledSolve&)>;
 
+    /** Called on the assembler thread at each of a durable request's
+     *  checkpoint boundaries (DriverConfig::checkpoint_interval) with a
+     *  snapshot resumable via submit_resume / ExecutionEngine::resume.
+     *  Return false to SUSPEND the request: it completes early with its
+     *  anytime incumbent flagged degraded while the snapshot carries the
+     *  full solve elsewhere — the migration primitive. Same contract as
+     *  CompletionCallback: MUST NOT call drain() (the assembler is blocked
+     *  inside the callback) and must not throw (a throw is swallowed and
+     *  treated as "continue"). */
+    using CheckpointCallback =
+        std::function<bool(std::uint64_t request_id,
+                           const SolveCheckpoint&)>;
+
     explicit SolveService(ExecutionEngine& engine);
     SolveService(ExecutionEngine& engine, Config config);
 
@@ -208,13 +246,38 @@ class SolveService
      * `Rng rng(seed); engine.solve(model, dev, config, shots, rng)` —
      * including adaptive re-ranking (config.rerank_interval), whose epoch
      * boundaries depend only on this request's own fold count.
-     * Throws on planning failure (nothing is enqueued) and AdmissionError
-     * when Config::max_queue_depth requests are already in flight.
+     * Throws on planning failure (nothing is enqueued), AdmissionError
+     * when Config::max_queue_depth requests are already in flight, and
+     * DeadlineError when config.deadline_cost_units is set and either no
+     * leaf fits the deadline or the backlog of active tenants plus this
+     * request's own schedule projects past it.
+     *
+     * @p on_checkpoint, combined with config.checkpoint_interval > 0,
+     * makes the request durable (snapshots at fold boundaries; see
+     * CheckpointCallback). Checkpoint barriers never change results.
      */
     Ticket submit(const ising::IsingModel& model, const device::Device& dev,
                   const frozenqubits::DriverConfig& config, int shots,
                   std::uint64_t seed,
-                  CompletionCallback on_complete = nullptr);
+                  CompletionCallback on_complete = nullptr,
+                  CheckpointCallback on_checkpoint = nullptr);
+
+    /**
+     * Re-admit a checkpointed request mid-schedule: replan from the
+     * snapshot's seed, fingerprint-check identity (CheckpointError on any
+     * mismatch), re-fold the recorded outcomes and continue from the
+     * snapshot's cursor alongside other tenants. The combined
+     * checkpoint-then-resume result is bit-identical to the uninterrupted
+     * request. Admission applies the queue-depth check but NOT the
+     * deadline backlog projection — a migrated request was already
+     * admitted once, and bouncing it between shards would strand it.
+     */
+    Ticket submit_resume(const ising::IsingModel& model,
+                         const device::Device& dev,
+                         const frozenqubits::DriverConfig& config,
+                         int shots, const SolveCheckpoint& snapshot,
+                         CompletionCallback on_complete = nullptr,
+                         CheckpointCallback on_checkpoint = nullptr);
 
     /** Block until every request submitted so far has completed. */
     void drain();
@@ -254,6 +317,15 @@ class SolveService
 
         std::promise<frozenqubits::SampledSolve> promise;
         CompletionCallback on_complete;
+        CheckpointCallback on_checkpoint;
+
+        /** Wave-slot cost units (2^width per leaf) still ahead of this
+         *  request's cursor. Maintained by the assembler after every wave
+         *  and boundary scan; read by submit()'s deadline backlog
+         *  projection from other threads, hence atomic. */
+        std::atomic<long long> pending_cost{0};
+        int checkpoints = 0;   ///< assembler-thread only
+        int resumed_from = -1; ///< schedule cursor restored from (-1 = fresh)
 
         /** First failure among this request's leaves (poisons only this
          *  request; the wave and other tenants are unaffected). */
@@ -289,6 +361,15 @@ class SolveService
     /** Throw AdmissionError when the in-flight count (active + finishing)
      *  is at max_queue_depth_. Call with mutex_ held, depth policy on. */
     void admit_or_throw_locked() const;
+    /** Throw DeadlineError (counting the rejection) when the active
+     *  tenants' pending cost plus @p own_cost exceeds @p deadline. Call
+     *  with mutex_ held, deadline > 0. */
+    void deadline_or_throw_locked(long long deadline, long long own_cost);
+    /** Shared enqueue tail of submit / submit_resume: re-check admission
+     *  (and, for fresh submits, the deadline backlog) under the lock,
+     *  assign the id, publish to active_. */
+    Ticket enqueue_request(std::unique_ptr<Request> request,
+                           bool check_deadline);
     void assembler_loop();
     /** Drive the shared wave-loop assembly over the live tenants (fair
      *  round-robin + wave_share + cost weighting + re-rank boundary caps)

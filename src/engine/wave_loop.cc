@@ -144,20 +144,63 @@ post_barrier_rerank(WaveRequest& request)
         request.reducer->epoch_snapshot(request.dispatched);
     out = rerank_schedule(*request.schedule, *request.model, *request.tree,
                           request.dispatched, snapshot);
+    // Re-apply the deadline trim after the re-rank: promotions may have
+    // refilled the tail past what the remaining deadline covers. Trimming
+    // ONLY at plan time and re-rank boundaries keeps the trim a pure
+    // function of the fold count — checkpoint barriers (whose placement
+    // must not change results) never trigger one.
+    apply_deadline_trim(*request.schedule, *request.tree,
+                        request.config->deadline_cost_units,
+                        request.dispatched);
     request.next_rerank +=
         static_cast<std::size_t>(request.config->rerank_interval);
     return out;
 }
 
 void
-run_wave_loop(TemplateCache& cache, BatchExecutor& executor,
-              WaveRequest& request)
+suspend_request(WaveRequest& request)
 {
-    arm_rerank(request);
+    auto& schedule = *request.schedule;
+    FQ_ASSERT(request.dispatched <= schedule.executed.size(),
+              "suspend with cursor past the schedule");
+    for (std::size_t k = request.dispatched; k < schedule.executed.size();
+         ++k)
+        schedule.beyond_budget.push_back(schedule.executed[k]);
+    schedule.executed.resize(request.dispatched);
+    schedule.suspended = true;
+}
+
+bool
+post_barrier_checkpoint(WaveRequest& request, const CheckpointHook& hook)
+{
+    if (request.next_checkpoint == 0 ||
+        request.dispatched != request.next_checkpoint || request.done())
+        return true;
+    bool keep_going = true;
+    if (hook)
+        keep_going = hook(request);
+    request.next_checkpoint +=
+        static_cast<std::size_t>(request.config->checkpoint_interval);
+    if (!keep_going)
+        suspend_request(request);
+    return keep_going;
+}
+
+void
+run_wave_loop(TemplateCache& cache, BatchExecutor& executor,
+              WaveRequest& request, const CheckpointHook& checkpoint)
+{
+    // A fresh request arms its boundaries here; one restored from a
+    // checkpoint arrives with dispatched > 0 and its snapshot's re-rank
+    // boundary already set — re-arming would rewind it below the cursor.
+    if (request.dispatched == 0)
+        arm_rerank(request);
+    if (checkpoint)
+        arm_checkpoint(request);
     while (!request.done()) {
-        // One epoch: everything up to the next re-rank boundary rides one
-        // wave (the whole schedule when re-ranking is off — the pre-epoch
-        // single batch).
+        // One epoch: everything up to the next boundary (re-rank or
+        // checkpoint) rides one wave — the whole schedule when both are
+        // off: the pre-epoch single batch.
         const std::size_t limit = request.dispatch_limit();
         FQ_ASSERT(request.dispatched < limit,
                   "wave loop stalled before a boundary");
@@ -169,6 +212,7 @@ run_wave_loop(TemplateCache& cache, BatchExecutor& executor,
         ++request.epochs;
         execute_wave(cache, executor, wave);
         post_barrier_rerank(request);
+        post_barrier_checkpoint(request, checkpoint);
     }
 }
 

@@ -36,6 +36,7 @@
 #define FQ_ENGINE_WAVE_LOOP_H
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <vector>
@@ -66,12 +67,23 @@ struct WaveRequest
     int shots = 0;
     /** Driver-owned back-pointer (e.g. the SolveService's Request). */
     void* context = nullptr;
+    /** Seed the plan was derived from (`Rng rng(seed)` before
+     *  build_solve_tree) — the checkpoint identity field that lets a
+     *  resume replan the identical tree in another process. Unused (0)
+     *  when the solve is not durable. */
+    std::uint64_t seed = 0;
 
     /** Cursor into schedule->executed: leaves before it are dispatched. */
     std::size_t dispatched = 0;
     /** Next re-rank boundary (schedule index); 0 = re-ranking off. Armed
      *  by arm_rerank(), advanced by post_barrier_rerank(). */
     std::size_t next_rerank = 0;
+    /** Next checkpoint boundary (schedule index); 0 = checkpointing off.
+     *  Armed by arm_checkpoint(), advanced by post_barrier_checkpoint().
+     *  Checkpoint barriers only add fold-count synchronization points —
+     *  they never change what any leaf produces, so a checkpointed run is
+     *  bit-identical to an uncheckpointed one. */
+    std::size_t next_checkpoint = 0;
     /** Waves this request rode (telemetry). */
     int epochs = 0;
 
@@ -79,13 +91,18 @@ struct WaveRequest
 
     /**
      * Highest exclusive schedule index dispatch may reach before the next
-     * pending re-rank must run — the invariant that keeps the re-ranked
-     * tail independent of wave composition.
+     * pending boundary (re-rank or checkpoint) must run — the invariant
+     * that keeps the re-ranked tail independent of wave composition and
+     * checkpoints landing on exact fold counts.
      */
     std::size_t dispatch_limit() const
     {
-        const std::size_t total = schedule->executed.size();
-        return next_rerank == 0 ? total : std::min(total, next_rerank);
+        std::size_t limit = schedule->executed.size();
+        if (next_rerank != 0)
+            limit = std::min(limit, next_rerank);
+        if (next_checkpoint != 0)
+            limit = std::min(limit, next_checkpoint);
+        return limit;
     }
 };
 
@@ -96,6 +113,26 @@ arm_rerank(WaveRequest& request)
     const long long interval = request.config->rerank_interval;
     request.next_rerank =
         interval > 0 ? static_cast<std::size_t>(interval) : 0;
+}
+
+/**
+ * Arm the request's next checkpoint boundary from its config: the first
+ * multiple of checkpoint_interval strictly past the current dispatch
+ * cursor, so it works both for a fresh request (boundary = interval) and
+ * for one restored mid-schedule from a snapshot. Call only when a
+ * checkpoint sink is actually wired — without one the boundaries would
+ * fragment waves for nothing.
+ */
+inline void
+arm_checkpoint(WaveRequest& request)
+{
+    const long long interval = request.config->checkpoint_interval;
+    if (interval <= 0) {
+        request.next_checkpoint = 0;
+        return;
+    }
+    const std::size_t step = static_cast<std::size_t>(interval);
+    request.next_checkpoint = (request.dispatched / step + 1) * step;
 }
 
 /**
@@ -161,24 +198,62 @@ int execute_wave(TemplateCache& cache, BatchExecutor& executor,
 
 /**
  * Post-barrier scan step for one request: when its fold count sits on the
- * pending re-rank boundary, snapshot the incumbent and re-rank the tail.
- * Call after a wave barrier (never while leaves are in flight) and only
- * for requests whose dispatched leaves all folded. Returns what the
- * re-rank did (applied == false when none was due).
+ * pending re-rank boundary, snapshot the incumbent and re-rank the tail —
+ * then re-apply the deadline trim (DriverConfig::deadline_cost_units)
+ * against the units the folded prefix consumed, since re-rank promotions
+ * may have overfilled the remaining deadline. Both are pure functions of
+ * the request's own fold count, so trim points are independent of
+ * checkpoint barriers and wave composition. Call after a wave barrier
+ * (never while leaves are in flight) and only for requests whose
+ * dispatched leaves all folded. Returns what the re-rank did
+ * (applied == false when none was due).
  */
 RerankOutcome post_barrier_rerank(WaveRequest& request);
 
 /**
+ * Durable-solve snapshot hook, fired at armed checkpoint boundaries on
+ * the driving (assembler) thread. Return true to continue the solve;
+ * return false to SUSPEND it: the un-dispatched tail is demoted
+ * (suspend_request), the request completes early with its anytime
+ * incumbent flagged degraded, and the snapshot the hook just captured
+ * resumes the full solve elsewhere — the migration primitive.
+ */
+using CheckpointHook = std::function<bool(WaveRequest&)>;
+
+/**
+ * Suspend @p request: demote its entire un-dispatched tail to
+ * beyond_budget and mark the schedule suspended, so the wave loop
+ * completes it as a degraded anytime result. The folded prefix is
+ * untouched — everything already paid for still counts.
+ */
+void suspend_request(WaveRequest& request);
+
+/**
+ * Post-barrier scan step for one request's checkpoint boundary: when its
+ * fold count sits exactly on next_checkpoint (and the request is not
+ * done), fire @p hook and advance the boundary; a false return suspends
+ * the request. Returns false exactly when the request was suspended.
+ * A null hook just advances the boundary (keeps the loop from stalling on
+ * an armed boundary nobody consumes).
+ */
+bool post_barrier_checkpoint(WaveRequest& request,
+                             const CheckpointHook& hook);
+
+/**
  * Solo driver: run @p request to completion through wave-synchronous
  * epochs. Each epoch dispatches everything up to the request's
- * dispatch_limit in one wave — with re-ranking off that is the entire
- * schedule in a single wave, bit-identical to the pre-epoch flat batch.
- * Exceptions propagate (no hooks). The SolveService drives the same
- * assemble/execute/post-barrier primitives from its assembler thread
- * instead, multiplexing many requests per wave.
+ * dispatch_limit in one wave — with re-ranking and checkpointing off that
+ * is the entire schedule in a single wave, bit-identical to the pre-epoch
+ * flat batch. Exceptions propagate (no hooks). Re-rank boundaries are
+ * armed only for a FRESH request (dispatched == 0); a request restored
+ * from a checkpoint keeps its snapshot boundary. @p checkpoint, when set,
+ * arms checkpoint boundaries and fires at each one. The SolveService
+ * drives the same assemble/execute/post-barrier primitives from its
+ * assembler thread instead, multiplexing many requests per wave.
  */
 void run_wave_loop(TemplateCache& cache, BatchExecutor& executor,
-                   WaveRequest& request);
+                   WaveRequest& request,
+                   const CheckpointHook& checkpoint = {});
 
 } // namespace fq::engine
 

@@ -119,6 +119,35 @@ struct DriverConfig
      * rides in.
      */
     int wave_share = 0;
+
+    // ------------------------------------------------- durability controls --
+    /**
+     * Deadline budget in wave-slot cost units (a leaf charges 2^width —
+     * engine/wave_loop.h). 0 = no deadline. At plan time the schedule is
+     * greedily trimmed to the leaves that fit (typed engine::DeadlineError
+     * when not even one does), and the trim re-applies after each adaptive
+     * re-rank against the units already consumed. A trimmed solve
+     * completes with its anytime incumbent and is flagged degraded
+     * (SampledSolve::degraded) instead of erroring. In an
+     * engine::SolveService, submit() additionally rejects with
+     * DeadlineError when the serial backlog ahead of the request plus its
+     * own schedule projects past the deadline. The trim itself is a pure
+     * function of the request's own schedule and fold count — bit-identical
+     * at any thread count, solo or service.
+     */
+    long long deadline_cost_units = 0;
+    /**
+     * Durable solves: checkpoint boundary granularity in folded leaves.
+     * When > 0 AND the caller hands a checkpoint sink (the durable
+     * ExecutionEngine::solve overload, SolveService::submit's
+     * on_checkpoint), the wave loop inserts an epoch barrier every
+     * this-many folded leaves and passes a SolveCheckpoint snapshot to the
+     * sink. Barrier placement never changes results (folds are
+     * order-independent and re-ranks fire at exact fold counts), so a
+     * checkpointed run stays bit-identical to an uncheckpointed one.
+     * 0 = off.
+     */
+    long long checkpoint_interval = 0;
 };
 
 /** Structure + fidelity record for one executed circuit. */
@@ -223,6 +252,16 @@ struct SampledSolve
     /** Incumbent cost after each executed circuit, in schedule order;
      *  starts with the classical presolve point when one was computed. */
     std::vector<AnytimePoint> anytime;
+
+    /**
+     * True when the solve completed EARLY under deadline pressure
+     * (deadline_cost_units trimmed scheduled leaves) or a checkpoint-sink
+     * suspension: the answer is the valid anytime incumbent over the
+     * leaves that did fold, not the full planned schedule.
+     */
+    bool degraded = false;
+    /** Deadline-trim demotion events that shaped this result. */
+    int deadline_trimmed = 0;
 };
 
 SampledSolve solve_with_sampling(const ising::IsingModel& model,

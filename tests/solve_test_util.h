@@ -39,6 +39,8 @@ expect_solves_identical(const frozenqubits::SampledSolve& a,
     EXPECT_EQ(a.best_quantum_leaf, b.best_quantum_leaf);
     EXPECT_EQ(a.leaves_total, b.leaves_total);
     EXPECT_EQ(a.leaves_executed, b.leaves_executed);
+    EXPECT_EQ(a.degraded, b.degraded);
+    EXPECT_EQ(a.deadline_trimmed, b.deadline_trimmed);
     ASSERT_EQ(a.distributions.size(), b.distributions.size());
     for (std::size_t s = 0; s < a.distributions.size(); ++s)
         EXPECT_EQ(a.distributions[s].histogram(),

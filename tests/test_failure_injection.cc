@@ -7,6 +7,9 @@
 
 #include "common/error.h"
 #include "device/catalog.h"
+#include "engine/checkpoint.h"
+#include "engine/engine.h"
+#include "engine/solve_service.h"
 #include "frozenqubits/decoder.h"
 #include "frozenqubits/driver.h"
 #include "frozenqubits/freeze.h"
@@ -249,6 +252,166 @@ TEST(FailureInjection, MultilayerBounds)
 {
     ising::IsingModel big(21);
     EXPECT_THROW(qaoa::evaluate_multilayer(big, {0.1}, {0.1}), Error);
+}
+
+// ------------------------------------------------- durable solves --
+
+/** Small durable solve that yields at least one snapshot. */
+engine::SolveCheckpoint
+sample_snapshot(const ising::IsingModel& model,
+                const frozenqubits::DriverConfig& config)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    engine::ExecutionEngine eng(1);
+    engine::SolveCheckpoint first;
+    bool captured = false;
+    eng.solve(model, dev, config, 128, config.seed,
+              [&](const engine::SolveCheckpoint& ck) {
+                  if (!captured) {
+                      first = ck;
+                      captured = true;
+                  }
+                  return true;
+              });
+    FQ_REQUIRE(captured, "workload produced no checkpoint boundary");
+    return first;
+}
+
+ising::IsingModel
+durable_model()
+{
+    Rng rng(11);
+    auto g = graph::barabasi_albert(12, 2, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    return ising::IsingModel::from_graph(g);
+}
+
+frozenqubits::DriverConfig
+durable_config()
+{
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 3;
+    config.checkpoint_interval = 1;
+    config.seed = 7;
+    return config;
+}
+
+TEST(FailureInjection, CheckpointFileCorruption)
+{
+    const auto model = durable_model();
+    const auto config = durable_config();
+    const auto snapshot = sample_snapshot(model, config);
+    auto bytes = engine::encode_checkpoint(snapshot);
+    ASSERT_GT(bytes.size(), 24u);
+
+    // Truncated at every framing boundary and mid-payload.
+    for (std::size_t keep : {std::size_t{0}, std::size_t{3},
+                             std::size_t{7}, std::size_t{19},
+                             bytes.size() - 1})
+        EXPECT_THROW(engine::decode_checkpoint(bytes.data(), keep), Error);
+
+    // A single bit flip anywhere in the payload must fail the CRC.
+    for (std::size_t at : {std::size_t{20}, bytes.size() / 2,
+                           bytes.size() - 1}) {
+        auto flipped = bytes;
+        flipped[at] ^= 0x40;
+        EXPECT_THROW(
+            engine::decode_checkpoint(flipped.data(), flipped.size()),
+            Error);
+    }
+
+    // Wrong magic and unknown format version.
+    auto bad_magic = bytes;
+    bad_magic[0] ^= 0xFF;
+    EXPECT_THROW(
+        engine::decode_checkpoint(bad_magic.data(), bad_magic.size()),
+        Error);
+    auto bad_version = bytes;
+    bad_version[4] = static_cast<std::uint8_t>(
+        engine::kCheckpointFormatVersion + 1);
+    EXPECT_THROW(
+        engine::decode_checkpoint(bad_version.data(), bad_version.size()),
+        Error);
+
+    // The original bytes still decode — the injections above were the
+    // only reason for failure.
+    EXPECT_NO_THROW(engine::decode_checkpoint(bytes.data(), bytes.size()));
+
+    // Unreadable path.
+    EXPECT_THROW(engine::read_checkpoint_file("/nonexistent/ck.bin"),
+                 Error);
+}
+
+TEST(FailureInjection, CheckpointOfFinishedRequestRejected)
+{
+    const auto model = durable_model();
+    const auto config = durable_config();
+    const auto dev = device::make_device("ibm-montreal");
+    engine::TemplateCache cache;
+    Rng rng(config.seed);
+
+    auto tree = engine::build_solve_tree(model, dev, config, cache, rng);
+    auto schedule = engine::make_schedule(model, tree, config);
+    engine::StreamingReducer reducer(model, tree, schedule);
+    engine::WaveRequest request;
+    request.model = &model;
+    request.tree = &tree;
+    request.schedule = &schedule;
+    request.reducer = &reducer;
+    request.dev = &dev;
+    request.config = &config;
+    request.shots = 128;
+    request.seed = config.seed;
+    request.dispatched = schedule.executed.size(); // pretend finished
+    EXPECT_THROW(engine::capture_checkpoint(request), Error);
+}
+
+TEST(FailureInjection, ResumeIdentityMismatchesRejected)
+{
+    const auto model = durable_model();
+    const auto config = durable_config();
+    const auto dev = device::make_device("ibm-montreal");
+    const auto snapshot = sample_snapshot(model, config);
+
+    engine::ExecutionEngine eng(1);
+
+    // Mismatched DriverConfig: a different freeze count replans a
+    // different tree — the restore must refuse, not silently mix plans.
+    auto other_config = config;
+    other_config.num_freeze = 2;
+    EXPECT_THROW(eng.resume(model, dev, other_config, 128, snapshot),
+                 Error);
+
+    // Mismatched model.
+    Rng rng(99);
+    auto g = graph::barabasi_albert(12, 2, rng);
+    graph::assign_random_pm1_weights(g, rng);
+    const auto other_model = ising::IsingModel::from_graph(g);
+    EXPECT_THROW(eng.resume(other_model, dev, config, 128, snapshot),
+                 Error);
+
+    // Mismatched shot count and device.
+    EXPECT_THROW(eng.resume(model, dev, config, 64, snapshot), Error);
+    const auto other_dev = device::make_device("ibm-toronto");
+    EXPECT_THROW(eng.resume(model, other_dev, config, 128, snapshot),
+                 Error);
+}
+
+TEST(FailureInjection, DeadlineRejection)
+{
+    const auto model = durable_model();
+    auto config = durable_config();
+    config.checkpoint_interval = 0;
+    config.deadline_cost_units = 1; // cheapest leaf costs 2^width >> 1
+    const auto dev = device::make_device("ibm-montreal");
+    engine::ExecutionEngine eng(1);
+    EXPECT_THROW(eng.solve(model, dev, config, 128, config.seed), Error);
+
+    engine::SolveService service(eng);
+    EXPECT_THROW(
+        service.submit(model, dev, config, 128, config.seed).get(), Error);
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.requests_rejected_deadline, 1u);
 }
 
 } // namespace

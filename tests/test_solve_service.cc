@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -461,6 +462,140 @@ TEST(SolveService, UnlimitedQueueDepthByDefault)
             service.submit(w.model, dev, w.config, w.shots, w.seed));
     for (auto& ticket : tickets)
         EXPECT_GT(ticket.get().leaves_executed, 0);
+}
+
+TEST(SolveService, MigrationUnderCoTenantsBitIdenticalToSolo)
+{
+    // Live request migration: a durable tenant is suspended at its first
+    // checkpoint boundary while co-tenants keep the waves busy, then
+    // re-admitted via submit_resume on the same service. The combined
+    // suspend-then-resume result must match the uninterrupted solo solve
+    // bit for bit (and the TSan build proves the snapshot handoff between
+    // the assembler thread and the resubmitting thread is clean).
+    const auto dev = device::make_device("ibm-montreal");
+    Workload w;
+    w.model = ba_model(12, 1, 9);
+    w.config.num_freeze = 2;
+    w.config.max_depth = 2;
+    w.config.rerank_interval = 2;
+    w.config.checkpoint_interval = 1;
+    w.shots = 512;
+    w.seed = 17;
+
+    ExecutionEngine solo(1);
+    Rng rng(w.seed);
+    const auto reference =
+        solo.solve(w.model, dev, w.config, w.shots, rng);
+    ASSERT_GT(reference.leaves_executed, 1);
+
+    ExecutionEngine eng(4);
+    SolveService service(eng);
+    // Written by the assembler thread before the suspended request
+    // completes; the ticket's promise/future pair orders the read below.
+    SolveCheckpoint snapshot;
+    auto durable = service.submit(
+        w.model, dev, w.config, w.shots, w.seed, nullptr,
+        [&snapshot](std::uint64_t, const SolveCheckpoint& ck) {
+            snapshot = ck;
+            return ck.cursor < 1; // suspend at the first boundary
+        });
+    std::vector<SolveService::Ticket> others;
+    for (const auto& c : mixed_workloads())
+        others.push_back(
+            service.submit(c.model, dev, c.config, c.shots, c.seed));
+
+    const auto partial = durable.get();
+    EXPECT_TRUE(partial.degraded);
+    EXPECT_LT(partial.leaves_executed, reference.leaves_executed);
+    const auto diag = service.diagnostics(durable.id());
+    EXPECT_TRUE(diag.degraded);
+    EXPECT_GT(diag.checkpoints, 0);
+
+    auto resumed = service.submit_resume(w.model, dev, w.config, w.shots,
+                                         snapshot);
+    expect_solves_identical(resumed.get(), reference);
+    EXPECT_EQ(service.diagnostics(resumed.id()).resumed_from,
+              static_cast<int>(snapshot.cursor));
+    for (auto& ticket : others)
+        EXPECT_GT(ticket.get().leaves_executed, 0);
+    service.drain();
+}
+
+TEST(SolveService, DeadlineBacklogRejectionIsDeterministic)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    // Flat workload: every scheduled leaf has the same width, so the
+    // schedule's total cost is exactly leaves * 2^width.
+    auto w = mixed_workloads()[0];
+    w.config.checkpoint_interval = 1;
+
+    ExecutionEngine solo(1);
+    Rng rng(w.seed);
+    const auto reference =
+        solo.solve(w.model, dev, w.config, w.shots, rng);
+    ASSERT_GT(reference.leaves_executed, 1);
+    const long long leaf_cost =
+        1LL << (w.model.num_spins() - w.config.num_freeze);
+    const long long total_cost = reference.leaves_executed * leaf_cost;
+
+    // A resumable snapshot whose config carries the exact-fit deadline
+    // (the restore fingerprint-checks the config, deadline included).
+    auto exact_fit = w.config;
+    exact_fit.deadline_cost_units = total_cost;
+    SolveCheckpoint snapshot;
+    bool captured = false;
+    ExecutionEngine solo_durable(1);
+    const auto durable_reference = solo_durable.solve(
+        w.model, dev, exact_fit, w.shots, w.seed,
+        [&](const SolveCheckpoint& ck) {
+            if (!captured) {
+                snapshot = ck;
+                captured = true;
+            }
+            return true;
+        });
+    ASSERT_TRUE(captured);
+    ASSERT_FALSE(durable_reference.degraded); // the budget fits exactly
+
+    ExecutionEngine eng(2);
+    SolveService service(eng);
+
+    // Hold one tenant open at its first checkpoint boundary so the
+    // service has a GUARANTEED nonzero projected backlog — no sleeps,
+    // no timing assumptions.
+    std::promise<void> entered_promise;
+    auto entered = entered_promise.get_future();
+    std::promise<void> release_promise;
+    std::shared_future<void> release(release_promise.get_future());
+    std::atomic<bool> first_boundary{true};
+    auto blocked = service.submit(
+        w.model, dev, w.config, w.shots, w.seed, nullptr,
+        [&](std::uint64_t, const SolveCheckpoint&) {
+            if (first_boundary.exchange(false))
+                entered_promise.set_value();
+            release.wait();
+            return true;
+        });
+    entered.wait();
+
+    // A newcomer whose own cost exactly meets its deadline is feasible
+    // alone but not behind the blocked tenant's remaining leaves: the
+    // admission projection must bounce it with the typed error.
+    EXPECT_THROW(
+        service.submit(w.model, dev, exact_fit, w.shots, w.seed),
+        DeadlineError);
+    EXPECT_EQ(service.stats().requests_rejected_deadline, 1u);
+
+    // A MIGRATED request with the same exact-fit deadline must NOT
+    // bounce off the backlog — it was already admitted once.
+    auto resumed = service.submit_resume(w.model, dev, exact_fit, w.shots,
+                                         snapshot);
+
+    release_promise.set_value();
+    expect_solves_identical(blocked.get(), reference);
+    expect_solves_identical(resumed.get(), durable_reference);
+    service.drain();
+    EXPECT_EQ(service.stats().requests_rejected_deadline, 1u);
 }
 
 } // namespace

@@ -16,12 +16,21 @@
  *       without executing any circuit.
  *   solve [--file F] --device <name> [--freeze M] [--shots K] [--seed S]
  *         [--threads T] [--max-depth D] [--max-circuits B]
- *         [--partition W] [--rerank N|off] [--stats]
+ *         [--partition W] [--rerank N|off] [--deadline D]
+ *         [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
+ *         [--suspend-after K] [--stats]
  *       Sampled end-to-end solve over the SolveTree: recursive freezing
  *       (--max-depth), budgeted best-first partial execution
  *       (--max-circuits), hybrid bisection (--partition), adaptive budget
  *       re-ranking every N folded leaves (--rerank, plus a plan-vs-
  *       adaptive schedule trace). --stats prints template-cache counters.
+ *       Durable solves: --checkpoint writes a crash-safe snapshot every
+ *       checkpoint boundary (--checkpoint-every folded leaves, default 1);
+ *       --resume restarts a killed/suspended solve from that snapshot
+ *       (same model/options; the result is bit-identical to the
+ *       uninterrupted run); --suspend-after K stops after K folded leaves
+ *       with a degraded anytime result; --deadline D admits only what
+ *       fits a 2^width cost budget of D units.
  *   serve-batch --trace FILE [--device NAME] [--threads T] [--wave-size W]
  *               [--queue-depth D] [--shots K] [--serial] [--stats]
  *       Replay a multi-request trace through a SolveService sharing ONE
@@ -30,8 +39,13 @@
  *       solves; --queue-depth bounds admission). One request per line:
  *         <model-file> [freeze=M] [shots=K] [seed=S] [device=NAME]
  *                      [max-depth=D] [max-circuits=B] [partition=W]
- *                      [wave-share=C] [rerank=N]
- *       '#' starts a comment. --serial replays the same trace one solve
+ *                      [wave-share=C] [rerank=N] [deadline=D]
+ *                      [checkpoint=N] [migrate=K]
+ *       '#' starts a comment. deadline=D rejects requests whose cost (or
+ *       projected backlog) exceeds D units; migrate=K suspends a request
+ *       at its first checkpoint boundary past K folded leaves and resumes
+ *       it via submit_resume after the first drain — exercising live
+ *       request migration. --serial replays the same trace one solve
  *       at a time on the same engine (the A/B throughput baseline).
  *   devices
  *       List the device catalog.
@@ -51,6 +65,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -474,11 +489,47 @@ cmd_solve(const Options& opts)
     config.seed = static_cast<std::uint64_t>(int_option(opts, "seed", 7));
     apply_tree_options(opts, config);
     resolve_freeze(opts, model, config);
-    Rng rng(config.seed);
+
+    // Durability controls. A checkpoint file or a suspension point arms
+    // snapshot boundaries (every folded leaf unless --checkpoint-every
+    // widens them); --resume restarts from a snapshot written by an
+    // earlier (possibly killed) invocation — the other options must match
+    // that run's, which the restore fingerprint-checks.
+    config.deadline_cost_units = long_option(opts, "deadline", 0);
+    const auto checkpoint_path = option(opts, "checkpoint", "");
+    const auto resume_path = option(opts, "resume", "");
+    const long long suspend_after = long_option(opts, "suspend-after", 0);
+    const bool durable = !checkpoint_path.empty() || suspend_after > 0;
+    config.checkpoint_interval =
+        long_option(opts, "checkpoint-every", durable ? 1 : 0);
+    const int shots = int_option(opts, "shots", 8192);
+
+    engine::CheckpointSink sink;
+    if (durable)
+        sink = [&](const engine::SolveCheckpoint& snapshot) {
+            if (!checkpoint_path.empty())
+                engine::write_checkpoint_file(checkpoint_path, snapshot);
+            // --suspend-after K: stop once K leaves folded; the snapshot
+            // just written resumes the remainder.
+            return suspend_after <= 0 ||
+                   snapshot.cursor <
+                       static_cast<std::uint64_t>(suspend_after);
+        };
 
     engine::ExecutionEngine eng(config.threads);
-    const auto solved = eng.solve(model, dev, config,
-                                  int_option(opts, "shots", 8192), rng);
+    frozenqubits::SampledSolve solved;
+    if (!resume_path.empty()) {
+        const auto snapshot =
+            engine::read_checkpoint_file(resume_path);
+        solved = eng.resume(model, dev, config, shots, snapshot, sink);
+        std::cout << "resumed from checkpoint " << resume_path
+                  << " (cursor " << snapshot.cursor << ")\n";
+    } else if (durable) {
+        solved = eng.solve(model, dev, config, shots, config.seed, sink);
+    } else {
+        Rng rng(config.seed);
+        solved = eng.solve(model, dev, config, shots, rng);
+    }
     // Plan-vs-adaptive trace: the engine snapshots the plan-time order
     // before any re-rank rewrites the tail.
     if (!eng.last_diagnostics().planned_subproblems.empty()) {
@@ -509,6 +560,21 @@ cmd_solve(const Options& opts)
                       << Table::num(point.incumbent_cost, 3);
         std::cout << "\n";
     }
+    if (solved.degraded)
+        std::cout << "degraded: anytime incumbent ("
+                  << (solved.deadline_trimmed > 0
+                          ? Table::num(solved.deadline_trimmed) +
+                                " leaves trimmed by the deadline"
+                          : std::string("suspended mid-schedule"))
+                  << ")\n";
+    const auto& diag = eng.last_diagnostics();
+    if (diag.checkpoints > 0 || diag.resumed_from >= 0)
+        std::cout << "durability: " << diag.checkpoints
+                  << " checkpoints written, resumed from "
+                  << (diag.resumed_from < 0
+                          ? std::string("-")
+                          : "cursor " + Table::num(diag.resumed_from))
+                  << "\n";
     print_wall_clock(eng);
     if (opts.find("stats") != opts.end())
         print_cache_stats(eng);
@@ -523,6 +589,9 @@ struct TraceRequest
     frozenqubits::DriverConfig config;
     int shots = 4096;
     std::uint64_t seed = 7;
+    /** migrate=K: suspend at the first checkpoint boundary with K or more
+     *  leaves folded, then resume the remainder via submit_resume. */
+    long long migrate_after = 0;
     ising::IsingModel model;
 };
 
@@ -598,6 +667,20 @@ load_trace(const std::string& path, const Options& opts)
                                         "interval (0 = off)" +
                                             where);
                 req.config.rerank_interval = parsed;
+            } else if (key == "deadline") {
+                FQ_REQUIRE(parsed >= 0, "deadline expects a non-negative "
+                                        "cost budget (0 = off)" +
+                                            where);
+                req.config.deadline_cost_units = parsed;
+            } else if (key == "checkpoint") {
+                FQ_REQUIRE(parsed >= 0, "checkpoint expects a non-negative "
+                                        "interval (0 = off)" +
+                                            where);
+                req.config.checkpoint_interval = parsed;
+            } else if (key == "migrate") {
+                FQ_REQUIRE(parsed > 0,
+                           "migrate expects a positive fold count" + where);
+                req.migrate_after = parsed;
             } else
                 FQ_REQUIRE(false, "unknown trace key '" + key + "'" + where);
         }
@@ -650,15 +733,46 @@ cmd_serve_batch(const Options& opts)
         service_config.max_queue_depth = int_option(opts, "queue-depth", 0);
         engine::SolveService service(eng, service_config);
 
+        // migrate=K slots: the assembler thread writes each suspended
+        // request's snapshot here (one writer), the main thread reads it
+        // only after drain() — no lock needed.
+        std::vector<std::unique_ptr<engine::SolveCheckpoint>> snapshots(
+            requests.size());
+
         std::vector<engine::SolveService::Ticket> tickets;
         tickets.reserve(requests.size());
         int rejected = 0;
-        for (auto& req : requests) {
+        for (std::size_t k = 0; k < requests.size(); ++k) {
+            auto& req = requests[k];
+            engine::SolveService::CheckpointCallback on_checkpoint;
+            if (req.migrate_after > 0) {
+                if (req.config.checkpoint_interval <= 0)
+                    req.config.checkpoint_interval = 1;
+                auto* slot = &snapshots[k];
+                const auto after =
+                    static_cast<std::uint64_t>(req.migrate_after);
+                on_checkpoint =
+                    [slot, after](std::uint64_t,
+                                  const engine::SolveCheckpoint& ck) {
+                        if (ck.cursor < after)
+                            return true;
+                        *slot = std::make_unique<engine::SolveCheckpoint>(
+                            ck);
+                        return false; // suspend; resumed after drain
+                    };
+            }
             try {
                 tickets.push_back(
                     service.submit(req.model,
                                    device::make_device(req.device),
-                                   req.config, req.shots, req.seed));
+                                   req.config, req.shots, req.seed,
+                                   nullptr, std::move(on_checkpoint)));
+            } catch (const engine::DeadlineError& e) {
+                // deadline=D projected this request past its budget.
+                ++rejected;
+                tickets.emplace_back();
+                std::cout << "deadline-rejected: " << req.model_file
+                          << " — " << e.what() << "\n";
             } catch (const engine::AdmissionError& e) {
                 // Admission control (--queue-depth) shed this request;
                 // report it instead of aborting the replay.
@@ -669,6 +783,24 @@ cmd_serve_batch(const Options& opts)
             }
         }
         service.drain();
+
+        // Migration phase: resume every suspended request from its
+        // captured snapshot on the same service (same engine, fresh
+        // request id) and let the resumed remainder drain.
+        std::vector<std::pair<std::size_t, engine::SolveService::Ticket>>
+            resumed;
+        for (std::size_t k = 0; k < requests.size(); ++k) {
+            if (!snapshots[k])
+                continue;
+            auto& req = requests[k];
+            resumed.emplace_back(
+                k, service.submit_resume(req.model,
+                                         device::make_device(req.device),
+                                         req.config, req.shots,
+                                         *snapshots[k]));
+        }
+        if (!resumed.empty())
+            service.drain();
 
         t.set_header({"req", "model", "leaves", "best cost", "from",
                       "waves", "occupancy", "reranks", "fused hit%",
@@ -697,6 +829,8 @@ cmd_serve_batch(const Options& opts)
                 from = solved.from_subproblem < 0
                            ? std::string("presolve")
                            : "leaf " + Table::num(solved.from_subproblem);
+                if (solved.degraded)
+                    from += snapshots[k] ? " [suspended]" : " [degraded]";
             } catch (const fq::Error& e) {
                 from = e.what();
             }
@@ -715,6 +849,20 @@ cmd_serve_batch(const Options& opts)
                            best, from, "-", "-", "-", "-", "-", "-"});
         }
         t.print(std::cout);
+
+        for (auto& [k, ticket] : resumed) {
+            std::string best = "FAILED";
+            int cursor = static_cast<int>(snapshots[k]->cursor);
+            try {
+                best = Table::num(ticket.get().best_cost, 3);
+            } catch (const fq::Error& e) {
+                best = e.what();
+            }
+            std::cout << "migrated: req " << (k + 1) << " ("
+                      << requests[k].model_file << ") suspended at cursor "
+                      << cursor << ", resumed as request "
+                      << ticket.id() << " -> best cost " << best << "\n";
+        }
 
         const auto stats = service.stats();
         std::cout << "service: " << stats.requests_completed << " completed, "
@@ -777,10 +925,15 @@ usage()
         "  solve    [--file F] --device NAME [--freeze M|auto] [--shots K]\n"
         "           [--threads T] [--max-depth D] [--max-circuits B]\n"
         "           [--partition W] [--prune-dominated] [--rerank N|off]\n"
-        "           [--backend auto|scalar|simd] [--no-fusion] [--stats]\n"
+        "           [--backend auto|scalar|simd] [--no-fusion]\n"
+        "           [--deadline D] [--checkpoint FILE] [--checkpoint-every N]\n"
+        "           [--resume FILE] [--suspend-after K] [--stats]\n"
         "  serve-batch --trace FILE [--device NAME] [--threads T]\n"
         "           [--wave-size W] [--queue-depth D] [--shots K]\n"
         "           [--serial] [--stats]\n"
+        "           trace keys: freeze shots seed device backend max-depth\n"
+        "           max-circuits partition wave-share rerank deadline\n"
+        "           checkpoint migrate\n"
         "  devices\n";
     return 2;
 }
