@@ -186,8 +186,11 @@ sim::Counts
 simulate_scheduled_leaf(TemplateCache& cache, const SolveTree& tree,
                         int leaf_id, const device::Device& dev,
                         const frozenqubits::DriverConfig& config, int shots,
-                        BatchExecutor::Scratch& scratch, bool* fused_hit)
+                        BatchExecutor::Scratch& scratch, bool* fused_hit,
+                        TemplateTier* fuse_tier)
 {
+    if (fuse_tier)
+        *fuse_tier = TemplateTier::Compile;
     const auto& leaf = tree.leaves[static_cast<std::size_t>(leaf_id)];
     const auto& sub = tree.nodes[static_cast<std::size_t>(leaf.node)].sub;
     FQ_REQUIRE(sub.model.num_spins() <= sim::kMaxSimQubits,
@@ -226,7 +229,12 @@ simulate_scheduled_leaf(TemplateCache& cache, const SolveTree& tree,
     // instead of applying |E|+|V| gates; the naive path remains as the
     // --no-fusion escape hatch.
     if (leaf.fuse) {
-        const auto program = cache.get_or_fuse(sub.model, build, fused_hit);
+        // The family skeleton (when the plan attached one) lets a cache
+        // miss materialize by patching coefficients into the cached fusion
+        // skeleton instead of rebuilding the circuit — bit-identical tables
+        // either way (asserted in tests), only the build cost differs.
+        const auto program = cache.get_or_fuse(sub.model, build, fused_hit,
+                                               leaf.family.get(), fuse_tier);
         // The kernel backend was chosen at plan time (leaf.backend, a pure
         // function of config and width) — execution only looks it up, so
         // scheduling order can never change a leaf's kernels.
@@ -279,6 +287,13 @@ ExecutionEngine::start_diagnostics(const SolveTree& tree,
                 ++diagnostics_.leaves_simd_backend;
             else
                 ++diagnostics_.leaves_scalar_backend;
+        }
+        switch (leaf.tier) {
+        case TemplateTier::Hit: ++diagnostics_.leaves_tier_hit; break;
+        case TemplateTier::Bind: ++diagnostics_.leaves_tier_bind; break;
+        case TemplateTier::Compile:
+            ++diagnostics_.leaves_tier_compile;
+            break;
         }
         // Only an EXECUTED leaf's mirrors are actually inferred — a
         // budget-skipped leaf infers nothing.

@@ -63,6 +63,9 @@ class SolveService;
  * which worker, which wave, alongside whose leaves — can never change its
  * counts. @p fused_hit, when non-null, reports whether the fused program
  * was served from @p cache (per-tenant cache-share accounting).
+ * @p fuse_tier, when non-null, reports HOW the fused program materialized
+ * (Hit / Bind / Compile — see TemplateTier); gate-by-gate leaves report
+ * Compile.
  */
 sim::Counts simulate_scheduled_leaf(TemplateCache& cache,
                                     const SolveTree& tree, int leaf_id,
@@ -70,7 +73,8 @@ sim::Counts simulate_scheduled_leaf(TemplateCache& cache,
                                     const frozenqubits::DriverConfig& config,
                                     int shots,
                                     BatchExecutor::Scratch& scratch,
-                                    bool* fused_hit = nullptr);
+                                    bool* fused_hit = nullptr,
+                                    TemplateTier* fuse_tier = nullptr);
 
 class ExecutionEngine
 {
@@ -106,6 +110,12 @@ class ExecutionEngine
          *  count under neither. */
         int leaves_scalar_backend = 0;
         int leaves_simd_backend = 0;
+        /** Scheduled-leaf template tiers (plan-time preview; see
+         *  SolveLeaf::tier): fused program already resident / family
+         *  skeleton to patch / from-scratch build. */
+        int leaves_tier_hit = 0;
+        int leaves_tier_bind = 0;
+        int leaves_tier_compile = 0;
 
         // --------------------------------- wave-synchronous epochs only --
         int epochs = 0;               ///< waves the solve rode (1 = flat batch)

@@ -320,7 +320,8 @@ SolveService::run_wave(const std::vector<WaveSlot>& wave)
         }
         return true;
     };
-    hooks.folded = [](const WaveSlot& slot, bool fused_hit) {
+    hooks.folded = [](const WaveSlot& slot, bool fused_hit,
+                      TemplateTier fuse_tier) {
         Request& r = *static_cast<Request*>(slot.request->context);
         const auto& leaf =
             r.tree.leaves[static_cast<std::size_t>(slot.leaf_id)];
@@ -328,6 +329,8 @@ SolveService::run_wave(const std::vector<WaveSlot>& wave)
             r.fused_lookups.fetch_add(1, std::memory_order_relaxed);
             if (fused_hit)
                 r.fused_hits.fetch_add(1, std::memory_order_relaxed);
+            if (fuse_tier == TemplateTier::Bind)
+                r.family_binds.fetch_add(1, std::memory_order_relaxed);
             // Attribute the traffic to the leaf's plan-time backend tag.
             const bool simd =
                 leaf.backend == sim::BackendKind::VectorizedFused;
@@ -366,6 +369,20 @@ SolveService::reduce_request(Request& request)
     out.diag.fused_hits_scalar = request.fused_hits_scalar.load();
     out.diag.fused_lookups_simd = request.fused_lookups_simd.load();
     out.diag.fused_hits_simd = request.fused_hits_simd.load();
+    out.diag.family_binds = request.family_binds.load();
+    // Plan-time tier split over the leaves that actually folded (the final
+    // schedule — re-ranks may have rewritten the plan-time cut).
+    for (int leaf_id : request.schedule.executed) {
+        const auto& leaf =
+            request.tree.leaves[static_cast<std::size_t>(leaf_id)];
+        switch (leaf.tier) {
+        case TemplateTier::Hit: ++out.diag.leaves_tier_hit; break;
+        case TemplateTier::Bind: ++out.diag.leaves_tier_bind; break;
+        case TemplateTier::Compile:
+            ++out.diag.leaves_tier_compile;
+            break;
+        }
+    }
     out.diag.cache_hit_share =
         out.diag.fused_lookups == 0
             ? 0.0

@@ -136,6 +136,15 @@ class SolveService
         std::uint64_t fused_hits_simd = 0;
         /** fused_hits / fused_lookups (0 when the request never fused). */
         double cache_hit_share = 0.0;
+        /** Fused programs this tenant materialized by patching a family
+         *  skeleton instead of rebuilding circuits (exec-time count; a
+         *  subset of fused_lookups - fused_hits). */
+        std::uint64_t family_binds = 0;
+        /** Plan-time template-tier split of this tenant's executed leaves
+         *  (SolveLeaf::tier: resident / family-patch / from-scratch). */
+        int leaves_tier_hit = 0;
+        int leaves_tier_bind = 0;
+        int leaves_tier_compile = 0;
         /**
          * Mean share of the wave slots this tenant held across the waves it
          * rode (1.0 = had every wave to itself; 1/K under K equal tenants)
@@ -344,6 +353,8 @@ class SolveService
         std::atomic<std::uint64_t> fused_hits_scalar{0};
         std::atomic<std::uint64_t> fused_lookups_simd{0};
         std::atomic<std::uint64_t> fused_hits_simd{0};
+        /** Exec-time family-skeleton binds (TemplateTier::Bind folds). */
+        std::atomic<std::uint64_t> family_binds{0};
         std::atomic<int> leaves_folded{0};
         int waves = 0;               ///< assembler-thread only
         double occupancy_sum = 0.0;  ///< assembler-thread only

@@ -118,13 +118,15 @@ class TreeBuilder
         return index;
     }
 
-    /** Register @p ni as an executable leaf. @p tpl/@p compatible come from
-     *  the parent freeze level (or a private resolve for fragments);
-     *  @p build is what the template/fused program were compiled under. */
+    /** Register @p ni as an executable leaf. @p tpl/@p compatible/@p family
+     *  come from the parent freeze level (or a private resolve for
+     *  fragments); @p build is what the template/fused program were
+     *  compiled under. */
     void
     make_leaf(int ni, int local_solve, std::uint64_t rng_seed,
               std::shared_ptr<const CompiledTemplate> tpl, bool compatible,
-              const qaoa::BuildOptions& build)
+              const qaoa::BuildOptions& build,
+              std::shared_ptr<const ParametricTemplate> family = nullptr)
     {
         auto& node = tree_.nodes[static_cast<std::size_t>(ni)];
         node.kind = NodeKind::Leaf;
@@ -143,6 +145,22 @@ class TreeBuilder
         leaf.build = build;
         leaf.tpl = std::move(tpl);
         leaf.tpl_compatible = compatible;
+        // The family skeleton is verified against THIS leaf's labeled
+        // structure — a sibling whose structure drifted (it cannot, by
+        // freeze construction, but the check is cheap) falls back to the
+        // from-scratch path rather than binding a wrong skeleton.
+        if (family != nullptr && family->has_skeleton &&
+            family->matches(node.sub.model))
+            leaf.family = std::move(family);
+        // Plan-time tier preview for diagnostics and the fqtool plan
+        // column. Fused leaves re-resolve through the cache at execution;
+        // unfused leaves always rebuild gate-by-gate (tier Compile).
+        if (leaf.fuse && cache_.peek_fused(node.sub.model, leaf.build))
+            leaf.tier = TemplateTier::Hit;
+        else if (leaf.fuse && leaf.family != nullptr)
+            leaf.tier = TemplateTier::Bind;
+        else
+            leaf.tier = TemplateTier::Compile;
         tree_.leaves.push_back(std::move(leaf));
     }
 
@@ -203,9 +221,11 @@ class TreeBuilder
             if (can_partition(ci) || can_freeze(ci)) {
                 expand(ci, nullptr);
             } else {
+                auto resolved = resolve_fragment_template(ci);
                 make_leaf(ci, /*local_solve=*/-1, child_seed,
-                          resolve_fragment_template(ci), true,
-                          default_build_options());
+                          std::move(resolved.tpl), true,
+                          default_build_options(),
+                          std::move(resolved.family));
             }
         }
         FQ_REQUIRE(!tree_.nodes[static_cast<std::size_t>(ni)]
@@ -213,17 +233,32 @@ class TreeBuilder
                    "bisection produced no fragments");
     }
 
+    struct FragmentTemplates
+    {
+        std::shared_ptr<const CompiledTemplate> tpl;
+        std::shared_ptr<const ParametricTemplate> family;
+    };
+
     /** Private template for a fragment leaf (no freeze siblings to share
-     *  with, but repeated solves over the same fragment hit the cache). */
-    std::shared_ptr<const CompiledTemplate>
+     *  with, but repeated solves over the same fragment hit the cache —
+     *  and, with parametric templates, the whole fragment FAMILY shares
+     *  one structural compile). */
+    FragmentTemplates
     resolve_fragment_template(int ni)
     {
         const auto& node = tree_.nodes[static_cast<std::size_t>(ni)];
         if (!config_.use_template_editing ||
             node.sub.model.num_spins() > dev_.num_qubits())
-            return nullptr;
-        return cache_.get_or_compile(node.sub.model, dev_, config_.compile,
-                                     default_build_options());
+            return {};
+        if (config_.parametric_templates) {
+            auto binding =
+                cache_.get_or_bind(node.sub.model, dev_, config_.compile,
+                                   default_build_options());
+            return {binding.family->structural, binding.family};
+        }
+        return {cache_.get_or_compile(node.sub.model, dev_, config_.compile,
+                                      default_build_options()),
+                nullptr};
     }
 
     void
@@ -288,7 +323,8 @@ class TreeBuilder
                         .model,
                     local_sub.model);
             make_leaf(ci, task.solve, task.rng_seed,
-                      plan.compiled_template, compatible, plan.build);
+                      plan.compiled_template, compatible, plan.build,
+                      plan.family);
             // Mirror sub-spaces covered by flipping this leaf's output.
             const int leaf_id =
                 tree_.nodes[static_cast<std::size_t>(ci)].leaf_id;

@@ -113,6 +113,18 @@ struct SolveLeaf
     std::shared_ptr<const CompiledTemplate> tpl;
     /** Whether @p tpl's structure matches this leaf (checked at plan time). */
     bool tpl_compatible = false;
+    /** Family-level parametric template whose skeleton this leaf's fused
+     *  program can bind from (null when disabled or structure-incompatible
+     *  — verified against THIS leaf's model at plan time). */
+    std::shared_ptr<const ParametricTemplate> family;
+    /**
+     * Plan-time prediction of how this leaf's fused program materializes:
+     * Hit (already resident), Bind (family skeleton patch), or Compile
+     * (from-scratch build). Diagnostics only — the execution path
+     * re-resolves through the cache and produces bit-identical tables
+     * regardless of tier.
+     */
+    TemplateTier tier = TemplateTier::Compile;
 };
 
 struct SolveTree

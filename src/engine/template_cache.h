@@ -65,6 +65,40 @@ std::uint64_t template_key(const ising::IsingModel& model,
                            std::uint64_t salt = 0);
 
 /**
+ * Canonical family signature: a Weisfeiler-Leman-style isomorphism-class
+ * hash of the model's interaction graph (label-free, value-free) mixed
+ * with width, layer count/build flags, device identity, and compile
+ * options — everything a structural compile depends on, with spin LABELS
+ * excluded so relabeled instances of one graph class bucket together.
+ * Correctness never rests on this hash: a family entry stores its exact
+ * labeled structure and every bind is verified against it in O(E).
+ */
+std::uint64_t family_signature(const ising::IsingModel& model,
+                               const device::Device& dev,
+                               const transpiler::CompileOptions& compile,
+                               const qaoa::BuildOptions& build,
+                               std::uint64_t salt = 0);
+
+/**
+ * Slot-value vector for binding a skeleton to @p model's coefficients:
+ * slot i in [0, n) holds -h_i, slot n + t holds -J_t (the fused parity
+ * coefficients under the RZ phase convention — see circuit/fusion.cc).
+ * Exact: the builder emits angle coefficients 2h / 2J and fusion halves
+ * and negates them, which round-trips bitwise in IEEE754.
+ */
+std::vector<double> fused_slot_values(const ising::IsingModel& model);
+
+/** How a template lookup was (or will be) satisfied. */
+enum class TemplateTier : std::uint8_t {
+    Compile, ///< full build: transpile and/or fusion scan from scratch
+    Bind,    ///< family structure resident; coefficients patched in
+    Hit,     ///< exact value-keyed artifact already resident
+};
+
+/** Lower-case tier mnemonic ("compile" / "bind" / "hit"). */
+const char* template_tier_name(TemplateTier tier);
+
+/**
  * One cached template: the transpiled circuit plus every noise quantity
  * that is a pure function of (circuit structure, device) — all shared
  * verbatim by the template's RZ-angle-edited siblings, so computing them
@@ -88,10 +122,46 @@ std::vector<double> readout_flip_for(const transpiler::CompileResult& compiled,
                                      const device::Calibration& calibration,
                                      int num_spins);
 
+/**
+ * Family-level structural artifact: everything the compile pipeline
+ * produces that depends on structure but not on coefficient VALUES,
+ * computed once per (graph family, p, width, device) and shared by every
+ * member instance. Holds the structure-only transpiled template (noise
+ * quantities included — all angle-independent) and the coefficient-slot
+ * fusion skeleton that turns a member's fused-program build into a
+ * parameter patch.
+ */
+struct ParametricTemplate
+{
+    /// @name Exact labeled structure (bind safety; hash-independent)
+    /// @{
+    int num_spins = 0;
+    std::vector<std::pair<int, int>> quadratic_pairs;
+    /** Nonzero-linear pattern; used only when the build omits zero-h RZs
+     *  (the compiled structure then depends on WHICH h_i are nonzero). */
+    std::vector<bool> linear_present;
+    /// @}
+
+    /** Structure-only compile result + noise quantities. */
+    std::shared_ptr<const CompiledTemplate> structural;
+    /** Value-free fused skeleton (parity masks with coefficient slots). */
+    circuit::ParametricFusedCircuit skeleton;
+    bool has_skeleton = false;
+    qaoa::BuildOptions build;
+
+    /** True when @p model has exactly this labeled structure. O(E). */
+    bool matches(const ising::IsingModel& model) const;
+    /** Estimated shared-structure footprint (charged once per family). */
+    std::size_t bytes() const;
+};
+
 class TemplateCache
 {
   public:
-    /** Cumulative counters (monotone; never reset). */
+    TemplateCache();
+
+    /** Cumulative counters (monotone; never reset), plus a snapshot of
+     *  the current byte residency split by pool. */
     struct Stats
     {
         std::uint64_t lookups = 0;
@@ -107,9 +177,46 @@ class TemplateCache
         std::uint64_t sim_fusions = 0;
         /** Fused programs dropped by the byte-budget reset. */
         std::uint64_t sim_evictions = 0;
+        /** Family-tier counters (get_or_bind / skeleton binds). */
+        std::uint64_t family_lookups = 0;
+        /** Lookups served by a resident family structure. */
+        std::uint64_t family_hits = 0;
+        /** Structure-only compiles (transpile + fusion skeleton), once
+         *  per labeled structure per family. */
+        std::uint64_t family_structural_compiles = 0;
+        /** Fused programs built by patching coefficients into a resident
+         *  skeleton instead of a from-scratch circuit build + fusion. */
+        std::uint64_t family_binds = 0;
+        /** Family structures dropped by the byte-budget reset. */
+        std::uint64_t family_evictions = 0;
+
+        /// @name Byte residency snapshot (filled by stats())
+        /// @{
+        /** Shared family structure — charged ONCE per labeled structure,
+         *  no matter how many binds it serves. */
+        std::size_t structure_bytes = 0;
+        /** Per-bind fused weight tables (value-keyed sim entries). */
+        std::size_t bind_bytes = 0;
+        /** Legacy per-structure compiled templates (get_or_compile). */
+        std::size_t template_bytes = 0;
+        /// @}
 
         std::uint64_t misses() const { return lookups - hits; }
         std::uint64_t sim_misses() const { return sim_lookups - sim_hits; }
+        std::uint64_t family_misses() const
+        {
+            return family_lookups - family_hits;
+        }
+    };
+
+    /** get_or_bind result: the family artifact plus how this lookup was
+     *  satisfied (Hit = this model's fused program is already resident,
+     *  Bind = structure resident / coefficients to patch, Compile = this
+     *  call paid the structural compile). */
+    struct FamilyBinding
+    {
+        std::shared_ptr<const ParametricTemplate> family;
+        TemplateTier tier = TemplateTier::Compile;
     };
 
     /**
@@ -136,7 +243,40 @@ class TemplateCache
      */
     std::shared_ptr<const sim::FusedProgram>
     get_or_fuse(const ising::IsingModel& model,
-                const qaoa::BuildOptions& build, bool* was_hit = nullptr);
+                const qaoa::BuildOptions& build, bool* was_hit = nullptr,
+                const ParametricTemplate* family = nullptr,
+                TemplateTier* tier = nullptr);
+
+    /**
+     * The family tier above get_or_compile/get_or_fuse: return the shared
+     * structural artifact for @p model's graph family, running the
+     * structure-only compile (transpile + fusion skeleton) exactly once
+     * per labeled structure. Warm-family lookups cost a hash plus an O(E)
+     * labeled verification — no transpiler involvement — which is what
+     * turns cold-start planning into a parameter patch. Same concurrency
+     * contract as the other tiers: misses compile OUTSIDE the lock,
+     * first insert wins, race losers report tier Compile.
+     */
+    FamilyBinding get_or_bind(const ising::IsingModel& model,
+                              const device::Device& dev,
+                              const transpiler::CompileOptions& compile,
+                              const qaoa::BuildOptions& build);
+
+    /**
+     * True when @p model's exact fused program is resident (a subsequent
+     * get_or_fuse would hit). Read-only peek for plan-time leaf-tier
+     * reporting; deliberately NOT counted in Stats so planning previews
+     * cannot distort the hit-rate diagnostics.
+     */
+    bool peek_fused(const ising::IsingModel& model,
+                    const qaoa::BuildOptions& build) const;
+
+    /**
+     * Override the byte budgets (0 keeps the current value). Exists for
+     * eviction-boundary tests and memory-constrained deployments; the
+     * defaults are kMaxSimBytes / kMaxFamilyBytes in template_cache.cc.
+     */
+    void set_byte_budgets(std::size_t sim_bytes, std::size_t family_bytes);
 
     Stats stats() const;
     std::size_t size() const;
@@ -165,14 +305,35 @@ class TemplateCache
         std::size_t bytes = 0;
         std::shared_ptr<const sim::FusedProgram> value;
     };
+    /** One labeled structure within a family bucket. The shared structure
+     *  is charged ONCE here; the per-bind weight tables it later serves
+     *  are charged per value in sim_entries_. */
+    struct FamilyVariant
+    {
+        std::uint64_t labeled_key = 0;
+        std::uint64_t verify_key = 0;
+        /** ParametricTemplate::bytes(), captured at insert so eviction
+         *  releases exactly what was charged. */
+        std::size_t bytes = 0;
+        std::shared_ptr<const ParametricTemplate> value;
+    };
+    struct FamilyEntry
+    {
+        std::vector<FamilyVariant> variants;
+    };
 
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, Entry> entries_;
     std::unordered_map<std::uint64_t, SimEntry> sim_entries_;
+    std::unordered_map<std::uint64_t, FamilyEntry> families_;
     /** Estimated bytes held by entries_ (compiled circuits + noise). */
     std::size_t template_bytes_ = 0;
     /** Estimated bytes held by sim_entries_ (table storage). */
     std::size_t sim_bytes_ = 0;
+    /** Estimated bytes held by families_ (shared structures). */
+    std::size_t family_bytes_ = 0;
+    std::size_t sim_byte_budget_;
+    std::size_t family_byte_budget_;
     Stats stats_;
 };
 

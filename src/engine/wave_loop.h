@@ -178,8 +178,13 @@ struct WaveHooks
     /** Pre-simulation gate; return false to skip the slot (dead weight of
      *  an already-failed tenant). Runs on the worker thread. */
     std::function<bool(const WaveSlot&)> admit;
-    /** After the slot's counts folded into its request's reducer. */
-    std::function<void(const WaveSlot&, bool fused_hit)> folded;
+    /** After the slot's counts folded into its request's reducer.
+     *  @p fuse_tier reports how the fused program materialized (Hit /
+     *  Bind / Compile — see TemplateTier); gate-by-gate slots report
+     *  Compile. */
+    std::function<void(const WaveSlot&, bool fused_hit,
+                       TemplateTier fuse_tier)>
+        folded;
     /** A slot threw; when unset the exception propagates out of the wave
      *  (run_queue semantics: lowest failing index wins). */
     std::function<void(const WaveSlot&, std::exception_ptr)> failed;

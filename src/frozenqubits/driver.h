@@ -43,6 +43,18 @@ struct DriverConfig
      */
     bool fuse_simulation = true;
     /**
+     * Family-level parametric templates (fqtool --no-param-templates to
+     * disable): plan-time template resolution goes through
+     * TemplateCache::get_or_bind — one structure-only compile per
+     * (graph-family, p, width, device) class, after which planning a
+     * member instance is a signature hash + O(E) verification, and leaf
+     * execution patches coefficients into the cached fusion skeleton
+     * instead of rebuilding circuits. Never affects results: bound
+     * templates are bit-identical to from-scratch compiles (asserted in
+     * tests); only plan latency and cache residency change.
+     */
+    bool parametric_templates = true;
+    /**
      * Kernel backend policy for fused leaf simulation (fqtool --backend):
      * Auto picks per leaf by width (scalar below
      * sim::kAutoVectorizeMinQubits, vectorized at and above); Scalar/Simd

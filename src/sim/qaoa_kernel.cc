@@ -1,5 +1,6 @@
 #include "sim/qaoa_kernel.h"
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <cstring>
@@ -162,6 +163,21 @@ EnergyTable::EnergyTable(const ising::IsingModel& model)
     FQ_REQUIRE(num_qubits_ >= 1 && num_qubits_ <= kMaxTableQubits,
                "energy table limited to 1..26 qubits");
     values_.assign(std::uint64_t(1) << num_qubits_, model.offset());
+    for (int i = 0; i < num_qubits_; ++i)
+        accumulate_parity(values_, std::uint64_t(1) << i, model.linear(i));
+    for (const auto& term : model.quadratic_terms())
+        accumulate_parity(values_,
+                          (std::uint64_t(1) << term.i) |
+                              (std::uint64_t(1) << term.j),
+                          term.coefficient);
+}
+
+void
+EnergyTable::rebind(const ising::IsingModel& model)
+{
+    FQ_REQUIRE(model.num_spins() == num_qubits_,
+               "energy table rebind requires matching width");
+    std::fill(values_.begin(), values_.end(), model.offset());
     for (int i = 0; i < num_qubits_; ++i)
         accumulate_parity(values_, std::uint64_t(1) << i, model.linear(i));
     for (const auto& term : model.quadratic_terms())

@@ -114,6 +114,14 @@ class EnergyTable
   public:
     explicit EnergyTable(const ising::IsingModel& model);
 
+    /**
+     * Re-fill this table in place for @p model (same width required) —
+     * the parameter-patch fast path for family-shaped workloads: the
+     * 2^n buffer is reused instead of reallocated, and the result is
+     * bit-identical to constructing EnergyTable(model) from scratch.
+     */
+    void rebind(const ising::IsingModel& model);
+
     int num_qubits() const { return num_qubits_; }
     const std::vector<double>& values() const { return values_; }
 

@@ -17,13 +17,32 @@ compile(const circuit::Circuit& logical, const device::Device& dev,
 
     const auto start = std::chrono::steady_clock::now();
 
+    circuit::Circuit source = logical;
+    if (options.structure_only) {
+        // Canonicalize to the pure-structure form: parametric coefficients
+        // all become 1.0 (kind/layer/tag preserved, so optimization-pass
+        // merge decisions are unchanged), and constant-angle rotations are
+        // rejected — their values could legitimately steer passes.
+        circuit::Circuit neutral(logical.num_qubits());
+        for (circuit::Gate g : logical.gates()) {
+            if (circuit::has_angle(g.type)) {
+                FQ_REQUIRE(!g.angle.is_constant(),
+                           "structure-only compile requires a fully "
+                           "parametric circuit");
+                g.angle.coefficient = 1.0;
+            }
+            neutral.append(g);
+        }
+        source = std::move(neutral);
+    }
+
     CompileResult result;
-    result.pre_routing_cx = logical.cx_count();
+    result.pre_routing_cx = source.cx_count();
     result.initial_layout = compute_layout(
-        logical, dev.topology, &dev.calibration, options.layout);
+        source, dev.topology, &dev.calibration, options.layout);
 
     RoutingResult routed =
-        route(logical, dev.topology, result.initial_layout, options.router);
+        route(source, dev.topology, result.initial_layout, options.router);
     result.final_layout = std::move(routed.final_layout);
     result.swaps_inserted = routed.swaps_inserted;
 

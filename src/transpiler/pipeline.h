@@ -26,6 +26,20 @@ struct CompileOptions
     bool run_optimization_passes = true;
     /** Emit CX-only output (SWAPs replaced by 3 CX). */
     bool decompose_swaps = true;
+    /**
+     * Structure-only mode: compile the circuit's SHAPE, not its values.
+     * Every parametric rotation coefficient is neutralized to 1.0 before
+     * the pipeline runs, so two circuits that differ only in problem
+     * coefficients produce bit-identical output — the canonical form a
+     * family-level template cache stores once per structure. Sound
+     * because no pass reads parametric coefficient values (merging keys
+     * on (kind, layer, tag); zero-angle removal applies to constants
+     * only; layout/routing/metrics are angle-free), and template editing
+     * REPLACES tagged coefficients rather than scaling them. Requires a
+     * fully parametric input: a constant-angle rotation could steer the
+     * constant-folding passes by value, so compile() rejects one.
+     */
+    bool structure_only = false;
 };
 
 /** Compiled circuit with placement bookkeeping and cost statistics. */

@@ -168,14 +168,20 @@ TEST(ExecutionEngine, TemplateCompiledOnceAndHitOnSiblings)
     EXPECT_EQ(report.executed[1].compile_time_ms, 0.0);
 
     const auto cache_after_first = eng.template_cache().stats();
-    EXPECT_EQ(cache_after_first.compiles, 2u); // template + baseline arm
+    // The shared template compiled through the family tier (one
+    // structure-only transpile); the baseline arm used the legacy tier.
+    EXPECT_EQ(cache_after_first.compiles, 1u);
+    EXPECT_EQ(cache_after_first.family_structural_compiles, 1u);
 
     // A second run over the same structure is served from cache entirely.
     const auto again = eng.run(model, dev, config);
     EXPECT_TRUE(eng.last_diagnostics().template_cache_hit);
     const auto cache_after_second = eng.template_cache().stats();
     EXPECT_EQ(cache_after_second.compiles, cache_after_first.compiles);
+    EXPECT_EQ(cache_after_second.family_structural_compiles, 1u);
     EXPECT_GT(cache_after_second.hits, cache_after_first.hits);
+    EXPECT_GT(cache_after_second.family_hits,
+              cache_after_first.family_hits);
 
     // Cached compiles must not change any result.
     EXPECT_DOUBLE_EQ(report.arg_fq, again.arg_fq);
@@ -397,6 +403,122 @@ TEST(ExecutionEngine, FacadeMatchesEngine)
     EXPECT_DOUBLE_EQ(a.arg_baseline, b.arg_baseline);
     EXPECT_DOUBLE_EQ(a.arg_fq, b.arg_fq);
     expect_stats_equal(a.baseline, b.baseline);
+}
+
+TEST(ExecutionEngine, ParametricTemplatesOnOffBitIdenticalAcrossThreads)
+{
+    // --no-param-templates A/B: the family tier only changes WHERE a fused
+    // program comes from (coefficient patch vs from-scratch build), never
+    // its contents — so solves are bit-identical with the tier on or off,
+    // serial or pooled.
+    const auto model = ba_model(12, 1, 13);
+    const auto dev = device::make_device("ibm-montreal");
+
+    frozenqubits::DriverConfig on;
+    on.num_freeze = 2;
+    ASSERT_TRUE(on.parametric_templates); // family tier is the default
+    auto off = on;
+    off.parametric_templates = false;
+
+    ExecutionEngine eng_on_serial(1), eng_on_pool(4);
+    ExecutionEngine eng_off_serial(1), eng_off_pool(4);
+    Rng r1(77), r2(77), r3(77), r4(77);
+    const auto a = eng_on_serial.solve(model, dev, on, 1024, r1);
+    const auto b = eng_on_pool.solve(model, dev, on, 1024, r2);
+    const auto c = eng_off_serial.solve(model, dev, off, 1024, r3);
+    const auto d = eng_off_pool.solve(model, dev, off, 1024, r4);
+    expect_solves_identical(a, b);
+    expect_solves_identical(a, c);
+    expect_solves_identical(a, d);
+
+    // Tier preview accounting: a fresh family-tier engine has nothing
+    // resident (no Hit leaves) and binds the structural compile's
+    // siblings; with the tier off every leaf compiles and the family maps
+    // are never consulted.
+    const auto& diag_on = eng_on_pool.last_diagnostics();
+    EXPECT_EQ(diag_on.leaves_tier_hit, 0);
+    EXPECT_GT(diag_on.leaves_tier_bind, 0);
+    const auto& diag_off = eng_off_pool.last_diagnostics();
+    EXPECT_EQ(diag_off.leaves_tier_hit, 0);
+    EXPECT_EQ(diag_off.leaves_tier_bind, 0);
+    EXPECT_GT(diag_off.leaves_tier_compile, 0);
+    EXPECT_EQ(eng_off_pool.template_cache().stats().family_lookups, 0u);
+
+    // A repeat on the warm engine previews resident leaves as Hits, with
+    // the result unchanged.
+    Rng r5(77);
+    const auto e = eng_on_pool.solve(model, dev, on, 1024, r5);
+    expect_solves_identical(a, e);
+    EXPECT_GT(eng_on_pool.last_diagnostics().leaves_tier_hit, 0);
+}
+
+TEST(TemplateCache, FamilyByteAccountingExactAtEvictionBoundary)
+{
+    // Regression for the family-tier accounting gap: shared structure is
+    // charged ONCE per labeled variant, per-bind tables per value entry,
+    // and eviction releases exactly what was charged — the pool split must
+    // reconcile with bytes() at every step.
+    TemplateCache cache;
+    const auto dev = device::make_device("ibm-montreal");
+    transpiler::CompileOptions compile_opts;
+    qaoa::BuildOptions build;
+
+    const auto model_a = ba_model(10, 1, 41);
+    const auto first = cache.get_or_bind(model_a, dev, compile_opts, build);
+    EXPECT_EQ(first.tier, TemplateTier::Compile);
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.structure_bytes, first.family->bytes());
+    EXPECT_EQ(stats.bind_bytes, 0u);
+    EXPECT_EQ(cache.bytes(), stats.structure_bytes + stats.bind_bytes +
+                                 stats.template_bytes);
+
+    // Per-bind tables charge the value pool, never the structure pool.
+    const auto program_a =
+        cache.get_or_fuse(model_a, build, nullptr, first.family.get());
+    stats = cache.stats();
+    EXPECT_EQ(stats.bind_bytes, program_a->bytes());
+    EXPECT_EQ(stats.structure_bytes, first.family->bytes());
+
+    // A second member of the same family: new tables, NO new structure.
+    auto member = model_a;
+    for (const auto& term : member.quadratic_terms())
+        member.add_quadratic(term.i, term.j, 0.5);
+    const auto second = cache.get_or_bind(member, dev, compile_opts, build);
+    EXPECT_EQ(second.tier, TemplateTier::Bind);
+    EXPECT_EQ(second.family.get(), first.family.get()); // shared structure
+    const auto program_b =
+        cache.get_or_fuse(member, build, nullptr, second.family.get());
+    stats = cache.stats();
+    EXPECT_EQ(stats.structure_bytes, first.family->bytes()); // still once
+    EXPECT_EQ(stats.bind_bytes, program_a->bytes() + program_b->bytes());
+    EXPECT_EQ(stats.family_binds, 2u);
+
+    // Family eviction at the budget boundary: the reset drops the resident
+    // variant and recharges EXACTLY the incoming structure's bytes.
+    cache.set_byte_budgets(0, 1);
+    const auto model_b = ba_model(8, 1, 43); // different structure
+    const auto third = cache.get_or_bind(model_b, dev, compile_opts, build);
+    EXPECT_EQ(third.tier, TemplateTier::Compile);
+    stats = cache.stats();
+    EXPECT_EQ(stats.family_evictions, 1u);
+    EXPECT_EQ(stats.structure_bytes, third.family->bytes());
+
+    // Sim-pool eviction boundary: same exact-recharge contract.
+    cache.set_byte_budgets(1, 0);
+    const auto program_c =
+        cache.get_or_fuse(model_b, build, nullptr, third.family.get());
+    stats = cache.stats();
+    EXPECT_EQ(stats.sim_evictions, 2u); // both resident programs dropped
+    EXPECT_EQ(stats.bind_bytes, program_c->bytes());
+    EXPECT_EQ(cache.bytes(), stats.structure_bytes + stats.bind_bytes +
+                                 stats.template_bytes);
+
+    cache.clear();
+    EXPECT_EQ(cache.bytes(), 0u);
+    stats = cache.stats();
+    EXPECT_EQ(stats.structure_bytes, 0u);
+    EXPECT_EQ(stats.bind_bytes, 0u);
+    EXPECT_EQ(stats.template_bytes, 0u);
 }
 
 } // namespace

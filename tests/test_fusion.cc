@@ -10,6 +10,8 @@
 
 #include <cmath>
 #include <complex>
+#include <cstring>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -176,6 +178,77 @@ random_model(int n, std::uint64_t seed, bool with_linear)
             model.set_linear(i, rng.uniform(-1.0, 1.0));
     model.set_offset(rng.uniform(-1.0, 1.0));
     return model;
+}
+
+/** Quadratic (i, j) pairs in term order (the skeleton's slot labeling). */
+std::vector<std::pair<int, int>>
+quadratic_pairs_of(const ising::IsingModel& model)
+{
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(model.quadratic_terms().size());
+    for (const auto& term : model.quadratic_terms())
+        pairs.emplace_back(term.i, term.j);
+    return pairs;
+}
+
+/**
+ * Copy of @p base with every coefficient re-randomized — the same labeled
+ * structure, a different family member. Linear terms are refreshed only
+ * where @p base has one, so the nonzero-h pattern (which shapes the circuit
+ * when zero-h RZs are omitted) is preserved.
+ */
+ising::IsingModel
+with_new_values(const ising::IsingModel& base, std::uint64_t seed)
+{
+    auto model = base;
+    Rng rng(seed);
+    for (const auto& term : model.quadratic_terms())
+        model.add_quadratic(term.i, term.j,
+                            rng.uniform(-2.0, 2.0) - term.coefficient);
+    for (int i = 0; i < model.num_spins(); ++i)
+        if (base.linear(i) != 0.0)
+            model.set_linear(i, rng.uniform(-2.0, 2.0));
+    model.set_offset(rng.uniform(-1.0, 1.0));
+    return model;
+}
+
+bool
+bits_equal(double a, double b)
+{
+    std::uint64_t ba = 0, bb = 0;
+    std::memcpy(&ba, &a, sizeof(ba));
+    std::memcpy(&bb, &b, sizeof(bb));
+    return ba == bb;
+}
+
+/** Bit-level equality of two fused circuits (masks, coefficients, scales). */
+void
+expect_fused_bitwise_equal(const circuit::FusedCircuit& a,
+                           const circuit::FusedCircuit& b)
+{
+    ASSERT_EQ(a.num_qubits, b.num_qubits);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (std::size_t k = 0; k < a.ops.size(); ++k) {
+        const auto& oa = a.ops[k];
+        const auto& ob = b.ops[k];
+        ASSERT_EQ(static_cast<int>(oa.kind), static_cast<int>(ob.kind))
+            << "op " << k;
+        ASSERT_EQ(static_cast<int>(oa.scale_kind),
+                  static_cast<int>(ob.scale_kind))
+            << "op " << k;
+        ASSERT_EQ(oa.scale_layer, ob.scale_layer) << "op " << k;
+        ASSERT_TRUE(bits_equal(oa.mixer_coefficient, ob.mixer_coefficient))
+            << "op " << k;
+        ASSERT_EQ(oa.qubits, ob.qubits) << "op " << k;
+        ASSERT_EQ(oa.terms.size(), ob.terms.size()) << "op " << k;
+        for (std::size_t t = 0; t < oa.terms.size(); ++t) {
+            ASSERT_EQ(oa.terms[t].mask, ob.terms[t].mask)
+                << "op " << k << " term " << t;
+            ASSERT_TRUE(bits_equal(oa.terms[t].coefficient,
+                                   ob.terms[t].coefficient))
+                << "op " << k << " term " << t;
+        }
+    }
 }
 
 // --------------------------------------------------------------- kernels --
@@ -502,8 +575,11 @@ TEST(ExecutionEngine, FusionOffMatchesFusionOnSolution)
     EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
     EXPECT_EQ(a.best_assignment, b.best_assignment);
 
-    // Fusion-on populated the sim-program cache; fusion-off did not.
-    EXPECT_GT(eng_fused.template_cache().stats().sim_fusions, 0u);
+    // Fusion-on populated the sim-program cache (via family-skeleton
+    // binds under the default parametric-template tier); fusion-off did
+    // not touch it.
+    const auto fused_stats = eng_fused.template_cache().stats();
+    EXPECT_GT(fused_stats.sim_fusions + fused_stats.family_binds, 0u);
     EXPECT_EQ(eng_naive.template_cache().stats().sim_lookups, 0u);
 }
 
@@ -522,12 +598,203 @@ TEST(ExecutionEngine, SimProgramsServedFromCacheOnRepeatedSolves)
     Rng rng_a(3), rng_b(3);
     eng.solve(model, dev, config, 512, rng_a);
     const auto first = eng.template_cache().stats();
-    EXPECT_GT(first.sim_fusions, 0u);
+    // Programs materialized via family-skeleton binds (the default tier)
+    // or from-scratch fusions — either way, misses were paid once.
+    EXPECT_GT(first.sim_fusions + first.family_binds, 0u);
 
     eng.solve(model, dev, config, 512, rng_b);
     const auto second = eng.template_cache().stats();
-    EXPECT_EQ(second.sim_fusions, first.sim_fusions); // no recompiles
+    EXPECT_EQ(second.sim_fusions, first.sim_fusions); // no rebuilds
+    EXPECT_EQ(second.family_binds, first.family_binds);
     EXPECT_GT(second.sim_hits, first.sim_hits);
+}
+
+// ----------------------------------------------- parametric skeletons  --
+
+TEST(ParametricFusion, BindMatchesFromScratchFusionBitwise)
+{
+    // The family-tier determinism contract: one skeleton per (graph class,
+    // p), and every member's fused circuit is reproducible by a pure
+    // coefficient patch — bit-for-bit, not just numerically close.
+    struct Case
+    {
+        const char* name;
+        ising::IsingModel base;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"ba", random_model(10, 201, /*with_linear=*/true)});
+    {
+        Rng rng(202);
+        auto g = graph::complete(7); // SK topology
+        graph::assign_gaussian_weights(g, rng);
+        auto sk = ising::IsingModel::from_graph(g);
+        for (int i = 0; i < sk.num_spins(); ++i)
+            sk.set_linear(i, rng.uniform(-1.0, 1.0));
+        cases.push_back({"sk", std::move(sk)});
+    }
+
+    for (const auto& test_case : cases) {
+        for (int p : {1, 2}) {
+            qaoa::BuildOptions opts;
+            opts.num_layers = p;
+            const auto pairs = quadratic_pairs_of(test_case.base);
+            const auto skeleton = circuit::parametrize_fused(
+                circuit::fuse_diagonals(
+                    qaoa::build_qaoa_circuit(test_case.base, opts)),
+                test_case.base.num_spins(), pairs);
+            ASSERT_TRUE(skeleton.has_value()) << test_case.name;
+            EXPECT_EQ(skeleton->num_slots,
+                      test_case.base.num_spins() +
+                          static_cast<int>(pairs.size()));
+
+            // Multiple binds of ONE skeleton, re-randomized each time.
+            for (std::uint64_t member = 0; member < 3; ++member) {
+                const auto model = with_new_values(
+                    test_case.base,
+                    7000 + 10 * member + static_cast<std::uint64_t>(p));
+                expect_fused_bitwise_equal(
+                    circuit::bind_fused(*skeleton,
+                                        engine::fused_slot_values(model)),
+                    circuit::fuse_diagonals(
+                        qaoa::build_qaoa_circuit(model, opts)));
+            }
+        }
+    }
+}
+
+TEST(ParametricFusion, BoundProgramsSampleBitIdenticalStatevectors)
+{
+    // End-to-end through the simulator: a program compiled from a bound
+    // skeleton and one compiled from scratch produce bitwise-identical
+    // amplitudes at the same (gamma, beta) — so sampled counts from either
+    // path coincide at any thread count.
+    const auto base = random_model(9, 311, /*with_linear=*/true);
+    qaoa::BuildOptions opts;
+    opts.num_layers = 2;
+    const auto skeleton = circuit::parametrize_fused(
+        circuit::fuse_diagonals(qaoa::build_qaoa_circuit(base, opts)),
+        base.num_spins(), quadratic_pairs_of(base));
+    ASSERT_TRUE(skeleton.has_value());
+
+    Rng rng(312);
+    for (std::uint64_t member = 0; member < 3; ++member) {
+        const auto model = with_new_values(base, 400 + member);
+        const sim::FusedProgram bound(
+            circuit::bind_fused(*skeleton, engine::fused_slot_values(model)),
+            /*build_luts=*/true);
+        const sim::FusedProgram scratch(
+            circuit::fuse_diagonals(qaoa::build_qaoa_circuit(model, opts)),
+            /*build_luts=*/true);
+        const std::vector<double> gammas{rng.uniform(-2.0, 2.0),
+                                         rng.uniform(-2.0, 2.0)};
+        const std::vector<double> betas{rng.uniform(-2.0, 2.0),
+                                        rng.uniform(-2.0, 2.0)};
+        sim::Statevector a, b;
+        bound.run(gammas, betas, a);
+        scratch.run(gammas, betas, b);
+        ASSERT_EQ(a.dimension(), b.dimension());
+        for (std::uint64_t s = 0; s < a.dimension(); ++s) {
+            const auto va = a.amplitude(s);
+            const auto vb = b.amplitude(s);
+            ASSERT_TRUE(bits_equal(va.real(), vb.real()) &&
+                        bits_equal(va.imag(), vb.imag()))
+                << "member " << member << " state " << s;
+        }
+    }
+}
+
+TEST(ParametricFusion, EdgeWidthsOneAnd63And64Qubits)
+{
+    // Mask-arithmetic edges: a single spin (only 1-bit masks) and chains at
+    // 63/64 spins where linear masks reach the top bit of the uint64.
+    // FusedCircuit level only — no 2^n tables at these widths.
+    qaoa::BuildOptions opts;
+    opts.num_layers = 1;
+
+    {
+        ising::IsingModel base(1);
+        base.set_linear(0, 0.8);
+        const auto skeleton = circuit::parametrize_fused(
+            circuit::fuse_diagonals(qaoa::build_qaoa_circuit(base, opts)), 1,
+            {});
+        ASSERT_TRUE(skeleton.has_value());
+        auto member = base;
+        member.set_linear(0, -1.7);
+        expect_fused_bitwise_equal(
+            circuit::bind_fused(*skeleton,
+                                engine::fused_slot_values(member)),
+            circuit::fuse_diagonals(qaoa::build_qaoa_circuit(member, opts)));
+    }
+
+    for (int n : {63, 64}) {
+        Rng rng(static_cast<std::uint64_t>(600 + n));
+        ising::IsingModel base(n);
+        for (int i = 0; i + 1 < n; ++i)
+            base.add_quadratic(i, i + 1, rng.uniform(-1.0, 1.0));
+        for (int i = 0; i < n; ++i)
+            base.set_linear(i, rng.uniform(-1.0, 1.0));
+        const auto skeleton = circuit::parametrize_fused(
+            circuit::fuse_diagonals(qaoa::build_qaoa_circuit(base, opts)), n,
+            quadratic_pairs_of(base));
+        ASSERT_TRUE(skeleton.has_value()) << n;
+        const auto member =
+            with_new_values(base, static_cast<std::uint64_t>(9000 + n));
+        const auto bound = circuit::bind_fused(
+            *skeleton, engine::fused_slot_values(member));
+        bool top_bit_seen = false;
+        for (const auto& op : bound.ops)
+            if (op.kind == circuit::FusedOp::Kind::Diagonal)
+                for (const auto& term : op.terms)
+                    top_bit_seen |= (term.mask >> (n - 1)) & 1u;
+        EXPECT_TRUE(top_bit_seen) << n;
+        expect_fused_bitwise_equal(
+            bound,
+            circuit::fuse_diagonals(qaoa::build_qaoa_circuit(member, opts)));
+    }
+}
+
+TEST(ParametricFusion, RejectsCircuitsOutsideTheSlotScheme)
+{
+    // A constant-angle diagonal bakes a value the slots cannot re-derive.
+    circuit::Circuit constant(2);
+    constant.rz(0, 0.5);
+    EXPECT_FALSE(
+        circuit::parametrize_fused(circuit::fuse_diagonals(constant), 2, {})
+            .has_value());
+
+    // A passthrough rotation could carry problem values in its angle.
+    circuit::Circuit rotation(2);
+    rotation.ry(0, circuit::Parameter::constant(0.3));
+    EXPECT_FALSE(
+        circuit::parametrize_fused(circuit::fuse_diagonals(rotation), 2, {})
+            .has_value());
+
+    // A parity mask that is not a declared linear/quadratic term.
+    const auto base = random_model(6, 77, /*with_linear=*/true);
+    auto pairs = quadratic_pairs_of(base);
+    pairs.pop_back(); // un-declare one edge
+    qaoa::BuildOptions opts;
+    EXPECT_FALSE(circuit::parametrize_fused(
+                     circuit::fuse_diagonals(
+                         qaoa::build_qaoa_circuit(base, opts)),
+                     base.num_spins(), pairs)
+                     .has_value());
+}
+
+TEST(EnergyTable, RebindMatchesFreshConstructionBitwise)
+{
+    // The in-place parameter patch must be indistinguishable from a fresh
+    // table — same buffer, new coefficients, bitwise-equal energies.
+    const auto first = random_model(10, 881, /*with_linear=*/true);
+    const auto second = with_new_values(first, 882);
+    sim::EnergyTable table(first);
+    const double* buffer_before = table.values().data();
+    table.rebind(second);
+    EXPECT_EQ(buffer_before, table.values().data()); // reused, not realloc'd
+    const sim::EnergyTable fresh(second);
+    ASSERT_EQ(table.values().size(), fresh.values().size());
+    EXPECT_EQ(0, std::memcmp(table.values().data(), fresh.values().data(),
+                             fresh.values().size() * sizeof(double)));
 }
 
 } // namespace

@@ -598,4 +598,64 @@ TEST(SolveService, DeadlineBacklogRejectionIsDeterministic)
     EXPECT_EQ(service.stats().requests_rejected_deadline, 1u);
 }
 
+TEST(SolveService, ConcurrentTenantsRacingOneFamilyEntryMatchSolo)
+{
+    // The family tier's first-structural-compile-wins race under real
+    // contention (the TSan leg runs this file): K tenants share ONE
+    // labeled structure with K distinct coefficient sets, submitted from K
+    // threads so their planners race on the same family entry. Every
+    // result must match its solo reference regardless of who wins.
+    const auto dev = device::make_device("ibm-montreal");
+    const auto base = ba_model(12, 1, 5);
+
+    constexpr int kTenants = 4;
+    std::vector<Workload> workloads;
+    for (int k = 0; k < kTenants; ++k) {
+        Workload w;
+        w.model = base;
+        Rng values(static_cast<std::uint64_t>(1000 + k));
+        for (const auto& term : w.model.quadratic_terms())
+            w.model.add_quadratic(term.i, term.j,
+                                  values.uniform(-1.0, 1.0));
+        w.config.num_freeze = 2;
+        w.shots = 512;
+        w.seed = static_cast<std::uint64_t>(90 + k);
+        workloads.push_back(std::move(w));
+    }
+    const auto refs = solo_references(workloads, dev);
+
+    ExecutionEngine eng(4);
+    SolveService service(eng);
+    std::vector<SolveService::Ticket> tickets(workloads.size());
+    std::vector<std::thread> submitters;
+    for (std::size_t k = 0; k < workloads.size(); ++k)
+        submitters.emplace_back([&, k] {
+            const auto& w = workloads[k];
+            tickets[k] =
+                service.submit(w.model, dev, w.config, w.shots, w.seed);
+        });
+    for (auto& t : submitters)
+        t.join();
+    for (std::size_t k = 0; k < workloads.size(); ++k)
+        expect_solves_identical(tickets[k].get(), refs[k]);
+    service.drain();
+
+    // One labeled structure: race losers may pay duplicate structural
+    // compiles (their builds are dropped outside the lock), but the
+    // per-tenant table work is coefficient binds, not rebuilds.
+    const auto stats = eng.template_cache().stats();
+    EXPECT_GE(stats.family_structural_compiles, 1u);
+    EXPECT_LE(stats.family_structural_compiles,
+              static_cast<std::uint64_t>(kTenants));
+    EXPECT_GT(stats.family_binds, 0u);
+
+    // Tier preview accounting reconciles per tenant.
+    for (std::size_t k = 0; k < workloads.size(); ++k) {
+        const auto diag = service.diagnostics(tickets[k].id());
+        EXPECT_EQ(diag.leaves_tier_hit + diag.leaves_tier_bind +
+                      diag.leaves_tier_compile,
+                  diag.leaves_executed);
+    }
+}
+
 } // namespace

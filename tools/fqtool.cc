@@ -13,7 +13,10 @@
  *        [--max-circuits B] [--partition W]
  *       Build the SolveTree, rank its leaves with the classical scheduler
  *       and print the tree plus the budget trace (cut line included) —
- *       without executing any circuit.
+ *       without executing any circuit. The leaf table's tier column shows
+ *       how each leaf's fused program would materialize (hit / bind /
+ *       compile — the parametric-template tiers; --no-param-templates
+ *       forces the legacy compile-only path).
  *   solve [--file F] --device <name> [--freeze M] [--shots K] [--seed S]
  *         [--threads T] [--max-depth D] [--max-circuits B]
  *         [--partition W] [--rerank N|off] [--deadline D]
@@ -94,8 +97,8 @@ using Options = std::map<std::string, std::string>;
 bool
 is_flag(const std::string& key)
 {
-    return key == "no-fusion" || key == "stats" ||
-           key == "prune-dominated" || key == "serial";
+    return key == "no-fusion" || key == "no-param-templates" ||
+           key == "stats" || key == "prune-dominated" || key == "serial";
 }
 
 Options
@@ -278,6 +281,11 @@ print_wall_clock(const engine::ExecutionEngine& eng)
                   << " scalar / " << d.leaves_simd_backend
                   << " simd leaves (vector isa: "
                   << sim::BackendRegistry::vector_isa() << ")\n";
+    if (d.leaves_tier_hit > 0 || d.leaves_tier_bind > 0 ||
+        d.leaves_tier_compile > 0)
+        std::cout << "template tiers: " << d.leaves_tier_hit << " hit / "
+                  << d.leaves_tier_bind << " bind / "
+                  << d.leaves_tier_compile << " compile leaves\n";
     if (d.leaves_beyond_budget > 0 || d.leaves_pruned > 0 ||
         d.tree_depth > 1) {
         std::cout << "solve tree: depth " << d.tree_depth << ", "
@@ -305,6 +313,12 @@ apply_tree_options(const Options& opts, frozenqubits::DriverConfig& config)
     config.max_circuits = long_option(opts, "max-circuits", 0);
     config.partition_width = int_option(opts, "partition", 0);
     config.prune_dominated = opts.find("prune-dominated") != opts.end();
+    // --no-param-templates: resolve templates through the legacy
+    // structure-keyed tier only (the A/B escape hatch mirroring
+    // --no-fusion). Results are bit-identical either way; only plan
+    // latency and cache residency change.
+    config.parametric_templates =
+        opts.find("no-param-templates") == opts.end();
     // --rerank off (default) keeps the plan-time ranking final;
     // --rerank N re-ranks the un-dispatched tail every N folded leaves.
     const auto rerank = option(opts, "rerank", "off");
@@ -376,7 +390,7 @@ cmd_plan(const Options& opts)
               << Table::num(schedule.presolve_cost, 3) << "\n";
     Table t("leaf schedule (best-first; SA score ranks, ties by leaf id)");
     t.set_header({"rank", "leaf", "node", "spins", "frozen", "SA score",
-                  "bound", "backend", "status"});
+                  "bound", "backend", "tier", "status"});
     int rank = 0;
     const auto add_leaf_row = [&](int leaf_id, const std::string& status) {
         const auto& leaf =
@@ -393,12 +407,13 @@ cmd_plan(const Options& opts)
                    leaf.needs_repair ? "n/a" : Table::num(score.bound, 3),
                    leaf.fuse ? sim::backend_kind_name(leaf.backend)
                              : "naive",
-                   status});
+                   engine::template_tier_name(leaf.tier), status});
     };
     for (int leaf_id : schedule.executed)
         add_leaf_row(leaf_id, "execute");
     if (!schedule.beyond_budget.empty()) {
         t.add_row({"----", "----", "----", "----", "----", "----", "----",
+                   "----",
                    "budget cut (max-circuits=" +
                        Table::num(config.max_circuits) + ")"});
         for (int leaf_id : schedule.beyond_budget)
@@ -434,6 +449,15 @@ print_cache_stats(const engine::ExecutionEngine& eng)
     t.add_row({"fused-sim misses", Table::num(s.sim_misses())});
     t.add_row({"fused-sim compiles", Table::num(s.sim_fusions)});
     t.add_row({"fused-sim evictions", Table::num(s.sim_evictions)});
+    t.add_row({"family lookups", Table::num(s.family_lookups)});
+    t.add_row({"family hits", Table::num(s.family_hits)});
+    t.add_row({"family misses", Table::num(s.family_misses())});
+    t.add_row({"family structural compiles",
+               Table::num(s.family_structural_compiles)});
+    t.add_row({"family binds", Table::num(s.family_binds)});
+    t.add_row({"family evictions", Table::num(s.family_evictions)});
+    t.add_row({"structure bytes (shared)", Table::num(s.structure_bytes)});
+    t.add_row({"bind bytes (per value)", Table::num(s.bind_bytes)});
     t.add_row({"resident entries", Table::num(eng.template_cache().size())});
     t.add_row({"resident bytes", Table::num(eng.template_cache().bytes())});
     t.print(std::cout);
@@ -804,12 +828,13 @@ cmd_serve_batch(const Options& opts)
 
         t.set_header({"req", "model", "leaves", "best cost", "from",
                       "waves", "occupancy", "reranks", "fused hit%",
-                      "queue ms", "wall ms"});
+                      "tier h/b/c", "binds", "queue ms", "wall ms"});
         for (std::size_t k = 0; k < tickets.size(); ++k) {
             auto& ticket = tickets[k];
             if (ticket.id() == 0) { // shed by admission control
                 t.add_row({Table::num(k + 1), requests[k].model_file, "-",
-                           "-", "rejected", "-", "-", "-", "-", "-", "-"});
+                           "-", "rejected", "-", "-", "-", "-", "-", "-",
+                           "-", "-"});
                 continue;
             }
             // Diagnostics are FIFO-retained (~4k most recent); on a huge
@@ -842,11 +867,16 @@ cmd_serve_batch(const Options& opts)
                            Table::num(diag.wave_occupancy, 2),
                            Table::num(diag.reranks),
                            Table::num(100.0 * diag.cache_hit_share, 1),
+                           Table::num(diag.leaves_tier_hit) + "/" +
+                               Table::num(diag.leaves_tier_bind) + "/" +
+                               Table::num(diag.leaves_tier_compile),
+                           Table::num(diag.family_binds),
                            Table::num(diag.queue_latency_ms, 1),
                            Table::num(diag.wall_ms, 1)});
             else
                 t.add_row({Table::num(k + 1), requests[k].model_file, "-",
-                           best, from, "-", "-", "-", "-", "-", "-"});
+                           best, from, "-", "-", "-", "-", "-", "-", "-",
+                           "-"});
         }
         t.print(std::cout);
 
@@ -922,10 +952,12 @@ usage()
         "  plan     [--file F] --device NAME [--freeze M|auto]\n"
         "           [--max-depth D] [--max-circuits B] [--partition W]\n"
         "           [--prune-dominated] [--backend auto|scalar|simd]\n"
+        "           [--no-param-templates]\n"
         "  solve    [--file F] --device NAME [--freeze M|auto] [--shots K]\n"
         "           [--threads T] [--max-depth D] [--max-circuits B]\n"
         "           [--partition W] [--prune-dominated] [--rerank N|off]\n"
         "           [--backend auto|scalar|simd] [--no-fusion]\n"
+        "           [--no-param-templates]\n"
         "           [--deadline D] [--checkpoint FILE] [--checkpoint-every N]\n"
         "           [--resume FILE] [--suspend-after K] [--stats]\n"
         "  serve-batch --trace FILE [--device NAME] [--threads T]\n"
