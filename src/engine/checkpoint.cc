@@ -270,6 +270,10 @@ config_fingerprint(const frozenqubits::DriverConfig& config)
     h = mix(h, config.prune_dominated ? 1 : 0);
     h = mix(h, static_cast<std::uint64_t>(config.rerank_interval));
     h = mix(h, static_cast<std::uint64_t>(config.deadline_cost_units));
+    // Mixed only when active so every pre-sparsify config hashes exactly
+    // as it did before the field existed — v1 snapshots keep restoring.
+    if (config.sparsify_keep != 0.0)
+        h = mix_double(h, config.sparsify_keep);
     return h;
 }
 
@@ -288,6 +292,13 @@ plan_fingerprint(const SolveTree& tree)
         h = mix(h, static_cast<std::uint64_t>(leaf.backend));
         h = mix(h, static_cast<std::uint64_t>(leaf.build.num_layers));
         h = mix(h, leaf.tpl_compatible ? 1 : 0);
+        // Only when a Sparsify proxy drives the optimizer loop, so trees
+        // the old vocabulary could express keep their old fingerprints.
+        if (leaf.proxy) {
+            h = mix(h, hash_seed("fq-plan-proxy"));
+            h = mix(h, static_cast<std::uint64_t>(
+                           leaf.proxy->num_quadratic_terms()));
+        }
     }
     return h;
 }
@@ -333,6 +344,8 @@ capture_checkpoint(const WaveRequest& request)
         SolveCheckpoint::FoldedLeaf rec;
         rec.leaf_id = leaf_id;
         rec.width = request.tree->leaf_width(leaf_id);
+        rec.arm_tag =
+            node_kind_info(leaf_arm_kind(*request.tree, leaf_id)).frame_tag;
         rec.histogram.reserve(counts.histogram().size());
         for (const auto& [state, count] : counts.histogram())
             rec.histogram.emplace_back(state, count);
@@ -436,6 +449,21 @@ restore_checkpoint(const SolveCheckpoint& ck, WaveRequest& request)
                 " has register width " + std::to_string(rec.width) +
                 ", the plan says " +
                 std::to_string(request.tree->leaf_width(rec.leaf_id)));
+        // v2 records carry the reduction arm the leaf executed under; the
+        // replanned tree must put the same kind there (v1 records carry
+        // kNoKindTag and predate the check).
+        if (rec.arm_tag != kNoKindTag) {
+            const std::uint8_t expect =
+                node_kind_info(leaf_arm_kind(*request.tree, rec.leaf_id))
+                    .frame_tag;
+            if (rec.arm_tag != expect)
+                throw CheckpointError(
+                    "folded record for leaf " + std::to_string(rec.leaf_id) +
+                    " was produced under node kind tag " +
+                    std::to_string(rec.arm_tag) +
+                    ", the replanned tree expands it under tag " +
+                    std::to_string(expect));
+        }
     }
 
     // ------------------------------------------------------- apply --
@@ -482,8 +510,11 @@ restore_checkpoint(const SolveCheckpoint& ck, WaveRequest& request)
 // --------------------------------------------------------- wire format --
 
 std::vector<std::uint8_t>
-encode_checkpoint(const SolveCheckpoint& ck)
+encode_checkpoint(const SolveCheckpoint& ck, std::uint32_t version)
 {
+    FQ_REQUIRE(version >= kMinCheckpointFormatVersion &&
+                   version <= kCheckpointFormatVersion,
+               "encode_checkpoint: unsupported format version");
     ByteWriter payload;
     payload.put_u64(ck.model_hash);
     payload.put_u64(ck.config_hash);
@@ -509,6 +540,8 @@ encode_checkpoint(const SolveCheckpoint& ck)
     for (const auto& rec : ck.folded) {
         payload.put_i32(rec.leaf_id);
         payload.put_i32(rec.width);
+        if (version >= 2)
+            payload.put_u8(rec.arm_tag);
         payload.put_u32(static_cast<std::uint32_t>(rec.histogram.size()));
         for (const auto& [state, count] : rec.histogram) {
             payload.put_u64(state);
@@ -527,7 +560,7 @@ encode_checkpoint(const SolveCheckpoint& ck)
     const auto& body = payload.bytes();
     ByteWriter framed;
     framed.put_u32(kMagic);
-    framed.put_u32(kCheckpointFormatVersion);
+    framed.put_u32(version);
     framed.put_u64(static_cast<std::uint64_t>(body.size()));
     framed.put_u32(crc32(body.data(), body.size()));
     auto out = framed.take();
@@ -543,10 +576,12 @@ decode_checkpoint(const std::uint8_t* data, std::size_t size)
     if (magic != kMagic)
         throw CheckpointError("not a checkpoint file (bad magic)");
     const std::uint32_t version = frame.get_u32();
-    if (version != kCheckpointFormatVersion)
+    if (version < kMinCheckpointFormatVersion ||
+        version > kCheckpointFormatVersion)
         throw CheckpointError(
             "unsupported checkpoint format version " +
-            std::to_string(version) + " (this build reads version " +
+            std::to_string(version) + " (this build reads versions " +
+            std::to_string(kMinCheckpointFormatVersion) + ".." +
             std::to_string(kCheckpointFormatVersion) + ")");
     const std::uint64_t length = frame.get_u64();
     const std::uint32_t expected_crc = frame.get_u32();
@@ -588,6 +623,18 @@ decode_checkpoint(const std::uint8_t* data, std::size_t size)
         SolveCheckpoint::FoldedLeaf rec;
         rec.leaf_id = payload.get_i32();
         rec.width = payload.get_i32();
+        if (version >= 2) {
+            rec.arm_tag = payload.get_u8();
+            // A tag this build's kind-metadata table cannot name means the
+            // snapshot came from a newer (or corrupted) vocabulary —
+            // restoring it would mis-attribute the record's arm silently.
+            if (node_kind_info_by_tag(rec.arm_tag) == nullptr)
+                throw CheckpointError(
+                    "checkpoint folded record " + std::to_string(k) +
+                    " carries unknown node kind tag " +
+                    std::to_string(rec.arm_tag) +
+                    " (snapshot from a newer reduction vocabulary?)");
+        }
         const std::uint32_t entries = payload.get_u32();
         rec.histogram.reserve(entries);
         for (std::uint32_t e = 0; e < entries; ++e) {

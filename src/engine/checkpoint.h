@@ -34,6 +34,13 @@
  * Framing: magic + version + payload length + CRC32(payload). Truncation,
  * bit flips, wrong magic and unknown versions all throw CheckpointError.
  *
+ * Format history: version 2 adds a per-folded-record node-kind frame tag
+ * (the reduction arm the leaf executed under, from the kind-metadata
+ * table in engine/expander.h) so restores cross-check the replanned
+ * tree's vocabulary, not just its seeds. Version 1 snapshots — written
+ * before the tag existed — still decode and restore bit-identically;
+ * their records carry kNoKindTag and skip the arm check.
+ *
  * Determinism contract: a solve checkpointed at an arbitrary boundary,
  * killed, and resumed in a new process produces bit-identical counts,
  * incumbent and anytime trace to an uninterrupted run, at any thread
@@ -49,6 +56,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "engine/expander.h"
 #include "engine/wave_loop.h"
 
 namespace fq::engine {
@@ -62,8 +70,12 @@ class CheckpointError : public fq::Error
     explicit CheckpointError(const std::string& what) : fq::Error(what) {}
 };
 
-/** Current on-disk format version (encode always writes this). */
-constexpr std::uint32_t kCheckpointFormatVersion = 1;
+/** Current on-disk format version (encode writes this by default).
+ *  Decode also accepts version 1 (pre-arm-tag snapshots). */
+constexpr std::uint32_t kCheckpointFormatVersion = 2;
+
+/** Oldest format version decode still reads. */
+constexpr std::uint32_t kMinCheckpointFormatVersion = 1;
 
 /** In-memory form of one snapshot (see file header for field semantics). */
 struct SolveCheckpoint
@@ -99,6 +111,11 @@ struct SolveCheckpoint
         /** (state, count) pairs in ascending state order — sim::Counts'
          *  own deterministic map order, so round-trips are exact. */
         std::vector<std::pair<std::uint64_t, std::uint64_t>> histogram;
+        /** NodeKindInfo::frame_tag of the reduction arm (the leaf's
+         *  parent node kind) — version 2 wire field. kNoKindTag for
+         *  records decoded from a version-1 snapshot; restore skips the
+         *  arm cross-check for those. */
+        std::uint8_t arm_tag = kNoKindTag;
     };
     /** One record per folded scheduled leaf, in rank order (== the first
      *  `cursor` entries of `executed`). */
@@ -166,11 +183,19 @@ void restore_checkpoint(const SolveCheckpoint& snapshot,
 
 // --------------------------------------------------------- wire format --
 
-/** Serialize with CRC-checked framing (magic, version, length, CRC32). */
-std::vector<std::uint8_t> encode_checkpoint(const SolveCheckpoint& ck);
+/**
+ * Serialize with CRC-checked framing (magic, version, length, CRC32).
+ * @p version selects the wire layout (version 1 omits the per-record arm
+ * tags — the legacy emitter, kept so compatibility tests can produce
+ * genuine v1 bytes); FQ_REQUIRE on a version outside
+ * [kMinCheckpointFormatVersion, kCheckpointFormatVersion].
+ */
+std::vector<std::uint8_t> encode_checkpoint(
+    const SolveCheckpoint& ck,
+    std::uint32_t version = kCheckpointFormatVersion);
 
 /** Parse framed bytes; CheckpointError on truncation, bad magic, unknown
- *  version, length mismatch or CRC failure. */
+ *  version, unknown node-kind tag, length mismatch or CRC failure. */
 SolveCheckpoint decode_checkpoint(const std::uint8_t* data,
                                   std::size_t size);
 

@@ -200,8 +200,11 @@ simulate_scheduled_leaf(TemplateCache& cache, const SolveTree& tree,
     // The leaf's own build options: the exact ones its template and fused
     // program were compiled under.
     const qaoa::BuildOptions& build = leaf.build;
-    const auto tuned =
-        qaoa::optimize_p1(sub.model, config.p1_grid_resolution);
+    // Sparsify-lineage leaves tune on their plan-time proxy (Red-QAOA:
+    // the optimizer loop pays for the pruned model); everything below —
+    // circuit, noise quantities, sampling — stays on the full model.
+    const auto tuned = qaoa::optimize_p1(
+        leaf.proxy ? *leaf.proxy : sub.model, config.p1_grid_resolution);
 
     // Survival and readout-flip probabilities come precomputed from the
     // freeze level's shared template when its structure matches (siblings
@@ -295,6 +298,10 @@ ExecutionEngine::start_diagnostics(const SolveTree& tree,
             ++diagnostics_.leaves_tier_compile;
             break;
         }
+        const auto arm = node_kind_index(leaf_arm_kind(tree, leaf_id));
+        ++diagnostics_.kind_leaves_executed[arm];
+        diagnostics_.kind_budget_units[arm] +=
+            leaf_slot_cost(tree, leaf_id);
         // Only an EXECUTED leaf's mirrors are actually inferred — a
         // budget-skipped leaf infers nothing.
         for (int mirror_node : leaf.mirror_nodes)
@@ -315,6 +322,14 @@ ExecutionEngine::start_diagnostics(const SolveTree& tree,
         static_cast<int>(schedule.beyond_budget.size());
     diagnostics_.leaves_pruned =
         static_cast<int>(schedule.pruned.size());
+    // Per-arm pruned = domination-pruned + budget-cut: the leaves each
+    // reduction arm planned but will never run.
+    for (int leaf_id : schedule.beyond_budget)
+        ++diagnostics_.kind_leaves_pruned[node_kind_index(
+            leaf_arm_kind(tree, leaf_id))];
+    for (int leaf_id : schedule.pruned)
+        ++diagnostics_.kind_leaves_pruned[node_kind_index(
+            leaf_arm_kind(tree, leaf_id))];
     diagnostics_.scheduler_scored = schedule.scored;
 }
 

@@ -35,10 +35,12 @@
 #ifndef FQ_ENGINE_ENGINE_H
 #define FQ_ENGINE_ENGINE_H
 
+#include <array>
 #include <vector>
 
 #include "engine/batch_executor.h"
 #include "engine/checkpoint.h"
+#include "engine/expander.h"
 #include "engine/plan.h"
 #include "engine/reducer.h"
 #include "engine/scheduler.h"
@@ -116,6 +118,18 @@ class ExecutionEngine
         int leaves_tier_hit = 0;
         int leaves_tier_bind = 0;
         int leaves_tier_compile = 0;
+        /**
+         * Per-reduction-arm counters, indexed by node_kind_index() over
+         * the kind-metadata table (engine/expander.h). A scheduled
+         * leaf's arm is its parent node's kind (leaf_arm_kind):
+         * executed = leaves scheduled to run under that arm, pruned =
+         * leaves dropped by domination pruning or the circuit budget,
+         * budget units = 2^width slot cost the executed leaves spend —
+         * the observability for mixed-vocabulary trees.
+         */
+        std::array<int, kNumNodeKinds> kind_leaves_executed{};
+        std::array<int, kNumNodeKinds> kind_leaves_pruned{};
+        std::array<long long, kNumNodeKinds> kind_budget_units{};
 
         // --------------------------------- wave-synchronous epochs only --
         int epochs = 0;               ///< waves the solve rode (1 = flat batch)

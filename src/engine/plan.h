@@ -8,6 +8,12 @@
  * heavy per-task work (angle tuning, template editing, simulation) happens
  * afterwards in the BatchExecutor, which may run tasks in any order on any
  * thread because the plan already fixed everything order-dependent.
+ *
+ * This is the FLAT (single freeze level) planner. Hierarchical solves
+ * plan through the open reduction vocabulary instead — build_solve_tree
+ * drives the NodeExpander registry (engine/expander.h), whose Freeze
+ * expander calls make_plan per node — so new node kinds (Partition,
+ * Sparsify, ...) compose around this module without changing it.
  */
 #ifndef FQ_ENGINE_PLAN_H
 #define FQ_ENGINE_PLAN_H

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "engine/expander.h"
 #include "engine/wave_loop.h"
 #include "ising/sa_solver.h"
 
@@ -31,11 +32,6 @@ optimistic_bound(const ising::IsingModel& model)
     return model.offset() - magnitude;
 }
 
-/** Expected recoverable share of a cut coupling's magnitude: the decode's
- *  greedy repair fixes the sign of roughly half the cut terms, so a hybrid
- *  arm is charged the other half as ranking pessimism. */
-constexpr double kCutPenaltyShare = 0.5;
-
 /**
  * A leaf can produce a decode that strictly beats @p incumbent_cost only
  * when its optimistic bound lies at or below it (equal-cost decodes can
@@ -51,17 +47,19 @@ dominated(const LeafScore& score, double incumbent_cost)
 } // namespace
 
 double
-partition_cut_penalty(const SolveTree& tree, int leaf_id)
+lineage_score_penalty(const SolveTree& tree, int leaf_id)
 {
+    const auto& registry = ExpanderRegistry::instance();
     const auto& leaf = tree.leaves[static_cast<std::size_t>(leaf_id)];
-    double cut_weight = 0.0;
+    double penalty = 0.0;
     for (int ni = leaf.node; ni >= 0;
          ni = tree.nodes[static_cast<std::size_t>(ni)].parent) {
         const auto& node = tree.nodes[static_cast<std::size_t>(ni)];
-        if (node.kind == NodeKind::Partition)
-            cut_weight += node.cut_weight;
+        if (node.kind == NodeKind::Leaf)
+            continue; // leaves (and mirror leaves) charge nothing
+        penalty += registry.get(node.kind).score_penalty(node);
     }
-    return kCutPenaltyShare * cut_weight;
+    return penalty;
 }
 
 LeafSchedule
@@ -124,11 +122,12 @@ make_schedule(const ising::IsingModel& original, const SolveTree& tree,
             Rng rng(combine_seeds(leaf.rng_seed,
                                   hash_seed("fq-leaf-presolve")));
             LeafScore entry;
-            // Partition-aware scoring: a fragment's SA presolve never sees
-            // the couplings its ancestors cut, so its raw score flatters
-            // hybrid arms; charge the recorded cut weight back.
+            // Reduction-aware scoring: a leaf's SA presolve never sees
+            // what its ancestors' reductions discarded, so its raw score
+            // flatters those arms; charge each ancestor's declared
+            // pessimism back.
             entry.score = ising::solve_annealing(model, sa, rng).best_cost +
-                          partition_cut_penalty(tree, leaf_id);
+                          lineage_score_penalty(tree, leaf_id);
             entry.bound = leaf.needs_repair
                               ? -std::numeric_limits<double>::infinity()
                               : optimistic_bound(model);

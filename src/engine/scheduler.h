@@ -120,14 +120,18 @@ LeafSchedule make_schedule(const ising::IsingModel& original,
                            BatchExecutor* executor = nullptr);
 
 /**
- * Cut-weight penalty added to a leaf's SA score: half the total |J| dropped
- * by Partition ancestors on its root path. A fragment's SA presolve cannot
- * see the cut couplings, so its score is optimistic by up to the full cut
- * magnitude; charging the expected half (signs are repaired classically at
- * decode) ranks hybrid arms honestly against freeze arms, whose offsets
- * already carry every coupling. Zero for pure-freeze lineages.
+ * Reduction pessimism added to a leaf's SA score: the sum of every
+ * root-path ancestor's NodeExpander::score_penalty (engine/expander.h).
+ * A leaf's SA presolve cannot see information its ancestors' reductions
+ * discarded, so its raw score flatters those arms; each reduction
+ * declares its own charge — Partition: half the |J| lost to the cut
+ * (signs are repaired classically at decode), Sparsify: a quarter of
+ * the |J| pruned from the optimizer proxy (sampling keeps the full
+ * model, only the angles can drift), Freeze: zero (its offsets already
+ * carry every coupling). Zero for pure-freeze lineages, so freeze-tree
+ * ranking is unchanged from the pre-registry scheduler.
  */
-double partition_cut_penalty(const SolveTree& tree, int leaf_id);
+double lineage_score_penalty(const SolveTree& tree, int leaf_id);
 
 /**
  * Deterministic incumbent snapshot handed to a re-rank: the best decode

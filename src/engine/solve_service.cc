@@ -382,7 +382,18 @@ SolveService::reduce_request(Request& request)
             ++out.diag.leaves_tier_compile;
             break;
         }
+        const auto arm =
+            node_kind_index(leaf_arm_kind(request.tree, leaf_id));
+        ++out.diag.kind_leaves_executed[arm];
+        out.diag.kind_budget_units[arm] +=
+            leaf_slot_cost(request.tree, leaf_id);
     }
+    for (int leaf_id : request.schedule.beyond_budget)
+        ++out.diag.kind_leaves_pruned[node_kind_index(
+            leaf_arm_kind(request.tree, leaf_id))];
+    for (int leaf_id : request.schedule.pruned)
+        ++out.diag.kind_leaves_pruned[node_kind_index(
+            leaf_arm_kind(request.tree, leaf_id))];
     out.diag.cache_hit_share =
         out.diag.fused_lookups == 0
             ? 0.0

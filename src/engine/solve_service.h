@@ -61,6 +61,7 @@
 #ifndef FQ_ENGINE_SOLVE_SERVICE_H
 #define FQ_ENGINE_SOLVE_SERVICE_H
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -145,6 +146,15 @@ class SolveService
         int leaves_tier_hit = 0;
         int leaves_tier_bind = 0;
         int leaves_tier_compile = 0;
+        /** Per-reduction-arm split of this tenant's leaves, indexed by
+         *  node_kind_index() over the kind-metadata table
+         *  (engine/expander.h; arm = parent node kind, leaf_arm_kind):
+         *  leaves run / leaves planned-but-dropped (domination + budget) /
+         *  2^width wave-slot units the executed leaves spent. The
+         *  serve-batch trace surface for mixed-vocabulary trees. */
+        std::array<int, kNumNodeKinds> kind_leaves_executed{};
+        std::array<int, kNumNodeKinds> kind_leaves_pruned{};
+        std::array<long long, kNumNodeKinds> kind_budget_units{};
         /**
          * Mean share of the wave slots this tenant held across the waves it
          * rode (1.0 = had every wave to itself; 1/K under K equal tenants)

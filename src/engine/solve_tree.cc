@@ -1,372 +1,13 @@
 #include "engine/solve_tree.h"
 
-#include <algorithm>
-
-#include "common/error.h"
-#include "frozenqubits/template_editor.h"
-#include "partition/bisection.h"
-#include "partition/dnc_qaoa.h"
-#include "sim/statevector.h"
+#include "engine/expander.h"
 
 namespace fq::engine {
-
-namespace {
-
-/**
- * Compose a node-local sub-problem with its parent's bookkeeping: surviving
- * spins map through the parent's original_of, locally frozen spins are
- * translated to true original indices and appended to the parent's chain.
- */
-frozenqubits::SubProblem
-compose(const frozenqubits::SubProblem& parent,
-        const frozenqubits::SubProblem& local)
-{
-    frozenqubits::SubProblem out;
-    out.model = local.model;
-    out.original_of.resize(local.original_of.size());
-    for (std::size_t i = 0; i < local.original_of.size(); ++i)
-        out.original_of[i] =
-            parent.original_of[static_cast<std::size_t>(
-                local.original_of[i])];
-    out.frozen = parent.frozen;
-    for (const auto& fs : local.frozen)
-        out.frozen.push_back(
-            {parent.original_of[static_cast<std::size_t>(
-                 fs.original_index)],
-             fs.value});
-    return out;
-}
-
-class TreeBuilder
-{
-  public:
-    TreeBuilder(const device::Device& dev,
-                const frozenqubits::DriverConfig& config,
-                TemplateCache& cache)
-        : dev_(dev), config_(config), cache_(cache)
-    {
-    }
-
-    SolveTree
-    build(const ising::IsingModel& model, Rng& rng)
-    {
-        FQ_REQUIRE(config_.max_depth >= 1,
-                   "solve tree needs at least one expansion level");
-        // Bisection consumes an expansion level, so depth 1 would leave
-        // raw fragments and silently drop the requested freeze entirely.
-        FQ_REQUIRE(config_.partition_width <= 0 || config_.max_depth >= 2,
-                   "partition_width needs max_depth >= 2 so fragments can "
-                   "be frozen or solved");
-        tree_.max_depth = config_.max_depth;
-
-        SolveNode root;
-        root.index = 0;
-        root.sub = frozenqubits::as_subproblem(model);
-        tree_.nodes.push_back(std::move(root));
-        FQ_REQUIRE(can_partition(0) || can_freeze(0),
-                   "root is too small to freeze and too narrow to "
-                   "partition");
-        expand(0, &rng);
-        return std::move(tree_);
-    }
-
-  private:
-    int
-    width(int ni) const
-    {
-        return tree_.nodes[static_cast<std::size_t>(ni)]
-            .sub.model.num_spins();
-    }
-
-    bool
-    can_partition(int ni) const
-    {
-        return config_.partition_width > 0 &&
-               width(ni) > config_.partition_width && width(ni) >= 4 &&
-               tree_.nodes[static_cast<std::size_t>(ni)].depth <
-                   config_.max_depth;
-    }
-
-    bool
-    can_freeze(int ni) const
-    {
-        // Same floor as the flat engine: freezing needs one spin to freeze
-        // and one to survive (freeze_all requires m < n).
-        const auto& node = tree_.nodes[static_cast<std::size_t>(ni)];
-        return width(ni) >= 2 && node.depth < config_.max_depth;
-    }
-
-    int
-    add_child(int parent, frozenqubits::SubProblem sub,
-              std::uint64_t stream_seed, bool partition_lineage)
-    {
-        const int index = static_cast<int>(tree_.nodes.size());
-        SolveNode child;
-        child.index = index;
-        child.parent = parent;
-        child.depth =
-            tree_.nodes[static_cast<std::size_t>(parent)].depth + 1;
-        child.sub = std::move(sub);
-        child.stream_seed = stream_seed;
-        child.partition_lineage =
-            tree_.nodes[static_cast<std::size_t>(parent)]
-                .partition_lineage ||
-            partition_lineage;
-        tree_.nodes.push_back(std::move(child));
-        tree_.nodes[static_cast<std::size_t>(parent)]
-            .children.push_back(index);
-        return index;
-    }
-
-    /** Register @p ni as an executable leaf. @p tpl/@p compatible/@p family
-     *  come from the parent freeze level (or a private resolve for
-     *  fragments); @p build is what the template/fused program were
-     *  compiled under. */
-    void
-    make_leaf(int ni, int local_solve, std::uint64_t rng_seed,
-              std::shared_ptr<const CompiledTemplate> tpl, bool compatible,
-              const qaoa::BuildOptions& build,
-              std::shared_ptr<const ParametricTemplate> family = nullptr)
-    {
-        auto& node = tree_.nodes[static_cast<std::size_t>(ni)];
-        node.kind = NodeKind::Leaf;
-        node.leaf_id = static_cast<int>(tree_.leaves.size());
-
-        SolveLeaf leaf;
-        leaf.node = ni;
-        leaf.leaf_id = node.leaf_id;
-        leaf.local_solve = local_solve;
-        leaf.rng_seed = rng_seed;
-        leaf.needs_repair = node.partition_lineage;
-        leaf.fuse = config_.fuse_simulation &&
-                    node.sub.model.num_spins() <= sim::kMaxSimQubits;
-        leaf.backend = sim::select_backend(config_.backend,
-                                           node.sub.model.num_spins());
-        leaf.build = build;
-        leaf.tpl = std::move(tpl);
-        leaf.tpl_compatible = compatible;
-        // The family skeleton is verified against THIS leaf's labeled
-        // structure — a sibling whose structure drifted (it cannot, by
-        // freeze construction, but the check is cheap) falls back to the
-        // from-scratch path rather than binding a wrong skeleton.
-        if (family != nullptr && family->has_skeleton &&
-            family->matches(node.sub.model))
-            leaf.family = std::move(family);
-        // Plan-time tier preview for diagnostics and the fqtool plan
-        // column. Fused leaves re-resolve through the cache at execution;
-        // unfused leaves always rebuild gate-by-gate (tier Compile).
-        if (leaf.fuse && cache_.peek_fused(node.sub.model, leaf.build))
-            leaf.tier = TemplateTier::Hit;
-        else if (leaf.fuse && leaf.family != nullptr)
-            leaf.tier = TemplateTier::Bind;
-        else
-            leaf.tier = TemplateTier::Compile;
-        tree_.leaves.push_back(std::move(leaf));
-    }
-
-    void
-    expand(int ni, Rng* root_rng)
-    {
-        if (can_partition(ni)) {
-            expand_partition(ni, root_rng);
-            return;
-        }
-        expand_freeze(ni, root_rng);
-    }
-
-    void
-    expand_partition(int ni, Rng* root_rng)
-    {
-        tree_.nodes[static_cast<std::size_t>(ni)].kind =
-            NodeKind::Partition;
-        const auto parent_sub = tree_.nodes[static_cast<std::size_t>(ni)]
-                                    .sub; // copy: nodes vector reallocates
-        // A partition root has no plan to draw a stream base from: take it
-        // from the caller's rng so child streams follow the config seed.
-        if (root_rng)
-            tree_.nodes[static_cast<std::size_t>(ni)].stream_seed =
-                (*root_rng)();
-        const std::uint64_t seed =
-            tree_.nodes[static_cast<std::size_t>(ni)].stream_seed;
-
-        Rng local(combine_seeds(seed, hash_seed("fq-partition")));
-        Rng& rng = root_rng ? *root_rng : local;
-        const auto cut = partition::bisect(parent_sub.model.to_graph(), rng);
-        {
-            auto& node = tree_.nodes[static_cast<std::size_t>(ni)];
-            node.cut_edges = cut.cut_edges;
-            node.cut_weight = cut.cut_weight;
-        }
-
-        for (int which : {0, 1}) {
-            auto frag = partition::extract_fragment(parent_sub.model,
-                                                    cut.side, which);
-            if (frag.model.num_spins() == 0)
-                continue;
-            // Split the constant term evenly so the fragments' classical
-            // bounds sum to (roughly) the node's — cut couplings excepted,
-            // which is exactly the D&C energy loss — WITHOUT biasing the
-            // scheduler's cross-fragment ranking (scores include the
-            // offset; loading it onto one side would deterministically
-            // starve that side under a budget).
-            frag.model.set_offset(parent_sub.model.offset() / 2.0);
-            frozenqubits::SubProblem local_sub;
-            local_sub.model = std::move(frag.model);
-            local_sub.original_of = std::move(frag.original_of);
-            const std::uint64_t child_seed = subproblem_stream_seed(
-                seed, static_cast<std::uint64_t>(which));
-            const int ci = add_child(ni, compose(parent_sub, local_sub),
-                                     child_seed,
-                                     /*partition_lineage=*/true);
-            if (can_partition(ci) || can_freeze(ci)) {
-                expand(ci, nullptr);
-            } else {
-                auto resolved = resolve_fragment_template(ci);
-                make_leaf(ci, /*local_solve=*/-1, child_seed,
-                          std::move(resolved.tpl), true,
-                          default_build_options(),
-                          std::move(resolved.family));
-            }
-        }
-        FQ_REQUIRE(!tree_.nodes[static_cast<std::size_t>(ni)]
-                        .children.empty(),
-                   "bisection produced no fragments");
-    }
-
-    struct FragmentTemplates
-    {
-        std::shared_ptr<const CompiledTemplate> tpl;
-        std::shared_ptr<const ParametricTemplate> family;
-    };
-
-    /** Private template for a fragment leaf (no freeze siblings to share
-     *  with, but repeated solves over the same fragment hit the cache —
-     *  and, with parametric templates, the whole fragment FAMILY shares
-     *  one structural compile). */
-    FragmentTemplates
-    resolve_fragment_template(int ni)
-    {
-        const auto& node = tree_.nodes[static_cast<std::size_t>(ni)];
-        if (!config_.use_template_editing ||
-            node.sub.model.num_spins() > dev_.num_qubits())
-            return {};
-        if (config_.parametric_templates) {
-            auto binding =
-                cache_.get_or_bind(node.sub.model, dev_, config_.compile,
-                                   default_build_options());
-            return {binding.family->structural, binding.family};
-        }
-        return {cache_.get_or_compile(node.sub.model, dev_, config_.compile,
-                                      default_build_options()),
-                nullptr};
-    }
-
-    void
-    expand_freeze(int ni, Rng* root_rng)
-    {
-        FQ_REQUIRE(can_freeze(ni), "node is too small to freeze");
-        tree_.nodes[static_cast<std::size_t>(ni)].kind = NodeKind::Freeze;
-        const auto parent_sub =
-            tree_.nodes[static_cast<std::size_t>(ni)].sub; // copy, see above
-        const int parent_depth =
-            tree_.nodes[static_cast<std::size_t>(ni)].depth;
-        const std::uint64_t seed =
-            tree_.nodes[static_cast<std::size_t>(ni)].stream_seed;
-
-        // Children are terminal when they have no expansion level left or
-        // are too narrow for any strategy; only then may this level prune
-        // mirrors (a recursively expanded child has no single distribution
-        // to flip). The ROOT takes config.num_freeze verbatim so a flat
-        // tree accepts and rejects exactly what make_plan does; deeper
-        // nodes clamp to their own width (m < n).
-        const int m =
-            parent_depth == 0
-                ? config_.num_freeze
-                : std::min(config_.num_freeze,
-                           parent_sub.model.num_spins() - 1);
-        const int child_width = parent_sub.model.num_spins() - m;
-        const bool child_can_expand =
-            parent_depth + 1 < config_.max_depth && child_width >= 2;
-        frozenqubits::DriverConfig node_config = config_;
-        node_config.num_freeze = m;
-        if (child_can_expand)
-            node_config.symmetry_pruning = false;
-
-        Rng local(combine_seeds(seed, hash_seed("fq-freeze-node")));
-        ExecutionPlan plan =
-            make_plan(parent_sub.model, dev_, node_config, cache_,
-                      root_rng ? *root_rng : local);
-        // The node's stream base is the plan's: descendants (and the
-        // scheduler's presolve, for the root) derive from the config seed
-        // exactly as the flat engine's task streams do.
-        tree_.nodes[static_cast<std::size_t>(ni)].stream_seed =
-            plan.stream_seed;
-
-        for (const auto& task : plan.tasks) {
-            const auto& local_sub =
-                plan.subproblems[static_cast<std::size_t>(task.solve)];
-            const int ci = add_child(ni, compose(parent_sub, local_sub),
-                                     task.rng_seed,
-                                     /*partition_lineage=*/false);
-            tree_.nodes[static_cast<std::size_t>(ci)].local_solve =
-                task.solve;
-            if (child_can_expand &&
-                (can_partition(ci) || can_freeze(ci))) {
-                expand(ci, nullptr);
-                continue;
-            }
-            const bool compatible =
-                plan.compiled_template &&
-                frozenqubits::templates_compatible(
-                    plan.subproblems[static_cast<std::size_t>(
-                                         plan.tasks.front().solve)]
-                        .model,
-                    local_sub.model);
-            make_leaf(ci, task.solve, task.rng_seed,
-                      plan.compiled_template, compatible, plan.build,
-                      plan.family);
-            // Mirror sub-spaces covered by flipping this leaf's output.
-            const int leaf_id =
-                tree_.nodes[static_cast<std::size_t>(ci)].leaf_id;
-            for (int mirror : task.mirrors) {
-                const auto& mirror_sub = plan.subproblems[
-                    static_cast<std::size_t>(mirror)];
-                const int mi =
-                    add_child(ni, compose(parent_sub, mirror_sub),
-                              /*stream_seed=*/0,
-                              /*partition_lineage=*/false);
-                auto& mirror_node =
-                    tree_.nodes[static_cast<std::size_t>(mi)];
-                mirror_node.kind = NodeKind::Leaf;
-                mirror_node.mirror_of = leaf_id;
-                mirror_node.local_solve = mirror;
-                tree_.leaves[static_cast<std::size_t>(leaf_id)]
-                    .mirror_nodes.push_back(mi);
-            }
-        }
-        tree_.nodes[static_cast<std::size_t>(ni)].plan = std::move(plan);
-    }
-
-    const device::Device& dev_;
-    const frozenqubits::DriverConfig& config_;
-    TemplateCache& cache_;
-    SolveTree tree_;
-};
-
-} // namespace
 
 const char*
 node_kind_name(NodeKind kind)
 {
-    switch (kind) {
-    case NodeKind::Leaf:
-        return "leaf";
-    case NodeKind::Freeze:
-        return "freeze";
-    case NodeKind::Partition:
-        return "partition";
-    }
-    return "?";
+    return node_kind_info(kind).name;
 }
 
 bool
@@ -403,8 +44,8 @@ build_solve_tree(const ising::IsingModel& model, const device::Device& dev,
                  const frozenqubits::DriverConfig& config,
                  TemplateCache& cache, Rng& rng)
 {
-    TreeBuilder builder(dev, config, cache);
-    return builder.build(model, rng);
+    TreeBuild build(dev, config, cache);
+    return build.run(model, rng);
 }
 
 ising::SpinVector

@@ -13,7 +13,15 @@
  *   Partition  — bisected via partition::extract_fragment (the hybrid
  *                D&C + freeze arm): cut couplings are dropped during the
  *                quantum phase and repaired classically at decode;
+ *   Sparsify   — Red-QAOA edge pruning: the optimizer loop tunes angles
+ *                on a deterministic spanning-structure-preserving proxy
+ *                of the cell, while sampling and every energy
+ *                evaluation run on the full model (identity lift);
  *   Leaf       — solved through the existing fused-kernel simulation path.
+ *
+ * Node kinds are open: expansion, scoring and lift policy live in the
+ * pluggable NodeExpander registry (engine/expander.h); build_solve_tree
+ * is a generic driver over it.
  *
  * Every executable leaf carries the fully composed lift back to the
  * original variable space (surviving-spin map + accumulated frozen values
@@ -34,9 +42,10 @@
 
 namespace fq::engine {
 
-enum class NodeKind { Leaf, Freeze, Partition };
+enum class NodeKind { Leaf, Freeze, Partition, Sparsify };
 
-/** Printable node-kind name (fqtool plan). */
+/** Printable node-kind name — served from the kind-metadata table
+ *  (engine/expander.h), not a switch. */
 const char* node_kind_name(NodeKind kind);
 
 struct SolveNode
@@ -69,7 +78,9 @@ struct SolveNode
      *  fragments. */
     std::vector<int> children;
 
-    /** Partition nodes: couplings lost to the cut. */
+    /** Partition nodes: couplings lost to the cut. Sparsify nodes:
+     *  couplings pruned from the optimizer proxy (the executed circuit
+     *  keeps them — ranking-only information). */
     int cut_edges = 0;
     double cut_weight = 0.0;
 
@@ -125,6 +136,16 @@ struct SolveLeaf
      * regardless of tier.
      */
     TemplateTier tier = TemplateTier::Compile;
+    /**
+     * Sparsify-lineage leaves: the reduced model the OPTIMIZER LOOP
+     * tunes (gamma, beta) on (fixed at plan time, pure function of the
+     * leaf model and its stream seed). Null = tune on the full model.
+     * The executed circuit, sampling RNG and every decode/energy
+     * evaluation always use the full model, so the reduction can only
+     * move the angles — never the lift, the histogram semantics or the
+     * fold.
+     */
+    std::shared_ptr<const ising::IsingModel> proxy;
 };
 
 struct SolveTree
@@ -163,12 +184,15 @@ struct SolveTree
  * own shared template through @p cache (one transpiler run per tree level
  * and sibling structure).
  *
- * Expansion policy, per node:
- *   - nodes at the configured max_depth (or too narrow to freeze) are
- *     leaves;
+ * Expansion policy is the ExpanderRegistry's consultation order
+ * (engine/expander.h), which preserves the legacy precedence:
  *   - nodes wider than config.partition_width (> 0 enables) are bisected;
- *   - otherwise the node freezes config.num_freeze hotspots (clamped to
- *     its width). Mirror pruning applies only where children are terminal.
+ *   - otherwise nodes below max_depth freeze config.num_freeze hotspots
+ *     (clamped to their width); mirror pruning applies only where
+ *     children are terminal;
+ *   - terminal nodes are wrapped by Sparsify when config.sparsify_keep
+ *     is in (0, 1) and the cell has prunable edges, else they are
+ *     leaves.
  */
 SolveTree build_solve_tree(const ising::IsingModel& model,
                            const device::Device& dev,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <climits>
+#include <cmath>
 
 #include "common/error.h"
 
@@ -126,6 +127,34 @@ recommend_tree_freeze(const ising::IsingModel& model,
         rec.leaf_circuits = circuits;
     }
     return rec;
+}
+
+long long
+optimizer_loop_cost(long long num_quadratic_terms, int grid_resolution)
+{
+    FQ_REQUIRE(num_quadratic_terms >= 0 && grid_resolution >= 1,
+               "need terms >= 0 and a positive grid");
+    const long long grid = static_cast<long long>(grid_resolution) *
+                           static_cast<long long>(grid_resolution);
+    if (num_quadratic_terms != 0 &&
+        grid > LLONG_MAX / num_quadratic_terms)
+        return LLONG_MAX;
+    return grid * num_quadratic_terms;
+}
+
+long long
+sparsify_proxy_terms(int num_nodes, long long num_edges,
+                     double keep_fraction)
+{
+    FQ_REQUIRE(num_nodes >= 0 && num_edges >= 0,
+               "need non-negative node and edge counts");
+    if (!(keep_fraction > 0.0) || keep_fraction >= 1.0)
+        return num_edges;
+    const long long forest =
+        std::min<long long>(std::max(num_nodes - 1, 0), num_edges);
+    const auto kept = static_cast<long long>(
+        std::ceil(keep_fraction * static_cast<double>(num_edges)));
+    return std::clamp(std::max(forest, kept), forest, num_edges);
 }
 
 } // namespace fq::frozenqubits

@@ -100,6 +100,35 @@ TreeRecommendation recommend_tree_freeze(const ising::IsingModel& model,
                                          const FreezeBudget& budget,
                                          int max_depth);
 
+// ---------------------------------------- per-node-kind cost model --
+
+/**
+ * Classical optimizer-loop cost of tuning one leaf, in coefficient-
+ * evaluation units: the analytic p=1 tuner (qaoa/analytic_p1.h) scans a
+ * grid_resolution^2 (gamma, beta) grid and every landscape evaluation is
+ * linear in the model's quadratic term count, so the planning estimate
+ * is grid^2 * terms, saturating. This is the cost a Sparsify arm buys
+ * down — its proxy keeps fewer terms, so the same grid costs
+ * proportionally less — while Freeze/Partition leaves tune their full
+ * sub-model. Quantum sampling cost is separate (tree_leaf_circuits /
+ * 2^width wave slots) and identical across arms: Sparsify samples the
+ * FULL model.
+ */
+long long optimizer_loop_cost(long long num_quadratic_terms,
+                              int grid_resolution);
+
+/**
+ * Quadratic terms a Sparsify proxy keeps for a width-@p num_nodes leaf
+ * with @p num_edges couplings at @p keep_fraction — the plan-time
+ * estimate mirroring graph::sparsify_edges' keep target:
+ * max(spanning-forest size, ceil(keep * E)). Uses min(n-1, E) for the
+ * forest (exact on connected leaf graphs, an upper bound otherwise).
+ * keep_fraction outside (0, 1) means sparsification is off: returns
+ * @p num_edges unchanged.
+ */
+long long sparsify_proxy_terms(int num_nodes, long long num_edges,
+                               double keep_fraction);
+
 } // namespace fq::frozenqubits
 
 #endif // FQ_FROZENQUBITS_BUDGET_H

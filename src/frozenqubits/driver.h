@@ -160,6 +160,19 @@ struct DriverConfig
      * 0 = off.
      */
     long long checkpoint_interval = 0;
+    /**
+     * Red-QAOA sparsification (the Sparsify node kind): when in (0, 1),
+     * every terminal tree node with prunable couplings tunes its QAOA
+     * angles on a proxy model keeping roughly this fraction of its
+     * quadratic terms (spanning structure always preserved), while the
+     * executed circuit, sampling and every energy evaluation stay on
+     * the full model. The proxy is a pure function of (leaf model, leaf
+     * stream seed) fixed at plan time, so results remain bit-identical
+     * across thread counts and solo-vs-service. 0 = off (the default;
+     * every pre-sparsify config plans byte-identically to before).
+     * >= 1 keeps everything and is equivalent to off.
+     */
+    double sparsify_keep = 0.0;
 };
 
 /** Structure + fidelity record for one executed circuit. */

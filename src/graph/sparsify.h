@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic edge sparsification (the Red-QAOA reduction's graph
+ * half): pick a subset of edges that preserves the spanning structure of
+ * every connected component while pruning the rest down to a target keep
+ * fraction. The choice is a pure function of (edge list, keep fraction,
+ * seed) — edges are ranked by a seed-derived hash, never by an RNG whose
+ * draw order could depend on traversal — so the same inputs always
+ * produce the same proxy, which is what lets a plan-time sparsification
+ * decision survive the engine's bit-identity contract.
+ */
+#ifndef FQ_GRAPH_SPARSIFY_H
+#define FQ_GRAPH_SPARSIFY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fq::graph {
+
+/** One weighted edge by endpoint indices (graph- and model-agnostic so
+ *  callers can sparsify IsingModel quadratic terms without converting). */
+struct EdgeRef
+{
+    int u = 0;
+    int v = 0;
+    double weight = 0.0;
+};
+
+/** Which edges of the input survive sparsification. */
+struct SparsifyPlan
+{
+    /** Per input edge (same order): nonzero = kept in the proxy. */
+    std::vector<char> keep;
+    int kept = 0;
+    int pruned = 0;
+    /** Sum of |weight| over pruned edges (the information discarded —
+     *  what a scheduler should charge the proxy arm as pessimism). */
+    double pruned_weight = 0.0;
+    /** Edges of the spanning forest (always kept). */
+    int forest_edges = 0;
+};
+
+/**
+ * Sparsify @p edges over @p num_nodes vertices. Every edge is ranked by
+ * a hash derived from @p seed and its endpoints (never its list
+ * position); a spanning forest built in rank order is always kept, and
+ * the remaining quota fills with the best-ranked extras until the total
+ * reaches exactly max(forest size, ceil(keep_fraction * |edges|)).
+ * Permuting the input list therefore never changes WHICH edges survive.
+ * Connectivity of every component is preserved for any keep_fraction in
+ * [0, 1]; keep_fraction >= 1 keeps everything.
+ */
+SparsifyPlan sparsify_edges(int num_nodes,
+                            const std::vector<EdgeRef>& edges,
+                            double keep_fraction, std::uint64_t seed);
+
+/** Convenience overload over a Graph's edge list (same order). */
+SparsifyPlan sparsify_edges(const Graph& g, double keep_fraction,
+                            std::uint64_t seed);
+
+/** Size of a spanning forest of @p edges over @p num_nodes vertices —
+ *  the irreducible floor of edges any sparsification must keep
+ *  (num_nodes - number of connected components). */
+int spanning_forest_size(int num_nodes, const std::vector<EdgeRef>& edges);
+
+/** Connected-component count of the subgraph selected by @p keep (empty
+ *  keep = all edges) — the connectivity audit for sparsify tests. */
+int num_components(int num_nodes, const std::vector<EdgeRef>& edges,
+                   const std::vector<char>& keep = {});
+
+} // namespace fq::graph
+
+#endif // FQ_GRAPH_SPARSIFY_H

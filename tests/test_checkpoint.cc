@@ -83,6 +83,7 @@ expect_checkpoints_equal(const SolveCheckpoint& a, const SolveCheckpoint& b)
     for (std::size_t k = 0; k < a.folded.size(); ++k) {
         EXPECT_EQ(a.folded[k].leaf_id, b.folded[k].leaf_id);
         EXPECT_EQ(a.folded[k].width, b.folded[k].width);
+        EXPECT_EQ(a.folded[k].arm_tag, b.folded[k].arm_tag);
         EXPECT_EQ(a.folded[k].histogram, b.folded[k].histogram);
     }
     EXPECT_EQ(a.incumbent_valid, b.incumbent_valid);
@@ -333,6 +334,82 @@ TEST(Checkpoint, ResumePreservesDeadlineTrim)
         const auto resumed =
             fresh.resume(w.model, dev, config, w.shots, ck);
         expect_solves_identical(reference, resumed);
+    }
+}
+
+// ------------------------------------------------ format version 2 --
+
+TEST(Checkpoint, RecordsReductionArmTags)
+{
+    DurableWorkload w; // depth-2 recursive freeze: every arm is Freeze
+    const auto snapshots = collect_snapshots(w);
+    ASSERT_FALSE(snapshots.empty());
+    const auto freeze_tag = node_kind_info(NodeKind::Freeze).frame_tag;
+    for (const auto& ck : snapshots)
+        for (const auto& rec : ck.folded)
+            EXPECT_EQ(rec.arm_tag, freeze_tag);
+    // And the frame header says version 2.
+    const auto bytes = encode_checkpoint(snapshots.back());
+    EXPECT_EQ(bytes[4], 2);
+}
+
+TEST(Checkpoint, SparsifyTreeRoundTripsAndResumes)
+{
+    DurableWorkload w;
+    const auto dev = device::make_device("ibm-montreal");
+    auto config = w.config;
+    config.max_depth = 1; // sparsify interposes its own level
+    config.sparsify_keep = 0.5;
+
+    std::vector<SolveCheckpoint> snapshots;
+    ExecutionEngine eng(1);
+    const auto reference =
+        eng.solve(w.model, dev, config, w.shots, w.seed,
+                  [&](const SolveCheckpoint& ck) {
+                      snapshots.push_back(ck);
+                      return true;
+                  });
+    ASSERT_FALSE(snapshots.empty());
+
+    const auto sparsify_tag =
+        node_kind_info(NodeKind::Sparsify).frame_tag;
+    for (const auto& ck : snapshots) {
+        for (const auto& rec : ck.folded)
+            EXPECT_EQ(rec.arm_tag, sparsify_tag);
+        // Wire round trip, arm tags included.
+        const auto bytes = encode_checkpoint(ck);
+        expect_checkpoints_equal(
+            ck, decode_checkpoint(bytes.data(), bytes.size()));
+        // Resume from every boundary, at any thread count.
+        for (int threads : {1, 4}) {
+            ExecutionEngine fresh(threads);
+            expect_solves_identical(
+                reference,
+                fresh.resume(w.model, dev, config, w.shots, ck));
+        }
+    }
+}
+
+TEST(Checkpoint, VersionOneSnapshotsRestoreBitIdentically)
+{
+    DurableWorkload w;
+    const auto dev = device::make_device("ibm-montreal");
+    frozenqubits::SampledSolve reference;
+    const auto snapshots = collect_snapshots(w, &reference);
+    ASSERT_FALSE(snapshots.empty());
+
+    for (const auto& ck : snapshots) {
+        // Genuine pre-PR bytes: version-1 frames carry no arm tags.
+        const auto legacy = encode_checkpoint(ck, /*version=*/1);
+        EXPECT_EQ(legacy[4], 1);
+        const auto back = decode_checkpoint(legacy.data(), legacy.size());
+        for (const auto& rec : back.folded)
+            EXPECT_EQ(rec.arm_tag, kNoKindTag);
+        // Everything but the tags survives, and the restore is exact:
+        // the arm cross-check is simply skipped for untagged records.
+        ExecutionEngine fresh(2);
+        expect_solves_identical(
+            reference, fresh.resume(w.model, dev, w.config, w.shots, back));
     }
 }
 

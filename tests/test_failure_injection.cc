@@ -342,6 +342,43 @@ TEST(FailureInjection, CheckpointFileCorruption)
                  Error);
 }
 
+TEST(FailureInjection, CheckpointUnknownNodeKindFrame)
+{
+    const auto model = durable_model();
+    const auto config = durable_config();
+    auto snapshot = sample_snapshot(model, config);
+    ASSERT_FALSE(snapshot.folded.empty());
+
+    // A frame tagged with a node kind this build's metadata table cannot
+    // name (a snapshot from a newer reduction vocabulary): the CRC is
+    // valid — encode_checkpoint frames the bogus tag faithfully — so only
+    // the typed vocabulary check can catch it.
+    auto foreign = snapshot;
+    foreign.folded.front().arm_tag = 0x7E;
+    const auto bytes = engine::encode_checkpoint(foreign);
+    try {
+        engine::decode_checkpoint(bytes.data(), bytes.size());
+        FAIL() << "unknown node-kind tag decoded without error";
+    } catch (const engine::CheckpointError& e) {
+        EXPECT_NE(std::string(e.what()).find("unknown node kind"),
+                  std::string::npos);
+    }
+
+    // A KNOWN tag on the wrong arm decodes (the frame is well formed)
+    // but must fail the restore-time cross-check against the replanned
+    // tree: these leaves run under Freeze, not Partition.
+    auto wrong_arm = snapshot;
+    wrong_arm.folded.front().arm_tag =
+        engine::node_kind_info(engine::NodeKind::Partition).frame_tag;
+    const auto wrong_bytes = engine::encode_checkpoint(wrong_arm);
+    const auto decoded =
+        engine::decode_checkpoint(wrong_bytes.data(), wrong_bytes.size());
+    const auto dev = device::make_device("ibm-montreal");
+    engine::ExecutionEngine eng(1);
+    EXPECT_THROW(eng.resume(model, dev, config, 128, decoded),
+                 engine::CheckpointError);
+}
+
 TEST(FailureInjection, CheckpointOfFinishedRequestRejected)
 {
     const auto model = durable_model();

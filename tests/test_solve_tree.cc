@@ -201,7 +201,7 @@ TEST(LeafScheduler, PartitionAwareScoringChargesCutWeight)
     ASSERT_EQ(root.kind, NodeKind::Partition);
     ASSERT_GT(root.cut_weight, 0.0);
     for (const auto& leaf : tree.leaves) {
-        EXPECT_DOUBLE_EQ(partition_cut_penalty(tree, leaf.leaf_id),
+        EXPECT_DOUBLE_EQ(lineage_score_penalty(tree, leaf.leaf_id),
                          0.5 * root.cut_weight);
     }
 
@@ -209,7 +209,7 @@ TEST(LeafScheduler, PartitionAwareScoringChargesCutWeight)
     flat.num_freeze = 3;
     const auto freeze_tree = build(ba_model(12, 1, 5), flat);
     for (const auto& leaf : freeze_tree.leaves)
-        EXPECT_DOUBLE_EQ(partition_cut_penalty(freeze_tree, leaf.leaf_id),
+        EXPECT_DOUBLE_EQ(lineage_score_penalty(freeze_tree, leaf.leaf_id),
                          0.0);
 
     // The penalty flows into the schedule's scores: re-scoring the leaf
@@ -268,6 +268,74 @@ TEST(LeafScheduler, DominationPruningKeepsAtLeastOneLeaf)
     for (int id : schedule.pruned)
         EXPECT_GT(schedule.scores[static_cast<std::size_t>(id)].bound,
                   schedule.presolve_cost);
+}
+
+TEST(SolveTree, SparsifyInterposesWithoutChangingLeafModels)
+{
+    // The Sparsify arm wraps each would-be leaf: the executable leaf's
+    // own sub-model (what samples and what decodes) is byte-for-byte the
+    // model the plain freeze tree would have given it — only the
+    // optimizer proxy differs.
+    const auto model = ba_model(16, 3, 21);
+    frozenqubits::DriverConfig plain;
+    plain.num_freeze = 2;
+    auto sparse = plain;
+    sparse.sparsify_keep = 0.5;
+
+    const auto tree_plain = build(model, plain);
+    const auto tree_sparse = build(model, sparse);
+    ASSERT_EQ(tree_plain.leaves.size(), tree_sparse.leaves.size());
+    for (std::size_t k = 0; k < tree_plain.leaves.size(); ++k) {
+        const auto& a = tree_plain.nodes[static_cast<std::size_t>(
+            tree_plain.leaves[k].node)];
+        const auto& b = tree_sparse.nodes[static_cast<std::size_t>(
+            tree_sparse.leaves[k].node)];
+        EXPECT_EQ(a.sub.model.num_spins(), b.sub.model.num_spins());
+        EXPECT_EQ(a.sub.model.num_quadratic_terms(),
+                  b.sub.model.num_quadratic_terms());
+        EXPECT_DOUBLE_EQ(a.sub.model.offset(), b.sub.model.offset());
+        ASSERT_EQ(a.sub.frozen.size(), b.sub.frozen.size());
+        for (std::size_t f = 0; f < a.sub.frozen.size(); ++f) {
+            EXPECT_EQ(a.sub.frozen[f].original_index,
+                      b.sub.frozen[f].original_index);
+            EXPECT_EQ(a.sub.frozen[f].value, b.sub.frozen[f].value);
+        }
+        // Same plan-derived RNG stream: sampling is untouched by the arm.
+        EXPECT_EQ(tree_plain.leaves[k].rng_seed,
+                  tree_sparse.leaves[k].rng_seed);
+        EXPECT_NE(tree_sparse.leaves[k].proxy, nullptr);
+    }
+}
+
+TEST(LeafScheduler, SparsifyAwareScoringChargesPrunedWeight)
+{
+    const auto model = ba_model(16, 3, 21);
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 2;
+    config.sparsify_keep = 0.4;
+    config.max_circuits = 1; // activate scoring
+
+    const auto tree = build(model, config);
+    const auto schedule = make_schedule(model, tree, config);
+    ASSERT_TRUE(schedule.scored);
+    for (const auto& leaf : tree.leaves) {
+        const auto& arm = tree.nodes[static_cast<std::size_t>(
+            tree.nodes[static_cast<std::size_t>(leaf.node)].parent)];
+        ASSERT_EQ(arm.kind, NodeKind::Sparsify);
+        EXPECT_DOUBLE_EQ(lineage_score_penalty(tree, leaf.leaf_id),
+                         0.25 * arm.cut_weight);
+        // Sparsify never invalidates the optimistic bound: sampling runs
+        // the full model, so the bound stays meaningful (finite).
+        EXPECT_FALSE(leaf.needs_repair);
+        EXPECT_TRUE(std::isfinite(
+            schedule.scores[static_cast<std::size_t>(leaf.leaf_id)]
+                .bound));
+    }
+    // The schedule itself is a pure function of the plan: rebuilding
+    // reproduces the exact ranked order.
+    const auto again = make_schedule(model, tree, config);
+    EXPECT_EQ(schedule.executed, again.executed);
+    EXPECT_EQ(schedule.beyond_budget, again.beyond_budget);
 }
 
 } // namespace

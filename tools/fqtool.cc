@@ -64,6 +64,7 @@
  *   fqtool plan --file problem.ising --freeze 3 --max-circuits 2
  *   fqtool solve --file problem.ising --freeze 2 --max-depth 2 --stats
  */
+#include <array>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -98,7 +99,8 @@ bool
 is_flag(const std::string& key)
 {
     return key == "no-fusion" || key == "no-param-templates" ||
-           key == "stats" || key == "prune-dominated" || key == "serial";
+           key == "stats" || key == "prune-dominated" ||
+           key == "serial" || key == "no-sparsify";
 }
 
 Options
@@ -159,6 +161,23 @@ long_option(const Options& opts, const std::string& key, long long fallback)
     } catch (const std::logic_error&) {
     }
     throw Error("--" + key + " expects an integer, got " + it->second);
+}
+
+/** Fractional variant (keep fractions and the like). */
+double
+double_option(const Options& opts, const std::string& key, double fallback)
+{
+    const auto it = opts.find(key);
+    if (it == opts.end())
+        return fallback;
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(it->second, &consumed);
+        if (consumed == it->second.size())
+            return value;
+    } catch (const std::logic_error&) {
+    }
+    throw Error("--" + key + " expects a number, got " + it->second);
 }
 
 ising::IsingModel
@@ -329,6 +348,16 @@ apply_tree_options(const Options& opts, frozenqubits::DriverConfig& config)
     FQ_REQUIRE(sim::parse_backend_selection(
                    option(opts, "backend", "auto"), &config.backend),
                "--backend expects auto, scalar or simd");
+    // --sparsify F: Red-QAOA edge sparsification — tune each leaf's
+    // angles on a proxy keeping fraction F of its couplings (spanning
+    // structure always retained); sampling and energies use the full
+    // model. --no-sparsify forces it off, bit-identical to omitting
+    // --sparsify entirely (the escape hatch).
+    config.sparsify_keep = double_option(opts, "sparsify", 0.0);
+    FQ_REQUIRE(config.sparsify_keep >= 0.0 && config.sparsify_keep < 1.0,
+               "--sparsify expects a keep fraction in [0, 1)");
+    if (opts.find("no-sparsify") != opts.end())
+        config.sparsify_keep = 0.0;
 }
 
 /** Recursive tree printer: one line per node, indented by depth. */
@@ -336,9 +365,12 @@ void
 print_tree_node(const engine::SolveTree& tree, int ni, int indent)
 {
     const auto& node = tree.nodes[static_cast<std::size_t>(ni)];
+    // Name comes from the kind-metadata table (engine/expander.h), so a
+    // new expander prints correctly here without a new branch; only the
+    // kind-specific annotations below need one.
     std::cout << std::string(static_cast<std::size_t>(indent) * 2, ' ')
               << "node " << node.index << " ["
-              << engine::node_kind_name(node.kind) << "] "
+              << engine::node_kind_info(node.kind).name << "] "
               << node.sub.model.num_spins() << " spins";
     if (node.kind == engine::NodeKind::Freeze) {
         std::cout << ", freezes {";
@@ -351,6 +383,10 @@ print_tree_node(const engine::SolveTree& tree, int ni, int indent)
         std::cout << ", cut " << node.cut_edges << " edges (|J| "
                   << Table::num(node.cut_weight, 2) << ") -> "
                   << node.children.size() << " fragments";
+    } else if (node.kind == engine::NodeKind::Sparsify) {
+        std::cout << ", pruned " << node.cut_edges
+                  << " proxy edges (|J| " << Table::num(node.cut_weight, 2)
+                  << ") -> optimizer proxy";
     } else if (node.mirror_of >= 0) {
         std::cout << ", mirror of leaf " << node.mirror_of;
     } else {
@@ -389,8 +425,10 @@ cmd_plan(const Options& opts)
     std::cout << "\nclassical presolve: cost "
               << Table::num(schedule.presolve_cost, 3) << "\n";
     Table t("leaf schedule (best-first; SA score ranks, ties by leaf id)");
-    t.set_header({"rank", "leaf", "node", "spins", "frozen", "SA score",
-                  "bound", "backend", "tier", "status"});
+    const std::vector<std::string> header = {
+        "rank", "leaf", "node", "arm",  "spins", "frozen",
+        "SA score", "bound", "backend", "tier", "status"};
+    t.set_header(header);
     int rank = 0;
     const auto add_leaf_row = [&](int leaf_id, const std::string& status) {
         const auto& leaf =
@@ -399,8 +437,12 @@ cmd_plan(const Options& opts)
             tree.nodes[static_cast<std::size_t>(leaf.node)];
         const auto& score =
             schedule.scores[static_cast<std::size_t>(leaf_id)];
+        // Arm glyph straight from the kind-metadata table — new node
+        // kinds appear here with zero printer changes.
+        const auto& arm =
+            engine::node_kind_info(engine::leaf_arm_kind(tree, leaf_id));
         t.add_row({Table::num(++rank), Table::num(leaf_id),
-                   Table::num(leaf.node),
+                   Table::num(leaf.node), arm.glyph,
                    Table::num(node.sub.model.num_spins()),
                    Table::num(static_cast<int>(node.sub.frozen.size())),
                    Table::num(score.score, 3),
@@ -412,10 +454,12 @@ cmd_plan(const Options& opts)
     for (int leaf_id : schedule.executed)
         add_leaf_row(leaf_id, "execute");
     if (!schedule.beyond_budget.empty()) {
-        t.add_row({"----", "----", "----", "----", "----", "----", "----",
-                   "----",
-                   "budget cut (max-circuits=" +
-                       Table::num(config.max_circuits) + ")"});
+        // Generated from the header so a grown vocabulary (extra columns)
+        // can never shear the cut line out of alignment again.
+        std::vector<std::string> cut(header.size() - 1, "----");
+        cut.push_back("budget cut (max-circuits=" +
+                      Table::num(config.max_circuits) + ")");
+        t.add_row(cut);
         for (int leaf_id : schedule.beyond_budget)
             add_leaf_row(leaf_id, "skip: beyond budget");
     }
@@ -430,6 +474,46 @@ cmd_plan(const Options& opts)
         std::cout << " (max-circuits " << config.max_circuits << ")";
     std::cout << "\n";
     return 0;
+}
+
+/** Per-reduction-arm counter report (--stats): one row per node kind
+ *  that planned any work, keyed by the metadata table's diagnostics key
+ *  — so a new expander shows up here without printer changes. */
+void
+print_kind_stats(
+    const std::array<int, engine::kNumNodeKinds>& executed,
+    const std::array<int, engine::kNumNodeKinds>& pruned,
+    const std::array<long long, engine::kNumNodeKinds>& units)
+{
+    Table t("reduction arms");
+    t.set_header({"arm", "leaves executed", "leaves pruned",
+                  "budget units"});
+    for (const auto& info : engine::node_kind_table()) {
+        const auto k = engine::node_kind_index(info.kind);
+        if (executed[k] == 0 && pruned[k] == 0 && units[k] == 0)
+            continue;
+        t.add_row({info.diagnostics_key, Table::num(executed[k]),
+                   Table::num(pruned[k]), Table::num(units[k])});
+    }
+    t.print(std::cout);
+}
+
+/** Compact per-arm executed split for one serve-batch row, e.g.
+ *  "frz:6 spr:2" (glyphs from the kind-metadata table; "-" when the
+ *  request ran nothing). */
+std::string
+format_kind_split(const std::array<int, engine::kNumNodeKinds>& executed)
+{
+    std::string out;
+    for (const auto& info : engine::node_kind_table()) {
+        const auto k = engine::node_kind_index(info.kind);
+        if (executed[k] == 0)
+            continue;
+        if (!out.empty())
+            out += " ";
+        out += std::string(info.glyph) + ":" + Table::num(executed[k]);
+    }
+    return out.empty() ? "-" : out;
 }
 
 /** Template-cache counter report (--stats). */
@@ -600,8 +684,11 @@ cmd_solve(const Options& opts)
                           : "cursor " + Table::num(diag.resumed_from))
                   << "\n";
     print_wall_clock(eng);
-    if (opts.find("stats") != opts.end())
+    if (opts.find("stats") != opts.end()) {
+        print_kind_stats(diag.kind_leaves_executed,
+                         diag.kind_leaves_pruned, diag.kind_budget_units);
         print_cache_stats(eng);
+    }
     return 0;
 }
 
@@ -696,6 +783,16 @@ load_trace(const std::string& path, const Options& opts)
                                         "cost budget (0 = off)" +
                                             where);
                 req.config.deadline_cost_units = parsed;
+            } else if (key == "sparsify") {
+                // Integer percent (trace values are all integers):
+                // sparsify=50 keeps half the couplings in each leaf's
+                // optimizer proxy; 0 = off.
+                FQ_REQUIRE(parsed >= 0 && parsed < 100,
+                           "sparsify expects a keep percentage in "
+                           "[0, 100)" +
+                               where);
+                req.config.sparsify_keep =
+                    static_cast<double>(parsed) / 100.0;
             } else if (key == "checkpoint") {
                 FQ_REQUIRE(parsed >= 0, "checkpoint expects a non-negative "
                                         "interval (0 = off)" +
@@ -826,15 +923,16 @@ cmd_serve_batch(const Options& opts)
         if (!resumed.empty())
             service.drain();
 
-        t.set_header({"req", "model", "leaves", "best cost", "from",
-                      "waves", "occupancy", "reranks", "fused hit%",
-                      "tier h/b/c", "binds", "queue ms", "wall ms"});
+        t.set_header({"req", "model", "leaves", "arms", "best cost",
+                      "from", "waves", "occupancy", "reranks",
+                      "fused hit%", "tier h/b/c", "binds", "queue ms",
+                      "wall ms"});
         for (std::size_t k = 0; k < tickets.size(); ++k) {
             auto& ticket = tickets[k];
             if (ticket.id() == 0) { // shed by admission control
                 t.add_row({Table::num(k + 1), requests[k].model_file, "-",
-                           "-", "rejected", "-", "-", "-", "-", "-", "-",
-                           "-", "-"});
+                           "-", "-", "rejected", "-", "-", "-", "-", "-",
+                           "-", "-", "-"});
                 continue;
             }
             // Diagnostics are FIFO-retained (~4k most recent); on a huge
@@ -863,6 +961,7 @@ cmd_serve_batch(const Options& opts)
                 t.add_row({Table::num(k + 1), requests[k].model_file,
                            Table::num(diag.leaves_executed) + "/" +
                                Table::num(diag.leaves_scheduled),
+                           format_kind_split(diag.kind_leaves_executed),
                            best, from, Table::num(diag.waves),
                            Table::num(diag.wave_occupancy, 2),
                            Table::num(diag.reranks),
@@ -875,8 +974,8 @@ cmd_serve_batch(const Options& opts)
                            Table::num(diag.wall_ms, 1)});
             else
                 t.add_row({Table::num(k + 1), requests[k].model_file, "-",
-                           best, from, "-", "-", "-", "-", "-", "-", "-",
-                           "-"});
+                           "-", best, from, "-", "-", "-", "-", "-", "-",
+                           "-", "-"});
         }
         t.print(std::cout);
 
@@ -951,11 +1050,12 @@ usage()
         "           [--threads T]\n"
         "  plan     [--file F] --device NAME [--freeze M|auto]\n"
         "           [--max-depth D] [--max-circuits B] [--partition W]\n"
-        "           [--prune-dominated] [--backend auto|scalar|simd]\n"
-        "           [--no-param-templates]\n"
+        "           [--sparsify F] [--no-sparsify] [--prune-dominated]\n"
+        "           [--backend auto|scalar|simd] [--no-param-templates]\n"
         "  solve    [--file F] --device NAME [--freeze M|auto] [--shots K]\n"
         "           [--threads T] [--max-depth D] [--max-circuits B]\n"
-        "           [--partition W] [--prune-dominated] [--rerank N|off]\n"
+        "           [--partition W] [--sparsify F] [--no-sparsify]\n"
+        "           [--prune-dominated] [--rerank N|off]\n"
         "           [--backend auto|scalar|simd] [--no-fusion]\n"
         "           [--no-param-templates]\n"
         "           [--deadline D] [--checkpoint FILE] [--checkpoint-every N]\n"
@@ -964,8 +1064,8 @@ usage()
         "           [--wave-size W] [--queue-depth D] [--shots K]\n"
         "           [--serial] [--stats]\n"
         "           trace keys: freeze shots seed device backend max-depth\n"
-        "           max-circuits partition wave-share rerank deadline\n"
-        "           checkpoint migrate\n"
+        "           max-circuits partition sparsify wave-share rerank\n"
+        "           deadline checkpoint migrate\n"
         "  devices\n";
     return 2;
 }
