@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Serving-load study for distributed leaf execution: a load generator
+ * replays a multi-tenant trace (K concurrent leaf-heavy solve requests
+ * through one SolveService) against {0, 1, 2, 4} loopback workers behind
+ * the coordinator's WorkerPool. The coordinator is pinned to ONE executor
+ * thread so added workers are genuine capacity, the shape of a scale-out
+ * deployment: p50/p99 request latency and trace throughput versus worker
+ * count, with per-request results cross-checked bit-identical to the
+ * worker-free baseline (the distributed determinism contract).
+ *
+ * Emits BENCH_serving_load.json and — on hosts with >= 4 hardware threads
+ * — FAILS (exit 1) unless 2 loopback workers reach >= 1.5x the
+ * single-process throughput, so CI enforces the scaling claim instead of
+ * filing it away.
+ */
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "engine/solve_service.h"
+#include "net/worker.h"
+#include "net/worker_pool.h"
+
+namespace {
+
+using namespace fq;
+
+constexpr int kSpins = 20;
+constexpr int kDegree = 3;  // BA3
+constexpr int kFreeze = 4;  // 16 sub-spaces -> 8 executed 16q leaves
+constexpr int kRequests = 8;
+constexpr int kShots = 4096;
+constexpr int kRepeats = 3; // best-of wall clock per fleet size
+constexpr std::uint64_t kSeedBase = 131;
+constexpr double kRequiredSpeedup = 1.5; // at 2 workers
+const std::vector<int> kWorkerCounts = {0, 1, 2, 4};
+
+using Clock = std::chrono::steady_clock;
+
+std::string
+unique_address(int k)
+{
+    static const int pid = static_cast<int>(::getpid());
+    return "unix:/tmp/fq_bench_serving_" + std::to_string(pid) + "_" +
+           std::to_string(k) + ".sock";
+}
+
+frozenqubits::DriverConfig
+tenant_config(std::uint64_t seed)
+{
+    frozenqubits::DriverConfig config;
+    config.num_freeze = kFreeze;
+    config.seed = seed;
+    return config;
+}
+
+std::vector<ising::IsingModel>
+trace_models()
+{
+    std::vector<ising::IsingModel> models;
+    for (int k = 0; k < kRequests; ++k)
+        models.push_back(bench::ba_model(kSpins, kDegree, kSeedBase + k));
+    return models;
+}
+
+struct TraceRun
+{
+    double wall_ms = 0.0;
+    std::vector<double> latency_ms; ///< per request: queue + execution
+    std::vector<double> best_costs;
+    std::vector<std::vector<int>> assignments;
+    long long leaves_remote = 0;
+};
+
+/** Replay the trace once through a fresh SolveService on @p eng. */
+TraceRun
+replay_trace(engine::ExecutionEngine& eng,
+             const std::vector<ising::IsingModel>& models,
+             const device::Device& dev)
+{
+    const auto start = Clock::now();
+    engine::SolveService service(eng);
+    std::vector<engine::SolveService::Ticket> tickets;
+    tickets.reserve(models.size());
+    for (std::size_t k = 0; k < models.size(); ++k)
+        tickets.push_back(service.submit(models[k], dev,
+                                         tenant_config(kSeedBase + k),
+                                         kShots, kSeedBase + k));
+    service.drain();
+
+    TraceRun run;
+    run.wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    for (auto& ticket : tickets) {
+        const auto diag = service.diagnostics(ticket.id());
+        run.latency_ms.push_back(diag.queue_latency_ms + diag.wall_ms);
+        run.leaves_remote += diag.leaves_remote;
+        const auto solved = ticket.get();
+        run.best_costs.push_back(solved.best_cost);
+        std::vector<int> assignment;
+        for (const auto z : solved.best_assignment)
+            assignment.push_back(static_cast<int>(z));
+        run.assignments.push_back(std::move(assignment));
+    }
+    return run;
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    std::sort(values.begin(), values.end());
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(values.size() - 1) + 0.5);
+    return values[std::min(rank, values.size() - 1)];
+}
+
+/**
+ * Full measurement for one fleet size: spin up @p num_workers loopback
+ * workers, replay the trace once to warm every cache (coordinator AND
+ * workers), then take the best of kRepeats timed replays.
+ */
+TraceRun
+measure_fleet(int num_workers,
+              const std::vector<ising::IsingModel>& models,
+              const device::Device& dev)
+{
+    std::vector<std::unique_ptr<net::WorkerServer>> servers;
+    std::vector<std::string> addresses;
+    net::WorkerServer::Options wopts;
+    wopts.threads = 1;
+    for (int k = 0; k < num_workers; ++k) {
+        addresses.push_back(unique_address(k));
+        servers.push_back(
+            std::make_unique<net::WorkerServer>(addresses.back(), wopts));
+        servers.back()->start();
+    }
+
+    // ONE coordinator thread: remote workers are the only added capacity.
+    engine::ExecutionEngine eng(1);
+    std::unique_ptr<net::WorkerPool> pool;
+    if (num_workers > 0) {
+        pool = std::make_unique<net::WorkerPool>(eng.local_leaf_executor(),
+                                                 eng.num_threads(),
+                                                 addresses);
+        eng.set_leaf_executor(pool.get());
+    }
+
+    (void)replay_trace(eng, models, dev); // warm-up round
+    TraceRun best;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        auto run = replay_trace(eng, models, dev);
+        if (rep == 0 || run.wall_ms < best.wall_ms)
+            best = std::move(run);
+    }
+    for (auto& server : servers)
+        server->stop();
+    return best;
+}
+
+void
+print_figure()
+{
+    bench::banner(
+        "serving load vs loopback worker fleet",
+        "multi-tenant trace replay through one 1-thread coordinator, "
+        "leaves fanned out to {0,1,2,4} fqtool-worker backends");
+    const auto dev = device::make_device("ibm-montreal");
+    const auto models = trace_models();
+    const int cores =
+        static_cast<int>(std::thread::hardware_concurrency());
+
+    std::vector<TraceRun> runs;
+    for (const int n : kWorkerCounts)
+        runs.push_back(measure_fleet(n, models, dev));
+
+    // Determinism cross-check: every fleet size must reproduce the
+    // worker-free results bit-for-bit.
+    bool deterministic = true;
+    for (std::size_t c = 1; c < runs.size(); ++c)
+        if (runs[c].best_costs != runs[0].best_costs ||
+            runs[c].assignments != runs[0].assignments)
+            deterministic = false;
+
+    Table t(Table::num(kRequests) + " tenants, n=" + Table::num(kSpins) +
+            " BA" + Table::num(kDegree) + " freeze=" +
+            Table::num(kFreeze) + ", 1-thread coordinator (best of " +
+            Table::num(kRepeats) + ")");
+    t.set_header({"workers", "wall ms", "req/s", "p50 ms", "p99 ms",
+                  "remote leaves"});
+    std::vector<double> throughput;
+    for (std::size_t c = 0; c < runs.size(); ++c) {
+        const auto& run = runs[c];
+        const double tput = 1000.0 * kRequests / run.wall_ms;
+        throughput.push_back(tput);
+        t.add_row({Table::num(kWorkerCounts[c]),
+                   Table::num(run.wall_ms, 1), Table::num(tput, 2),
+                   Table::num(percentile(run.latency_ms, 0.50), 1),
+                   Table::num(percentile(run.latency_ms, 0.99), 1),
+                   Table::num(run.leaves_remote)});
+    }
+    bench::emit(t);
+
+    const double speedup_2w = throughput[2] / throughput[0];
+    // Loopback workers only add capacity when the host has cores for
+    // them; a 2-core runner would measure oversubscription, not scaling.
+    const bool enforced = cores >= 4;
+    const bool pass =
+        deterministic && (!enforced || speedup_2w >= kRequiredSpeedup);
+    std::cout << "2-worker throughput speedup: "
+              << Table::factor(speedup_2w) << " (required >= "
+              << kRequiredSpeedup << "x, "
+              << (enforced ? "enforced" : "not enforced: < 4 cores")
+              << ") | results "
+              << (deterministic ? "bit-identical" : "DIVERGED")
+              << " across fleet sizes\n";
+
+    std::ofstream json("BENCH_serving_load.json");
+    json << "{\n"
+         << "  \"benchmark\": \"serving_load\",\n"
+         << "  \"workload\": {\"graph\": \"ba" << kDegree
+         << "\", \"n\": " << kSpins << ", \"freeze\": " << kFreeze
+         << ", \"tenants\": " << kRequests << ", \"shots\": " << kShots
+         << ", \"coordinator_threads\": 1, \"repeats\": " << kRepeats
+         << ", \"host_threads\": " << cores << "},\n"
+         << "  \"fleets\": [\n";
+    for (std::size_t c = 0; c < runs.size(); ++c)
+        json << "    {\"workers\": " << kWorkerCounts[c]
+             << ", \"wall_ms\": " << runs[c].wall_ms
+             << ", \"requests_per_s\": " << throughput[c]
+             << ", \"p50_ms\": " << percentile(runs[c].latency_ms, 0.50)
+             << ", \"p99_ms\": " << percentile(runs[c].latency_ms, 0.99)
+             << ", \"remote_leaves\": " << runs[c].leaves_remote << "}"
+             << (c + 1 < runs.size() ? "," : "") << "\n";
+    json << "  ],\n"
+         << "  \"deterministic_across_fleets\": "
+         << (deterministic ? "true" : "false") << ",\n"
+         << "  \"gate\": {\"workers\": 2, \"required_speedup\": "
+         << kRequiredSpeedup << ", \"speedup\": " << speedup_2w
+         << ", \"enforced\": " << (enforced ? "true" : "false")
+         << ", \"pass\": " << (pass ? "true" : "false") << "}\n"
+         << "}\n";
+    std::cout << "wrote BENCH_serving_load.json\n";
+
+    if (!pass) {
+        std::cerr << "FAIL: "
+                  << (deterministic
+                          ? "2-worker speedup below the gate"
+                          : "results diverged across fleet sizes")
+                  << "\n";
+        std::exit(1);
+    }
+}
+
+void
+BM_ServingTrace(benchmark::State& state)
+{
+    const auto dev = device::make_device("ibm-montreal");
+    const auto models = trace_models();
+    const int workers = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            measure_fleet(workers, models, dev).wall_ms);
+}
+BENCHMARK(BM_ServingTrace)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FQ_BENCH_MAIN(print_figure)

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the ONE integrity
+ * checksum shared by every framed byte stream in the codebase: checkpoint
+ * snapshots (engine/checkpoint.cc) and the distributed-execution wire
+ * protocol (net/frame.cc). Known answer: crc32("123456789") == 0xCBF43926.
+ */
+#ifndef FQ_COMMON_CRC32_H
+#define FQ_COMMON_CRC32_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace fq::common {
+
+/** Table-driven CRC-32 over @p size bytes (init/final XOR 0xFFFFFFFF). */
+inline std::uint32_t
+crc32(const std::uint8_t* data, std::size_t size)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t n = 0; n < 256; ++n) {
+            std::uint32_t c = n;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[n] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace fq::common
+
+#endif // FQ_COMMON_CRC32_H

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <iterator>
 
+#include "common/crc32.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "frozenqubits/driver.h"
@@ -38,25 +39,7 @@ bits_double(std::uint64_t u)
     return v;
 }
 
-/** CRC-32 (IEEE 802.3, poly 0xEDB88320), table-driven. */
-std::uint32_t
-crc32(const std::uint8_t* data, std::size_t size)
-{
-    static const auto table = [] {
-        std::array<std::uint32_t, 256> t{};
-        for (std::uint32_t n = 0; n < 256; ++n) {
-            std::uint32_t c = n;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            t[n] = c;
-        }
-        return t;
-    }();
-    std::uint32_t crc = 0xFFFFFFFFu;
-    for (std::size_t i = 0; i < size; ++i)
-        crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-    return crc ^ 0xFFFFFFFFu;
-}
+using common::crc32;
 
 /** Little-endian fixed-width append-only buffer. */
 class ByteWriter

@@ -442,7 +442,19 @@ ExecutionEngine::solve_impl(const ising::IsingModel& model,
             ++checkpoints;
             return sink(capture_checkpoint(r));
         };
-    run_wave_loop(cache_, executor_, request, hook);
+    // Execute through the seam: the local BatchExecutor by default, a
+    // net::WorkerPool when one is attached. finish_request must run even
+    // on a throw — WaveRequest storage is stack-reused, and a remote
+    // backend keys its sessions on the pointer.
+    LeafExecutor& leaf_exec = leaf_executor();
+    try {
+        run_wave_loop(leaf_exec, request, hook);
+    } catch (...) {
+        leaf_exec.finish_request(&request);
+        throw;
+    }
+    const LeafExecutorStats remote = leaf_exec.request_stats(&request);
+    leaf_exec.finish_request(&request);
 
     // Refresh against the FINAL schedule when a re-rank pruned, promoted
     // or demoted leaves after planning; otherwise the plan-time
@@ -463,6 +475,14 @@ ExecutionEngine::solve_impl(const ising::IsingModel& model,
     diagnostics_.planned_subproblems = std::move(plan_order);
     diagnostics_.checkpoints = checkpoints;
     diagnostics_.deadline_trimmed = schedule.deadline_trimmed;
+    diagnostics_.leaves_remote = remote.leaves_remote;
+    diagnostics_.leaves_local =
+        static_cast<long long>(schedule.executed.size()) -
+        remote.leaves_remote;
+    diagnostics_.leaves_redispatched = remote.leaves_redispatched;
+    diagnostics_.remote_bytes_sent = remote.bytes_sent;
+    diagnostics_.remote_bytes_received = remote.bytes_received;
+    diagnostics_.worker_dispatches = remote.worker_dispatches;
 
     auto solved = reducer.finish();
     diagnostics_.wall_ms = ms_since(start);

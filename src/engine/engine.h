@@ -36,6 +36,8 @@
 #define FQ_ENGINE_ENGINE_H
 
 #include <array>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/batch_executor.h"
@@ -46,6 +48,7 @@
 #include "engine/scheduler.h"
 #include "engine/solve_tree.h"
 #include "engine/template_cache.h"
+#include "engine/wave_loop.h"
 #include "frozenqubits/driver.h"
 
 namespace fq::engine {
@@ -149,6 +152,20 @@ class ExecutionEngine
         int resumed_from = -1;
         /** Leaves demoted by the deadline trim (plan time + re-ranks). */
         int deadline_trimmed = 0;
+
+        // -------------------------------------- distributed execution --
+        /** Leaves folded from remote worker replies (0 without a
+         *  WorkerPool attached). */
+        long long leaves_remote = 0;
+        /** Leaves the local BatchExecutor simulated (everything, when no
+         *  WorkerPool is attached). */
+        long long leaves_local = 0;
+        /** Remote leaves re-run locally after their worker died. */
+        long long leaves_redispatched = 0;
+        long long remote_bytes_sent = 0;     ///< wire bytes out
+        long long remote_bytes_received = 0; ///< wire bytes in
+        /** Per-worker leaf dispatch counts, keyed by worker address. */
+        std::vector<std::pair<std::string, long long>> worker_dispatches;
     };
 
     /** @p num_threads: 0 = auto (hardware concurrency). */
@@ -225,6 +242,28 @@ class ExecutionEngine
     const Diagnostics& last_diagnostics() const { return diagnostics_; }
 
     /**
+     * The executor seam (engine/wave_loop.h): every wave this engine (or
+     * a SolveService over it) dispatches goes through leaf_executor().
+     * Default: the engine's own LocalLeafExecutor. Attach a
+     * net::WorkerPool (or any other backend) with set_leaf_executor —
+     * the pool must outlive the engine's solves; nullptr restores the
+     * local default. Where leaves execute never changes results
+     * (simulate_scheduled_leaf is pure), so swapping backends is always
+     * safe mid-lifetime, between solves.
+     */
+    void set_leaf_executor(LeafExecutor* executor)
+    {
+        leaf_executor_override_ = executor;
+    }
+    LeafExecutor& leaf_executor()
+    {
+        return leaf_executor_override_ ? *leaf_executor_override_
+                                       : local_leaf_executor_;
+    }
+    /** The engine's own local backend — the WorkerPool's fallback arm. */
+    LocalLeafExecutor& local_leaf_executor() { return local_leaf_executor_; }
+
+    /**
      * Drop all cached templates (counters are kept). For callers that need
      * cold-compile semantics on a long-lived engine — e.g. timing loops
      * that must keep transpilation in the measurement.
@@ -256,6 +295,8 @@ class ExecutionEngine
 
     TemplateCache cache_;
     BatchExecutor executor_;
+    LocalLeafExecutor local_leaf_executor_{cache_, executor_};
+    LeafExecutor* leaf_executor_override_ = nullptr;
     Diagnostics diagnostics_;
 };
 

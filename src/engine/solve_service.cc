@@ -351,7 +351,9 @@ SolveService::run_wave(const std::vector<WaveSlot>& wave)
             r.failed.store(true, std::memory_order_release);
         }
     };
-    return execute_wave(engine_.cache_, engine_.executor_, wave, hooks);
+    // Dispatch through the engine's executor seam: the local
+    // BatchExecutor by default, a net::WorkerPool when one is attached.
+    return engine_.leaf_executor().execute_wave(wave, hooks);
 }
 
 SolveService::Outcome
@@ -407,6 +409,24 @@ SolveService::reduce_request(Request& request)
     out.diag.rerank_pruned = request.schedule.rerank_pruned;
     out.diag.rerank_promoted = request.schedule.rerank_promoted;
     out.diag.rerank_demoted = request.schedule.rerank_demoted;
+    // Remote-execution accounting from the executor seam (all zeros on
+    // the local backend). finish_request releases the backend's
+    // per-request state (sessions, stats) — the WaveRequest storage is
+    // about to be reused.
+    {
+        LeafExecutor& leaf_exec = engine_.leaf_executor();
+        const LeafExecutorStats remote =
+            leaf_exec.request_stats(&request.wave);
+        leaf_exec.finish_request(&request.wave);
+        out.diag.leaves_remote = remote.leaves_remote;
+        out.diag.leaves_local =
+            static_cast<long long>(out.diag.leaves_executed) -
+            remote.leaves_remote;
+        out.diag.leaves_redispatched = remote.leaves_redispatched;
+        out.diag.remote_bytes_sent = remote.bytes_sent;
+        out.diag.remote_bytes_received = remote.bytes_received;
+        out.diag.worker_dispatches = remote.worker_dispatches;
+    }
     out.diag.checkpoints = request.checkpoints;
     out.diag.resumed_from = request.resumed_from;
     out.diag.deadline_trimmed = request.schedule.deadline_trimmed;

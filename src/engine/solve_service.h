@@ -180,6 +180,19 @@ class SolveService
         /** Completed early (deadline trim or checkpoint suspension): the
          *  result is the anytime incumbent, not the full schedule. */
         bool degraded = false;
+
+        // -------------------------------------- distributed execution --
+        /** Leaves folded from remote worker replies (0 unless a
+         *  net::WorkerPool is attached to the engine). */
+        long long leaves_remote = 0;
+        /** Leaves the local BatchExecutor simulated for this request. */
+        long long leaves_local = 0;
+        /** Remote leaves re-run locally after their worker died. */
+        long long leaves_redispatched = 0;
+        long long remote_bytes_sent = 0;     ///< wire bytes out
+        long long remote_bytes_received = 0; ///< wire bytes in
+        /** Per-worker leaf dispatch counts, keyed by worker address. */
+        std::vector<std::pair<std::string, long long>> worker_dispatches;
     };
 
     /** Service-wide counters (snapshot; monotone while the service lives). */

@@ -188,8 +188,8 @@ post_barrier_checkpoint(WaveRequest& request, const CheckpointHook& hook)
 }
 
 void
-run_wave_loop(TemplateCache& cache, BatchExecutor& executor,
-              WaveRequest& request, const CheckpointHook& checkpoint)
+run_wave_loop(LeafExecutor& executor, WaveRequest& request,
+              const CheckpointHook& checkpoint)
 {
     // A fresh request arms its boundaries here; one restored from a
     // checkpoint arrives with dispatched > 0 and its snapshot's re-rank
@@ -211,10 +211,18 @@ run_wave_loop(TemplateCache& cache, BatchExecutor& executor,
             wave.push_back({&request,
                             request.schedule->executed[request.dispatched]});
         ++request.epochs;
-        execute_wave(cache, executor, wave);
+        executor.execute_wave(wave);
         post_barrier_rerank(request);
         post_barrier_checkpoint(request, checkpoint);
     }
+}
+
+void
+run_wave_loop(TemplateCache& cache, BatchExecutor& executor,
+              WaveRequest& request, const CheckpointHook& checkpoint)
+{
+    LocalLeafExecutor local(cache, executor);
+    run_wave_loop(local, request, checkpoint);
 }
 
 } // namespace fq::engine

@@ -39,6 +39,8 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/batch_executor.h"
@@ -202,6 +204,82 @@ int execute_wave(TemplateCache& cache, BatchExecutor& executor,
                  const WaveHooks& hooks = {});
 
 /**
+ * Per-request accounting a LeafExecutor backend can report (all zeros for
+ * the purely local backend — drivers then attribute every folded leaf to
+ * the local BatchExecutor).
+ */
+struct LeafExecutorStats
+{
+    long long leaves_remote = 0;       ///< leaves folded from remote replies
+    long long leaves_redispatched = 0; ///< re-run locally after a worker died
+    long long bytes_sent = 0;          ///< wire bytes out (frames included)
+    long long bytes_received = 0;      ///< wire bytes in
+    /** Per-worker leaf dispatch counts, keyed by worker address. */
+    std::vector<std::pair<std::string, long long>> worker_dispatches;
+};
+
+/**
+ * The executor seam every wave dispatches through. ONE implementation
+ * requirement: on return from execute_wave every admitted slot has folded
+ * into its request's reducer (the wave barrier), with hooks invoked
+ * exactly as the local path does — WHERE a slot simulated (this process,
+ * a remote worker, a re-dispatch after a worker death) must be
+ * observationally irrelevant, because simulate_scheduled_leaf is a pure
+ * function of (cache contents, tree, leaf, dev, config, shots).
+ *
+ * Backends: LocalLeafExecutor (the default, wrapping the engine's own
+ * BatchExecutor) and net::WorkerPool (remote workers with cost-weighted
+ * assignment and hedged re-dispatch).
+ */
+class LeafExecutor
+{
+  public:
+    virtual ~LeafExecutor() = default;
+
+    /** Run one assembled wave to its barrier; returns slots simulated
+     *  (admit-skipped slots do not count), like the free execute_wave. */
+    virtual int execute_wave(const std::vector<WaveSlot>& wave,
+                             const WaveHooks& hooks = {}) = 0;
+
+    /** Accounting accumulated for @p request since it first appeared in a
+     *  wave. Call after the request's last wave, before finish_request. */
+    virtual LeafExecutorStats request_stats(const WaveRequest* request)
+    {
+        (void)request;
+        return {};
+    }
+
+    /** The request is complete (or failed): release any per-request state
+     *  (remote sessions, stats). Drivers MUST call this for every request
+     *  they dispatched, since WaveRequest storage is reused. */
+    virtual void finish_request(const WaveRequest* request)
+    {
+        (void)request;
+    }
+};
+
+/** The default backend: the free execute_wave over the engine's own
+ *  template cache and thread pool. */
+class LocalLeafExecutor final : public LeafExecutor
+{
+  public:
+    LocalLeafExecutor(TemplateCache& cache, BatchExecutor& executor)
+        : cache_(cache), executor_(executor)
+    {
+    }
+
+    int execute_wave(const std::vector<WaveSlot>& wave,
+                     const WaveHooks& hooks = {}) override
+    {
+        return engine::execute_wave(cache_, executor_, wave, hooks);
+    }
+
+  private:
+    TemplateCache& cache_;
+    BatchExecutor& executor_;
+};
+
+/**
  * Post-barrier scan step for one request: when its fold count sits on the
  * pending re-rank boundary, snapshot the incumbent and re-rank the tail —
  * then re-apply the deadline trim (DriverConfig::deadline_cost_units)
@@ -258,6 +336,12 @@ bool post_barrier_checkpoint(WaveRequest& request,
  */
 void run_wave_loop(TemplateCache& cache, BatchExecutor& executor,
                    WaveRequest& request,
+                   const CheckpointHook& checkpoint = {});
+
+/** Same solo driver over the executor seam — the overload the engine uses
+ *  so a WorkerPool (or any other backend) slots in without touching the
+ *  epoch logic. */
+void run_wave_loop(LeafExecutor& executor, WaveRequest& request,
                    const CheckpointHook& checkpoint = {});
 
 } // namespace fq::engine

@@ -173,6 +173,18 @@ struct DriverConfig
      * >= 1 keeps everything and is equivalent to off.
      */
     double sparsify_keep = 0.0;
+
+    // ---------------------------------------------- distributed controls --
+    /**
+     * Distributed execution opt-out (serve-batch trace key `workers=0`):
+     * when false, every leaf of this request runs on the local
+     * BatchExecutor even when a net::WorkerPool is attached to the
+     * engine. Never affects results — remote and local leaf execution
+     * are bit-identical by the determinism contract — so, like
+     * `threads`, it is excluded from the config fingerprint and is NOT
+     * transmitted to workers.
+     */
+    bool allow_remote = true;
 };
 
 /** Structure + fidelity record for one executed circuit. */

@@ -1,0 +1,179 @@
+#include "net/frame.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/crc32.h"
+
+namespace fq::net {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 4;
+
+void
+put_u32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    for (int k = 0; k < 4; ++k)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * k)));
+}
+
+void
+put_u64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    for (int k = 0; k < 8; ++k)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * k)));
+}
+
+std::uint32_t
+get_u32(const std::uint8_t* p)
+{
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k)
+        v |= static_cast<std::uint32_t>(p[k]) << (8 * k);
+    return v;
+}
+
+std::uint64_t
+get_u64(const std::uint8_t* p)
+{
+    std::uint64_t v = 0;
+    for (int k = 0; k < 8; ++k)
+        v |= static_cast<std::uint64_t>(p[k]) << (8 * k);
+    return v;
+}
+
+/** Milliseconds left before @p deadline, clamped at 0; -1 = no deadline. */
+int
+remaining_ms(int timeout_ms,
+             std::chrono::steady_clock::time_point deadline)
+{
+    if (timeout_ms < 0)
+        return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/** Read exactly @p size bytes, honoring the deadline via poll(). */
+void
+read_exact(int fd, std::uint8_t* buf, std::size_t size, int timeout_ms,
+           std::chrono::steady_clock::time_point deadline)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        if (timeout_ms >= 0) {
+            struct pollfd pfd{};
+            pfd.fd = fd;
+            pfd.events = POLLIN;
+            const int left = remaining_ms(timeout_ms, deadline);
+            const int rc = ::poll(&pfd, 1, left);
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                throw NetError(std::string("net: poll failed: ") +
+                               std::strerror(errno));
+            }
+            if (rc == 0)
+                throw NetTimeout("net: read timed out mid-frame");
+        }
+        const ssize_t n = ::read(fd, buf + got, size - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw NetError(std::string("net: read failed: ") +
+                           std::strerror(errno));
+        }
+        if (n == 0)
+            throw NetError("net: connection closed mid-frame");
+        got += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+std::size_t
+frame_wire_size(std::size_t payload_size)
+{
+    return kHeaderSize + payload_size;
+}
+
+std::vector<std::uint8_t>
+encode_frame(std::uint32_t type, const std::vector<std::uint8_t>& payload)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(frame_wire_size(payload.size()));
+    put_u32(out, kFrameMagic);
+    put_u32(out, type);
+    put_u64(out, payload.size());
+    put_u32(out, common::crc32(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+void
+write_frame(int fd, std::uint32_t type,
+            const std::vector<std::uint8_t>& payload)
+{
+    const auto bytes = encode_frame(type, payload);
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        // MSG_NOSIGNAL: a dead peer must surface as NetError (EPIPE), not
+        // kill the process with SIGPIPE.
+        const ssize_t n = ::send(fd, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            // Pipes (test fixtures) reject send(); fall back to write().
+            if (errno == ENOTSOCK) {
+                const ssize_t w = ::write(fd, bytes.data() + sent,
+                                          bytes.size() - sent);
+                if (w < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    throw NetError(std::string("net: write failed: ") +
+                                   std::strerror(errno));
+                }
+                sent += static_cast<std::size_t>(w);
+                continue;
+            }
+            throw NetError(std::string("net: send failed: ") +
+                           std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+Frame
+read_frame(int fd, int timeout_ms)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(
+                              timeout_ms >= 0 ? timeout_ms : 0);
+    std::uint8_t header[kHeaderSize];
+    read_exact(fd, header, kHeaderSize, timeout_ms, deadline);
+    if (get_u32(header) != kFrameMagic)
+        throw NetError("net: bad frame magic (stream corrupt or not a "
+                       "worker endpoint)");
+    Frame frame;
+    frame.type = get_u32(header + 4);
+    const std::uint64_t length = get_u64(header + 8);
+    const std::uint32_t crc = get_u32(header + 16);
+    if (length > kMaxFramePayload)
+        throw NetError("net: frame length exceeds limit (corrupt stream)");
+    frame.payload.resize(static_cast<std::size_t>(length));
+    read_exact(fd, frame.payload.data(), frame.payload.size(), timeout_ms,
+               deadline);
+    if (common::crc32(frame.payload.data(), frame.payload.size()) != crc)
+        throw NetError("net: frame CRC mismatch (payload corrupt)");
+    return frame;
+}
+
+} // namespace fq::net

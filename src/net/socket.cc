@@ -1,0 +1,166 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace fq::net {
+
+namespace {
+
+constexpr const char kUnixPrefix[] = "unix:";
+
+[[noreturn]] void
+fail(const std::string& what)
+{
+    throw NetError("net: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_un
+unix_sockaddr(const std::string& path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        throw NetError("net: unix socket path empty or too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+/** Split "host:port" at the LAST colon (plain IPv4/hostnames only). */
+std::pair<std::string, std::string>
+split_host_port(const std::string& address)
+{
+    const auto colon = address.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == address.size())
+        throw NetError("net: expected unix:<path> or host:port, got \"" +
+                       address + "\"");
+    return {address.substr(0, colon), address.substr(colon + 1)};
+}
+
+struct AddrInfo
+{
+    addrinfo* res = nullptr;
+    ~AddrInfo()
+    {
+        if (res)
+            ::freeaddrinfo(res);
+    }
+};
+
+AddrInfo
+resolve(const std::string& host, const std::string& port, bool passive)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    if (passive)
+        hints.ai_flags = AI_PASSIVE;
+    AddrInfo out;
+    const int rc =
+        ::getaddrinfo(host.c_str(), port.c_str(), &hints, &out.res);
+    if (rc != 0)
+        throw NetError("net: cannot resolve \"" + host + ":" + port +
+                       "\": " + ::gai_strerror(rc));
+    return out;
+}
+
+} // namespace
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+}
+
+bool
+is_unix_address(const std::string& address)
+{
+    return address.rfind(kUnixPrefix, 0) == 0;
+}
+
+Fd
+listen_on(const std::string& address, int backlog)
+{
+    if (is_unix_address(address)) {
+        const std::string path = address.substr(sizeof(kUnixPrefix) - 1);
+        const auto addr = unix_sockaddr(path);
+        Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd.valid())
+            fail("socket(AF_UNIX)");
+        ::unlink(path.c_str()); // stale socket from a previous worker
+        if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0)
+            fail("bind " + address);
+        if (::listen(fd.get(), backlog) != 0)
+            fail("listen " + address);
+        return fd;
+    }
+    const auto [host, port] = split_host_port(address);
+    const auto info = resolve(host, port, /*passive=*/true);
+    for (const addrinfo* ai = info.res; ai; ai = ai->ai_next) {
+        Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+        if (!fd.valid())
+            continue;
+        const int one = 1;
+        ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd.get(), backlog) == 0)
+            return fd;
+    }
+    fail("bind/listen " + address);
+}
+
+Fd
+accept_client(int listen_fd)
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return Fd(fd);
+        if (errno == EINTR)
+            continue;
+        fail("accept");
+    }
+}
+
+Fd
+connect_to(const std::string& address)
+{
+    if (is_unix_address(address)) {
+        const std::string path = address.substr(sizeof(kUnixPrefix) - 1);
+        const auto addr = unix_sockaddr(path);
+        Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd.valid())
+            fail("socket(AF_UNIX)");
+        if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) != 0)
+            fail("connect " + address);
+        return fd;
+    }
+    const auto [host, port] = split_host_port(address);
+    const auto info = resolve(host, port, /*passive=*/false);
+    for (const addrinfo* ai = info.res; ai; ai = ai->ai_next) {
+        Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+        if (!fd.valid())
+            continue;
+        if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+            const int one = 1;
+            ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            return fd;
+        }
+    }
+    fail("connect " + address);
+}
+
+} // namespace fq::net

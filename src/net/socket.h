@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Stream-socket plumbing for the distributed-execution front door.
+ *
+ * Address syntax (shared by `fqtool worker --listen` and `--workers`):
+ *   unix:/path/to.sock   — AF_UNIX stream socket (the loopback default)
+ *   host:port            — TCP (resolved with getaddrinfo; "127.0.0.1:9000")
+ *
+ * All failures throw NetError. Fd is a move-only RAII descriptor so a
+ * thrown NetError can never leak a socket.
+ */
+#ifndef FQ_NET_SOCKET_H
+#define FQ_NET_SOCKET_H
+
+#include <string>
+#include <utility>
+
+#include "net/frame.h"
+
+namespace fq::net {
+
+/** Move-only RAII file descriptor. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(Fd&& other) noexcept : fd_(other.release()) {}
+    Fd& operator=(Fd&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    int release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/** True when @p address names a Unix-domain socket (unix:<path>). */
+bool is_unix_address(const std::string& address);
+
+/** Bind + listen on @p address (unlinking a stale Unix socket path). */
+Fd listen_on(const std::string& address, int backlog = 16);
+
+/** Accept one client on @p listen_fd; NetError when the listener was
+ *  closed (the server's shutdown path). */
+Fd accept_client(int listen_fd);
+
+/** Connect to @p address; NetError on refusal/resolution failure. */
+Fd connect_to(const std::string& address);
+
+} // namespace fq::net
+
+#endif // FQ_NET_SOCKET_H

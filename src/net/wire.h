@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Message vocabulary of the distributed leaf-execution protocol, riding
+ * the CRC framing of net/frame.h. The protocol is deliberately minimal —
+ * a worker PLANS NOTHING:
+ *
+ *   coordinator                              worker
+ *   ----------------------------------------------------------------
+ *   OpenSession {model, device, config,
+ *                seed, shots, fingerprints} ->
+ *                                            replans build_solve_tree
+ *                                            from (model, config, seed),
+ *                                            verifies all three
+ *                                            fingerprints match
+ *                                         <- SessionReady {threads}
+ *   ExecBatch [(session, leaf_id), ...]   ->
+ *                                         <- LeafCounts | LeafFailed
+ *                                            (one per entry, any order)
+ *   CloseSession                          ->
+ *
+ * The work descriptor is compact because the plan is reproducible: a leaf
+ * is just (session, leaf_id) — its sub-model, RNG stream seed and template
+ * key all come out of the worker's own replanned tree, and the
+ * fingerprint check proves that tree is byte-equivalent to the
+ * coordinator's. The reply is the raw count histogram plus the
+ * fused_hit/tier telemetry the WaveHooks need, so a remote fold is
+ * indistinguishable from a local one.
+ *
+ * Only result-relevant config fields travel (the config_fingerprint set
+ * plus the result-neutral parametric_templates toggle); execution-local
+ * knobs like thread count stay per-process.
+ */
+#ifndef FQ_NET_WIRE_H
+#define FQ_NET_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "frozenqubits/driver.h"
+#include "ising/ising_model.h"
+#include "net/frame.h"
+
+namespace fq::net {
+
+/** Bumped on any wire-format change; a worker refuses other versions. */
+constexpr std::uint32_t kProtocolVersion = 1;
+
+enum MessageType : std::uint32_t {
+    kMsgOpenSession = 1,
+    kMsgSessionReady = 2,
+    kMsgExecBatch = 3,
+    kMsgLeafCounts = 4,
+    kMsgLeafFailed = 5,
+    kMsgCloseSession = 6,
+    kMsgError = 7, ///< session-level protocol failure (fingerprint, decode)
+};
+
+struct OpenSession
+{
+    std::uint64_t session_id = 0;
+    ising::IsingModel model;
+    std::string device_name;
+    frozenqubits::DriverConfig config; ///< result-relevant fields only
+    std::uint64_t seed = 0;            ///< plan seed (Rng(seed) replan)
+    std::int32_t shots = 0;
+    std::uint64_t model_hash = 0;  ///< engine::model_fingerprint
+    std::uint64_t config_hash = 0; ///< engine::config_fingerprint
+    std::uint64_t plan_hash = 0;   ///< engine::plan_fingerprint
+};
+
+struct SessionReady
+{
+    std::uint64_t session_id = 0;
+    std::int32_t threads = 1; ///< worker parallelism (assignment weight)
+};
+
+struct ExecBatch
+{
+    std::uint64_t session_id = 0;
+    std::vector<std::int32_t> leaf_ids;
+};
+
+struct LeafCounts
+{
+    std::uint64_t session_id = 0;
+    std::int32_t leaf_id = 0;
+    std::uint8_t fused_hit = 0;
+    std::uint8_t tier = 0; ///< engine::TemplateTier
+    std::int32_t width = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> histogram;
+};
+
+struct LeafFailed
+{
+    std::uint64_t session_id = 0;
+    std::int32_t leaf_id = 0;
+    std::string message;
+};
+
+struct CloseSession
+{
+    std::uint64_t session_id = 0;
+};
+
+struct WireError
+{
+    std::uint64_t session_id = 0;
+    std::string message;
+};
+
+// Encoders produce a frame payload; decoders throw NetError on trailing
+// garbage, truncation or a version mismatch.
+std::vector<std::uint8_t> encode_open_session(const OpenSession& msg);
+OpenSession decode_open_session(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_session_ready(const SessionReady& msg);
+SessionReady decode_session_ready(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_exec_batch(const ExecBatch& msg);
+ExecBatch decode_exec_batch(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_leaf_counts(const LeafCounts& msg);
+LeafCounts decode_leaf_counts(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_leaf_failed(const LeafFailed& msg);
+LeafFailed decode_leaf_failed(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_close_session(const CloseSession& msg);
+CloseSession decode_close_session(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_wire_error(const WireError& msg);
+WireError decode_wire_error(const std::vector<std::uint8_t>& payload);
+
+} // namespace fq::net
+
+#endif // FQ_NET_WIRE_H

@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "common/bitops.h"
+#include "common/crc32.h"
 #include "common/error.h"
 #include "common/math_utils.h"
 #include "common/rng.h"
@@ -18,6 +21,41 @@
 namespace {
 
 using namespace fq;
+
+// The shared CRC-32 (checkpoint files AND net framing) must stay the
+// IEEE 802.3 polynomial forever: both on-disk snapshots and the wire
+// protocol depend on it. Known answers pin the exact variant.
+TEST(Crc32, KnownAnswers)
+{
+    const auto crc = [](const std::string& s) {
+        return common::crc32(
+            reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+    };
+    // The canonical CRC-32/ISO-HDLC check value.
+    EXPECT_EQ(crc("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc(""), 0x00000000u);
+    EXPECT_EQ(crc("a"), 0xE8B7BE43u);
+    EXPECT_EQ(crc("abc"), 0x352441C2u);
+}
+
+TEST(Crc32, SensitiveToEveryByte)
+{
+    std::string payload(64, '\0');
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<char>(i * 7 + 1);
+    const auto base = common::crc32(
+        reinterpret_cast<const std::uint8_t*>(payload.data()),
+        payload.size());
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        std::string corrupted = payload;
+        corrupted[i] ^= 0x20;
+        EXPECT_NE(base,
+                  common::crc32(reinterpret_cast<const std::uint8_t*>(
+                                    corrupted.data()),
+                                corrupted.size()))
+            << "flip at byte " << i << " went undetected";
+    }
+}
 
 TEST(Rng, DeterministicForEqualSeeds)
 {

@@ -5,6 +5,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
+#include <unistd.h>
+
+#include <sys/socket.h>
+
 #include "common/error.h"
 #include "device/catalog.h"
 #include "engine/checkpoint.h"
@@ -20,6 +27,10 @@
 #include "ising/qubo.h"
 #include "ising/sa_solver.h"
 #include "ising/symmetry.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "net/worker_pool.h"
 #include "optimizer/grid_search.h"
 #include "optimizer/landscape.h"
 #include "optimizer/nelder_mead.h"
@@ -450,5 +461,141 @@ TEST(FailureInjection, DeadlineRejection)
     const auto stats = service.stats();
     EXPECT_EQ(stats.requests_rejected_deadline, 1u);
 }
+
+// --------------------------------------------- remote worker faults --
+
+/**
+ * A hand-rolled worker that speaks the handshake correctly, then
+ * misbehaves on its first ExecBatch. Each misbehavior exercises a
+ * distinct validation layer in the coordinator: CorruptFrame fails the
+ * CRC in read_frame, WrongLeafId fails the outstanding-ledger check,
+ * WrongWidth fails the reply-vs-plan width check. All three must mark
+ * the worker dead and hedge its leaves onto the local arm — with the
+ * final results bitwise-equal to an uninterrupted local solve.
+ */
+struct MockWorker
+{
+    enum class Mode { CorruptFrame, WrongLeafId, WrongWidth };
+
+    std::string address;
+    net::Fd listen_fd;
+    Mode mode;
+    std::thread thread;
+
+    explicit MockWorker(Mode mode)
+        : address(mock_address()), listen_fd(net::listen_on(address)),
+          mode(mode), thread([this] { serve(); })
+    {
+    }
+
+    ~MockWorker()
+    {
+        if (listen_fd.valid())
+            ::shutdown(listen_fd.get(), SHUT_RDWR);
+        if (thread.joinable())
+            thread.join();
+    }
+
+    static std::string mock_address()
+    {
+        static std::atomic<int> counter{0};
+        return "unix:/tmp/fq_test_mockw_" + std::to_string(::getpid()) +
+               "_" + std::to_string(counter.fetch_add(1)) + ".sock";
+    }
+
+    void serve()
+    {
+        try {
+            net::Fd client = net::accept_client(listen_fd.get());
+            for (;;) {
+                const auto frame = net::read_frame(client.get());
+                if (frame.type == net::kMsgOpenSession) {
+                    const auto open =
+                        net::decode_open_session(frame.payload);
+                    net::write_frame(
+                        client.get(), net::kMsgSessionReady,
+                        net::encode_session_ready({open.session_id, 1}));
+                    continue;
+                }
+                if (frame.type != net::kMsgExecBatch)
+                    return;
+                const auto batch = net::decode_exec_batch(frame.payload);
+                net::LeafCounts reply;
+                reply.session_id = batch.session_id;
+                reply.leaf_id = batch.leaf_ids.front();
+                reply.width = 1;
+                reply.histogram = {{0, 64}, {1, 64}};
+                switch (mode) {
+                case Mode::CorruptFrame: {
+                    auto bytes = net::encode_frame(
+                        net::kMsgLeafCounts,
+                        net::encode_leaf_counts(reply));
+                    bytes.back() ^= 0x01; // CRC now lies
+                    (void)::write(client.get(), bytes.data(),
+                                  bytes.size());
+                    return;
+                }
+                case Mode::WrongLeafId:
+                    reply.leaf_id = 1 << 20; // never dispatched
+                    break;
+                case Mode::WrongWidth:
+                    reply.width = 1; // plan says wider
+                    break;
+                }
+                net::write_frame(client.get(), net::kMsgLeafCounts,
+                                 net::encode_leaf_counts(reply));
+                return; // one poisoned reply, then hang up
+            }
+        } catch (const net::NetError&) {
+            // coordinator hung up first: fine
+        }
+    }
+};
+
+class RemoteWorkerFaults
+    : public ::testing::TestWithParam<MockWorker::Mode>
+{
+};
+
+TEST_P(RemoteWorkerFaults, HedgedRedispatchKeepsResultsIdentical)
+{
+    Rng model_rng(31);
+    auto g = graph::barabasi_albert(14, 3, model_rng);
+    graph::assign_random_pm1_weights(g, model_rng);
+    const auto model = ising::IsingModel::from_graph(g);
+    const auto dev = device::make_device("ibm-montreal");
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 3;
+    config.threads = 1;
+    config.seed = 33;
+
+    engine::ExecutionEngine local_eng(config.threads);
+    const auto expected =
+        local_eng.solve(model, dev, config, 256, config.seed);
+
+    MockWorker worker(GetParam());
+    engine::ExecutionEngine eng(config.threads);
+    net::WorkerPool pool(eng.local_leaf_executor(), eng.num_threads(),
+                         {worker.address});
+    eng.set_leaf_executor(&pool);
+    const auto got = eng.solve(model, dev, config, 256, config.seed);
+
+    EXPECT_DOUBLE_EQ(expected.best_cost, got.best_cost);
+    EXPECT_EQ(expected.best_assignment, got.best_assignment);
+    EXPECT_EQ(expected.from_subproblem, got.from_subproblem);
+    ASSERT_EQ(expected.distributions.size(), got.distributions.size());
+    for (std::size_t s = 0; s < expected.distributions.size(); ++s)
+        EXPECT_EQ(expected.distributions[s].histogram(),
+                  got.distributions[s].histogram());
+
+    EXPECT_EQ(pool.live_workers(), 0) << "fault must mark the worker dead";
+    EXPECT_GT(eng.last_diagnostics().leaves_redispatched, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(FailureInjection, RemoteWorkerFaults,
+                         ::testing::Values(
+                             MockWorker::Mode::CorruptFrame,
+                             MockWorker::Mode::WrongLeafId,
+                             MockWorker::Mode::WrongWidth));
 
 } // namespace

@@ -50,8 +50,21 @@
  *       it via submit_resume after the first drain — exercising live
  *       request migration. --serial replays the same trace one solve
  *       at a time on the same engine (the A/B throughput baseline).
+ *   worker --listen ADDR [--threads T]
+ *       Distributed leaf-execution worker (net/worker.h): serves the
+ *       framed wire protocol on ADDR (unix:/path.sock or host:port),
+ *       plans nothing, executes leaves against its own TemplateCache
+ *       until killed. Pair with --workers on solve / serve-batch.
  *   devices
  *       List the device catalog.
+ *
+ * Distributed execution: solve and serve-batch accept
+ * --workers a,b,c (comma-separated worker addresses). Leaves are then
+ * split across the local executor and the workers by cost-weighted
+ * assignment, with hedged local re-dispatch when a worker dies —
+ * results stay bit-identical to a local-only run (the determinism
+ * contract; see README "Distributed execution"). The serve-batch trace
+ * accepts workers=0 to pin one request local.
  *
  * run and solve execute on the ExecutionEngine: sub-problem circuits are
  * batched over a thread pool (--threads, default all cores; results are
@@ -86,6 +99,8 @@
 #include "graph/powerlaw.h"
 #include "ising/io.h"
 #include "ising/maxcut.h"
+#include "net/worker.h"
+#include "net/worker_pool.h"
 
 namespace {
 
@@ -547,6 +562,60 @@ print_cache_stats(const engine::ExecutionEngine& eng)
     t.print(std::cout);
 }
 
+std::vector<std::string>
+split_list(const std::string& csv)
+{
+    std::vector<std::string> out;
+    std::istringstream in(csv);
+    std::string item;
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/**
+ * --workers a,b,c: connect a WorkerPool over the engine's local executor
+ * and install it behind the executor seam. Returns nullptr when the
+ * option is absent (pure local execution). The pool must outlive every
+ * solve on the engine — callers keep the unique_ptr on their stack.
+ */
+std::unique_ptr<net::WorkerPool>
+attach_workers(const Options& opts, engine::ExecutionEngine& eng)
+{
+    const auto csv = option(opts, "workers", "");
+    if (csv.empty())
+        return nullptr;
+    const auto addresses = split_list(csv);
+    FQ_REQUIRE(!addresses.empty(),
+               "--workers expects a comma-separated address list");
+    auto pool = std::make_unique<net::WorkerPool>(
+        eng.local_leaf_executor(), eng.num_threads(), addresses);
+    eng.set_leaf_executor(pool.get());
+    std::cout << "workers: attached " << pool->num_workers()
+              << " remote worker(s)\n";
+    return pool;
+}
+
+void
+print_distributed(const engine::ExecutionEngine& eng,
+                  const net::WorkerPool& pool)
+{
+    const auto& d = eng.last_diagnostics();
+    std::cout << "distributed: " << d.leaves_remote << " remote / "
+              << d.leaves_local << " local leaves";
+    if (d.leaves_redispatched > 0)
+        std::cout << " (" << d.leaves_redispatched
+                  << " re-dispatched after worker death)";
+    std::cout << " | " << d.remote_bytes_sent << " B out / "
+              << d.remote_bytes_received << " B in | "
+              << pool.live_workers() << "/" << pool.num_workers()
+              << " workers live\n";
+    for (const auto& [address, leaves] : d.worker_dispatches)
+        std::cout << "  worker " << address << ": " << leaves
+                  << " leaves dispatched\n";
+}
+
 int
 cmd_run(const Options& opts)
 {
@@ -625,6 +694,7 @@ cmd_solve(const Options& opts)
         };
 
     engine::ExecutionEngine eng(config.threads);
+    const auto pool = attach_workers(opts, eng);
     frozenqubits::SampledSolve solved;
     if (!resume_path.empty()) {
         const auto snapshot =
@@ -632,11 +702,11 @@ cmd_solve(const Options& opts)
         solved = eng.resume(model, dev, config, shots, snapshot, sink);
         std::cout << "resumed from checkpoint " << resume_path
                   << " (cursor " << snapshot.cursor << ")\n";
-    } else if (durable) {
-        solved = eng.solve(model, dev, config, shots, config.seed, sink);
     } else {
-        Rng rng(config.seed);
-        solved = eng.solve(model, dev, config, shots, rng);
+        // The seed overload records config.seed in the request, which is
+        // what lets a remote worker replan the identical tree; it is
+        // bit-identical to the Rng overload with Rng(config.seed).
+        solved = eng.solve(model, dev, config, shots, config.seed, sink);
     }
     // Plan-vs-adaptive trace: the engine snapshots the plan-time order
     // before any re-rank rewrites the tail.
@@ -684,6 +754,8 @@ cmd_solve(const Options& opts)
                           : "cursor " + Table::num(diag.resumed_from))
                   << "\n";
     print_wall_clock(eng);
+    if (pool)
+        print_distributed(eng, *pool);
     if (opts.find("stats") != opts.end()) {
         print_kind_stats(diag.kind_leaves_executed,
                          diag.kind_leaves_pruned, diag.kind_budget_units);
@@ -802,6 +874,10 @@ load_trace(const std::string& path, const Options& opts)
                 FQ_REQUIRE(parsed > 0,
                            "migrate expects a positive fold count" + where);
                 req.migrate_after = parsed;
+            } else if (key == "workers") {
+                // workers=0 pins this tenant's leaves to the local arm
+                // even when --workers attached a pool.
+                req.config.allow_remote = parsed != 0;
             } else
                 FQ_REQUIRE(false, "unknown trace key '" + key + "'" + where);
         }
@@ -825,6 +901,7 @@ cmd_serve_batch(const Options& opts)
     auto requests = load_trace(trace_path, opts);
 
     engine::ExecutionEngine eng(int_option(opts, "threads", 0));
+    const auto pool = attach_workers(opts, eng);
     const bool serial = opts.find("serial") != opts.end();
     using Clock = std::chrono::steady_clock;
     const auto start = Clock::now();
@@ -836,10 +913,11 @@ cmd_serve_batch(const Options& opts)
         t.set_header({"req", "model", "leaves", "best cost", "from"});
         for (std::size_t k = 0; k < requests.size(); ++k) {
             auto& req = requests[k];
-            Rng rng(req.seed);
             const auto dev = device::make_device(req.device);
+            // Seed overload so a worker pool can replan remotely;
+            // bit-identical to the Rng overload with Rng(req.seed).
             const auto solved =
-                eng.solve(req.model, dev, req.config, req.shots, rng);
+                eng.solve(req.model, dev, req.config, req.shots, req.seed);
             t.add_row({Table::num(k + 1), req.model_file,
                        Table::num(solved.leaves_executed),
                        Table::num(solved.best_cost, 3),
@@ -923,16 +1001,17 @@ cmd_serve_batch(const Options& opts)
         if (!resumed.empty())
             service.drain();
 
-        t.set_header({"req", "model", "leaves", "arms", "best cost",
-                      "from", "waves", "occupancy", "reranks",
+        t.set_header({"req", "model", "leaves", "arms", "workers",
+                      "best cost", "from", "waves", "occupancy", "reranks",
                       "fused hit%", "tier h/b/c", "binds", "queue ms",
                       "wall ms"});
+        std::map<std::string, long long> worker_totals;
         for (std::size_t k = 0; k < tickets.size(); ++k) {
             auto& ticket = tickets[k];
             if (ticket.id() == 0) { // shed by admission control
                 t.add_row({Table::num(k + 1), requests[k].model_file, "-",
-                           "-", "-", "rejected", "-", "-", "-", "-", "-",
-                           "-", "-", "-"});
+                           "-", "-", "-", "rejected", "-", "-", "-", "-",
+                           "-", "-", "-", "-"});
                 continue;
             }
             // Diagnostics are FIFO-retained (~4k most recent); on a huge
@@ -957,11 +1036,16 @@ cmd_serve_batch(const Options& opts)
             } catch (const fq::Error& e) {
                 from = e.what();
             }
-            if (have_diag)
+            if (have_diag) {
+                for (const auto& [address, leaves] : diag.worker_dispatches)
+                    worker_totals[address] += leaves;
                 t.add_row({Table::num(k + 1), requests[k].model_file,
                            Table::num(diag.leaves_executed) + "/" +
                                Table::num(diag.leaves_scheduled),
                            format_kind_split(diag.kind_leaves_executed),
+                           pool ? Table::num(diag.leaves_remote) + "/" +
+                                      Table::num(diag.leaves_local)
+                                : std::string("-"),
                            best, from, Table::num(diag.waves),
                            Table::num(diag.wave_occupancy, 2),
                            Table::num(diag.reranks),
@@ -972,10 +1056,10 @@ cmd_serve_batch(const Options& opts)
                            Table::num(diag.family_binds),
                            Table::num(diag.queue_latency_ms, 1),
                            Table::num(diag.wall_ms, 1)});
-            else
+            } else
                 t.add_row({Table::num(k + 1), requests[k].model_file, "-",
-                           "-", best, from, "-", "-", "-", "-", "-", "-",
-                           "-", "-"});
+                           "-", "-", best, from, "-", "-", "-", "-", "-",
+                           "-", "-", "-"});
         }
         t.print(std::cout);
 
@@ -1006,6 +1090,13 @@ cmd_serve_batch(const Options& opts)
                                 1)
                   << " leaves/wave, pool fill "
                   << Table::num(stats.mean_pool_fill, 2) << "\n";
+        if (pool) {
+            std::cout << "workers: " << pool->live_workers() << "/"
+                      << pool->num_workers() << " live";
+            for (const auto& [address, leaves] : worker_totals)
+                std::cout << " | " << address << " " << leaves << " leaves";
+            std::cout << "\n";
+        }
     }
 
     const double wall_ms =
@@ -1019,6 +1110,25 @@ cmd_serve_batch(const Options& opts)
               << " solves/s)\n";
     if (opts.find("stats") != opts.end())
         print_cache_stats(eng);
+    return 0;
+}
+
+int
+cmd_worker(const Options& opts)
+{
+    const auto listen = option(opts, "listen", "");
+    FQ_REQUIRE(!listen.empty(),
+               "worker needs --listen unix:/path.sock or host:port");
+    net::WorkerServer::Options wopts;
+    wopts.threads = int_option(opts, "threads", 1);
+    // Fault injection for tests/CI: crash mid-batch after N leaves.
+    wopts.die_after_leaves = long_option(opts, "die-after", 0);
+    net::WorkerServer server(listen, wopts);
+    std::cout << "fqtool worker: listening on " << listen << " ("
+              << server.num_threads() << " executor thread"
+              << (server.num_threads() == 1 ? "" : "s") << ")"
+              << std::endl; // flush: CI waits for this readiness line
+    server.run();
     return 0;
 }
 
@@ -1060,12 +1170,14 @@ usage()
         "           [--no-param-templates]\n"
         "           [--deadline D] [--checkpoint FILE] [--checkpoint-every N]\n"
         "           [--resume FILE] [--suspend-after K] [--stats]\n"
+        "           [--workers a,b,c]\n"
         "  serve-batch --trace FILE [--device NAME] [--threads T]\n"
         "           [--wave-size W] [--queue-depth D] [--shots K]\n"
-        "           [--serial] [--stats]\n"
+        "           [--serial] [--stats] [--workers a,b,c]\n"
         "           trace keys: freeze shots seed device backend max-depth\n"
         "           max-circuits partition sparsify wave-share rerank\n"
-        "           deadline checkpoint migrate\n"
+        "           deadline checkpoint migrate workers\n"
+        "  worker   --listen unix:/path.sock|host:port [--threads T]\n"
         "  devices\n";
     return 2;
 }
@@ -1092,6 +1204,8 @@ main(int argc, char** argv)
             return cmd_solve(opts);
         if (command == "serve-batch")
             return cmd_serve_batch(opts);
+        if (command == "worker")
+            return cmd_worker(opts);
         if (command == "devices")
             return cmd_devices();
         return usage();
