@@ -443,4 +443,28 @@ decode_wire_error(const std::vector<std::uint8_t>& payload)
     return msg;
 }
 
+std::vector<std::uint8_t>
+encode_worker_hello(const WorkerHello& msg)
+{
+    std::vector<std::uint8_t> out;
+    put_u32(out, msg.protocol_version);
+    put_i32(out, msg.threads);
+    return out;
+}
+
+WorkerHello
+decode_worker_hello(const std::vector<std::uint8_t>& payload)
+{
+    Reader in(payload);
+    WorkerHello msg;
+    msg.protocol_version = in.u32();
+    if (msg.protocol_version != kProtocolVersion)
+        throw NetError("net: worker speaks protocol version " +
+                       std::to_string(msg.protocol_version) + ", want " +
+                       std::to_string(kProtocolVersion));
+    msg.threads = in.i32();
+    in.finish();
+    return msg;
+}
+
 } // namespace fq::net

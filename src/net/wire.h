@@ -6,6 +6,12 @@
  *
  *   coordinator                              worker
  *   ----------------------------------------------------------------
+ *                                         <- WorkerHello {version,
+ *                                            threads} on connect: the
+ *                                            assignment weight is known
+ *                                            BEFORE the first wave, and
+ *                                            a version skew fails at
+ *                                            connect, not mid-solve
  *   OpenSession {model, device, config,
  *                seed, shots, fingerprints} ->
  *                                            replans build_solve_tree
@@ -55,6 +61,17 @@ enum MessageType : std::uint32_t {
     kMsgLeafFailed = 5,
     kMsgCloseSession = 6,
     kMsgError = 7, ///< session-level protocol failure (fingerprint, decode)
+    kMsgWorkerHello = 8, ///< worker -> coordinator greeting on connect
+};
+
+/** First frame on every connection, worker -> coordinator: advertises
+ *  the protocol version and the worker's thread capacity, so the pool
+ *  weights its cost-based assignment correctly from the very first wave
+ *  (SessionReady used to carry threads too late for wave one). */
+struct WorkerHello
+{
+    std::uint32_t protocol_version = kProtocolVersion;
+    std::int32_t threads = 1;
 };
 
 struct OpenSession
@@ -132,6 +149,9 @@ CloseSession decode_close_session(const std::vector<std::uint8_t>& payload);
 
 std::vector<std::uint8_t> encode_wire_error(const WireError& msg);
 WireError decode_wire_error(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_worker_hello(const WorkerHello& msg);
+WorkerHello decode_worker_hello(const std::vector<std::uint8_t>& payload);
 
 } // namespace fq::net
 

@@ -80,6 +80,7 @@ WorkerServer::stop()
     {
         std::lock_guard<std::mutex> lock(conn_mutex_);
         threads.swap(conn_threads_);
+        finished_threads_.clear();
     }
     for (auto& t : threads)
         if (t.joinable())
@@ -97,14 +98,34 @@ WorkerServer::accept_loop()
         } catch (const NetError&) {
             return; // listener closed: shutdown
         }
-        if (stopping_.load())
-            return;
+        const int raw = client.get();
         std::lock_guard<std::mutex> lock(conn_mutex_);
-        conn_fds_.push_back(client.get());
+        // Reap connections that finished serving since the last accept:
+        // their threads are done (they deregistered under this mutex), so
+        // the joins return promptly and conn_threads_ stays bounded by
+        // the number of LIVE connections, not total connections served.
+        for (const auto id : finished_threads_) {
+            const auto it = std::find_if(
+                conn_threads_.begin(), conn_threads_.end(),
+                [id](const std::thread& t) { return t.get_id() == id; });
+            if (it != conn_threads_.end()) {
+                it->join();
+                conn_threads_.erase(it);
+            }
+        }
+        finished_threads_.clear();
+        conn_fds_.push_back(raw);
         conn_threads_.emplace_back(
             [this, fd = std::move(client)]() mutable {
                 serve_connection(std::move(fd));
             });
+        // stop() sets stopping_ BEFORE its shutdown pass over conn_fds_,
+        // so either that pass already covered this fd (registered in
+        // time) or stopping_ is visible here and we shut the fresh
+        // connection down ourselves — its serve thread can never block
+        // in read_frame past stop().
+        if (stopping_.load())
+            ::shutdown(raw, SHUT_RDWR);
     }
 }
 
@@ -122,11 +143,19 @@ WorkerServer::serve_connection(Fd client)
             std::lock_guard<std::mutex> lock(server->conn_mutex_);
             auto& fds = server->conn_fds_;
             fds.erase(std::remove(fds.begin(), fds.end(), fd), fds.end());
+            server->finished_threads_.push_back(
+                std::this_thread::get_id());
         }
     } deregister{this, client.get()};
 
     std::map<std::uint64_t, Session> sessions;
     try {
+        // Greet first: the coordinator weights its wave assignment by
+        // this thread capacity from the very first wave, and a protocol
+        // version skew dies at connect instead of mid-solve.
+        write_frame(client.get(), kMsgWorkerHello,
+                    encode_worker_hello(
+                        {kProtocolVersion, executor_.num_threads()}));
         for (;;) {
             const Frame frame = read_frame(client.get());
             switch (frame.type) {
@@ -220,6 +249,11 @@ WorkerServer::serve_connection(Fd client)
                             [this, &s, &outs, k, leaf_id](
                                 engine::BatchExecutor::Scratch& scratch) {
                                 Outcome& out = outs[k];
+                                if (opts_.fail_leaves) {
+                                    out.failed = true;
+                                    out.error = "injected leaf failure";
+                                    return;
+                                }
                                 try {
                                     out.counts =
                                         engine::simulate_scheduled_leaf(

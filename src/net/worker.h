@@ -45,6 +45,13 @@ class WorkerServer
          * the deterministic stand-in for `kill -9` mid-wave. 0 = off.
          */
         long long die_after_leaves = 0;
+        /**
+         * Fault injection (tests/CI only): every leaf reports
+         * kMsgLeafFailed instead of executing — the deterministic
+         * stand-in for simulate_scheduled_leaf throwing on the worker.
+         * The worker itself stays healthy and keeps serving.
+         */
+        bool fail_leaves = false;
     };
 
     /** Binds + listens immediately (NetError on failure); serving starts
@@ -90,6 +97,11 @@ class WorkerServer
     std::mutex conn_mutex_;
     std::vector<std::thread> conn_threads_;
     std::vector<int> conn_fds_; ///< raw fds for shutdown() on stop
+    /** Ids of connection threads that finished serving — reaped (joined
+     *  and dropped from conn_threads_) by accept_loop, so a long-lived
+     *  worker does not accumulate one dead thread handle per past
+     *  connection. */
+    std::vector<std::thread::id> finished_threads_;
 };
 
 } // namespace fq::net

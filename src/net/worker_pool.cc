@@ -1,6 +1,7 @@
 #include "net/worker_pool.h"
 
 #include <algorithm>
+#include <exception>
 #include <numeric>
 
 #include "engine/checkpoint.h"
@@ -45,6 +46,17 @@ WorkerPool::WorkerPool(engine::LeafExecutor& local_arm, int local_threads,
         Worker w;
         w.address = address;
         w.fd = connect_to(address);
+        // The worker greets with its protocol version and thread
+        // capacity, so the first wave's cost-weighted assignment is
+        // already correctly weighted (and a version skew is a startup
+        // error, like a typo'd address).
+        const Frame hello =
+            read_frame(w.fd.get(), opts_.hedge_timeout_ms);
+        if (hello.type != kMsgWorkerHello)
+            throw NetError("net: worker at " + address +
+                           " did not greet with WorkerHello");
+        w.threads =
+            std::max(1, decode_worker_hello(hello.payload).threads);
         workers_.push_back(std::move(w));
     }
 }
@@ -281,6 +293,12 @@ WorkerPool::execute_wave(const std::vector<engine::WaveSlot>& wave,
         executed += local_.execute_wave(local_slots, hooks);
 
     // ------------------------------------------------ replies / hedge --
+    // A worker-reported leaf failure with no failure hook must propagate
+    // like a local throw — but NOT from inside the reply loop, where the
+    // protocol-violation catch would swallow it (and wrongly kill a
+    // healthy worker). Record the first one and rethrow after every
+    // worker has drained or hedged, mirroring the BatchExecutor barrier.
+    std::exception_ptr leaf_failure;
     for (std::size_t wi = 0; wi < live.size(); ++wi) {
         Worker& worker = *live[wi];
         auto& entries = outstanding[wi].entries;
@@ -336,15 +354,17 @@ WorkerPool::execute_wave(const std::vector<engine::WaveSlot>& wave,
                         .bytes_received += static_cast<long long>(
                         frame_wire_size(frame.payload.size()));
                     // Same semantics as a local throw: the slot counts as
-                    // executed, and without a failure hook it propagates.
+                    // executed, and without a failure hook it propagates
+                    // (deferred past the drain — the worker is healthy).
                     ++executed;
                     const NetError error("net: worker reported leaf "
                                          "failure: " +
                                          msg.message);
-                    if (!hooks.failed)
-                        throw error;
-                    hooks.failed(slot,
-                                 std::make_exception_ptr(error));
+                    if (hooks.failed)
+                        hooks.failed(slot,
+                                     std::make_exception_ptr(error));
+                    else if (!leaf_failure)
+                        leaf_failure = std::make_exception_ptr(error);
                 } else {
                     throw NetError("net: unexpected frame type " +
                                    std::to_string(frame.type) +
@@ -371,6 +391,8 @@ WorkerPool::execute_wave(const std::vector<engine::WaveSlot>& wave,
             executed += local_.execute_wave(retry, hooks);
         }
     }
+    if (leaf_failure)
+        std::rethrow_exception(leaf_failure);
     return executed;
 }
 

@@ -19,7 +19,11 @@
  * folds byte-identical counts — worker death is invisible in the results,
  * which is the determinism contract's distributed extension. A worker
  * that REJECTS a session (fingerprint mismatch) is not dead: only that
- * request is pinned local.
+ * request is pinned local. A worker-reported leaf failure (kMsgLeafFailed)
+ * is not a transport fault either — the worker stays alive, and the
+ * failure propagates exactly as a local leaf throw would: through
+ * WaveHooks::failed when set, else out of execute_wave once the wave has
+ * fully drained (the BatchExecutor barrier semantics).
  *
  * Threading: drive from ONE thread at a time (the engine's caller or the
  * service's assembler), the same contract as ExecutionEngine.
@@ -76,7 +80,7 @@ class WorkerPool final : public engine::LeafExecutor
         std::string address;
         Fd fd;
         bool alive = true;
-        int threads = 1; ///< advertised on the first SessionReady
+        int threads = 1; ///< advertised by the connect-time WorkerHello
         /** Open sessions keyed by the request they execute for. */
         std::map<const engine::WaveRequest*, std::uint64_t> sessions;
         /** Requests this worker rejected (fingerprint mismatch) — pinned

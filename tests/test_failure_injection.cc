@@ -30,6 +30,7 @@
 #include "net/frame.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "net/worker.h"
 #include "net/worker_pool.h"
 #include "optimizer/grid_search.h"
 #include "optimizer/landscape.h"
@@ -38,6 +39,7 @@
 #include "qaoa/multilayer.h"
 #include "qaoa/qaoa_builder.h"
 #include "runtime/runtime_model.h"
+#include "solve_test_util.h"
 #include "sim/counts.h"
 #include "sim/noise_model.h"
 #include "sim/statevector.h"
@@ -507,6 +509,9 @@ struct MockWorker
     {
         try {
             net::Fd client = net::accept_client(listen_fd.get());
+            net::write_frame(client.get(), net::kMsgWorkerHello,
+                             net::encode_worker_hello(
+                                 {net::kProtocolVersion, 1}));
             for (;;) {
                 const auto frame = net::read_frame(client.get());
                 if (frame.type == net::kMsgOpenSession) {
@@ -597,5 +602,96 @@ INSTANTIATE_TEST_SUITE_P(FailureInjection, RemoteWorkerFaults,
                              MockWorker::Mode::CorruptFrame,
                              MockWorker::Mode::WrongLeafId,
                              MockWorker::Mode::WrongWidth));
+
+std::string
+worker_address()
+{
+    static std::atomic<int> counter{0};
+    return "unix:/tmp/fq_test_fi_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+TEST(FailureInjection, WorkerLeafFailureDefaultHooksPropagates)
+{
+    // A worker whose simulate throws (injected) reports kMsgLeafFailed.
+    // With the default WaveHooks — the ExecutionEngine::solve path, no
+    // failure hook — that must propagate out of the solve exactly like
+    // a local leaf throw: NEVER a normally-completing solve with that
+    // leaf's counts silently missing. And the worker is healthy, so it
+    // must not be marked dead or have leaves hedged away from it.
+    const auto model = test::ba_model(14, 3, 53);
+    const auto dev = device::make_device("ibm-montreal");
+    frozenqubits::DriverConfig config;
+    config.num_freeze = 3;
+    config.threads = 1;
+    config.seed = 59;
+
+    net::WorkerServer::Options wopts;
+    wopts.fail_leaves = true;
+    net::WorkerServer server(worker_address(), wopts);
+    server.start();
+
+    engine::ExecutionEngine eng(config.threads);
+    net::WorkerPool pool(eng.local_leaf_executor(), eng.num_threads(),
+                         {server.address()});
+    eng.set_leaf_executor(&pool);
+    try {
+        eng.solve(model, dev, config, 256, config.seed);
+        FAIL() << "worker-side leaf failure completed silently";
+    } catch (const net::NetError& e) {
+        EXPECT_NE(std::string(e.what()).find("injected leaf failure"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_EQ(pool.live_workers(), 1)
+        << "a failing leaf is not a transport fault";
+    server.stop();
+}
+
+TEST(FailureInjection, WorkerLeafFailureIsolatedToTenant)
+{
+    // Same injected worker under the service (hooks.failed set): only
+    // the remote-capable tenant fails; the local-pinned co-tenant still
+    // matches its uninterrupted local solve, and the worker stays alive.
+    const auto dev = device::make_device("ibm-montreal");
+    const auto model_a = test::ba_model(14, 3, 61);
+    const auto model_b = test::ba_model(12, 3, 67);
+    frozenqubits::DriverConfig config_a;
+    config_a.num_freeze = 3;
+    config_a.threads = 2;
+    config_a.seed = 71;
+    auto config_b = config_a;
+    config_b.allow_remote = false;
+    config_b.seed = 73;
+
+    engine::ExecutionEngine ref(config_b.threads);
+    const auto expected_b =
+        ref.solve(model_b, dev, config_b, 256, config_b.seed);
+
+    net::WorkerServer::Options wopts;
+    wopts.fail_leaves = true;
+    // Advertise far more capacity than the local arm: whatever wave
+    // composition the service's admission timing produces, tenant A's
+    // first remote-eligible leaf always scores lower on the worker, so
+    // the injected failure is guaranteed to be exercised.
+    wopts.threads = 8;
+    net::WorkerServer server(worker_address(), wopts);
+    server.start();
+
+    engine::ExecutionEngine eng(2);
+    net::WorkerPool pool(eng.local_leaf_executor(), eng.num_threads(),
+                         {server.address()});
+    eng.set_leaf_executor(&pool);
+    engine::SolveService service(eng, {});
+
+    auto ta = service.submit(model_a, dev, config_a, 256, config_a.seed);
+    auto tb = service.submit(model_b, dev, config_b, 256, config_b.seed);
+    service.drain();
+
+    EXPECT_THROW(ta.get(), net::NetError);
+    test::expect_solves_identical(expected_b, tb.get());
+    EXPECT_EQ(pool.live_workers(), 1);
+    server.stop();
+}
 
 } // namespace

@@ -429,6 +429,21 @@ TEST(Distributed, ServiceCoTenantsMixedLocalRemote)
     EXPECT_GT(diag_a.leaves_remote + diag_c.leaves_remote, 0);
 }
 
+TEST(Distributed, WorkerSurvivesManyShortLivedConnections)
+{
+    // A long-lived worker serving many short-lived coordinators: each
+    // pool connects (hello handshake) and disconnects. Finished
+    // connection threads must be reaped as new connections arrive, and
+    // the final stop() must join everything without hanging.
+    WorkerFleet fleet(1);
+    engine::ExecutionEngine eng(1);
+    for (int i = 0; i < 8; ++i) {
+        net::WorkerPool pool(eng.local_leaf_executor(), eng.num_threads(),
+                             fleet.addresses);
+        EXPECT_EQ(pool.live_workers(), 1);
+    }
+}
+
 TEST(Distributed, BadAddressFailsAtStartup)
 {
     engine::ExecutionEngine eng(1);
